@@ -1,0 +1,160 @@
+// Ablation: drain vs checkpoint for wide jobs.
+//
+// Section 6: wide (>64-node) jobs could only run after the administrators
+// drained the queues, because MPI/PVM jobs could not be checkpointed —
+// and "even when such jobs executed, they did not consume significant
+// wallclock time".  This bench runs a scheduler-level simulation of the
+// same job stream under both policies and quantifies what checkpointing
+// would have bought: machine utilization during wide-job admission and the
+// wide jobs' queue-wait times.
+#include "bench/common.hpp"
+
+#include <map>
+
+#include "src/pbs/scheduler.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+struct StreamResult {
+  double utilization = 0.0;
+  double mean_wide_wait_h = 0.0;
+  int wide_started = 0;
+  int preemptions = 0;
+};
+
+// Event-driven scheduler-only simulation: jobs consume node-time, wide
+// jobs arrive periodically, preempted jobs resubmit their remainder.
+StreamResult run_stream(bool checkpointing, std::uint64_t seed) {
+  pbs::SchedulerConfig cfg;
+  cfg.checkpoint_for_wide = checkpointing;
+  cfg.wide_wait_patience_s = 2 * 3600.0;
+  pbs::Scheduler sched(cfg);
+  util::Xoshiro256StarStar rng(seed);
+
+  const double horizon_s = 30.0 * 86400.0;
+  const double step_s = 900.0;
+
+  struct Running {
+    double end_s = 0.0;
+    double remaining_s = 0.0;
+  };
+  std::map<std::int64_t, Running> running;
+  std::map<std::int64_t, double> wide_submit;
+  std::int64_t next_id = 1;
+  double busy_node_seconds = 0.0;
+  util::RunningStats wide_wait;
+  int preemptions = 0;
+
+  for (double now = 0.0; now < horizon_s; now += step_s) {
+    // Narrow arrivals: ~40/day of 8-32 nodes; one wide job every ~2 days.
+    const std::uint64_t n = rng.poisson(40.0 * step_s / 86400.0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      pbs::JobSpec j;
+      j.job_id = next_id++;
+      j.nodes_requested = static_cast<int>(8u << rng.below(3));  // 8/16/32
+      j.runtime_s = rng.uniform(1.0, 6.0) * 3600.0;
+      j.submit_time_s = now;
+      sched.submit(j);
+    }
+    if (rng.chance(step_s / (2.0 * 86400.0))) {
+      pbs::JobSpec w;
+      w.job_id = next_id++;
+      w.nodes_requested = 96 + static_cast<int>(rng.below(33));
+      w.runtime_s = rng.uniform(2.0, 5.0) * 3600.0;
+      w.submit_time_s = now;
+      wide_submit[w.job_id] = now;
+      sched.submit(w);
+    }
+
+    for (const pbs::StartEvent& ev : sched.schedule(now)) {
+      running[ev.spec.job_id] = {now + ev.spec.runtime_s,
+                                 ev.spec.runtime_s};
+      if (auto it = wide_submit.find(ev.spec.job_id);
+          it != wide_submit.end()) {
+        wide_wait.add((now - it->second) / 3600.0);
+        wide_submit.erase(it);
+      }
+    }
+    // Preempted jobs checkpoint and resubmit their remaining runtime.
+    for (std::int64_t id : sched.take_preempted()) {
+      auto it = running.find(id);
+      const double remaining = std::max(0.0, it->second.end_s - now);
+      running.erase(it);
+      ++preemptions;
+      if (remaining > 60.0) {
+        pbs::JobSpec j;
+        j.job_id = next_id++;
+        j.nodes_requested =
+            8;  // restart narrow (conservative: original width unknown here)
+        j.runtime_s = remaining;
+        j.submit_time_s = now;
+        sched.submit(j);
+      }
+    }
+
+    busy_node_seconds += sched.busy_nodes() * step_s;
+
+    // Completions.
+    std::vector<std::int64_t> done;
+    for (const auto& [id, r] : running) {
+      if (r.end_s <= now + step_s) done.push_back(id);
+    }
+    for (std::int64_t id : done) {
+      sched.release(id);
+      running.erase(id);
+    }
+  }
+
+  StreamResult out;
+  out.utilization =
+      busy_node_seconds / (144.0 * horizon_s);
+  out.mean_wide_wait_h = wide_wait.mean();
+  out.wide_started = static_cast<int>(wide_wait.count());
+  out.preemptions = preemptions;
+  return out;
+}
+
+void report() {
+  bench::banner("Ablation: queue draining vs job checkpointing",
+                "section 6's wide-job admission problem");
+  const StreamResult drain = run_stream(false, 0xAB1E);
+  const StreamResult ckpt = run_stream(true, 0xAB1E);
+
+  std::printf("  %-28s %12s %12s\n", "", "drain (real)", "checkpoint");
+  std::printf("  %-28s %11.1f%% %11.1f%%\n", "machine utilization",
+              100.0 * drain.utilization, 100.0 * ckpt.utilization);
+  std::printf("  %-28s %12.1f %12.1f\n", "mean wide-job wait (h)",
+              drain.mean_wide_wait_h, ckpt.mean_wide_wait_h);
+  std::printf("  %-28s %12d %12d\n", "wide jobs started",
+              drain.wide_started, ckpt.wide_started);
+  std::printf("  %-28s %12d %12d\n", "preemptions", drain.preemptions,
+              ckpt.preemptions);
+  std::printf("\n  the paper: enforcing admission policies 'would require\n"
+              "  considerable rewriting of the current batch system\n"
+              "  scheduler' — this is the quantified counterfactual.\n");
+}
+
+void BM_SchedulerPass(benchmark::State& state) {
+  std::int64_t id = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    pbs::Scheduler sched(pbs::SchedulerConfig{});
+    for (int i = 0; i < 20; ++i) {
+      pbs::JobSpec j;
+      j.job_id = id++;
+      j.nodes_requested = 16;
+      sched.submit(j);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sched.schedule(0.0));
+  }
+}
+BENCHMARK(BM_SchedulerPass);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

@@ -1,0 +1,89 @@
+// In-text calibration numbers from section 5 that are not part of any
+// table or figure: the 240 Mflops blocked matrix multiply and its
+// flops/memref of 3.0, the workload's register-reuse ratio, the DMA
+// message-traffic arithmetic, and the memory-delay-per-reference estimate.
+#include "bench/common.hpp"
+
+#include "src/power2/signature.hpp"
+#include "src/workload/kernels.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Section 5 calibration numbers", "section 5 (in-text)");
+  auto& sim = bench::paper_sim();
+
+  // --- single-processor matrix multiply ---
+  const auto mm = sim.run_kernel(workload::blocked_matmul());
+  const double mm_fpm = static_cast<double>(mm.counts.flops()) /
+                        static_cast<double>(mm.counts.fxu_inst());
+  std::printf("  blocked, unrolled, cache-resident matrix multiply:\n");
+  bench::compare("matmul Mflops", 240.0, mm.mflops());
+  bench::compare("matmul flops/memref", 3.0, mm_fpm);
+  bench::compare("peak fraction", 240.0 / 266.8,
+                 mm.mflops() / util::MachineClock::kPeakMflopsPerNode);
+
+  // --- workload aggregates over the filtered days ---
+  const auto t3 = sim.table3();
+  double mflops = 0, fxu = 0, icu = 0, mips_fpu = 0, dmar = 0, dmaw = 0;
+  double dmiss = 0, tmiss = 0;
+  for (const auto& r : t3.rows) {
+    if (r.label == "Mflops-All") mflops = r.avg;
+    if (r.label == "Mips-Fixed Point Unit (Total)") fxu = r.avg;
+    if (r.label == "Mips-Inst Cache Unit") icu = r.avg;
+    if (r.label == "Mips-Floating Point (Total)") mips_fpu = r.avg;
+    if (r.label == "DMA reads-MTransfer/S") dmar = r.avg;
+    if (r.label == "DMA writes-MTransfer/S") dmaw = r.avg;
+    if (r.label == "Data Cache Misses-Million/S") dmiss = r.avg;
+    if (r.label == "TLB-Million/S") tmiss = r.avg;
+  }
+  std::printf("\n  workload aggregates (filtered-day sample):\n");
+  bench::compare("flops per memory instruction", 0.63, mflops / fxu);
+  const double branch_share = icu / (fxu + icu + mips_fpu);
+  bench::compare("branch/ICU share of instructions", 0.07, branch_share);
+
+  // Delay per memory reference: (8 * cache misses + 45 * TLB misses) over
+  // FXU instructions, in cycles — the paper computes ~0.12.
+  const double delay = (8.0 * dmiss + 45.0 * tmiss) / fxu;
+  bench::compare("delay per memory reference (cycles)", 0.12, delay);
+
+  // DMA traffic arithmetic: transfers/s x avg transfer size.
+  const double avg_bytes =
+      cluster::DmaConfig{}.avg_transfer_bytes();
+  const double mbytes = (dmar + dmaw) * 1e6 * avg_bytes / 1e6;
+  std::printf("\n  DMA / network:\n");
+  bench::compare("message+disk DMA traffic (MB/s/node)", 1.3, mbytes);
+  bench::compare("share of 34 MB/s node bandwidth", 0.04, mbytes / 34.0);
+
+  // --- batch database aggregates ---
+  const double tw = sim.campaign().jobs.time_weighted_mflops_per_node();
+  std::printf("\n  batch job database:\n");
+  bench::compare("time-weighted batch Mflops/node", 19.0, tw);
+}
+
+void BM_BlockedMatmulSimulation(benchmark::State& state) {
+  const power2::KernelDesc k = workload::blocked_matmul();
+  for (auto _ : state) {
+    power2::Power2Core core;
+    benchmark::DoNotOptimize(core.run(k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k.measure_iters) *
+                          static_cast<std::int64_t>(k.body.size()));
+}
+BENCHMARK(BM_BlockedMatmulSimulation);
+
+void BM_CfdSignature(benchmark::State& state) {
+  const power2::KernelDesc k = workload::cfd_multiblock(1, 0.3);
+  for (auto _ : state) {
+    power2::Power2Core core;
+    benchmark::DoNotOptimize(power2::measure_signature(core, k));
+  }
+}
+BENCHMARK(BM_CfdSignature);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

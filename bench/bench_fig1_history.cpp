@@ -1,0 +1,70 @@
+// Figure 1: NAS SP2 system performance history — daily Gflops, its moving
+// average, and the utilization moving average over the 270-day campaign.
+#include "bench/common.hpp"
+
+#include "src/analysis/figures.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Figure 1: NAS SP2 System Performance History", "Figure 1");
+  auto& sim = bench::paper_sim();
+  const analysis::Fig1Series f = sim.fig1();
+
+  util::Series daily{.name = "daily Gflops", .xs = f.day,
+                     .ys = f.daily_gflops, .glyph = '.'};
+  util::Series ma{.name = "moving average", .xs = f.day,
+                  .ys = f.gflops_moving_avg, .glyph = 'o'};
+  std::vector<double> util_scaled;
+  for (double u : f.utilization_moving_avg) util_scaled.push_back(4.0 * u);
+  util::Series um{.name = "utilization moving avg (x4 Gflops scale)",
+                  .xs = f.day, .ys = util_scaled, .glyph = 'u'};
+  util::ChartOptions opts;
+  opts.title = "System Performance (Gflops) vs day";
+  opts.x_label = "day of campaign";
+  opts.y_label = "Gflops";
+  opts.height = 18;
+  std::printf("%s\n", util::render_chart({daily, ma, um}, opts).c_str());
+
+  std::printf("  paper reference values:\n");
+  bench::compare("mean daily system Gflops", 1.3, f.mean_gflops);
+  bench::compare("best 24-hour Gflops", 3.4, f.max_daily_gflops);
+  bench::compare("mean utilization", 0.64, f.mean_utilization);
+  bench::compare("max daily utilization", 0.95, f.max_daily_utilization);
+  bench::compare("trend slope (Gflops/day; 'no obvious trend')", 0.0,
+                 f.trend_slope);
+
+  auto csv = bench::open_csv("p2sim_fig1.csv");
+  csv << "day,gflops,gflops_ma,utilization_ma\n";
+  for (std::size_t i = 0; i < f.day.size(); ++i) {
+    csv << f.day[i] << ',' << f.daily_gflops[i] << ','
+        << f.gflops_moving_avg[i] << ',' << f.utilization_moving_avg[i]
+        << '\n';
+  }
+}
+
+void BM_MakeFig1(benchmark::State& state) {
+  auto& sim = bench::paper_sim();
+  sim.days();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.fig1());
+  }
+}
+BENCHMARK(BM_MakeFig1);
+
+void BM_MovingAverage270Days(benchmark::State& state) {
+  std::vector<double> xs(270);
+  for (int i = 0; i < 270; ++i) xs[static_cast<std::size_t>(i)] = i % 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::moving_average(xs, 14));
+  }
+}
+BENCHMARK(BM_MovingAverage270Days);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

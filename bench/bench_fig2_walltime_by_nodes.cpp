@@ -1,0 +1,51 @@
+// Figure 2: batch-job wall clock time as a function of nodes requested
+// (jobs exceeding 600 s).  The paper's headline: 16-node jobs dominate,
+// with 32 and 8 next, and essentially nothing beyond 64 nodes.
+#include "bench/common.hpp"
+
+#include "src/analysis/figures.hpp"
+#include "src/util/ascii_chart.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Figure 2: Batch Job Walltime vs Nodes Requested",
+                "Figure 2");
+  auto& sim = bench::paper_sim();
+  const analysis::Fig2Series f = sim.fig2();
+
+  std::vector<std::pair<std::string, double>> bars;
+  for (const auto& b : f.bins) {
+    bars.emplace_back(std::to_string(b.nodes), b.total_walltime_s);
+  }
+  std::printf("%s\n",
+              util::render_bars(bars, "walltime (s) by nodes requested")
+                  .c_str());
+
+  std::printf("  paper reference values:\n");
+  bench::compare("most popular node count", 16,
+                 static_cast<double>(f.most_popular_nodes));
+  bench::compare("walltime share beyond 64 nodes ('essentially none')", 0.0,
+                 f.walltime_beyond_64_fraction);
+
+  auto csv = bench::open_csv("p2sim_fig2.csv");
+  csv << "nodes,walltime_s,jobs\n";
+  for (const auto& b : f.bins) {
+    csv << b.nodes << ',' << b.total_walltime_s << ',' << b.jobs << '\n';
+  }
+}
+
+void BM_MakeFig2(benchmark::State& state) {
+  auto& sim = bench::paper_sim();
+  sim.campaign();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.fig2());
+  }
+}
+BENCHMARK(BM_MakeFig2);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

@@ -1,0 +1,64 @@
+// Figure 3: batch-job performance per node vs nodes requested.  Shape to
+// reproduce: the per-node rate is sustained up to 64 nodes (peaking near
+// 40 Mflops/node) and collapses sharply beyond.
+#include "bench/common.hpp"
+
+#include "src/analysis/figures.hpp"
+#include "src/util/ascii_chart.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Figure 3: Batch Job Performance vs Nodes Requested",
+                "Figure 3");
+  auto& sim = bench::paper_sim();
+  const analysis::Fig3Series f = sim.fig3();
+
+  util::Series mean{.name = "mean Mflops/node", .xs = {}, .ys = {},
+                    .glyph = 'o'};
+  util::Series best{.name = "best job in bin", .xs = {}, .ys = {},
+                    .glyph = '+'};
+  for (const auto& b : f.bins) {
+    mean.xs.push_back(b.nodes);
+    mean.ys.push_back(b.mean_mflops_per_node);
+    best.xs.push_back(b.nodes);
+    best.ys.push_back(b.max_mflops_per_node);
+  }
+  util::ChartOptions opts;
+  opts.title = "Performance (Mflops per node) vs nodes requested";
+  opts.x_label = "nodes requested";
+  opts.y_label = "Mflops/node";
+  std::printf("%s\n", util::render_chart({mean, best}, opts).c_str());
+
+  double peak = 0.0;
+  for (const auto& b : f.bins) {
+    peak = std::max(peak, b.max_mflops_per_node);
+  }
+  std::printf("  paper reference values:\n");
+  bench::compare("peak per-node batch rate (Mflops)", 40.0, peak);
+  bench::compare("mean Mflops/node at <= 64 nodes", 20.0, f.mean_upto_64);
+  bench::compare("mean Mflops/node beyond 64 ('sharp decrease')", 8.0,
+                 f.mean_beyond_64);
+
+  auto csv = bench::open_csv("p2sim_fig3.csv");
+  csv << "nodes,mean_mflops_per_node,max_mflops_per_node,jobs\n";
+  for (const auto& b : f.bins) {
+    csv << b.nodes << ',' << b.mean_mflops_per_node << ','
+        << b.max_mflops_per_node << ',' << b.jobs << '\n';
+  }
+}
+
+void BM_MakeFig3(benchmark::State& state) {
+  auto& sim = bench::paper_sim();
+  sim.campaign();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.fig3());
+  }
+}
+BENCHMARK(BM_MakeFig3);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

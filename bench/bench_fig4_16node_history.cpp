@@ -1,0 +1,56 @@
+// Figure 4: performance histories of 16-node batch jobs (the most popular
+// selection) in submission order.  Shape to reproduce: mean around
+// 320 job-Mflops with a spread of ~200, and a moving average that shows
+// no improvement over time despite the machine's code-development mission.
+#include "bench/common.hpp"
+
+#include "src/analysis/figures.hpp"
+#include "src/util/ascii_chart.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Figure 4: 16-node Job Performance Histories", "Figure 4");
+  auto& sim = bench::paper_sim();
+  const analysis::Fig4Series f = sim.fig4(16);
+
+  util::Series jobs{.name = "16-node job rate", .xs = f.job_seq,
+                    .ys = f.job_mflops, .glyph = '.'};
+  util::Series ma{.name = "moving average", .xs = f.job_seq,
+                  .ys = f.moving_avg, .glyph = 'o'};
+  util::ChartOptions opts;
+  opts.title = "Job performance rate (Mflops) vs batch job number";
+  opts.x_label = "16-node batch job number (start order)";
+  opts.y_label = "job Mflops";
+  opts.height = 16;
+  std::printf("%s\n", util::render_chart({jobs, ma}, opts).c_str());
+
+  std::printf("  paper reference values:\n");
+  bench::compare("16-node jobs analyzed", 1200,
+                 static_cast<double>(f.job_mflops.size()));
+  bench::compare("mean job rate (Mflops)", 320.0, f.mean);
+  bench::compare("spread (std, paper quotes ~200)", 200.0, f.stddev);
+  bench::compare("trend (Mflops per job; 'no trend')", 0.0, f.trend_slope);
+
+  auto csv = bench::open_csv("p2sim_fig4.csv");
+  csv << "job_seq,job_mflops,moving_avg\n";
+  for (std::size_t i = 0; i < f.job_seq.size(); ++i) {
+    csv << f.job_seq[i] << ',' << f.job_mflops[i] << ',' << f.moving_avg[i]
+        << '\n';
+  }
+}
+
+void BM_MakeFig4(benchmark::State& state) {
+  auto& sim = bench::paper_sim();
+  sim.campaign();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.fig4(16));
+  }
+}
+BENCHMARK(BM_MakeFig4);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

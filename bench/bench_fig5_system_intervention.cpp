@@ -1,0 +1,59 @@
+// Figure 5: node performance vs system intervention.  Each point is one
+// day: x = (system-mode FXU instructions)/(user-mode FXU instructions),
+// y = Mflops per node.  Shape to reproduce: high system intervention only
+// occurs on days of below-average performance (the paging diagnostic).
+#include "bench/common.hpp"
+
+#include "src/analysis/figures.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Figure 5: Node Performance vs System Intervention",
+                "Figure 5");
+  auto& sim = bench::paper_sim();
+  const analysis::Fig5Series f = sim.fig5();
+
+  util::Series pts{.name = "one point per day", .xs = f.sys_user_fxu_ratio,
+                   .ys = f.mflops_per_node, .glyph = '*'};
+  util::ChartOptions opts;
+  opts.title = "Mflops per node vs (system FXU)/(user FXU)";
+  opts.x_label = "system/user FXU instruction ratio";
+  opts.y_label = "Mflops per node";
+  std::printf("%s\n", util::render_chart({pts}, opts).c_str());
+
+  // The paper's qualitative claim: high intervention days perform poorly.
+  const double median_ratio = util::quantile(f.sys_user_fxu_ratio, 0.5);
+  util::RunningStats low, high;
+  for (std::size_t i = 0; i < f.sys_user_fxu_ratio.size(); ++i) {
+    (f.sys_user_fxu_ratio[i] <= median_ratio ? low : high)
+        .add(f.mflops_per_node[i]);
+  }
+  std::printf("  paper reference (qualitative: anti-correlation):\n");
+  bench::compare("correlation(ratio, Mflops/node)", -0.5, f.correlation);
+  bench::compare("Mflops/node on low-intervention days", 17.0, low.mean());
+  bench::compare("Mflops/node on high-intervention days", 8.0, high.mean());
+
+  auto csv = bench::open_csv("p2sim_fig5.csv");
+  csv << "sys_user_fxu_ratio,mflops_per_node\n";
+  for (std::size_t i = 0; i < f.sys_user_fxu_ratio.size(); ++i) {
+    csv << f.sys_user_fxu_ratio[i] << ',' << f.mflops_per_node[i] << '\n';
+  }
+}
+
+void BM_MakeFig5(benchmark::State& state) {
+  auto& sim = bench::paper_sim();
+  sim.days();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.fig5());
+  }
+}
+BENCHMARK(BM_MakeFig5);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

@@ -1,0 +1,60 @@
+// The NAS Parallel Benchmarks under the simulated monitor.
+//
+// The paper leans on the NPB 2.1 report (Saphir, Woo & Yarrow 1996) for
+// its tuned-code reference (BT in Table 4).  This bench runs the whole
+// suite's kernel models through the POWER2 core and prints the per-code
+// counter profile — the per-program view RS2HPM offered users who wrapped
+// their runs in monitor commands.
+#include "bench/common.hpp"
+
+#include "src/power2/signature.hpp"
+#include "src/workload/npb.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("NPB kernel suite on the POWER2 model",
+                "the NPB 2.1 context behind Table 4");
+  std::printf("  %-4s %8s %8s %8s %8s %8s %8s  %s\n", "code", "Mflops",
+              "f/memref", "fma%", "dc-miss%", "tlb%", "ipc", "character");
+  auto csv = bench::open_csv("p2sim_npb.csv");
+  csv << "benchmark,mflops,flops_per_memref,fma_share,cache_miss_ratio,"
+         "tlb_miss_ratio,ipc\n";
+  for (workload::NpbBenchmark b : workload::npb_suite()) {
+    power2::Power2Core core;
+    const auto sig = power2::measure_signature(core, workload::npb_kernel(b));
+    const double fxu = sig.fxu0_inst + sig.fxu1_inst;
+    const double flops = sig.flops_per_cycle();
+    const double fma_share =
+        flops > 0 ? 2.0 * (sig.fp_fma0 + sig.fp_fma1) / flops : 0.0;
+    const double dc = fxu > 0 ? sig.dcache_miss / fxu : 0.0;
+    const double tlb = fxu > 0 ? sig.tlb_miss / fxu : 0.0;
+    std::printf("  %-4s %8.1f %8.2f %7.0f%% %7.2f%% %7.3f%% %8.2f  %s\n",
+                std::string(workload::npb_name(b)).c_str(), sig.mflops(),
+                fxu > 0 ? flops / fxu : 0.0, 100.0 * fma_share, 100.0 * dc,
+                100.0 * tlb, sig.instructions_per_cycle(),
+                std::string(workload::npb_description(b)).c_str());
+    csv << workload::npb_name(b) << ',' << sig.mflops() << ','
+        << (fxu > 0 ? flops / fxu : 0.0) << ',' << fma_share << ',' << dc
+        << ',' << tlb << ',' << sig.instructions_per_cycle() << '\n';
+  }
+  std::printf("\n  expected shape: EP compute-dense; BT/SP tuned solvers;\n"
+              "  LU dependence-bound; MG bandwidth-bound; FT TLB-heavy\n"
+              "  transposes; CG cache-hostile gathers.\n");
+}
+
+void BM_NpbKernel(benchmark::State& state) {
+  const auto b = static_cast<workload::NpbBenchmark>(state.range(0));
+  const power2::KernelDesc k = workload::npb_kernel(b);
+  for (auto _ : state) {
+    power2::Power2Core core;
+    benchmark::DoNotOptimize(core.run(k, 2048));
+  }
+}
+BENCHMARK(BM_NpbKernel)->DenseRange(0, 6);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

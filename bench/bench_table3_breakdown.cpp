@@ -1,0 +1,96 @@
+// Table 3: the full per-unit rate breakdown — flops by operation type,
+// instruction rates per execution unit, cache/TLB/I-cache miss rates, and
+// DMA transfer rates, over the filtered day sample.
+#include "bench/common.hpp"
+
+#include "src/analysis/tables.hpp"
+#include "src/rs2hpm/derived.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+double row_avg(const analysis::Table3& t, const char* label) {
+  for (const auto& r : t.rows) {
+    if (r.label == label) return r.avg;
+  }
+  return 0.0;
+}
+
+void report() {
+  bench::banner("Table 3: Measured Major Rates (full breakdown)", "Table 3");
+  auto& sim = bench::paper_sim();
+  const analysis::Table3 t = sim.table3();
+  std::printf("%s\n", analysis::format_table3(t).c_str());
+
+  std::printf("  paper reference values (avg column):\n");
+  bench::compare("Mflops-All", 17.4, row_avg(t, "Mflops-All"));
+  bench::compare("Mflops-add", 9.5, row_avg(t, "Mflops-add"));
+  bench::compare("Mflops-div (monitor bug)", 0.0, row_avg(t, "Mflops-div"));
+  bench::compare("Mflops-mult", 3.2, row_avg(t, "Mflops-mult"));
+  bench::compare("Mflops-fma", 4.7, row_avg(t, "Mflops-fma"));
+  bench::compare("Mips-FPU total", 14.8,
+                 row_avg(t, "Mips-Floating Point (Total)"));
+  bench::compare("Mips-FPU unit 0", 9.4,
+                 row_avg(t, "Mips-Floating Point (Unit 0)"));
+  bench::compare("Mips-FPU unit 1", 5.4,
+                 row_avg(t, "Mips-Floating Point (Unit 1)"));
+  bench::compare("Mips-FXU total", 27.6,
+                 row_avg(t, "Mips-Fixed Point Unit (Total)"));
+  bench::compare("Mips-FXU unit 1", 16.5,
+                 row_avg(t, "Mips-Fixed Point (Unit 1)"));
+  bench::compare("Mips-FXU unit 0", 11.1,
+                 row_avg(t, "Mips-Fixed Point (Unit 0)"));
+  bench::compare("Mips-ICU", 3.3, row_avg(t, "Mips-Inst Cache Unit"));
+  bench::compare("D-cache misses (M/s)", 0.30,
+                 row_avg(t, "Data Cache Misses-Million/S"));
+  bench::compare("TLB misses (M/s)", 0.04, row_avg(t, "TLB-Million/S"));
+  bench::compare("I-cache misses (M/s)", 0.014,
+                 row_avg(t, "Instruction Cache Misses-Million/S"));
+  bench::compare("DMA reads (MT/s)", 0.024,
+                 row_avg(t, "DMA reads-MTransfer/S"));
+  bench::compare("DMA writes (MT/s)", 0.017,
+                 row_avg(t, "DMA writes-MTransfer/S"));
+
+  const double fpu01 = row_avg(t, "Mips-Floating Point (Unit 0)") /
+                       row_avg(t, "Mips-Floating Point (Unit 1)");
+  bench::compare("FPU0/FPU1 instruction ratio", 1.7, fpu01);
+  const double fma_share = 2.0 * row_avg(t, "Mflops-fma") /
+                           row_avg(t, "Mflops-All");
+  bench::compare("fma share of flops", 0.54, fma_share);
+  const double f_per_m = row_avg(t, "Mflops-All") /
+                         row_avg(t, "Mips-Fixed Point Unit (Total)");
+  bench::compare("flops per memory instruction", 0.63, f_per_m);
+
+  auto csv = bench::open_csv("p2sim_table3.csv");
+  csv << "section,rate,day,avg,std\n";
+  for (const auto& row : t.rows) {
+    csv << row.section << ',' << row.label << ',' << row.day << ','
+        << row.avg << ',' << row.stddev << '\n';
+  }
+}
+
+void BM_DeriveRates(benchmark::State& state) {
+  rs2hpm::ModeTotals delta;
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    delta.user[i] = 1'000'000 + i;
+    delta.system[i] = 10'000 + i;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs2hpm::derive_rates(delta, 900.0, 12345));
+  }
+}
+BENCHMARK(BM_DeriveRates);
+
+void BM_MakeTable3(benchmark::State& state) {
+  auto& sim = bench::paper_sim();
+  sim.days();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.table3());
+  }
+}
+BENCHMARK(BM_MakeTable3);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

@@ -1,0 +1,65 @@
+// Table 4: hierarchical memory performance — the workload's cache/TLB
+// miss ratios against the sequential-access reference pattern and the
+// tuned NPB BT code.
+#include "bench/common.hpp"
+
+#include "src/analysis/tables.hpp"
+#include "src/power2/signature.hpp"
+#include "src/workload/kernels.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+void report() {
+  bench::banner("Table 4: Hierarchical Memory Performance", "Table 4");
+  auto& sim = bench::paper_sim();
+  const analysis::Table4 t = sim.table4();
+  std::printf("%s\n", analysis::format_table4(t).c_str());
+
+  std::printf("  paper reference values:\n");
+  bench::compare("NAS workload cache miss ratio (%)", 1.0,
+                 100.0 * t.nas_workload.cache_miss_ratio);
+  bench::compare("NAS workload TLB miss ratio (%)", 0.1,
+                 100.0 * t.nas_workload.tlb_miss_ratio);
+  bench::compare("NAS workload Mflops/CPU", 17.0,
+                 t.nas_workload.mflops_per_cpu);
+  bench::compare("sequential cache miss ratio (%)", 3.0,
+                 100.0 * t.sequential.cache_miss_ratio);
+  bench::compare("sequential TLB miss ratio (%)", 0.2,
+                 100.0 * t.sequential.tlb_miss_ratio);
+  bench::compare("NPB BT cache miss ratio (%)", 1.2,
+                 100.0 * t.npb_bt.cache_miss_ratio);
+  bench::compare("NPB BT TLB miss ratio (%)", 0.06,
+                 100.0 * t.npb_bt.tlb_miss_ratio);
+  bench::compare("NPB BT Mflops/CPU", 44.0, t.npb_bt.mflops_per_cpu);
+
+  auto csv = bench::open_csv("p2sim_table4.csv");
+  csv << "column,cache_miss_ratio,tlb_miss_ratio,mflops_per_cpu\n";
+  for (const auto* col : {&t.nas_workload, &t.sequential, &t.npb_bt}) {
+    csv << col->name << ',' << col->cache_miss_ratio << ','
+        << col->tlb_miss_ratio << ',' << col->mflops_per_cpu << '\n';
+  }
+}
+
+void BM_SequentialSweepSignature(benchmark::State& state) {
+  const power2::KernelDesc k = workload::sequential_sweep();
+  for (auto _ : state) {
+    power2::Power2Core core;
+    benchmark::DoNotOptimize(power2::measure_signature(core, k));
+  }
+}
+BENCHMARK(BM_SequentialSweepSignature);
+
+void BM_NpbBtSignature(benchmark::State& state) {
+  const power2::KernelDesc k = workload::npb_bt_like();
+  for (auto _ : state) {
+    power2::Power2Core core;
+    benchmark::DoNotOptimize(power2::measure_signature(core, k));
+  }
+}
+BENCHMARK(BM_NpbBtSignature);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

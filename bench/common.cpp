@@ -1,0 +1,15 @@
+#include "bench/common.hpp"
+
+namespace p2sim::bench {
+
+int run(int argc, char** argv, void (*report)()) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  report();
+  std::printf("\n-- timings --\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace p2sim::bench

@@ -1,0 +1,61 @@
+// Kernel laboratory: measure the event signature of every library kernel on
+// the POWER2 core model and print the paper's per-code metrics.
+//
+// This is the single-node view of the study — what a user running RS2HPM
+// commands around their own program would have seen — and the tool used to
+// calibrate the kernel population against Tables 3 and 4.
+//
+//   ./build/examples/kernel_lab
+#include <cstdio>
+#include <vector>
+
+#include "src/power2/signature.hpp"
+#include "src/workload/kernels.hpp"
+#include "src/workload/stencil.hpp"
+
+namespace {
+
+void report(const char* name, const p2sim::power2::EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  const double fpu = s.fpu0_inst + s.fpu1_inst;
+  const double icu = s.icu_type1 + s.icu_type2;
+  const double inst = fxu + fpu + icu;
+  const double flops = s.flops_per_cycle();
+  std::printf(
+      "%-22s %7.1f Mf  f/mr %5.2f  fma%% %4.0f  dc%% %5.2f  tlb%% %6.3f  "
+      "FPU0/1 %4.2f  FXU1/0 %4.2f  icu%% %4.1f  ipc %4.2f\n",
+      name, s.mflops(), fxu > 0 ? flops / fxu : 0.0,
+      flops > 0 ? 200.0 * (s.fp_fma0 + s.fp_fma1) / flops : 0.0,
+      fxu > 0 ? 100.0 * s.dcache_miss / fxu : 0.0,
+      fxu > 0 ? 100.0 * s.tlb_miss / fxu : 0.0,
+      s.fpu1_inst > 0 ? s.fpu0_inst / s.fpu1_inst : 0.0,
+      s.fxu0_inst > 0 ? s.fxu1_inst / s.fxu0_inst : 0.0,
+      inst > 0 ? 100.0 * icu / inst : 0.0, inst);
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2sim;
+  power2::Power2Core core;
+
+  auto run = [&](const char* name, const power2::KernelDesc& k) {
+    report(name, power2::measure_signature(core, k));
+  };
+
+  run("blocked_matmul", workload::blocked_matmul());
+  run("naive_matmul", workload::naive_matmul());
+  run("npb_bt_like", workload::npb_bt_like());
+  run("sequential_sweep", workload::sequential_sweep());
+  run("strided_transpose", workload::strided_transpose());
+  run("mdo_ensemble", workload::mdo_ensemble(1));
+  run("io_heavy", workload::io_heavy(1));
+  run("block_sweep (untuned)", workload::archetype_block_sweep(false));
+  run("block_sweep (tuned)", workload::archetype_block_sweep(true));
+  for (double q : {0.1, 0.3, 0.5, 0.8}) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "cfd_multiblock q=%.1f", q);
+    run(name, workload::cfd_multiblock(/*variant=*/7, q));
+  }
+  return 0;
+}

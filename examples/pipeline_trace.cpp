@@ -1,0 +1,34 @@
+// Pipeline trace: watch the POWER2 dispatch engine schedule a loop.
+//
+// Prints the issue schedule of two contrasting kernels for a few
+// iterations: the blocked matrix multiply (dual-issue fma streams, both
+// FPUs saturated) and a serial dependence chain (everything waits, FPU0
+// soaks up the stream — the section 5 asymmetry mechanism, visible
+// instruction by instruction).
+//
+//   ./build/examples/pipeline_trace
+#include <cstdio>
+
+#include "src/power2/core.hpp"
+#include "src/workload/kernels.hpp"
+
+int main() {
+  using namespace p2sim;
+
+  power2::Power2Core core;
+  std::printf("=== blocked matmul: 2 iterations ===\n");
+  std::printf("%s\n",
+              core.trace(workload::blocked_matmul(), 2).format(80).c_str());
+
+  power2::KernelBuilder b("serial_chain");
+  std::int16_t prev = power2::kNoDep;
+  for (int i = 0; i < 6; ++i) prev = b.fp_add(prev);
+  const power2::KernelDesc chain = b.warmup(0).measure(1).build();
+
+  power2::Power2Core core2;
+  std::printf("=== serial fp_add chain: 2 iterations ===\n");
+  std::printf("%s\n", core2.trace(chain, 2).format(40).c_str());
+  std::printf("note the 2-cycle gaps (fp add latency) and every op landing\n"
+              "on unit 0 — dependence-bound code cannot use FPU1.\n");
+  return 0;
+}

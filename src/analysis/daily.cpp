@@ -1,0 +1,68 @@
+#include "src/analysis/daily.hpp"
+
+#include <algorithm>
+
+#include "src/util/sim_time.hpp"
+
+namespace p2sim::analysis {
+
+std::vector<DayStats> daily_stats(const workload::CampaignResult& result) {
+  std::vector<DayStats> out;
+  if (result.num_nodes <= 0) return out;
+  const double day_elapsed_per_node = 86400.0;
+
+  std::vector<DayStats> days(static_cast<std::size_t>(result.days));
+  std::vector<rs2hpm::ModeTotals> day_delta(
+      static_cast<std::size_t>(result.days));
+  std::vector<std::uint64_t> day_quads(static_cast<std::size_t>(result.days),
+                                       0);
+  std::vector<double> day_busy(static_cast<std::size_t>(result.days), 0.0);
+
+  for (const rs2hpm::IntervalRecord& rec : result.intervals) {
+    if (rec.interval < 0) continue;
+    const std::int64_t d = rec.interval / util::kIntervalsPerDay;
+    if (d < 0 || d >= result.days) continue;
+    day_delta[static_cast<std::size_t>(d)] += rec.delta;
+    day_quads[static_cast<std::size_t>(d)] += rec.quad_surplus;
+    day_busy[static_cast<std::size_t>(d)] +=
+        static_cast<double>(rec.busy_nodes);
+  }
+
+  for (std::int64_t d = 0; d < result.days; ++d) {
+    DayStats s;
+    s.day = d;
+    // Per-node rates: divide the summed counters across the whole machine
+    // by (seconds in a day x nodes).
+    s.per_node = rs2hpm::derive_rates(
+        day_delta[static_cast<std::size_t>(d)],
+        day_elapsed_per_node * result.num_nodes,
+        day_quads[static_cast<std::size_t>(d)], result.selection);
+    s.gflops = s.per_node.mflops_all * result.num_nodes / 1000.0;
+    s.utilization = day_busy[static_cast<std::size_t>(d)] /
+                    (static_cast<double>(util::kIntervalsPerDay) *
+                     result.num_nodes);
+    days[static_cast<std::size_t>(d)] = s;
+  }
+  return days;
+}
+
+std::vector<DayStats> filter_days(const std::vector<DayStats>& days,
+                                  double min_gflops) {
+  std::vector<DayStats> out;
+  for (const DayStats& d : days) {
+    if (d.gflops > min_gflops) out.push_back(d);
+  }
+  return out;
+}
+
+std::size_t representative_day_index(const std::vector<DayStats>& days) {
+  if (days.empty()) return 0;
+  std::vector<std::size_t> idx(days.size());
+  for (std::size_t i = 0; i < days.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return days[a].per_node.mflops_all < days[b].per_node.mflops_all;
+  });
+  return idx[idx.size() / 2];
+}
+
+}  // namespace p2sim::analysis

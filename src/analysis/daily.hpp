@@ -1,0 +1,39 @@
+// Daily aggregation of the interval records — the unit of analysis for
+// Figure 1, Tables 2-4 and Figure 5.
+//
+// The paper's table rates are *single-node* values over elapsed time
+// ("system rates may be obtained by multiplying by 144"), averaged over
+// whole days; the >2.0 Gflops day filter (30 of 270 days in the paper)
+// removes high-idle days before computing Table 2/3 statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rs2hpm/derived.hpp"
+#include "src/workload/driver.hpp"
+
+namespace p2sim::analysis {
+
+struct DayStats {
+  std::int64_t day = 0;
+  /// System performance in Gflops (all nodes, elapsed time).
+  double gflops = 0.0;
+  /// Fraction of node-time servicing PBS jobs.
+  double utilization = 0.0;
+  /// Per-node rates over elapsed time (Table 2/3 units).
+  rs2hpm::DerivedRates per_node;
+};
+
+/// Collapses interval records into per-day statistics.
+std::vector<DayStats> daily_stats(const workload::CampaignResult& result);
+
+/// The paper's filter: days with system performance above the threshold.
+std::vector<DayStats> filter_days(const std::vector<DayStats>& days,
+                                  double min_gflops = 2.0);
+
+/// Index of the day whose Mflops is the median of the filtered sample —
+/// used as the "representative single day" column of Tables 2 and 3.
+std::size_t representative_day_index(const std::vector<DayStats>& days);
+
+}  // namespace p2sim::analysis

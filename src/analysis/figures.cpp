@@ -1,0 +1,107 @@
+#include "src/analysis/figures.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/stats.hpp"
+
+namespace p2sim::analysis {
+
+Fig1Series make_fig1(const std::vector<DayStats>& days,
+                     std::size_t ma_window) {
+  Fig1Series f;
+  util::MovingAverage ma_g(ma_window);
+  util::MovingAverage ma_u(ma_window);
+  util::RunningStats g, u;
+  for (const DayStats& d : days) {
+    f.day.push_back(static_cast<double>(d.day));
+    f.daily_gflops.push_back(d.gflops);
+    f.gflops_moving_avg.push_back(ma_g.add(d.gflops));
+    f.utilization_moving_avg.push_back(ma_u.add(d.utilization));
+    g.add(d.gflops);
+    u.add(d.utilization);
+  }
+  f.mean_gflops = g.mean();
+  f.mean_utilization = u.mean();
+  f.max_daily_gflops = g.max();
+  f.max_daily_utilization = u.max();
+  f.trend_slope = util::linear_slope(f.day, f.daily_gflops);
+  return f;
+}
+
+Fig2Series make_fig2(const pbs::JobDatabase& jobs) {
+  Fig2Series f;
+  std::map<int, Fig2Bin> bins;
+  double total = 0.0;
+  double beyond64 = 0.0;
+  for (const pbs::JobRecord* r : jobs.analyzed()) {
+    Fig2Bin& b = bins[r->spec.nodes_requested];
+    b.nodes = r->spec.nodes_requested;
+    b.total_walltime_s += r->walltime_s();
+    b.jobs += 1;
+    total += r->walltime_s();
+    if (r->spec.nodes_requested > 64) beyond64 += r->walltime_s();
+  }
+  double best = -1.0;
+  for (const auto& [n, b] : bins) {
+    f.bins.push_back(b);
+    if (b.total_walltime_s > best) {
+      best = b.total_walltime_s;
+      f.most_popular_nodes = n;
+    }
+  }
+  f.walltime_beyond_64_fraction = total > 0.0 ? beyond64 / total : 0.0;
+  return f;
+}
+
+Fig3Series make_fig3(const pbs::JobDatabase& jobs) {
+  Fig3Series f;
+  std::map<int, std::vector<double>> per_bin;
+  for (const pbs::JobRecord* r : jobs.analyzed()) {
+    per_bin[r->spec.nodes_requested].push_back(r->mflops_per_node());
+  }
+  util::RunningStats upto, beyond;
+  for (const auto& [n, v] : per_bin) {
+    util::RunningStats st;
+    for (double x : v) st.add(x);
+    f.bins.push_back({n, st.mean(), st.max(), static_cast<int>(v.size())});
+    for (double x : v) (n <= 64 ? upto : beyond).add(x);
+  }
+  f.mean_upto_64 = upto.mean();
+  f.mean_beyond_64 = beyond.mean();
+  return f;
+}
+
+Fig4Series make_fig4(const pbs::JobDatabase& jobs, int node_count,
+                     std::size_t ma_window) {
+  Fig4Series f;
+  f.node_count = node_count;
+  util::MovingAverage ma(ma_window);
+  util::RunningStats st;
+  std::size_t i = 0;
+  for (const pbs::JobRecord* r : jobs.by_nodes(node_count)) {
+    const double mf = r->job_mflops();
+    f.job_seq.push_back(static_cast<double>(i++));
+    f.job_mflops.push_back(mf);
+    f.moving_avg.push_back(ma.add(mf));
+    st.add(mf);
+  }
+  f.mean = st.mean();
+  f.stddev = st.stddev();
+  f.trend_slope = util::linear_slope(f.job_seq, f.job_mflops);
+  return f;
+}
+
+Fig5Series make_fig5(const std::vector<DayStats>& days,
+                     double min_utilization) {
+  Fig5Series f;
+  for (const DayStats& d : days) {
+    if (d.utilization < min_utilization) continue;
+    f.sys_user_fxu_ratio.push_back(d.per_node.system_user_fxu_ratio);
+    f.mflops_per_node.push_back(d.per_node.mflops_all);
+  }
+  f.correlation = util::pearson(f.sys_user_fxu_ratio, f.mflops_per_node);
+  return f;
+}
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,92 @@
+// Series builders for the paper's five figures.
+//
+//   Figure 1 — system performance history: daily Gflops, its moving
+//              average, and the utilization moving average over 270 days.
+//   Figure 2 — batch-job walltime binned by nodes requested (jobs > 600 s).
+//   Figure 3 — Mflops per node vs nodes requested (per-bin statistics).
+//   Figure 4 — 16-node job performance history in start order, with moving
+//              average (the "no improvement over time" evidence).
+//   Figure 5 — daily Mflops/node vs (system FXU)/(user FXU): the paging
+//              diagnostic scatter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/daily.hpp"
+#include "src/pbs/accounting.hpp"
+
+namespace p2sim::analysis {
+
+struct Fig1Series {
+  std::vector<double> day;
+  std::vector<double> daily_gflops;
+  std::vector<double> gflops_moving_avg;
+  std::vector<double> utilization_moving_avg;
+  double mean_gflops = 0.0;
+  double mean_utilization = 0.0;
+  double max_daily_gflops = 0.0;
+  double max_daily_utilization = 0.0;
+  /// Least-squares slope of daily Gflops vs day ("no obvious trend").
+  double trend_slope = 0.0;
+};
+
+Fig1Series make_fig1(const std::vector<DayStats>& days,
+                     std::size_t ma_window = 14);
+
+struct Fig2Bin {
+  int nodes = 0;
+  double total_walltime_s = 0.0;
+  int jobs = 0;
+};
+
+struct Fig2Series {
+  std::vector<Fig2Bin> bins;  ///< ascending by node count
+  int most_popular_nodes = 0; ///< the paper's answer: 16
+  double walltime_beyond_64_fraction = 0.0;
+};
+
+Fig2Series make_fig2(const pbs::JobDatabase& jobs);
+
+struct Fig3Bin {
+  int nodes = 0;
+  double mean_mflops_per_node = 0.0;
+  double max_mflops_per_node = 0.0;
+  int jobs = 0;
+};
+
+struct Fig3Series {
+  std::vector<Fig3Bin> bins;
+  /// Mean per-node Mflops for <= 64-node jobs vs wider jobs (the collapse).
+  double mean_upto_64 = 0.0;
+  double mean_beyond_64 = 0.0;
+};
+
+Fig3Series make_fig3(const pbs::JobDatabase& jobs);
+
+struct Fig4Series {
+  int node_count = 16;
+  std::vector<double> job_seq;        ///< 0..n-1 in start order
+  std::vector<double> job_mflops;     ///< whole-job Mflops (all nodes)
+  std::vector<double> moving_avg;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double trend_slope = 0.0;
+};
+
+Fig4Series make_fig4(const pbs::JobDatabase& jobs, int node_count = 16,
+                     std::size_t ma_window = 25);
+
+struct Fig5Series {
+  std::vector<double> sys_user_fxu_ratio;  ///< per day
+  std::vector<double> mflops_per_node;
+  double correlation = 0.0;  ///< expected strongly negative
+};
+
+/// Days below `min_utilization` are dropped: with almost no user work the
+/// system/user ratio is dominated by daemon noise, not by the paging
+/// pathology the figure diagnoses.
+Fig5Series make_fig5(const std::vector<DayStats>& days,
+                     double min_utilization = 0.15);
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,163 @@
+#include "src/analysis/record_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2sim::analysis {
+namespace {
+
+constexpr const char* kIntervalHeader = "p2sim-intervals v1";
+constexpr const char* kJobHeader = "p2sim-jobs v1";
+
+void write_totals(std::ostream& out, const rs2hpm::ModeTotals& t) {
+  for (std::uint64_t v : t.user) out << ',' << v;
+  for (std::uint64_t v : t.system) out << ',' << v;
+}
+
+/// Splits a line on commas; no quoting (the format is purely numeric
+/// after the leading tag).
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', pos);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(pos));
+      return out;
+    }
+    out.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+template <typename T>
+T parse_num(std::string_view s, const char* what) {
+  T v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error(std::string("record_io: bad ") + what + " '" +
+                             std::string(s) + "'");
+  }
+  return v;
+}
+
+double parse_double(std::string_view s, const char* what) {
+  // from_chars<double> is available in libstdc++ 11+; use it directly.
+  double v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error(std::string("record_io: bad ") + what + " '" +
+                             std::string(s) + "'");
+  }
+  return v;
+}
+
+rs2hpm::ModeTotals parse_totals(const std::vector<std::string_view>& f,
+                        std::size_t first) {
+  if (f.size() < first + 2 * hpm::kNumCounters) {
+    throw std::runtime_error("record_io: truncated counter fields");
+  }
+  rs2hpm::ModeTotals t;
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    t.user[i] = parse_num<std::uint64_t>(f[first + i], "counter");
+  }
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    t.system[i] =
+        parse_num<std::uint64_t>(f[first + hpm::kNumCounters + i], "counter");
+  }
+  return t;
+}
+
+void check_header(std::istream& in, const char* expected) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("record_io: empty input");
+  }
+  std::istringstream hs(line);
+  std::string tag, version;
+  std::size_t counters = 0;
+  hs >> tag >> version >> counters;
+  const std::string want(expected);
+  if (want.find(tag) != 0 || want.substr(want.find(' ') + 1) != version) {
+    throw std::runtime_error("record_io: bad header '" + line + "'");
+  }
+  if (counters != hpm::kNumCounters) {
+    throw std::runtime_error("record_io: counter-count mismatch");
+  }
+}
+
+}  // namespace
+
+void save_intervals(std::ostream& out,
+                    const std::vector<rs2hpm::IntervalRecord>& records) {
+  out << kIntervalHeader << ' ' << hpm::kNumCounters << '\n';
+  for (const rs2hpm::IntervalRecord& r : records) {
+    out << "I," << r.interval << ',' << r.nodes_sampled << ','
+        << r.busy_nodes << ',' << r.quad_surplus;
+    write_totals(out, r.delta);
+    out << '\n';
+  }
+}
+
+std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in) {
+  check_header(in, kIntervalHeader);
+  std::vector<rs2hpm::IntervalRecord> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line);
+    if (f[0] != "I" || f.size() != 5 + 2 * hpm::kNumCounters) {
+      throw std::runtime_error("record_io: malformed interval line");
+    }
+    rs2hpm::IntervalRecord rec;
+    rec.interval = parse_num<std::int64_t>(f[1], "interval");
+    rec.nodes_sampled = parse_num<int>(f[2], "nodes_sampled");
+    rec.busy_nodes = parse_num<int>(f[3], "busy_nodes");
+    rec.quad_surplus = parse_num<std::uint64_t>(f[4], "quad_surplus");
+    rec.delta = parse_totals(f, 5);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs) {
+  out << kJobHeader << ' ' << hpm::kNumCounters << '\n';
+  for (const pbs::JobRecord& r : jobs.all()) {
+    out << "J," << r.spec.job_id << ',' << r.spec.nodes_requested << ','
+        << r.spec.submit_time_s << ',' << r.start_time_s << ','
+        << r.end_time_s << ',' << r.report.quad_surplus;
+    write_totals(out, r.report.delta);
+    out << '\n';
+  }
+}
+
+pbs::JobDatabase load_jobs(std::istream& in) {
+  check_header(in, kJobHeader);
+  pbs::JobDatabase db;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line);
+    if (f[0] != "J" || f.size() != 7 + 2 * hpm::kNumCounters) {
+      throw std::runtime_error("record_io: malformed job line");
+    }
+    pbs::JobRecord rec;
+    rec.spec.job_id = parse_num<std::int64_t>(f[1], "job_id");
+    rec.spec.nodes_requested = parse_num<int>(f[2], "nodes");
+    rec.spec.submit_time_s = parse_double(f[3], "submit");
+    rec.start_time_s = parse_double(f[4], "start");
+    rec.end_time_s = parse_double(f[5], "end");
+    rec.report.job_id = rec.spec.job_id;
+    rec.report.nodes = rec.spec.nodes_requested;
+    rec.report.elapsed_s = rec.end_time_s - rec.start_time_s;
+    rec.report.quad_surplus = parse_num<std::uint64_t>(f[6], "quad");
+    rec.report.delta = parse_totals(f, 7);
+    db.add(std::move(rec));
+  }
+  return db;
+}
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,41 @@
+// Record persistence: the files behind the measurement campaign.
+//
+// On the real system the cron script "stores this data for later analysis"
+// and the PBS epilogue writes job counter values "to a file for later
+// processing and viewing by both users and system personnel" (section 3).
+// This module defines that storage: a line-oriented, versioned text format
+// for interval records and job reports, so a campaign can be collected
+// once and analyzed many times (or inspected with standard Unix tools).
+//
+// Format (one record per line, fields comma-separated):
+//   p2sim-intervals v1 <num_counters>
+//   I,<interval>,<nodes_sampled>,<busy_nodes>,<quad>,<22 user>,<22 system>
+// and for jobs:
+//   p2sim-jobs v1 <num_counters>
+//   J,<job_id>,<nodes>,<submit>,<start>,<end>,<quad>,<22 user>,<22 system>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/pbs/accounting.hpp"
+#include "src/rs2hpm/daemon.hpp"
+
+namespace p2sim::analysis {
+
+/// Serializes interval records (daemon output) to a stream.
+void save_intervals(std::ostream& out,
+                    const std::vector<rs2hpm::IntervalRecord>& records);
+
+/// Parses interval records; throws std::runtime_error on malformed input
+/// (bad header, wrong field count, non-numeric fields).
+std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in);
+
+/// Serializes the job accounting database.
+void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs);
+
+/// Parses a job database; throws std::runtime_error on malformed input.
+pbs::JobDatabase load_jobs(std::istream& in);
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,127 @@
+#include "src/analysis/report.hpp"
+
+#include <cstdio>
+
+#include "src/util/stats.hpp"
+
+namespace p2sim::analysis {
+
+std::vector<MonthStats> monthly_stats(const std::vector<DayStats>& days,
+                                      int days_per_month) {
+  std::vector<MonthStats> out;
+  if (days_per_month <= 0) return out;
+  for (std::size_t i = 0; i < days.size();) {
+    MonthStats m;
+    m.month = static_cast<int>(out.size());
+    util::RunningStats g, u, f;
+    for (int d = 0; d < days_per_month && i < days.size(); ++d, ++i) {
+      g.add(days[i].gflops);
+      u.add(days[i].utilization);
+      f.add(days[i].per_node.mflops_all);
+    }
+    m.mean_gflops = g.mean();
+    m.max_gflops = g.max();
+    m.mean_utilization = u.mean();
+    m.mean_mflops_per_node = f.mean();
+    m.days = static_cast<int>(g.count());
+    out.push_back(m);
+  }
+  return out;
+}
+
+CampaignReport build_report(const workload::CampaignResult& campaign,
+                            double table_min_gflops) {
+  CampaignReport r;
+  r.num_nodes = campaign.num_nodes;
+  r.days = campaign.days;
+  const std::vector<DayStats> days = daily_stats(campaign);
+  r.fig1 = make_fig1(days);
+  r.table2 = make_table2(days, table_min_gflops);
+  r.table3 = make_table3(days, table_min_gflops);
+  r.table4 = make_table4(days, power2::CoreConfig{}, table_min_gflops);
+  r.fig2 = make_fig2(campaign.jobs);
+  r.fig3 = make_fig3(campaign.jobs);
+  r.fig4 = make_fig4(campaign.jobs);
+  r.fig5 = make_fig5(days);
+  r.trends = analyze_trends(days);
+  r.users = user_stats(campaign.jobs);
+  r.months = monthly_stats(days);
+  r.batch_mflops_per_node = campaign.jobs.time_weighted_mflops_per_node();
+  r.total_jobs = campaign.jobs.size();
+  return r;
+}
+
+std::string format_report(const CampaignReport& r) {
+  std::string out;
+  char buf[256];
+  auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  add("================================================================\n");
+  add("SP2 Workload Measurement Report (simulated RS2HPM campaign)\n");
+  add("================================================================\n\n");
+  add("Machine: %d nodes, %lld days monitored\n", r.num_nodes,
+      static_cast<long long>(r.days));
+  add("Mean daily system performance: %.2f Gflops (%.1f%% of %.1f Gflops "
+      "peak)\n",
+      r.fig1.mean_gflops,
+      100.0 * r.fig1.mean_gflops /
+          (r.num_nodes * util::MachineClock::kPeakMflopsPerNode / 1000.0),
+      r.num_nodes * util::MachineClock::kPeakMflopsPerNode / 1000.0);
+  add("Mean utilization: %.0f%% (best day %.0f%%)\n",
+      100.0 * r.fig1.mean_utilization, 100.0 * r.fig1.max_daily_utilization);
+  add("Jobs completed: %zu; time-weighted batch rate %.1f Mflops/node\n\n",
+      r.total_jobs, r.batch_mflops_per_node);
+
+  add("-- monthly summary ----------------------------------------------\n");
+  add("  %-6s %6s %10s %10s %12s %14s\n", "month", "days", "Gflops",
+      "max", "util", "Mflops/node");
+  for (const MonthStats& m : r.months) {
+    add("  %-6d %6d %10.2f %10.2f %11.0f%% %14.1f\n", m.month, m.days,
+        m.mean_gflops, m.max_gflops, 100.0 * m.mean_utilization,
+        m.mean_mflops_per_node);
+  }
+  out += '\n';
+
+  out += format_table2(r.table2);
+  out += '\n';
+  out += format_table3(r.table3);
+  out += '\n';
+  out += format_table4(r.table4);
+  out += '\n';
+
+  add("-- batch jobs (Figures 2-4) --------------------------------------\n");
+  add("  most popular node count: %d\n", r.fig2.most_popular_nodes);
+  add("  walltime beyond 64 nodes: %.2f%%\n",
+      100.0 * r.fig2.walltime_beyond_64_fraction);
+  add("  Mflops/node at <=64 nodes: %.1f; beyond: %.1f\n", r.fig3.mean_upto_64,
+      r.fig3.mean_beyond_64);
+  add("  16-node jobs: %zu, mean %.0f Mflops, std %.0f, trend %+.3f "
+      "Mflops/job\n\n",
+      r.fig4.job_mflops.size(), r.fig4.mean, r.fig4.stddev,
+      r.fig4.trend_slope);
+
+  add("-- system intervention (Figure 5) --------------------------------\n");
+  add("  corr(system/user FXU, Mflops/node) = %+.2f over %zu days\n\n",
+      r.fig5.correlation, r.fig5.mflops_per_node.size());
+
+  add("-- day-level trends ----------------------------------------------\n");
+  out += format_trends(r.trends);
+  out += '\n';
+
+  add("-- heaviest users ------------------------------------------------\n");
+  add("  %-8s %6s %12s %14s\n", "user", "jobs", "node-hours", "Mflops/node");
+  const std::size_t top = std::min<std::size_t>(10, r.users.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const UserStats& u = r.users[i];
+    add("  %-8d %6d %12.0f %14.1f\n", u.user_id, u.jobs, u.node_hours,
+        u.mflops_per_node);
+  }
+  add("  (top 10 of %zu users hold %.0f%% of node-hours)\n", r.users.size(),
+      100.0 * top_n_node_hour_share(r.users, 10));
+  return out;
+}
+
+}  // namespace p2sim::analysis

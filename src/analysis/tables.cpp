@@ -1,0 +1,212 @@
+#include "src/analysis/tables.hpp"
+
+#include <cstdio>
+#include <functional>
+
+#include "src/power2/signature.hpp"
+#include "src/util/stats.hpp"
+#include "src/workload/kernels.hpp"
+
+namespace p2sim::analysis {
+namespace {
+
+using Getter = std::function<double(const DayStats&)>;
+
+RateRow make_row(std::string section, std::string label,
+                 const std::vector<DayStats>& sample, std::size_t rep,
+                 const Getter& get) {
+  util::RunningStats st;
+  for (const DayStats& d : sample) st.add(get(d));
+  RateRow row;
+  row.section = std::move(section);
+  row.label = std::move(label);
+  row.day = sample.empty() ? 0.0 : get(sample[rep]);
+  row.avg = st.mean();
+  row.stddev = st.stddev();
+  return row;
+}
+
+std::string format_rows(const std::vector<RateRow>& rows,
+                        const char* day_header) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-38s %10s %10s %10s\n", "Rates",
+                day_header, "Avg", "Std");
+  out += buf;
+  std::string last_section;
+  for (const RateRow& r : rows) {
+    if (r.section != last_section && !r.section.empty()) {
+      out += "  " + r.section + "\n";
+      last_section = r.section;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-38s %10.3f %10.3f %10.3f\n",
+                  r.label.c_str(), r.day, r.avg, r.stddev);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+Table2 make_table2(const std::vector<DayStats>& all_days, double min_gflops) {
+  std::vector<DayStats> sample = filter_days(all_days, min_gflops);
+  Table2 t;
+  if (sample.empty()) {
+    // Short or idle campaigns can have no day above the paper's filter;
+    // fall back to the whole campaign rather than an empty table.
+    sample = all_days;
+    t.filtered = false;
+  }
+  t.total_days = static_cast<int>(all_days.size());
+  t.sample_days = static_cast<int>(sample.size());
+  if (sample.empty()) return t;
+  const std::size_t rep = representative_day_index(sample);
+  t.representative_day = sample[rep].day;
+
+  t.rows.push_back(make_row("", "Mips", sample, rep,
+                            [](const DayStats& d) { return d.per_node.mips; }));
+  t.rows.push_back(make_row("", "Mops", sample, rep,
+                            [](const DayStats& d) { return d.per_node.mops; }));
+  t.rows.push_back(make_row(
+      "", "Mflops", sample, rep,
+      [](const DayStats& d) { return d.per_node.mflops_all; }));
+
+  util::RunningStats g, u;
+  for (const DayStats& d : sample) {
+    g.add(d.gflops);
+    u.add(d.utilization);
+  }
+  t.sample_mean_gflops = g.mean();
+  t.sample_mean_utilization = u.mean();
+  return t;
+}
+
+Table3 make_table3(const std::vector<DayStats>& all_days, double min_gflops) {
+  std::vector<DayStats> sample = filter_days(all_days, min_gflops);
+  Table3 t;
+  if (sample.empty()) {
+    sample = all_days;
+    t.filtered = false;
+  }
+  t.sample_days = static_cast<int>(sample.size());
+  if (sample.empty()) return t;
+  const std::size_t rep = representative_day_index(sample);
+  t.representative_day = sample[rep].day;
+
+  auto add = [&](const char* sec, const char* label, Getter get) {
+    t.rows.push_back(make_row(sec, label, sample, rep, std::move(get)));
+  };
+  using D = DayStats;
+  add("OPS", "Mflops-All", [](const D& d) { return d.per_node.mflops_all; });
+  add("OPS", "Mflops-add", [](const D& d) { return d.per_node.mflops_add; });
+  add("OPS", "Mflops-div", [](const D& d) { return d.per_node.mflops_div; });
+  add("OPS", "Mflops-mult", [](const D& d) { return d.per_node.mflops_mul; });
+  add("OPS", "Mflops-fma", [](const D& d) { return d.per_node.mflops_fma; });
+  add("INST", "Mips-Floating Point (Total)",
+      [](const D& d) { return d.per_node.mips_fpu; });
+  add("INST", "Mips-Floating Point (Unit 0)",
+      [](const D& d) { return d.per_node.mips_fpu0; });
+  add("INST", "Mips-Floating Point (Unit 1)",
+      [](const D& d) { return d.per_node.mips_fpu1; });
+  add("INST", "Mips-Fixed Point Unit (Total)",
+      [](const D& d) { return d.per_node.mips_fxu; });
+  add("INST", "Mips-Fixed Point (Unit 1)",
+      [](const D& d) { return d.per_node.mips_fxu1; });
+  add("INST", "Mips-Fixed Point (Unit 0)",
+      [](const D& d) { return d.per_node.mips_fxu0; });
+  add("INST", "Mips-Inst Cache Unit",
+      [](const D& d) { return d.per_node.mips_icu; });
+  add("CACHE", "Data Cache Misses-Million/S",
+      [](const D& d) { return d.per_node.dcache_miss_mps; });
+  add("CACHE", "TLB-Million/S",
+      [](const D& d) { return d.per_node.tlb_miss_mps; });
+  add("CACHE", "Instruction Cache Misses-Million/S",
+      [](const D& d) { return d.per_node.icache_miss_mps; });
+  add("I/O", "DMA reads-MTransfer/S",
+      [](const D& d) { return d.per_node.dma_read_mps; });
+  add("I/O", "DMA writes-MTransfer/S",
+      [](const D& d) { return d.per_node.dma_write_mps; });
+  return t;
+}
+
+Table4 make_table4(const std::vector<DayStats>& all_days,
+                   const power2::CoreConfig& core_cfg, double min_gflops) {
+  Table4 t;
+  std::vector<DayStats> sample = filter_days(all_days, min_gflops);
+  if (sample.empty()) sample = all_days;
+  util::RunningStats cm, tm, mf;
+  for (const DayStats& d : sample) {
+    cm.add(d.per_node.cache_miss_ratio);
+    tm.add(d.per_node.tlb_miss_ratio);
+    mf.add(d.per_node.mflops_all);
+  }
+  t.nas_workload = {"NAS Workload", cm.mean(), tm.mean(), mf.mean()};
+
+  power2::Power2Core core(core_cfg);
+  {
+    const auto sig = power2::measure_signature(core, workload::sequential_sweep());
+    const double fxu = sig.fxu0_inst + sig.fxu1_inst;
+    t.sequential = {"Sequential Access",
+                    fxu > 0 ? sig.dcache_miss / fxu : 0.0,
+                    fxu > 0 ? sig.tlb_miss / fxu : 0.0, 0.0};
+  }
+  {
+    const auto sig = power2::measure_signature(core, workload::npb_bt_like());
+    const double fxu = sig.fxu0_inst + sig.fxu1_inst;
+    // BT on 49 CPUs: delivered rate includes its communication share.
+    const double comm_fraction_49 = 0.18;
+    t.npb_bt = {"NPB BT on 49 CPUs",
+                fxu > 0 ? sig.dcache_miss / fxu : 0.0,
+                fxu > 0 ? sig.tlb_miss / fxu : 0.0,
+                sig.mflops() * (1.0 - comm_fraction_49)};
+  }
+  return t;
+}
+
+std::string format_table2(const Table2& t) {
+  std::string out = "Table 2: Measured Major Rates for NAS Workload\n";
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "  (sample: %d of %d days above filter; representative day "
+                "%lld; sample mean %.2f Gflops at %.0f%% utilization)\n",
+                t.sample_days, t.total_days,
+                static_cast<long long>(t.representative_day),
+                t.sample_mean_gflops, 100.0 * t.sample_mean_utilization);
+  out += buf;
+  out += format_rows(t.rows, "Day");
+  return out;
+}
+
+std::string format_table3(const Table3& t) {
+  std::string out = "Table 3: Measured Major Rates for NAS Workload\n";
+  char buf[120];
+  std::snprintf(buf, sizeof(buf), "  (representative day %lld; %d-day sample)\n",
+                static_cast<long long>(t.representative_day), t.sample_days);
+  out += buf;
+  out += format_rows(t.rows, "Day");
+  return out;
+}
+
+std::string format_table4(const Table4& t) {
+  char buf[200];
+  std::string out = "Table 4: Hierarchical Memory Performance\n";
+  std::snprintf(buf, sizeof(buf), "  %-18s %14s %18s %14s\n", "Rate",
+                "NAS Workload", "Sequential Access", "NPB BT/49");
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %13.2f%% %17.2f%% %13.2f%%\n",
+                "Cache Miss Ratio", 100.0 * t.nas_workload.cache_miss_ratio,
+                100.0 * t.sequential.cache_miss_ratio,
+                100.0 * t.npb_bt.cache_miss_ratio);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %13.3f%% %17.3f%% %13.3f%%\n",
+                "TLB Miss Ratio", 100.0 * t.nas_workload.tlb_miss_ratio,
+                100.0 * t.sequential.tlb_miss_ratio,
+                100.0 * t.npb_bt.tlb_miss_ratio);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %14.1f %18s %14.1f\n", "Mflops/CPU",
+                t.nas_workload.mflops_per_cpu, "-", t.npb_bt.mflops_per_cpu);
+  out += buf;
+  return out;
+}
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,74 @@
+// Reconstructions of the paper's Tables 2, 3 and 4 from simulated data.
+//
+// Tables 2 and 3 report a representative single day plus the mean and
+// standard deviation over the >2.0 Gflops day sample; Table 4 compares the
+// workload's memory-hierarchy ratios against the sequential-access
+// reference pattern and the tuned NPB BT code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/daily.hpp"
+#include "src/power2/core.hpp"
+
+namespace p2sim::analysis {
+
+/// One (day, avg, std) triple of Table 2 / Table 3.
+struct RateRow {
+  std::string section;  ///< "", "OPS", "INST", "CACHE", "I/O"
+  std::string label;
+  double day = 0.0;
+  double avg = 0.0;
+  double stddev = 0.0;
+};
+
+struct Table2 {
+  std::vector<RateRow> rows;      ///< Mips, Mops, Mflops
+  int sample_days = 0;            ///< days in the sample used
+  /// True when the >min_gflops filter produced a non-empty sample; false
+  /// when no day passed and the statistics fall back to all days.
+  bool filtered = true;
+  int total_days = 0;             ///< campaign days (paper: 270)
+  std::int64_t representative_day = 0;
+  double sample_mean_gflops = 0.0;   ///< paper: ~2.5 Gflops
+  double sample_mean_utilization = 0.0;  ///< paper: ~76%
+};
+
+Table2 make_table2(const std::vector<DayStats>& all_days,
+                   double min_gflops = 2.0);
+
+struct Table3 {
+  std::vector<RateRow> rows;
+  std::int64_t representative_day = 0;
+  int sample_days = 0;
+  bool filtered = true;  ///< see Table2::filtered
+};
+
+Table3 make_table3(const std::vector<DayStats>& all_days,
+                   double min_gflops = 2.0);
+
+struct Table4Column {
+  std::string name;
+  double cache_miss_ratio = 0.0;
+  double tlb_miss_ratio = 0.0;
+  double mflops_per_cpu = 0.0;  ///< 0 = not reported (sequential column)
+};
+
+struct Table4 {
+  Table4Column nas_workload;
+  Table4Column sequential;
+  Table4Column npb_bt;
+};
+
+/// The workload column comes from the filtered days; the sequential and BT
+/// columns are measured by running those kernels on the given core model
+/// (BT's delivered Mflops/CPU includes its communication share on 49 CPUs).
+Table4 make_table4(const std::vector<DayStats>& all_days,
+                   const power2::CoreConfig& core, double min_gflops = 2.0);
+
+std::string format_table2(const Table2& t);
+std::string format_table3(const Table3& t);
+std::string format_table4(const Table4& t);
+
+}  // namespace p2sim::analysis

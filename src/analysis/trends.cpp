@@ -1,0 +1,92 @@
+#include "src/analysis/trends.hpp"
+
+#include <cstdio>
+#include <functional>
+
+#include "src/util/stats.hpp"
+
+namespace p2sim::analysis {
+
+const MetricCorrelation* TrendReport::find(const std::string& name) const {
+  for (const MetricCorrelation& m : metrics) {
+    if (m.metric == name) return &m;
+  }
+  return nullptr;
+}
+
+TrendReport analyze_trends(const std::vector<DayStats>& days,
+                           double min_utilization) {
+  using Getter = std::function<double(const DayStats&)>;
+  const std::pair<const char*, Getter> metric_defs[] = {
+      {"fma_flop_fraction",
+       [](const DayStats& d) { return d.per_node.fma_flop_fraction; }},
+      {"cache_miss_ratio",
+       [](const DayStats& d) { return d.per_node.cache_miss_ratio; }},
+      {"tlb_miss_ratio",
+       [](const DayStats& d) { return d.per_node.tlb_miss_ratio; }},
+      {"flops_per_memref",
+       [](const DayStats& d) { return d.per_node.flops_per_memref; }},
+      {"dcache_miss_mps",
+       [](const DayStats& d) { return d.per_node.dcache_miss_mps; }},
+      {"dma_transfers_mps",
+       [](const DayStats& d) {
+         return d.per_node.dma_read_mps + d.per_node.dma_write_mps;
+       }},
+      {"system_user_fxu_ratio",
+       [](const DayStats& d) { return d.per_node.system_user_fxu_ratio; }},
+      {"utilization", [](const DayStats& d) { return d.utilization; }},
+      {"comm_wait_fraction",
+       [](const DayStats& d) { return d.per_node.comm_wait_fraction; }},
+      {"io_wait_fraction",
+       [](const DayStats& d) { return d.per_node.io_wait_fraction; }},
+      {"mflops_per_node",
+       [](const DayStats& d) { return d.per_node.mflops_all; }},
+  };
+
+  std::vector<double> day_axis, mflops;
+  std::vector<const DayStats*> selected;
+  for (const DayStats& d : days) {
+    if (d.utilization < min_utilization) continue;
+    selected.push_back(&d);
+    day_axis.push_back(static_cast<double>(d.day));
+    mflops.push_back(d.per_node.mflops_all);
+  }
+
+  TrendReport report;
+  report.days_analyzed = static_cast<int>(selected.size());
+  for (const auto& [name, get] : metric_defs) {
+    std::vector<double> xs;
+    util::RunningStats st;
+    xs.reserve(selected.size());
+    for (const DayStats* d : selected) {
+      xs.push_back(get(*d));
+      st.add(xs.back());
+    }
+    MetricCorrelation m;
+    m.metric = name;
+    m.vs_mflops = util::pearson(xs, mflops);
+    m.slope_per_day = util::linear_slope(day_axis, xs);
+    m.mean = st.mean();
+    report.metrics.push_back(std::move(m));
+  }
+  return report;
+}
+
+std::string format_trends(const TrendReport& report) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-24s %10s %14s %12s\n", "metric",
+                "mean", "corr(Mflops)", "slope/day");
+  out += buf;
+  for (const MetricCorrelation& m : report.metrics) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %10.4g %14.2f %12.2e\n",
+                  m.metric.c_str(), m.mean, m.vs_mflops, m.slope_per_day);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  (%d days analyzed)\n",
+                report.days_analyzed);
+  out += buf;
+  return out;
+}
+
+}  // namespace p2sim::analysis

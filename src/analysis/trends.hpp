@@ -1,0 +1,51 @@
+// Trend and correlation analysis — section 5's negative findings.
+//
+// "There were no obvious trends in the RS2HPM workload data ... For
+// example, workloads executing a greater fraction of floating-point
+// operations in the fma unit should display a higher performance rate,
+// but NAS workload measurements have yet to display such a trend.  The
+// lack of obvious trends such as reductions in performance rates with
+// increasing cache and/or TLB miss rates is difficult to analyze since
+// the NAS 22-counter selection excluded ... message-passing delays and
+// I/O wait times."
+//
+// This module computes exactly those day-level correlations so the claim
+// can be checked quantitatively, and — when the campaign ran the
+// wait-state selection — the wait correlations that resolve the puzzle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/daily.hpp"
+
+namespace p2sim::analysis {
+
+struct MetricCorrelation {
+  std::string metric;
+  /// Pearson correlation of the metric against daily Mflops/node.
+  double vs_mflops = 0.0;
+  /// Least-squares slope of the metric against campaign day (per-day
+  /// drift; ~0 everywhere is the paper's "no trend" claim).
+  double slope_per_day = 0.0;
+  double mean = 0.0;
+};
+
+struct TrendReport {
+  std::vector<MetricCorrelation> metrics;
+  int days_analyzed = 0;
+
+  /// Lookup by metric name; nullptr if absent.
+  const MetricCorrelation* find(const std::string& name) const;
+};
+
+/// Analyzes days with utilization above the floor (near-idle days carry
+/// no workload signal).  Metrics: fma_flop_fraction, cache_miss_ratio,
+/// tlb_miss_ratio, flops_per_memref, dcache_miss_mps, dma rate, system/
+/// user FXU ratio, utilization — and, when nonzero, the wait fractions.
+TrendReport analyze_trends(const std::vector<DayStats>& days,
+                           double min_utilization = 0.15);
+
+std::string format_trends(const TrendReport& report);
+
+}  // namespace p2sim::analysis

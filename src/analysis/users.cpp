@@ -1,0 +1,56 @@
+#include "src/analysis/users.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace p2sim::analysis {
+
+std::vector<UserStats> user_stats(const pbs::JobDatabase& jobs,
+                                  double min_walltime_s) {
+  struct Accum {
+    int jobs = 0;
+    double node_seconds = 0.0;
+    double weighted_mflops = 0.0;  // sum of mflops/node * walltime
+    double walltime = 0.0;
+    double best = 0.0;
+  };
+  std::map<std::int32_t, Accum> by_user;
+  for (const pbs::JobRecord* r : jobs.analyzed(min_walltime_s)) {
+    Accum& a = by_user[r->spec.user_id];
+    const double w = r->walltime_s();
+    a.jobs += 1;
+    a.node_seconds += w * r->spec.nodes_requested;
+    a.weighted_mflops += r->mflops_per_node() * w;
+    a.walltime += w;
+    a.best = std::max(a.best, r->mflops_per_node());
+  }
+  std::vector<UserStats> out;
+  out.reserve(by_user.size());
+  for (const auto& [user, a] : by_user) {
+    UserStats s;
+    s.user_id = user;
+    s.jobs = a.jobs;
+    s.node_hours = a.node_seconds / 3600.0;
+    s.mflops_per_node = a.walltime > 0.0 ? a.weighted_mflops / a.walltime
+                                         : 0.0;
+    s.best_mflops_per_node = a.best;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const UserStats& a,
+                                       const UserStats& b) {
+    return a.node_hours > b.node_hours;
+  });
+  return out;
+}
+
+double top_n_node_hour_share(const std::vector<UserStats>& stats,
+                             std::size_t n) {
+  double total = 0.0, top = 0.0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    total += stats[i].node_hours;
+    if (i < n) top += stats[i].node_hours;
+  }
+  return total > 0.0 ? top / total : 0.0;
+}
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,40 @@
+// Per-user accounting.
+//
+// Section 3: job counter values were written "to a file for later
+// processing and viewing by both users and system personnel" — the
+// system-personnel view is aggregation by user: who consumes the node
+// hours, and at what efficiency.  This is the analysis behind section 6's
+// observations that "many of the users have not rewritten their codes to
+// take advantage of POWER2 performance features".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pbs/accounting.hpp"
+
+namespace p2sim::analysis {
+
+struct UserStats {
+  std::int32_t user_id = 0;
+  int jobs = 0;
+  double node_hours = 0.0;
+  /// Time-weighted Mflops per node across the user's jobs.
+  double mflops_per_node = 0.0;
+  /// The user's best single job (per node).
+  double best_mflops_per_node = 0.0;
+};
+
+/// Aggregates analyzed jobs (walltime above the threshold) by user,
+/// sorted by node-hours descending.
+std::vector<UserStats> user_stats(
+    const pbs::JobDatabase& jobs,
+    double min_walltime_s = pbs::kMinAnalyzedWalltimeS);
+
+/// Share of total node-hours consumed by the top `n` users — the
+/// concentration measure ("a few heavy users dominate" is typical of
+/// such machines).
+double top_n_node_hour_share(const std::vector<UserStats>& stats,
+                             std::size_t n);
+
+}  // namespace p2sim::analysis

@@ -1,0 +1,30 @@
+#include "src/cluster/dma.hpp"
+
+#include <cmath>
+
+namespace p2sim::cluster {
+
+void DmaEngine::transfer(double read_bytes, double write_bytes) {
+  if (read_bytes > 0.0) {
+    pending_read_bytes_ += read_bytes;
+    total_read_bytes_ += read_bytes;
+  }
+  if (write_bytes > 0.0) {
+    pending_write_bytes_ += write_bytes;
+    total_write_bytes_ += write_bytes;
+  }
+}
+
+DmaEngine::Harvest DmaEngine::harvest() {
+  const double per = cfg_.avg_transfer_bytes();
+  Harvest h;
+  const double r = std::floor(pending_read_bytes_ / per);
+  const double w = std::floor(pending_write_bytes_ / per);
+  h.read_transfers = static_cast<std::uint64_t>(r);
+  h.write_transfers = static_cast<std::uint64_t>(w);
+  pending_read_bytes_ -= r * per;
+  pending_write_bytes_ -= w * per;
+  return h;
+}
+
+}  // namespace p2sim::cluster

@@ -1,0 +1,112 @@
+#include "src/cluster/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2sim::cluster {
+namespace {
+
+/// Splits an accumulated fractional count into a whole number plus residual.
+std::uint64_t take_whole(double& residual) {
+  const double whole = std::floor(residual);
+  residual -= whole;
+  return static_cast<std::uint64_t>(whole);
+}
+
+}  // namespace
+
+Node::Node(int id, const NodeConfig& cfg)
+    : id_(id), cfg_(cfg), monitor_(cfg.monitor), dma_(cfg.dma) {
+  if (cfg_.max_sample_slice_s <= 0.0 ||
+      cfg_.max_sample_slice_s * cfg_.clock_hz >= 4.0e9) {
+    throw std::invalid_argument(
+        "max_sample_slice_s must keep the cycle counter below one wrap");
+  }
+  ext_.attach(monitor_);
+}
+
+void Node::advance(double seconds, const power2::EventSignature* sig,
+                   const ActivityProfile& profile) {
+  if (seconds <= 0.0) return;
+  double left = seconds;
+  while (left > 0.0) {
+    const double slice = std::min(left, cfg_.max_sample_slice_s);
+    apply_slice(slice, sig, profile);
+    ext_.sample(monitor_);  // multipass: sample well below the wrap period
+    left -= slice;
+  }
+  if (sig != nullptr) busy_seconds_ += seconds;
+}
+
+void Node::advance_idle(double seconds) {
+  ActivityProfile idle;
+  idle.compute_fraction = 0.0;
+  advance(seconds, nullptr, idle);
+}
+
+void Node::apply_slice(double seconds, const power2::EventSignature* sig,
+                       const ActivityProfile& profile) {
+  // --- user-mode work ---
+  if (sig != nullptr && profile.compute_fraction > 0.0) {
+    const double cycles =
+        seconds * cfg_.clock_hz * std::min(profile.compute_fraction, 1.0);
+    power2::EventCounts ev = sig->scale(cycles);
+    // Wait-state signals are slice-level, not per-compute-cycle: they count
+    // the wall time the processor spent blocked.
+    ev.comm_wait_cycles = static_cast<std::uint64_t>(
+        seconds * cfg_.clock_hz * std::min(profile.comm_wait_fraction, 1.0));
+    ev.io_wait_cycles = static_cast<std::uint64_t>(
+        seconds * cfg_.clock_hz * std::min(profile.io_wait_fraction, 1.0));
+    monitor_.accumulate(ev, hpm::PrivilegeMode::kUser);
+    quad_total_ += ev.quad_inst;
+  }
+
+  // --- system-mode work: page-fault handling + background OS noise ---
+  power2::EventCounts sys;
+  if (profile.page_faults_per_s > 0.0) {
+    const double faults = profile.page_faults_per_s * seconds;
+    resid_fault_fxu_ += faults * cfg_.fault_fxu_inst;
+    resid_fault_icu_ += faults * cfg_.fault_icu_inst;
+    resid_fault_cycles_ += faults * cfg_.fault_cycles;
+    // Paging I/O moves pages over DMA: evictions out, refills in.
+    const double page_bytes = faults * cfg_.page_bytes;
+    dma_.transfer(/*read_bytes=*/page_bytes, /*write_bytes=*/page_bytes);
+  }
+  const bool busy = sig != nullptr;
+  if (busy) {
+    resid_noise_fxu_ += cfg_.os_noise_fxu_per_s * seconds;
+    resid_noise_icu_ += cfg_.os_noise_icu_per_s * seconds;
+  } else {
+    // Idle nodes still run daemons at a trickle.
+    resid_noise_fxu_ += 0.05 * cfg_.os_noise_fxu_per_s * seconds;
+    resid_noise_icu_ += 0.05 * cfg_.os_noise_icu_per_s * seconds;
+  }
+  const std::uint64_t f_fxu = take_whole(resid_fault_fxu_) +
+                              take_whole(resid_noise_fxu_);
+  const std::uint64_t f_icu = take_whole(resid_fault_icu_) +
+                              take_whole(resid_noise_icu_);
+  sys.fxu0_inst = f_fxu / 2;
+  sys.fxu1_inst = f_fxu - f_fxu / 2;
+  sys.icu_type1 = f_icu;
+  sys.cycles = take_whole(resid_fault_cycles_);
+  monitor_.accumulate(sys, hpm::PrivilegeMode::kSystem);
+
+  // --- DMA traffic: messages and filesystem ---
+  // "Reads" move data from memory to a device (sends, file writes);
+  // "writes" move data into memory (receives, file reads).
+  dma_.transfer(
+      (profile.comm_send_bytes_per_s + profile.disk_write_bytes_per_s) *
+          seconds,
+      (profile.comm_recv_bytes_per_s + profile.disk_read_bytes_per_s) *
+          seconds);
+  const DmaEngine::Harvest h = dma_.harvest();
+  if (h.read_transfers || h.write_transfers) {
+    power2::EventCounts io;
+    io.dma_read = h.read_transfers;
+    io.dma_write = h.write_transfers;
+    monitor_.accumulate(io, hpm::PrivilegeMode::kUser);
+  }
+}
+
+}  // namespace p2sim::cluster

@@ -1,0 +1,104 @@
+// One SP2 node: a POWER2 CPU with its performance monitor, the RS2HPM
+// extension layer, and a Micro Channel DMA engine.
+//
+// At workload (level B) granularity the node advances in wall-time slices:
+// user work accrues counter events from a kernel's EventSignature, system
+// work (paging, OS overhead) accrues into the system-mode bank, and I/O
+// traffic accrues DMA transfers.  Faithfulness detail: events pass through
+// the real 32-bit wrapping CounterBank and are recovered by sub-wrap
+// multipass sampling, exactly as the Maki tools did — advance() internally
+// chunks long slices so no counter can wrap twice between samples.
+#pragma once
+
+#include <cstdint>
+
+#include "src/cluster/dma.hpp"
+#include "src/hpm/monitor.hpp"
+#include "src/power2/signature.hpp"
+#include "src/rs2hpm/snapshot.hpp"
+#include "src/util/sim_time.hpp"
+
+namespace p2sim::cluster {
+
+/// What a node is doing during a wall-time slice.
+struct ActivityProfile {
+  /// Fraction of wall time executing user compute (the rest is comm wait,
+  /// I/O wait, fault service or idle — none of which retire user events).
+  double compute_fraction = 1.0;
+  /// Message-passing traffic rates (bytes/s of wall time).
+  double comm_send_bytes_per_s = 0.0;
+  double comm_recv_bytes_per_s = 0.0;
+  /// Filesystem traffic (bytes/s): reads enter memory, writes leave it.
+  double disk_read_bytes_per_s = 0.0;
+  double disk_write_bytes_per_s = 0.0;
+  /// Paging intensity (see PagingModel) and per-fault OS costs.
+  double page_faults_per_s = 0.0;
+  /// Wait-state shares of wall time (for the kWaitStates selection): time
+  /// blocked in message-passing and in disk/fault service respectively.
+  double comm_wait_fraction = 0.0;
+  double io_wait_fraction = 0.0;
+};
+
+struct NodeConfig {
+  double clock_hz = util::MachineClock::kHz;
+  double memory_mb = 128.0;
+  hpm::MonitorConfig monitor{};
+  DmaConfig dma{};
+  /// System-mode costs per page fault (kept here so the node can convert a
+  /// fault rate into counter events without knowing the paging model).
+  double fault_fxu_inst = 55000.0;
+  double fault_icu_inst = 13000.0;
+  double fault_cycles = 130000.0;
+  double page_bytes = 4096.0;
+  /// Background OS noise while busy (system-mode instructions per second).
+  double os_noise_fxu_per_s = 150e3;
+  double os_noise_icu_per_s = 40e3;
+  /// Longest slice applied between multipass samples; must stay below the
+  /// 32-bit cycle-counter wrap (~64 s at 66.7 MHz).
+  double max_sample_slice_s = 50.0;
+};
+
+class Node {
+ public:
+  explicit Node(int id, const NodeConfig& cfg = {});
+
+  /// Advances `seconds` of wall time running user work described by `sig`
+  /// and `profile`.  Pass sig == nullptr for a purely idle/system slice.
+  void advance(double seconds, const power2::EventSignature* sig,
+               const ActivityProfile& profile);
+
+  /// Idle slice: only daemon-level OS noise accrues.
+  void advance_idle(double seconds);
+
+  int id() const { return id_; }
+  const NodeConfig& config() const { return cfg_; }
+
+  /// RS2HPM view: monotone 64-bit extended totals.
+  const rs2hpm::ModeTotals& totals() const { return ext_.totals(); }
+  /// Diagnostic channel (not a hardware counter): cumulative quad ops.
+  std::uint64_t quad_total() const { return quad_total_; }
+  /// Raw monitor (tests peek at the wrapping banks).
+  const hpm::PerformanceMonitor& monitor() const { return monitor_; }
+
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  void apply_slice(double seconds, const power2::EventSignature* sig,
+                   const ActivityProfile& profile);
+
+  int id_;
+  NodeConfig cfg_;
+  hpm::PerformanceMonitor monitor_;
+  rs2hpm::ExtendedCounters ext_;
+  DmaEngine dma_;
+  std::uint64_t quad_total_ = 0;
+  double busy_seconds_ = 0.0;
+  // Residual accumulators so sub-event rates survive chunking.
+  double resid_fault_fxu_ = 0.0;
+  double resid_fault_icu_ = 0.0;
+  double resid_fault_cycles_ = 0.0;
+  double resid_noise_fxu_ = 0.0;
+  double resid_noise_icu_ = 0.0;
+};
+
+}  // namespace p2sim::cluster

@@ -1,0 +1,50 @@
+// High Performance Switch model (Stunkel et al. 1995, as characterized in
+// section 2 of the paper): ~45 microsecond latency, ~34 Mbyte/s node-to-node
+// bandwidth, with aggregate bandwidth scaling linearly in the number of
+// processors (so the fabric itself never becomes the bottleneck — matching
+// NAS's observation that message-passing jobs scaled well under full load).
+#pragma once
+
+#include <cstdint>
+
+namespace p2sim::cluster {
+
+struct SwitchConfig {
+  double latency_s = 45e-6;
+  double bandwidth_bytes_per_s = 34e6;
+};
+
+class HpsSwitch {
+ public:
+  explicit HpsSwitch(const SwitchConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Time for one point-to-point message of `bytes`.
+  double message_time(double bytes) const {
+    return cfg_.latency_s + bytes / cfg_.bandwidth_bytes_per_s;
+  }
+
+  /// Time for a nearest-neighbour exchange phase: each node sends
+  /// `msgs` messages of `bytes_each`; sends to distinct partners overlap,
+  /// so the phase costs one serialized stream per node.
+  double exchange_time(int msgs, double bytes_each) const {
+    if (msgs <= 0) return 0.0;
+    return static_cast<double>(msgs) * message_time(bytes_each);
+  }
+
+  /// Aggregate fabric bandwidth for `nodes` processors (linear scaling).
+  double aggregate_bandwidth(int nodes) const {
+    return cfg_.bandwidth_bytes_per_s * static_cast<double>(nodes < 0 ? 0 : nodes);
+  }
+
+  /// Records traffic for campaign-level accounting.
+  void account(double bytes) { total_bytes_ += bytes; }
+  double total_bytes() const { return total_bytes_; }
+
+  const SwitchConfig& config() const { return cfg_; }
+
+ private:
+  SwitchConfig cfg_;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace p2sim::cluster

@@ -1,0 +1,58 @@
+#include "src/hpm/events.hpp"
+
+namespace p2sim::hpm {
+namespace {
+
+constexpr std::array<CounterInfo, kNumCounters> kTable = {{
+    {HpmCounter::kUserFxu0, "user.fxu0", "FXU[0]",
+     "number of instructions executed by Execution unit 0"},
+    {HpmCounter::kUserFxu1, "user.fxu1", "FXU[1]",
+     "number of instructions executed by Execution unit 1"},
+    {HpmCounter::kUserDcacheMiss, "user.dcache_mis", "FXU[2]",
+     "FPU and FXU requests for data not in the D-cache"},
+    {HpmCounter::kUserTlbMiss, "user.tlb_mis", "FXU[3]",
+     "FPU and FXU requests for data not in the TLB"},
+    {HpmCounter::kUserCycles, "user.cycles", "FXU[4]", "user cycles"},
+    {HpmCounter::kUserFpu0, "user.fpu0", "FPU0[0]",
+     "arithmetic instructions executed by Math 0"},
+    {HpmCounter::kFpAdd0, "fpop.fp_add", "FPU0[1]",
+     "floating point adds executed by Math 0"},
+    {HpmCounter::kFpMul0, "fpop.fp_mul", "FPU0[2]",
+     "floating point multiplies executed by Math 0"},
+    {HpmCounter::kFpDiv0, "fpop.fp_div", "FPU0[3]",
+     "floating point divides executed by Math 0"},
+    {HpmCounter::kFpMulAdd0, "fpop.fp_muladd", "FPU0[4]",
+     "floating point multiply-adds executed by Math 0"},
+    {HpmCounter::kUserFpu1, "user.fpu1", "FPU1[0]",
+     "arithmetic instructions executed by Math 1"},
+    {HpmCounter::kFpAdd1, "fpop.fp_add", "FPU1[1]",
+     "floating point adds executed by Math 1"},
+    {HpmCounter::kFpMul1, "fpop.fp_mul", "FPU1[2]",
+     "floating point multiplies executed by Math 1"},
+    {HpmCounter::kFpDiv1, "fpop.fp_div", "FPU1[3]",
+     "floating point divides executed by Math 1"},
+    {HpmCounter::kFpMulAdd1, "fpop.fp_muladd", "FPU1[4]",
+     "floating point multiply-adds executed by Math 1"},
+    {HpmCounter::kUserIcu0, "user.icu0", "ICU[0]",
+     "number of type I instructions executed"},
+    {HpmCounter::kUserIcu1, "user.icu1", "ICU[1]",
+     "number of type II instructions executed"},
+    {HpmCounter::kIcacheReload, "user.icache_reload", "SCU[0]",
+     "data transfers from memory to the I-cache"},
+    {HpmCounter::kDcacheReload, "user.dcache_reload", "SCU[1]",
+     "data transfers from memory to the D-cache"},
+    {HpmCounter::kDcacheStore, "user.dcache_store", "SCU[2]",
+     "number of transfers of D-cache data to memory (modified victim)"},
+    {HpmCounter::kDmaRead, "user.dma_read", "SCU[3]",
+     "data transfers from memory to an I/O device"},
+    {HpmCounter::kDmaWrite, "user.dma_write", "SCU[4]",
+     "data transfers to memory from an I/O device"},
+}};
+
+}  // namespace
+
+const std::array<CounterInfo, kNumCounters>& counter_table() { return kTable; }
+
+const CounterInfo& counter_info(HpmCounter c) { return kTable[index_of(c)]; }
+
+}  // namespace p2sim::hpm

@@ -1,0 +1,94 @@
+// The NAS SP2 RS2HPM counter selection (Table 1 of the paper).
+//
+// The POWER2 monitor hardware exposes 320 selectable signals through 22
+// 32-bit counters on the SCU chip — 5 counters plus 16 reportable events for
+// each of the FPU, FXU, ICU and SCU groups.  NAS ran one fixed selection for
+// the whole campaign; this header encodes that selection, with each
+// counter's Table 1 label, hardware slot and description.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace p2sim::hpm {
+
+/// Number of hardware counters in the POWER2 monitor.
+inline constexpr std::size_t kNumCounters = 22;
+
+/// The 22 NAS-selected events, in Table 1 order.
+enum class HpmCounter : std::uint8_t {
+  kUserFxu0 = 0,       // FXU[0]  instructions executed by FXU 0
+  kUserFxu1,           // FXU[1]  instructions executed by FXU 1
+  kUserDcacheMiss,     // FXU[2]  FPU+FXU requests not in the D-cache
+  kUserTlbMiss,        // FXU[3]  TLB misses
+  kUserCycles,         // FXU[4]  user cycles
+  kUserFpu0,           // FPU0[0] arithmetic instructions, Math 0
+  kFpAdd0,             // FPU0[1] floating adds (incl. fma adds), Math 0
+  kFpMul0,             // FPU0[2] floating multiplies, Math 0
+  kFpDiv0,             // FPU0[3] floating divides, Math 0
+  kFpMulAdd0,          // FPU0[4] floating multiply-adds, Math 0
+  kUserFpu1,           // FPU1[0] arithmetic instructions, Math 1
+  kFpAdd1,             // FPU1[1] floating adds, Math 1
+  kFpMul1,             // FPU1[2] floating multiplies, Math 1
+  kFpDiv1,             // FPU1[3] floating divides, Math 1
+  kFpMulAdd1,          // FPU1[4] floating multiply-adds, Math 1
+  kUserIcu0,           // ICU[0]  type I instructions (branches)
+  kUserIcu1,           // ICU[1]  type II instructions (condition register)
+  kIcacheReload,       // SCU[0]  memory -> I-cache transfers
+  kDcacheReload,       // SCU[1]  memory -> D-cache transfers
+  kDcacheStore,        // SCU[2]  modified-line writebacks to memory
+  kDmaRead,            // SCU[3]  memory -> I/O device transfers
+  kDmaWrite,           // SCU[4]  I/O device -> memory transfers
+};
+
+/// Table 1 metadata for one counter.
+struct CounterInfo {
+  HpmCounter id;
+  std::string_view label;   ///< e.g. "user.fxu0"
+  std::string_view slot;    ///< e.g. "FXU[0]"
+  std::string_view description;
+};
+
+/// The full Table 1, in order.
+const std::array<CounterInfo, kNumCounters>& counter_table();
+
+/// Metadata lookup.
+const CounterInfo& counter_info(HpmCounter c);
+
+constexpr std::size_t index_of(HpmCounter c) {
+  return static_cast<std::size_t>(c);
+}
+
+/// Counting context: the monitor distinguishes events retired while the
+/// processor runs user code from those in system (kernel) mode; RS2HPM's
+/// multipass sampling reports both, which is how the paper diagnosed the
+/// paging pathology (system-mode FXU/ICU exceeding user mode, Figure 5).
+enum class PrivilegeMode : std::uint8_t { kUser = 0, kSystem = 1 };
+
+/// Counter selection: which of the POWER2's 320 signals the 22 counters
+/// record.  The hardware supports many combinations, "but each combination
+/// must be implemented and verified in the monitoring software" (section 3).
+///
+///  * kNasDefault — the Table 1 selection the nine-month campaign ran.
+///    Its known blind spot, stated in the paper's conclusions, is the
+///    absence of any wait-time signal: performance-reducing factors such
+///    as message-passing delays and I/O wait were invisible, which is why
+///    "causal correlations regarding key performance indicators appear
+///    difficult to draw".
+///  * kWaitStates — the selection the paper recommends other sites
+///    consider: identical to the NAS selection except the two divide
+///    counters (broken in the NAS deployment anyway) are rededicated to
+///    communication-wait and I/O-wait cycle counts:
+///       FPU0[3] (fpop.fp_div, Math 0)  ->  comm-wait cycles
+///       FPU1[3] (fpop.fp_div, Math 1)  ->  I/O-wait cycles
+enum class CounterSelection : std::uint8_t {
+  kNasDefault = 0,
+  kWaitStates = 1,
+};
+
+/// Under kWaitStates these aliases name the rededicated slots.
+inline constexpr HpmCounter kCommWaitSlot = HpmCounter::kFpDiv0;
+inline constexpr HpmCounter kIoWaitSlot = HpmCounter::kFpDiv1;
+
+}  // namespace p2sim::hpm

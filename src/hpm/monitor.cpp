@@ -1,0 +1,43 @@
+#include "src/hpm/monitor.hpp"
+
+namespace p2sim::hpm {
+
+void PerformanceMonitor::accumulate(const power2::EventCounts& ev,
+                                    PrivilegeMode mode) {
+  CounterBank& b = banks_[static_cast<std::size_t>(mode)];
+  b.add(HpmCounter::kUserFxu0, ev.fxu0_inst);
+  b.add(HpmCounter::kUserFxu1, ev.fxu1_inst);
+  b.add(HpmCounter::kUserDcacheMiss, ev.dcache_miss);
+  b.add(HpmCounter::kUserTlbMiss, ev.tlb_miss);
+  b.add(HpmCounter::kUserCycles, ev.cycles);
+  b.add(HpmCounter::kUserFpu0, ev.fpu0_inst);
+  b.add(HpmCounter::kFpAdd0, ev.fp_add0);
+  b.add(HpmCounter::kFpMul0, ev.fp_mul0);
+  b.add(HpmCounter::kFpMulAdd0, ev.fp_fma0);
+  b.add(HpmCounter::kUserFpu1, ev.fpu1_inst);
+  b.add(HpmCounter::kFpAdd1, ev.fp_add1);
+  b.add(HpmCounter::kFpMul1, ev.fp_mul1);
+  b.add(HpmCounter::kFpMulAdd1, ev.fp_fma1);
+  if (cfg_.selection == CounterSelection::kWaitStates) {
+    // The divide slots are rededicated to wait-state signals (the paper's
+    // recommended configuration for future deployments).
+    b.add(kCommWaitSlot, ev.comm_wait_cycles);
+    b.add(kIoWaitSlot, ev.io_wait_cycles);
+  } else if (!cfg_.divide_counter_bug) {
+    b.add(HpmCounter::kFpDiv0, ev.fp_div0);
+    b.add(HpmCounter::kFpDiv1, ev.fp_div1);
+  }
+  b.add(HpmCounter::kUserIcu0, ev.icu_type1);
+  b.add(HpmCounter::kUserIcu1, ev.icu_type2);
+  b.add(HpmCounter::kIcacheReload, ev.icache_reload);
+  b.add(HpmCounter::kDcacheReload, ev.dcache_reload);
+  b.add(HpmCounter::kDcacheStore, ev.dcache_store);
+  b.add(HpmCounter::kDmaRead, ev.dma_read);
+  b.add(HpmCounter::kDmaWrite, ev.dma_write);
+}
+
+void PerformanceMonitor::clear() {
+  for (auto& b : banks_) b.clear();
+}
+
+}  // namespace p2sim::hpm

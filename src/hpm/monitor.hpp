@@ -1,0 +1,70 @@
+// The POWER2 performance monitor proper: 22 physical 32-bit counters per
+// privilege mode, fed by EventCounts from the core model (or, at level B,
+// by scaled kernel signatures).
+//
+// Hardware fidelity points:
+//   * counters are 32 bits wide and wrap silently — at 66.7 MHz the cycle
+//     counter wraps every ~64 seconds, which is why the RS2HPM library must
+//     sample well below the wrap period (see rs2hpm::ExtendedCounters);
+//   * the NAS configuration suffered a monitor implementation error that
+//     "prevented the proper reporting of the division operations" —
+//     modelled by the `divide_counter_bug` flag (default on, matching the
+//     0.0 Mflops-div rows of Table 3);
+//   * user-mode and system-mode events accumulate separately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/hpm/events.hpp"
+#include "src/power2/event_counts.hpp"
+
+namespace p2sim::hpm {
+
+/// One bank of 22 physical counters; arithmetic wraps mod 2^32 like the
+/// real 32-bit registers.
+class CounterBank {
+ public:
+  void add(HpmCounter c, std::uint64_t n) {
+    counters_[index_of(c)] =
+        static_cast<std::uint32_t>(counters_[index_of(c)] + n);
+  }
+  std::uint32_t read(HpmCounter c) const { return counters_[index_of(c)]; }
+  const std::array<std::uint32_t, kNumCounters>& raw() const {
+    return counters_;
+  }
+  void clear() { counters_.fill(0); }
+
+ private:
+  std::array<std::uint32_t, kNumCounters> counters_{};
+};
+
+struct MonitorConfig {
+  /// The NAS campaign's hardware bug: divide operations never reach the
+  /// fp_div counters (instruction counts in user.fpuN are unaffected).
+  bool divide_counter_bug = true;
+  /// Which signals the 22 counters record (see hpm::CounterSelection).
+  CounterSelection selection = CounterSelection::kNasDefault;
+};
+
+class PerformanceMonitor {
+ public:
+  explicit PerformanceMonitor(const MonitorConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Accumulates a batch of microarchitectural events into the bank for
+  /// the given privilege mode.
+  void accumulate(const power2::EventCounts& ev, PrivilegeMode mode);
+
+  const CounterBank& bank(PrivilegeMode mode) const {
+    return banks_[static_cast<std::size_t>(mode)];
+  }
+  void clear();
+
+  const MonitorConfig& config() const { return cfg_; }
+
+ private:
+  MonitorConfig cfg_;
+  std::array<CounterBank, 2> banks_{};
+};
+
+}  // namespace p2sim::hpm

@@ -1,0 +1,44 @@
+#include "src/pbs/accounting.hpp"
+
+#include <algorithm>
+
+namespace p2sim::pbs {
+
+std::vector<const JobRecord*> JobDatabase::analyzed(
+    double min_walltime_s) const {
+  std::vector<const JobRecord*> out;
+  for (const JobRecord& r : records_) {
+    if (r.walltime_s() > min_walltime_s) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const JobRecord*> JobDatabase::by_nodes(
+    int nodes, double min_walltime_s) const {
+  std::vector<const JobRecord*> out;
+  for (const JobRecord& r : records_) {
+    if (r.spec.nodes_requested == nodes && r.walltime_s() > min_walltime_s) {
+      out.push_back(&r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobRecord* a, const JobRecord* b) {
+              return a->start_time_s < b->start_time_s;
+            });
+  return out;
+}
+
+double JobDatabase::time_weighted_mflops_per_node(
+    double min_walltime_s) const {
+  double num = 0.0;
+  double den = 0.0;
+  for (const JobRecord& r : records_) {
+    const double w = r.walltime_s();
+    if (w <= min_walltime_s) continue;
+    num += r.mflops_per_node() * w;
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace p2sim::pbs

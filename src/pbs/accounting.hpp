@@ -1,0 +1,59 @@
+// Job accounting: the database of per-job counter reports behind the
+// paper's batch-job analysis (section 6, Figures 2-4).
+//
+// Each completed job contributes one record combining PBS facts (nodes,
+// times) with the RS2HPM epilogue report.  The analysis in the paper
+// examines only jobs exceeding 600 s of wall clock time, "to reduce the
+// impact of the interactive sessions" — the same filter is provided here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/pbs/job.hpp"
+#include "src/rs2hpm/job_monitor.hpp"
+
+namespace p2sim::pbs {
+
+struct JobRecord {
+  JobSpec spec;
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;
+  rs2hpm::JobCounterReport report;
+
+  double walltime_s() const { return end_time_s - start_time_s; }
+  double mflops_per_node() const { return report.mflops_per_node(); }
+  double job_mflops() const { return report.job_mflops(); }
+};
+
+/// The paper's analysis threshold for batch jobs.
+inline constexpr double kMinAnalyzedWalltimeS = 600.0;
+
+class JobDatabase {
+ public:
+  void add(JobRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<JobRecord>& all() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Jobs exceeding the wall-clock threshold (default: the paper's 600 s).
+  std::vector<const JobRecord*> analyzed(
+      double min_walltime_s = kMinAnalyzedWalltimeS) const;
+
+  /// Analyzed jobs that requested exactly `nodes` nodes, in start order
+  /// (Figure 4 plots these against "batch job number").
+  std::vector<const JobRecord*> by_nodes(
+      int nodes, double min_walltime_s = kMinAnalyzedWalltimeS) const;
+
+  /// Time-weighted mean Mflops per node over analyzed jobs — the paper's
+  /// "time-weighted average for the jobs in this database was 19 Mflops
+  /// per node".
+  double time_weighted_mflops_per_node(
+      double min_walltime_s = kMinAnalyzedWalltimeS) const;
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace p2sim::pbs

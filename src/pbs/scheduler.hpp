@@ -1,0 +1,83 @@
+// PBS scheduler model: dedicated-node allocation with queue draining for
+// wide jobs.
+//
+// Section 6: "System administrators could not checkpoint MPI/PVM jobs and
+// had to rely upon draining the queues to allow jobs requesting more than
+// 64-nodes to execute."  The model implements first-fit-with-backfill under
+// normal operation; once a wide job (> drain_threshold nodes) has waited
+// past its patience, the scheduler stops backfilling and lets the machine
+// drain until the wide job fits.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/pbs/job.hpp"
+
+namespace p2sim::pbs {
+
+struct SchedulerConfig {
+  int total_nodes = 144;
+  /// Jobs wider than this trigger draining instead of waiting forever.
+  int drain_threshold_nodes = 64;
+  /// How long a wide job waits in-queue before draining starts.
+  double wide_wait_patience_s = 4 * 3600.0;
+  /// Counterfactual the paper could not deploy: "System administrators
+  /// could not checkpoint MPI/PVM jobs and had to rely upon draining the
+  /// queues."  When true, an impatient wide job preempts (checkpoints) the
+  /// youngest narrow jobs instead of idling the machine while it drains.
+  /// Preempted job ids are reported via take_preempted(); the caller owns
+  /// their remaining-runtime state and resubmission.
+  bool checkpoint_for_wide = false;
+};
+
+/// A job start decision: which nodes the job received and when.
+struct StartEvent {
+  JobSpec spec;
+  std::vector<int> nodes;
+  double time_s = 0.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerConfig& cfg = {});
+
+  void submit(const JobSpec& spec);
+
+  /// Runs the scheduling pass at time `now`: starts every queued job that
+  /// policy allows and returns the start events.
+  std::vector<StartEvent> schedule(double now);
+
+  /// Releases a running job's nodes (the driver calls this when the job's
+  /// runtime elapses).
+  void release(std::int64_t job_id);
+
+  /// Jobs checkpointed by the last schedule() pass (their nodes are
+  /// already released).  Clears the list.
+  std::vector<std::int64_t> take_preempted();
+
+  int free_nodes() const { return free_count_; }
+  int busy_nodes() const { return cfg_.total_nodes - free_count_; }
+  std::size_t queued_jobs() const { return queue_.size(); }
+  std::size_t running_jobs() const { return running_.size(); }
+  bool draining() const { return draining_; }
+  const SchedulerConfig& config() const { return cfg_; }
+
+  /// Nodes held by a running job (empty if unknown).
+  std::vector<int> nodes_of(std::int64_t job_id) const;
+
+ private:
+  std::vector<int> allocate(int n);
+
+  SchedulerConfig cfg_;
+  std::deque<JobSpec> queue_;
+  std::map<std::int64_t, std::vector<int>> running_;
+  std::vector<bool> node_busy_;
+  int free_count_;
+  bool draining_ = false;
+  std::vector<std::int64_t> preempted_;
+};
+
+}  // namespace p2sim::pbs

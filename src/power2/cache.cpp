@@ -1,0 +1,75 @@
+#include "src/power2/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace p2sim::power2 {
+
+bool CacheConfig::valid() const {
+  if (size_bytes == 0 || line_bytes == 0 || ways == 0) return false;
+  if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes))) return false;
+  if (size_bytes % line_bytes != 0) return false;
+  if (num_lines() % ways != 0) return false;
+  return std::has_single_bit(num_sets());
+}
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!cfg_.valid()) throw std::invalid_argument("invalid cache geometry");
+  set_mask_ = cfg_.num_sets() - 1;
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(cfg_.line_bytes)));
+  lines_.resize(cfg_.num_sets() * cfg_.ways);
+}
+
+CacheAccess Cache::access(std::uint64_t addr, bool is_store) {
+  const std::uint64_t block = addr >> line_shift_;
+  const std::uint64_t set = block & set_mask_;
+  const std::uint64_t tag = block >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[set * cfg_.ways];
+  ++tick_;
+
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      l.dirty = l.dirty || is_store;
+      ++hits_;
+      return {.hit = true, .reload = false, .dirty_evict = false};
+    }
+  }
+
+  ++misses_;
+  CacheAccess out{.hit = false, .reload = false, .dirty_evict = false};
+  if (is_store && !cfg_.write_allocate) {
+    // Write-through-no-allocate stores go straight to memory.
+    return out;
+  }
+
+  // Choose the victim: invalid way first, else true LRU.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  if (victim->valid && victim->dirty) {
+    out.dirty_evict = true;
+    ++dirty_evictions_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = is_store;
+  out.reload = true;
+  return out;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) l = Line{};
+  tick_ = 0;
+}
+
+}  // namespace p2sim::power2

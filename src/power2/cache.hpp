@@ -1,0 +1,69 @@
+// Set-associative cache model.
+//
+// Default geometry is the NAS SP2 data cache described in section 2 of the
+// paper: 256 kB, 4-way set associative, 1024 lines of 256 bytes, LRU,
+// write-allocate / write-back.  The write-back property matters for the HPM:
+// the `user.dcache_store` counter fires when "the D-cache destination for
+// incoming data currently contains data which has been modified" — i.e. a
+// dirty eviction — and we reproduce that definition exactly.  The same model
+// with a different geometry serves as the 32 kB instruction cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p2sim::power2 {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 256 * 1024;
+  std::uint32_t line_bytes = 256;
+  std::uint32_t ways = 4;
+  bool write_allocate = true;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / ways; }
+  bool valid() const;
+};
+
+/// Outcome of a single access.
+struct CacheAccess {
+  bool hit = false;
+  bool reload = false;       ///< a line was brought in from memory
+  bool dirty_evict = false;  ///< the victim was modified (dcache_store event)
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Accesses one address (the address, not a range: callers issue one
+  /// access per instruction, matching HPM count semantics for quad ops).
+  CacheAccess access(std::uint64_t addr, bool is_store);
+
+  /// Drops all lines (used between unrelated kernel runs).
+  void flush();
+
+  const CacheConfig& config() const { return cfg_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t dirty_evictions() const { return dirty_evictions_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< global access counter value at last touch
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint64_t set_mask_;
+  std::uint32_t line_shift_;
+  std::vector<Line> lines_;  // sets * ways, way-major within a set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t dirty_evictions_ = 0;
+};
+
+}  // namespace p2sim::power2

@@ -1,0 +1,37 @@
+#include "src/power2/event_counts.hpp"
+
+namespace p2sim::power2 {
+
+EventCounts& EventCounts::operator+=(const EventCounts& o) {
+  cycles += o.cycles;
+  fxu0_inst += o.fxu0_inst;
+  fxu1_inst += o.fxu1_inst;
+  dcache_miss += o.dcache_miss;
+  tlb_miss += o.tlb_miss;
+  fpu0_inst += o.fpu0_inst;
+  fpu1_inst += o.fpu1_inst;
+  fp_add0 += o.fp_add0;
+  fp_add1 += o.fp_add1;
+  fp_mul0 += o.fp_mul0;
+  fp_mul1 += o.fp_mul1;
+  fp_div0 += o.fp_div0;
+  fp_div1 += o.fp_div1;
+  fp_fma0 += o.fp_fma0;
+  fp_fma1 += o.fp_fma1;
+  icu_type1 += o.icu_type1;
+  icu_type2 += o.icu_type2;
+  icache_reload += o.icache_reload;
+  dcache_reload += o.dcache_reload;
+  dcache_store += o.dcache_store;
+  dma_read += o.dma_read;
+  dma_write += o.dma_write;
+  memory_inst += o.memory_inst;
+  quad_inst += o.quad_inst;
+  stall_dcache += o.stall_dcache;
+  stall_tlb += o.stall_tlb;
+  comm_wait_cycles += o.comm_wait_cycles;
+  io_wait_cycles += o.io_wait_cycles;
+  return *this;
+}
+
+}  // namespace p2sim::power2

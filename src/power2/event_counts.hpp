@@ -1,0 +1,94 @@
+// Raw event totals produced by the core model.
+//
+// These are the microarchitectural ground truth; the HPM module maps a
+// subset of them onto the 22 NAS counters (Table 1 of the paper), including
+// the counters' quirks (32-bit wrap, the divide-count bug).  Fields mirror
+// the Table 1 events plus a few derived diagnostics the paper discusses in
+// prose (stall cycles, quad-operation counts).
+#pragma once
+
+#include <cstdint>
+
+namespace p2sim::power2 {
+
+struct EventCounts {
+  // --- cycles ---
+  std::uint64_t cycles = 0;
+
+  // --- FXU ---
+  std::uint64_t fxu0_inst = 0;
+  std::uint64_t fxu1_inst = 0;
+  std::uint64_t dcache_miss = 0;  ///< FPU and FXU requests not in the D-cache
+  std::uint64_t tlb_miss = 0;
+
+  // --- FPU (per unit, per operation type) ---
+  std::uint64_t fpu0_inst = 0;
+  std::uint64_t fpu1_inst = 0;
+  std::uint64_t fp_add0 = 0;  ///< adds, including the add half of fma
+  std::uint64_t fp_add1 = 0;
+  std::uint64_t fp_mul0 = 0;  ///< standalone multiplies
+  std::uint64_t fp_mul1 = 0;
+  std::uint64_t fp_div0 = 0;
+  std::uint64_t fp_div1 = 0;
+  std::uint64_t fp_fma0 = 0;  ///< fma instructions (= the multiply half)
+  std::uint64_t fp_fma1 = 0;
+
+  // --- ICU ---
+  std::uint64_t icu_type1 = 0;  ///< branches
+  std::uint64_t icu_type2 = 0;  ///< condition-register ops
+
+  // --- SCU / memory traffic ---
+  std::uint64_t icache_reload = 0;
+  std::uint64_t dcache_reload = 0;
+  std::uint64_t dcache_store = 0;  ///< dirty-victim writebacks
+  std::uint64_t dma_read = 0;      ///< memory -> I/O device transfers
+  std::uint64_t dma_write = 0;     ///< I/O device -> memory transfers
+
+  // --- diagnostics not visible to the 22-counter selection ---
+  std::uint64_t memory_inst = 0;   ///< loads+stores (quad counts once)
+  std::uint64_t quad_inst = 0;     ///< quad loads/stores (each moves 2 words)
+  std::uint64_t stall_dcache = 0;  ///< cycles lost to D-cache miss halts
+  std::uint64_t stall_tlb = 0;     ///< cycles lost to TLB refills
+
+  // --- wait states (countable only under the kWaitStates selection) ---
+  // The paper's closing recommendation: "other sites ... might consider
+  // selecting counter options which could also report I/O wait time in
+  // addition to CPU performance."  The node model produces these; whether
+  // the monitor records them depends on the configured counter selection.
+  std::uint64_t comm_wait_cycles = 0;  ///< message-passing wait
+  std::uint64_t io_wait_cycles = 0;    ///< disk / paging-service wait
+
+  // Convenience totals -------------------------------------------------
+
+  std::uint64_t fxu_inst() const { return fxu0_inst + fxu1_inst; }
+  std::uint64_t fpu_inst() const { return fpu0_inst + fpu1_inst; }
+  std::uint64_t icu_inst() const { return icu_type1 + icu_type2; }
+  std::uint64_t instructions() const {
+    return fxu_inst() + fpu_inst() + icu_inst();
+  }
+
+  std::uint64_t fp_add() const { return fp_add0 + fp_add1; }
+  std::uint64_t fp_mul() const { return fp_mul0 + fp_mul1; }
+  std::uint64_t fp_div() const { return fp_div0 + fp_div1; }
+  std::uint64_t fp_fma() const { return fp_fma0 + fp_fma1; }
+
+  /// Total floating-point operations under the paper's accounting: the fma
+  /// add is inside fp_add() and the fma multiply is the fma count itself.
+  std::uint64_t flops() const {
+    return fp_add() + fp_mul() + fp_div() + fp_fma();
+  }
+
+  /// "Operations": instructions plus the extra word moved by each quad
+  /// load/store (used for the paper's Mops column, which runs slightly
+  /// above Mips).
+  std::uint64_t operations() const { return instructions() + quad_inst; }
+
+  EventCounts& operator+=(const EventCounts& o);
+  friend EventCounts operator+(EventCounts a, const EventCounts& b) {
+    a += b;
+    return a;
+  }
+  bool operator==(const EventCounts&) const = default;
+};
+
+}  // namespace p2sim::power2

@@ -1,0 +1,23 @@
+#include "src/power2/isa.hpp"
+
+namespace p2sim::power2 {
+
+std::string_view op_name(OpClass op) {
+  switch (op) {
+    case OpClass::kFxLoad: return "fx_load";
+    case OpClass::kFxStore: return "fx_store";
+    case OpClass::kFxAlu: return "fx_alu";
+    case OpClass::kFxAddrMul: return "fx_addr_mul";
+    case OpClass::kFxAddrDiv: return "fx_addr_div";
+    case OpClass::kFpAdd: return "fp_add";
+    case OpClass::kFpMul: return "fp_mul";
+    case OpClass::kFpDiv: return "fp_div";
+    case OpClass::kFpSqrt: return "fp_sqrt";
+    case OpClass::kFpFma: return "fp_fma";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kCondReg: return "cond_reg";
+  }
+  return "unknown";
+}
+
+}  // namespace p2sim::power2

@@ -1,0 +1,100 @@
+// Abstract POWER2 instruction classes.
+//
+// The simulator is trace-synthetic rather than binary-accurate: kernels are
+// loop bodies of classed operations, which is exactly the granularity the
+// hardware monitor observes (it counts instructions per execution unit and
+// operations per type, never opcodes).  Classes follow the unit structure in
+// White & Dhawan (1994) as summarized in section 2 of the paper:
+//   - FXU ops: storage references (including 128-bit "quad" forms that count
+//     as a single instruction), integer ALU ops, and the address-arithmetic
+//     multiply/divide that only FXU1 can execute.
+//   - FPU ops: add, multiply, divide (10 cycles), sqrt (15 cycles), and the
+//     compound fma that produces 2 flops per instruction.
+//   - ICU ops: branches ("type I") and condition-register ops ("type II").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace p2sim::power2 {
+
+enum class OpClass : std::uint8_t {
+  kFxLoad,     ///< memory load (quad flag doubles the data, not the count)
+  kFxStore,    ///< memory store
+  kFxAlu,      ///< integer arithmetic / logical op
+  kFxAddrMul,  ///< address-arithmetic multiply (FXU1 only)
+  kFxAddrDiv,  ///< address-arithmetic divide (FXU1 only)
+  kFpAdd,      ///< floating add (1 flop)
+  kFpMul,      ///< floating multiply (1 flop)
+  kFpDiv,      ///< floating divide (1 flop, 10-cycle non-pipelined)
+  kFpSqrt,     ///< square root (15-cycle non-pipelined, no flop counter)
+  kFpFma,      ///< fused multiply-add (2 flops: one add + one multiply)
+  kBranch,     ///< ICU type I
+  kCondReg,    ///< ICU type II
+};
+
+constexpr bool is_memory(OpClass op) {
+  return op == OpClass::kFxLoad || op == OpClass::kFxStore;
+}
+
+constexpr bool is_fixed_point(OpClass op) {
+  return op == OpClass::kFxLoad || op == OpClass::kFxStore ||
+         op == OpClass::kFxAlu || op == OpClass::kFxAddrMul ||
+         op == OpClass::kFxAddrDiv;
+}
+
+constexpr bool is_floating_point(OpClass op) {
+  return op == OpClass::kFpAdd || op == OpClass::kFpMul ||
+         op == OpClass::kFpDiv || op == OpClass::kFpSqrt ||
+         op == OpClass::kFpFma;
+}
+
+constexpr bool is_icu(OpClass op) {
+  return op == OpClass::kBranch || op == OpClass::kCondReg;
+}
+
+/// True for FPU ops that occupy the unit for many cycles and trigger the
+/// FPU0 -> FPU1 steering described in section 5 of the paper.
+constexpr bool is_multicycle_fp(OpClass op) {
+  return op == OpClass::kFpDiv || op == OpClass::kFpSqrt;
+}
+
+/// Flops produced by one instance of the op (fma = add + multiply).
+constexpr int flops_of(OpClass op) {
+  switch (op) {
+    case OpClass::kFpAdd:
+    case OpClass::kFpMul:
+    case OpClass::kFpDiv:
+      return 1;
+    case OpClass::kFpFma:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+/// Issue-to-result latency in cycles for FPU ops (pipelined ops have
+/// throughput 1/cycle regardless of latency).
+constexpr int fp_latency(OpClass op) {
+  switch (op) {
+    case OpClass::kFpAdd:
+    case OpClass::kFpMul:
+    case OpClass::kFpFma:
+      return 2;
+    case OpClass::kFpDiv:
+      return 10;  // "the 10-cycle divide" (paper section 5)
+    case OpClass::kFpSqrt:
+      return 15;  // "15-cycle square root operations"
+    default:
+      return 1;
+  }
+}
+
+/// Cycles the FPU stays busy (non-pipelined ops block the unit).
+constexpr int fp_busy(OpClass op) {
+  return is_multicycle_fp(op) ? fp_latency(op) : 1;
+}
+
+std::string_view op_name(OpClass op);
+
+}  // namespace p2sim::power2

@@ -1,0 +1,153 @@
+#include "src/power2/mix_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace p2sim::power2 {
+namespace {
+
+int count_from(double per_iter, util::Xoshiro256StarStar& rng) {
+  // Deterministic stochastic rounding: 1.4/iter becomes 1 or 2.
+  const double fl = std::floor(per_iter);
+  int n = static_cast<int>(fl);
+  if (rng.chance(per_iter - fl)) ++n;
+  return n;
+}
+
+}  // namespace
+
+KernelDesc make_mix_kernel(const MixKernelSpec& spec) {
+  if (spec.fp_inst < 0) throw std::invalid_argument("fp_inst < 0");
+  if (spec.streams <= 0) throw std::invalid_argument("streams must be >= 1");
+  util::Xoshiro256StarStar rng(spec.seed ^ 0xA5A5A5A5ULL);
+
+  KernelBuilder b(spec.name);
+  std::vector<std::uint8_t> stream_ids;
+  stream_ids.reserve(static_cast<std::size_t>(spec.streams));
+  for (int s = 0; s < spec.streams; ++s) {
+    stream_ids.push_back(
+        b.stream(spec.stream_footprint_bytes, spec.stride_bytes));
+  }
+
+  const int n_fp = spec.fp_inst;
+  const int n_mem = static_cast<int>(
+      std::llround(spec.mem_per_fp * static_cast<double>(n_fp)));
+  const int n_store = static_cast<int>(
+      std::llround(spec.store_frac * static_cast<double>(n_mem)));
+  const int n_load = n_mem - n_store;
+
+  // Type assignment for FP ops, then shuffled so types interleave.
+  std::vector<OpClass> fp_ops;
+  fp_ops.reserve(static_cast<std::size_t>(n_fp));
+  const int n_fma = static_cast<int>(std::llround(spec.fma_frac * n_fp));
+  const int n_mul = static_cast<int>(std::llround(spec.mul_frac * n_fp));
+  // Divide/sqrt fractions are small (a few percent); stochastic rounding
+  // lets them appear in part of the kernel population instead of vanishing
+  // in every body shorter than 1/frac instructions.
+  const int n_div = count_from(spec.div_frac * n_fp, rng);
+  const int n_sqrt = count_from(spec.sqrt_frac * n_fp, rng);
+  for (int i = 0; i < n_fma && static_cast<int>(fp_ops.size()) < n_fp; ++i)
+    fp_ops.push_back(OpClass::kFpFma);
+  for (int i = 0; i < n_mul && static_cast<int>(fp_ops.size()) < n_fp; ++i)
+    fp_ops.push_back(OpClass::kFpMul);
+  for (int i = 0; i < n_div && static_cast<int>(fp_ops.size()) < n_fp; ++i)
+    fp_ops.push_back(OpClass::kFpDiv);
+  for (int i = 0; i < n_sqrt && static_cast<int>(fp_ops.size()) < n_fp; ++i)
+    fp_ops.push_back(OpClass::kFpSqrt);
+  while (static_cast<int>(fp_ops.size()) < n_fp)
+    fp_ops.push_back(OpClass::kFpAdd);
+  // Fisher-Yates with the kernel's own stream.
+  for (std::size_t i = fp_ops.size(); i > 1; --i) {
+    std::swap(fp_ops[i - 1], fp_ops[rng.below(i)]);
+  }
+
+  // Emit an interleaved load/compute pattern, which is how compiled CFD
+  // inner loops schedule: operands stream in just ahead of their use.
+  int loads_left = n_load;
+  int fps_left = n_fp;
+  std::size_t fp_idx = 0;
+  std::int16_t last_load = kNoDep;
+  std::int16_t last_fp = kNoDep;
+  std::vector<std::int16_t> fp_indices;
+  fp_indices.reserve(static_cast<std::size_t>(n_fp));
+  int next_stream = 0;
+
+  auto emit_load = [&]() {
+    const bool quad = rng.chance(spec.quad_frac);
+    last_load = b.load(stream_ids[static_cast<std::size_t>(next_stream)], quad);
+    next_stream = (next_stream + 1) % spec.streams;
+    --loads_left;
+  };
+  auto emit_fp = [&]() {
+    const OpClass op = fp_ops[fp_idx++];
+    std::int16_t dep = kNoDep;
+    std::int16_t carried = kNoDep;
+    if (last_fp != kNoDep && rng.chance(spec.dep_prob)) {
+      if (!fp_indices.empty() && rng.chance(spec.carried_prob)) {
+        carried = fp_indices[rng.below(fp_indices.size())];
+      } else {
+        dep = last_fp;
+      }
+    } else if (last_load != kNoDep && rng.chance(spec.load_dep_prob)) {
+      dep = last_load;
+    }
+    std::int16_t idx;
+    switch (op) {
+      case OpClass::kFpFma:
+        idx = b.fma(dep, carried);
+        break;
+      case OpClass::kFpMul:
+        idx = b.fp_mul(dep, carried);
+        break;
+      case OpClass::kFpDiv:
+        idx = b.fp_div(dep);
+        break;
+      case OpClass::kFpSqrt:
+        idx = b.fp_sqrt(dep);
+        break;
+      default:
+        idx = b.fp_add(dep, carried);
+        break;
+    }
+    last_fp = idx;
+    fp_indices.push_back(idx);
+    --fps_left;
+  };
+
+  while (loads_left > 0 || fps_left > 0) {
+    // Keep the load/FP cadence proportional so neither runs out early.
+    const bool prefer_load =
+        loads_left > 0 &&
+        (fps_left == 0 ||
+         static_cast<double>(loads_left) / (loads_left + fps_left) >=
+             rng.uniform());
+    if (prefer_load) {
+      emit_load();
+    } else {
+      emit_fp();
+    }
+  }
+
+  // Integer overhead, stores of the results, loop control.
+  const int n_alu = count_from(spec.alu_per_iter, rng);
+  for (int i = 0; i < n_alu; ++i) b.alu();
+  const int n_amul = count_from(spec.addr_mul_per_iter, rng);
+  for (int i = 0; i < n_amul; ++i) b.addr_mul();
+  for (int i = 0; i < n_store; ++i) {
+    const bool quad = rng.chance(spec.quad_frac);
+    b.store(stream_ids[static_cast<std::size_t>(next_stream)], quad);
+    next_stream = (next_stream + 1) % spec.streams;
+  }
+  const int n_cr = count_from(spec.condreg_per_iter, rng);
+  for (int i = 0; i < n_cr; ++i) b.cond_reg();
+
+  b.warmup(spec.warmup_iters)
+      .measure(spec.measure_iters)
+      .icache_pressure(spec.icache_miss_per_kinst);
+  return b.build();
+}
+
+}  // namespace p2sim::power2

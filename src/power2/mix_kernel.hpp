@@ -1,0 +1,65 @@
+// Statistical kernel synthesis.
+//
+// Hand-built kernels (matrix multiply, stencils) model specific codes; the
+// bulk of the nine-month workload, however, is characterized statistically —
+// the paper reports instruction mixes, fma fractions and flops-per-memref
+// ratios, not source code.  MixKernelSpec turns those measured aggregates
+// into a concrete loop body (deterministically, from a seed) so each
+// synthetic job gets a kernel whose *counter* behaviour matches a point in
+// the population.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/power2/kernel_desc.hpp"
+
+namespace p2sim::power2 {
+
+struct MixKernelSpec {
+  std::string name = "mix";
+
+  /// Floating-point instructions per loop iteration.
+  int fp_inst = 12;
+  /// Fractions of those FP instructions by type (remainder are adds).
+  double fma_frac = 0.30;
+  double mul_frac = 0.20;
+  double div_frac = 0.00;
+  double sqrt_frac = 0.00;
+
+  /// Probability an FP instruction consumes the previous FP result —
+  /// the dependence knob that sets achievable ILP and hence the FPU0/FPU1
+  /// split.  0 = fully independent, 1 = one serial chain.
+  double dep_prob = 0.55;
+  /// Probability an FP instruction consumes the most recent load.
+  double load_dep_prob = 0.5;
+  /// Probability the dependence chain is loop-carried (recurrences).
+  double carried_prob = 0.1;
+
+  /// Memory instructions per FP instruction (1 / register-reuse quality:
+  /// the paper's workload sits near 1.0, tuned codes near 1/3).
+  double mem_per_fp = 1.0;
+  double store_frac = 0.30;  ///< of memory instructions
+  double quad_frac = 0.10;   ///< of memory instructions (quad = 2 words)
+
+  /// Integer overhead per iteration.
+  double alu_per_iter = 1.0;
+  double addr_mul_per_iter = 0.0;
+  double condreg_per_iter = 0.2;
+
+  /// Memory streams the loop walks.
+  int streams = 4;
+  std::uint64_t stream_footprint_bytes = 4ull << 20;
+  std::int64_t stride_bytes = 8;
+
+  double icache_miss_per_kinst = 0.0;
+  std::uint64_t warmup_iters = 512;
+  std::uint64_t measure_iters = 4096;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a concrete kernel realizing the spec.  Deterministic in the spec
+/// (same spec => identical kernel, hence identical signature).
+KernelDesc make_mix_kernel(const MixKernelSpec& spec);
+
+}  // namespace p2sim::power2

@@ -1,0 +1,99 @@
+#include "src/power2/signature.hpp"
+
+#include <cmath>
+
+namespace p2sim::power2 {
+namespace {
+
+double rate(std::uint64_t events, std::uint64_t cycles) {
+  return cycles ? static_cast<double>(events) / static_cast<double>(cycles)
+                : 0.0;
+}
+
+std::uint64_t rounded(double x) {
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(x));
+}
+
+}  // namespace
+
+EventCounts EventSignature::scale(double cycles) const {
+  EventCounts ev;
+  if (cycles <= 0.0) return ev;
+  ev.cycles = rounded(cycles);
+  ev.fxu0_inst = rounded(fxu0_inst * cycles);
+  ev.fxu1_inst = rounded(fxu1_inst * cycles);
+  ev.dcache_miss = rounded(dcache_miss * cycles);
+  ev.tlb_miss = rounded(tlb_miss * cycles);
+  ev.fpu0_inst = rounded(fpu0_inst * cycles);
+  ev.fpu1_inst = rounded(fpu1_inst * cycles);
+  ev.fp_add0 = rounded(fp_add0 * cycles);
+  ev.fp_add1 = rounded(fp_add1 * cycles);
+  ev.fp_mul0 = rounded(fp_mul0 * cycles);
+  ev.fp_mul1 = rounded(fp_mul1 * cycles);
+  ev.fp_div0 = rounded(fp_div0 * cycles);
+  ev.fp_div1 = rounded(fp_div1 * cycles);
+  ev.fp_fma0 = rounded(fp_fma0 * cycles);
+  ev.fp_fma1 = rounded(fp_fma1 * cycles);
+  ev.icu_type1 = rounded(icu_type1 * cycles);
+  ev.icu_type2 = rounded(icu_type2 * cycles);
+  ev.icache_reload = rounded(icache_reload * cycles);
+  ev.dcache_reload = rounded(dcache_reload * cycles);
+  ev.dcache_store = rounded(dcache_store * cycles);
+  ev.memory_inst = rounded(memory_inst * cycles);
+  ev.quad_inst = rounded(quad_inst * cycles);
+  ev.stall_dcache = rounded(stall_dcache * cycles);
+  ev.stall_tlb = rounded(stall_tlb * cycles);
+  return ev;
+}
+
+EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel) {
+  core.reset();
+  const RunResult r = core.run(kernel);
+  const std::uint64_t c = r.counts.cycles;
+  EventSignature s;
+  s.cycles_per_iter = r.cycles_per_iter();
+  s.fxu0_inst = rate(r.counts.fxu0_inst, c);
+  s.fxu1_inst = rate(r.counts.fxu1_inst, c);
+  s.dcache_miss = rate(r.counts.dcache_miss, c);
+  s.tlb_miss = rate(r.counts.tlb_miss, c);
+  s.fpu0_inst = rate(r.counts.fpu0_inst, c);
+  s.fpu1_inst = rate(r.counts.fpu1_inst, c);
+  s.fp_add0 = rate(r.counts.fp_add0, c);
+  s.fp_add1 = rate(r.counts.fp_add1, c);
+  s.fp_mul0 = rate(r.counts.fp_mul0, c);
+  s.fp_mul1 = rate(r.counts.fp_mul1, c);
+  s.fp_div0 = rate(r.counts.fp_div0, c);
+  s.fp_div1 = rate(r.counts.fp_div1, c);
+  s.fp_fma0 = rate(r.counts.fp_fma0, c);
+  s.fp_fma1 = rate(r.counts.fp_fma1, c);
+  s.icu_type1 = rate(r.counts.icu_type1, c);
+  s.icu_type2 = rate(r.counts.icu_type2, c);
+  s.icache_reload = rate(r.counts.icache_reload, c);
+  s.dcache_reload = rate(r.counts.dcache_reload, c);
+  s.dcache_store = rate(r.counts.dcache_store, c);
+  s.memory_inst = rate(r.counts.memory_inst, c);
+  s.quad_inst = rate(r.counts.quad_inst, c);
+  s.stall_dcache = rate(r.counts.stall_dcache, c);
+  s.stall_tlb = rate(r.counts.stall_tlb, c);
+  return s;
+}
+
+SignatureCache::SignatureCache(const CoreConfig& core_cfg)
+    : core_cfg_(core_cfg) {}
+
+const EventSignature& SignatureCache::get(const KernelDesc& kernel) {
+  const std::uint64_t h = kernel.content_hash();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_hash_.find(h);
+  if (it != by_hash_.end()) return it->second;
+  Power2Core core(core_cfg_);
+  EventSignature s = measure_signature(core, kernel);
+  return by_hash_.emplace(h, s).first->second;
+}
+
+std::size_t SignatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_hash_.size();
+}
+
+}  // namespace p2sim::power2

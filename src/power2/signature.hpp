@@ -1,0 +1,77 @@
+// Event signatures: the bridge between the cycle-approximate kernel engine
+// (level A) and the interval-analytic workload engine (level B).
+//
+// A signature is a kernel's steady-state event production per CPU cycle, as
+// measured by actually running the kernel through the core model.  The
+// nine-month workload simulation then advances node counters by
+// signature-rate x busy-cycles per 15-minute interval — the same
+// quantization the real RS2HPM daemon imposed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "src/power2/core.hpp"
+#include "src/power2/event_counts.hpp"
+#include "src/power2/kernel_desc.hpp"
+
+namespace p2sim::power2 {
+
+/// Per-cycle event rates for one kernel on one core configuration.
+struct EventSignature {
+  double cycles_per_iter = 0.0;
+
+  // One rate per EventCounts field (events per cycle).
+  double fxu0_inst = 0, fxu1_inst = 0;
+  double dcache_miss = 0, tlb_miss = 0;
+  double fpu0_inst = 0, fpu1_inst = 0;
+  double fp_add0 = 0, fp_add1 = 0;
+  double fp_mul0 = 0, fp_mul1 = 0;
+  double fp_div0 = 0, fp_div1 = 0;
+  double fp_fma0 = 0, fp_fma1 = 0;
+  double icu_type1 = 0, icu_type2 = 0;
+  double icache_reload = 0, dcache_reload = 0, dcache_store = 0;
+  double memory_inst = 0, quad_inst = 0;
+  double stall_dcache = 0, stall_tlb = 0;
+
+  double flops_per_cycle() const {
+    return fp_add0 + fp_add1 + fp_mul0 + fp_mul1 + fp_div0 + fp_div1 +
+           fp_fma0 + fp_fma1;
+  }
+  double instructions_per_cycle() const {
+    return fxu0_inst + fxu1_inst + fpu0_inst + fpu1_inst + icu_type1 +
+           icu_type2;
+  }
+  double mflops(double clock_hz = 66.7e6) const {
+    return flops_per_cycle() * clock_hz / 1e6;
+  }
+
+  /// Scales the signature to event totals over `cycles` busy cycles.
+  /// Fractional events are accumulated via deterministic rounding with a
+  /// caller-maintained residual: see `scale_into`.
+  EventCounts scale(double cycles) const;
+};
+
+/// Derives a signature by running the kernel on a core.
+EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel);
+
+/// Memoizes signatures by (kernel content hash, core config).  The
+/// nine-month run touches a few dozen kernel variants thousands of times;
+/// each is simulated once.
+class SignatureCache {
+ public:
+  explicit SignatureCache(const CoreConfig& core_cfg = {});
+
+  /// Returns the signature, measuring it on first use.
+  const EventSignature& get(const KernelDesc& kernel);
+
+  std::size_t size() const;
+
+ private:
+  CoreConfig core_cfg_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, EventSignature> by_hash_;
+};
+
+}  // namespace p2sim::power2

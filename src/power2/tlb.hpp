@@ -1,0 +1,48 @@
+// Translation lookaside buffer model.
+//
+// The paper (section 2): 4096-byte pages, 512 TLB entries.  The RS/6000-590
+// TLB is 2-way set associative; a miss costs "36 to 54 cycles" (section 5),
+// which the core model draws uniformly from that window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p2sim::power2 {
+
+struct TlbConfig {
+  std::uint32_t entries = 512;
+  std::uint32_t page_bytes = 4096;
+  std::uint32_t ways = 2;
+  bool valid() const;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& cfg);
+
+  /// Returns true on a hit; a miss installs the translation (LRU victim).
+  bool access(std::uint64_t addr);
+
+  void flush();
+  const TlbConfig& config() const { return cfg_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t vpn = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  TlbConfig cfg_;
+  std::uint64_t set_mask_;
+  std::uint32_t page_shift_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace p2sim::power2

@@ -1,0 +1,38 @@
+#include "src/rs2hpm/daemon.hpp"
+
+#include <stdexcept>
+
+namespace p2sim::rs2hpm {
+
+SamplingDaemon::SamplingDaemon(std::size_t num_nodes)
+    : prev_(num_nodes), prev_quads_(num_nodes, 0) {
+  if (num_nodes == 0) throw std::invalid_argument("daemon needs >= 1 node");
+}
+
+void SamplingDaemon::collect(std::int64_t interval,
+                             std::span<const ModeTotals> node_totals,
+                             std::span<const std::uint64_t> node_quads,
+                             int busy_nodes) {
+  if (node_totals.size() != prev_.size() ||
+      node_quads.size() != prev_.size()) {
+    throw std::invalid_argument("collect: span size != node count");
+  }
+  IntervalRecord rec;
+  rec.interval = interval;
+  rec.nodes_sampled = static_cast<int>(prev_.size());
+  rec.busy_nodes = busy_nodes;
+  if (primed_) {
+    for (std::size_t i = 0; i < prev_.size(); ++i) {
+      rec.delta += node_totals[i].since(prev_[i]);
+      rec.quad_surplus += node_quads[i] - prev_quads_[i];
+    }
+    records_.push_back(rec);
+  }
+  for (std::size_t i = 0; i < prev_.size(); ++i) {
+    prev_[i] = node_totals[i];
+    prev_quads_[i] = node_quads[i];
+  }
+  primed_ = true;
+}
+
+}  // namespace p2sim::rs2hpm

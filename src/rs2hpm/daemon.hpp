@@ -1,0 +1,51 @@
+// System-wide data collection (section 3, "System-wide data collection").
+//
+// On the real machine a cron script ran every 15 minutes, pulled the
+// extended counter totals from the RS2HPM daemon on every node available
+// for user jobs, and appended them to a file for later analysis.  This
+// class is that pipeline: it receives each node's 64-bit totals once per
+// interval, forms wrap-free deltas per node, and stores one aggregated
+// record per interval.  The daemon samples whether or not user processes
+// are executing — idle nodes simply contribute near-zero deltas.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/rs2hpm/snapshot.hpp"
+
+namespace p2sim::rs2hpm {
+
+/// One 15-minute system-wide sample.
+struct IntervalRecord {
+  std::int64_t interval = 0;     ///< global 15-minute interval index
+  ModeTotals delta;              ///< counter deltas summed over all nodes
+  std::uint64_t quad_surplus = 0;///< diagnostic: quad memory instructions
+  int nodes_sampled = 0;
+  int busy_nodes = 0;            ///< nodes servicing PBS jobs (utilization)
+};
+
+class SamplingDaemon {
+ public:
+  explicit SamplingDaemon(std::size_t num_nodes);
+
+  /// Ingests one interval: `node_totals[i]` is node i's monotone 64-bit
+  /// extended totals at the end of the interval, `node_quads[i]` its
+  /// cumulative quad-instruction diagnostic.  `busy_nodes` comes from the
+  /// batch system.  Spans must cover all nodes.
+  void collect(std::int64_t interval,
+               std::span<const ModeTotals> node_totals,
+               std::span<const std::uint64_t> node_quads, int busy_nodes);
+
+  const std::vector<IntervalRecord>& records() const { return records_; }
+  std::size_t num_nodes() const { return prev_.size(); }
+
+ private:
+  std::vector<ModeTotals> prev_;
+  std::vector<std::uint64_t> prev_quads_;
+  std::vector<IntervalRecord> records_;
+  bool primed_ = false;
+};
+
+}  // namespace p2sim::rs2hpm

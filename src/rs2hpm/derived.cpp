@@ -1,0 +1,84 @@
+#include "src/rs2hpm/derived.hpp"
+
+namespace p2sim::rs2hpm {
+
+DerivedRates derive_rates(const ModeTotals& delta, double elapsed_s,
+                          std::uint64_t quad_surplus,
+                          hpm::CounterSelection selection) {
+  using hpm::HpmCounter;
+  DerivedRates r;
+  r.elapsed_s = elapsed_s;
+  if (elapsed_s <= 0.0) return r;
+  const double mps = 1.0 / (elapsed_s * 1e6);
+  auto u = [&](HpmCounter c) {
+    return static_cast<double>(delta.user_at(c));
+  };
+
+  const bool wait_states = selection == hpm::CounterSelection::kWaitStates;
+  if (wait_states) {
+    // Under the recommended selection the divide slots carry wait cycles.
+    const double node_cycles = elapsed_s * 66.7e6;
+    r.comm_wait_fraction = u(hpm::kCommWaitSlot) / node_cycles;
+    r.io_wait_fraction = u(hpm::kIoWaitSlot) / node_cycles;
+  }
+
+  const double add = u(HpmCounter::kFpAdd0) + u(HpmCounter::kFpAdd1);
+  const double mul = u(HpmCounter::kFpMul0) + u(HpmCounter::kFpMul1);
+  const double div =
+      wait_states ? 0.0
+                  : u(HpmCounter::kFpDiv0) + u(HpmCounter::kFpDiv1);
+  const double fma = u(HpmCounter::kFpMulAdd0) + u(HpmCounter::kFpMulAdd1);
+  const double flops = add + mul + div + fma;
+
+  r.mflops_add = add * mps;
+  r.mflops_mul = mul * mps;
+  r.mflops_div = div * mps;
+  r.mflops_fma = fma * mps;
+  r.mflops_all = flops * mps;
+
+  const double fpu0 = u(HpmCounter::kUserFpu0);
+  const double fpu1 = u(HpmCounter::kUserFpu1);
+  const double fxu0 = u(HpmCounter::kUserFxu0);
+  const double fxu1 = u(HpmCounter::kUserFxu1);
+  const double icu =
+      u(HpmCounter::kUserIcu0) + u(HpmCounter::kUserIcu1);
+
+  r.mips_fpu0 = fpu0 * mps;
+  r.mips_fpu1 = fpu1 * mps;
+  r.mips_fpu = (fpu0 + fpu1) * mps;
+  r.mips_fxu0 = fxu0 * mps;
+  r.mips_fxu1 = fxu1 * mps;
+  r.mips_fxu = (fxu0 + fxu1) * mps;
+  r.mips_icu = icu * mps;
+  r.mips = r.mips_fpu + r.mips_fxu + r.mips_icu;
+  r.mops = r.mips + static_cast<double>(quad_surplus) * mps;
+
+  r.dcache_miss_mps = u(HpmCounter::kUserDcacheMiss) * mps;
+  r.tlb_miss_mps = u(HpmCounter::kUserTlbMiss) * mps;
+  r.icache_miss_mps = u(HpmCounter::kIcacheReload) * mps;
+  r.dma_read_mps = u(HpmCounter::kDmaRead) * mps;
+  r.dma_write_mps = u(HpmCounter::kDmaWrite) * mps;
+
+  const double fxu = fxu0 + fxu1;
+  if (fxu > 0.0) {
+    // Section 5: the FXU instruction sum approximates memory instructions
+    // and yields a lower bound on the miss ratios.
+    r.cache_miss_ratio = u(HpmCounter::kUserDcacheMiss) / fxu;
+    r.tlb_miss_ratio = u(HpmCounter::kUserTlbMiss) / fxu;
+    r.flops_per_memref = flops / fxu;
+  }
+  // The text's "the fma instruction produces about 54% of the floating-
+  // point operations" counts both halves of each fma (its add lives in the
+  // add counter), hence the factor of two.
+  if (flops > 0.0) r.fma_flop_fraction = 2.0 * fma / flops;
+  if (fpu1 > 0.0) r.fpu0_fpu1_ratio = fpu0 / fpu1;
+  if (fxu0 > 0.0) r.fxu1_fxu0_ratio = fxu1 / fxu0;
+
+  const double sys_fxu =
+      static_cast<double>(delta.system_at(hpm::HpmCounter::kUserFxu0) +
+                          delta.system_at(hpm::HpmCounter::kUserFxu1));
+  if (fxu > 0.0) r.system_user_fxu_ratio = sys_fxu / fxu;
+  return r;
+}
+
+}  // namespace p2sim::rs2hpm

@@ -1,0 +1,82 @@
+// Derived performance rates — the quantities the paper's tables report.
+//
+// Everything here is computed from a wrap-corrected counter delta and an
+// elapsed wall time, exactly the inputs the RS2HPM reporting scripts had.
+// Flop accounting follows section 5: "the fma operation counts as an add
+// and a multiply" — the hardware already folds the fma add into the
+// fpop.fp_add counters, so total flops = add + mul + div + muladd.
+//
+// One paper quantity is *not* derivable from the Table 1 selection: the
+// "Mops" column, which runs a few percent above Mips.  We model it as
+// instructions plus the extra word moved by each quad load/store; because
+// no counter reports quad operations, the caller supplies the quad count
+// from the simulator's diagnostic channel (the original tool would have
+// used a calibration factor — the paper never defines Mops precisely).
+#pragma once
+
+#include <cstdint>
+
+#include "src/rs2hpm/snapshot.hpp"
+
+namespace p2sim::rs2hpm {
+
+/// Rates in millions per second unless noted; ratios dimensionless.
+struct DerivedRates {
+  double elapsed_s = 0.0;
+
+  // OPS rows of Table 3.
+  double mflops_all = 0.0;
+  double mflops_add = 0.0;
+  double mflops_div = 0.0;
+  double mflops_mul = 0.0;
+  double mflops_fma = 0.0;
+
+  // INST rows of Table 3.
+  double mips_fpu = 0.0;
+  double mips_fpu0 = 0.0;
+  double mips_fpu1 = 0.0;
+  double mips_fxu = 0.0;
+  double mips_fxu0 = 0.0;
+  double mips_fxu1 = 0.0;
+  double mips_icu = 0.0;
+
+  // Table 2 aggregates.
+  double mips = 0.0;
+  double mops = 0.0;
+
+  // CACHE rows (millions of events per second).
+  double dcache_miss_mps = 0.0;
+  double tlb_miss_mps = 0.0;
+  double icache_miss_mps = 0.0;
+
+  // I/O rows (millions of transfers per second).
+  double dma_read_mps = 0.0;
+  double dma_write_mps = 0.0;
+
+  // Wait-state fractions (share of elapsed node time), derivable only
+  // when the monitor ran the kWaitStates selection; zero otherwise.
+  double comm_wait_fraction = 0.0;
+  double io_wait_fraction = 0.0;
+
+  // Ratios discussed in section 5 / Table 4.
+  double cache_miss_ratio = 0.0;   ///< misses / FXU instructions (lower bound)
+  double tlb_miss_ratio = 0.0;     ///< TLB misses / FXU instructions
+  double flops_per_memref = 0.0;   ///< flops / FXU instructions
+  double fma_flop_fraction = 0.0;  ///< share of flops produced by fma
+  double fpu0_fpu1_ratio = 0.0;    ///< instruction asymmetry (paper: ~1.7)
+  double fxu1_fxu0_ratio = 0.0;    ///< Table 3 asymmetry (~1.5)
+  /// Figure 5's x-axis: (system-mode FXU) / (user-mode FXU).
+  double system_user_fxu_ratio = 0.0;
+};
+
+/// Computes user-mode rates from a counter delta over `elapsed_s` seconds.
+/// `quad_surplus` is the number of quad memory instructions in the window
+/// (each adds one extra operation to Mops); pass 0 when unknown.
+/// `selection` must match the monitor configuration that produced the
+/// delta: under kWaitStates the divide slots carry wait-state cycle counts
+/// (divide rates are then reported as zero and the wait fractions filled).
+DerivedRates derive_rates(
+    const ModeTotals& delta, double elapsed_s, std::uint64_t quad_surplus = 0,
+    hpm::CounterSelection selection = hpm::CounterSelection::kNasDefault);
+
+}  // namespace p2sim::rs2hpm

@@ -1,0 +1,48 @@
+#include "src/rs2hpm/job_monitor.hpp"
+
+#include <stdexcept>
+
+namespace p2sim::rs2hpm {
+
+void JobMonitor::prologue(std::int64_t job_id, double start_s,
+                          std::span<const ModeTotals> node_totals,
+                          std::span<const std::uint64_t> node_quads) {
+  if (node_totals.size() != node_quads.size() || node_totals.empty()) {
+    throw std::invalid_argument("prologue: bad node spans");
+  }
+  if (open_.contains(job_id)) {
+    throw std::invalid_argument("prologue: job already open");
+  }
+  Open o;
+  o.start_s = start_s;
+  o.totals.assign(node_totals.begin(), node_totals.end());
+  o.quads.assign(node_quads.begin(), node_quads.end());
+  open_.emplace(job_id, std::move(o));
+}
+
+JobCounterReport JobMonitor::epilogue(
+    std::int64_t job_id, double end_s,
+    std::span<const ModeTotals> node_totals,
+    std::span<const std::uint64_t> node_quads) {
+  auto it = open_.find(job_id);
+  if (it == open_.end()) {
+    throw std::invalid_argument("epilogue: no prologue for job");
+  }
+  const Open& o = it->second;
+  if (node_totals.size() != o.totals.size() ||
+      node_quads.size() != o.quads.size()) {
+    throw std::invalid_argument("epilogue: node count changed");
+  }
+  JobCounterReport rep;
+  rep.job_id = job_id;
+  rep.nodes = static_cast<int>(o.totals.size());
+  rep.elapsed_s = end_s - o.start_s;
+  for (std::size_t i = 0; i < o.totals.size(); ++i) {
+    rep.delta += node_totals[i].since(o.totals[i]);
+    rep.quad_surplus += node_quads[i] - o.quads[i];
+  }
+  open_.erase(it);
+  return rep;
+}
+
+}  // namespace p2sim::rs2hpm

@@ -1,0 +1,66 @@
+// Per-job monitoring (section 3, "Batch job data collection"; Saphir 1996).
+//
+// PBS runs a prologue script before each job and an epilogue after it; the
+// scripts know which nodes the job holds and snapshot their counters at both
+// ends.  The difference, divided by the job's wall time, is the job's
+// counter report — the database behind Figures 2, 3 and 4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/rs2hpm/derived.hpp"
+#include "src/rs2hpm/snapshot.hpp"
+
+namespace p2sim::rs2hpm {
+
+/// What the epilogue writes "to a file for later processing".
+struct JobCounterReport {
+  std::int64_t job_id = 0;
+  int nodes = 0;
+  double elapsed_s = 0.0;
+  ModeTotals delta;               ///< summed over the job's nodes
+  std::uint64_t quad_surplus = 0;
+
+  /// Whole-job rates (per node: divide by `nodes`).
+  DerivedRates rates() const {
+    return derive_rates(delta, elapsed_s, quad_surplus);
+  }
+  /// Job Mflops aggregated over all its nodes (Figure 4's y-axis).
+  double job_mflops() const { return rates().mflops_all; }
+  /// Mflops per node (Figure 3's y-axis).
+  double mflops_per_node() const {
+    return nodes > 0 ? job_mflops() / nodes : 0.0;
+  }
+};
+
+class JobMonitor {
+ public:
+  /// Prologue: records each held node's extended totals at job start.
+  void prologue(std::int64_t job_id, double start_s,
+                std::span<const ModeTotals> node_totals,
+                std::span<const std::uint64_t> node_quads);
+
+  /// Epilogue: forms the per-node deltas and returns the report.  The job
+  /// must have an outstanding prologue; spans must match its node count.
+  JobCounterReport epilogue(std::int64_t job_id, double end_s,
+                            std::span<const ModeTotals> node_totals,
+                            std::span<const std::uint64_t> node_quads);
+
+  bool pending(std::int64_t job_id) const {
+    return open_.contains(job_id);
+  }
+  std::size_t pending_count() const { return open_.size(); }
+
+ private:
+  struct Open {
+    double start_s = 0.0;
+    std::vector<ModeTotals> totals;
+    std::vector<std::uint64_t> quads;
+  };
+  std::map<std::int64_t, Open> open_;
+};
+
+}  // namespace p2sim::rs2hpm

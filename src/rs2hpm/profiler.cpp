@@ -1,0 +1,137 @@
+#include "src/rs2hpm/profiler.hpp"
+
+#include <cstdio>
+
+#include "src/util/sim_time.hpp"
+
+namespace p2sim::rs2hpm {
+
+ProgramProfiler::ProgramProfiler(const power2::CoreConfig& core_cfg,
+                                 const hpm::MonitorConfig& mon_cfg)
+    : core_(core_cfg),
+      monitor_(mon_cfg),
+      clock_hz_(util::MachineClock::kHz) {
+  ext_.attach(monitor_);
+}
+
+const SectionReport& ProgramProfiler::run_section(
+    std::string name, const power2::KernelDesc& kernel,
+    std::uint64_t measure_iters) {
+  const ModeTotals before = ext_.totals();
+
+  const power2::RunResult r = measure_iters > 0
+                                  ? core_.run(kernel, measure_iters)
+                                  : core_.run(kernel);
+  // Feed the monitor in sub-wrap chunks, as the multipass library would.
+  power2::EventCounts remaining = r.counts;
+  const std::uint64_t max_chunk_cycles = 1ull << 31;
+  while (remaining.cycles > 0) {
+    if (remaining.cycles <= max_chunk_cycles) {
+      monitor_.accumulate(remaining, hpm::PrivilegeMode::kUser);
+      ext_.sample(monitor_);
+      break;
+    }
+    // Large phases are split proportionally.
+    const double frac = static_cast<double>(max_chunk_cycles) /
+                        static_cast<double>(remaining.cycles);
+    power2::EventCounts chunk;
+    chunk.cycles = max_chunk_cycles;
+    chunk.fxu0_inst = static_cast<std::uint64_t>(remaining.fxu0_inst * frac);
+    chunk.fxu1_inst = static_cast<std::uint64_t>(remaining.fxu1_inst * frac);
+    chunk.fp_add0 = static_cast<std::uint64_t>(remaining.fp_add0 * frac);
+    chunk.fp_add1 = static_cast<std::uint64_t>(remaining.fp_add1 * frac);
+    chunk.fp_mul0 = static_cast<std::uint64_t>(remaining.fp_mul0 * frac);
+    chunk.fp_mul1 = static_cast<std::uint64_t>(remaining.fp_mul1 * frac);
+    chunk.fp_fma0 = static_cast<std::uint64_t>(remaining.fp_fma0 * frac);
+    chunk.fp_fma1 = static_cast<std::uint64_t>(remaining.fp_fma1 * frac);
+    chunk.fpu0_inst = static_cast<std::uint64_t>(remaining.fpu0_inst * frac);
+    chunk.fpu1_inst = static_cast<std::uint64_t>(remaining.fpu1_inst * frac);
+    chunk.icu_type1 = static_cast<std::uint64_t>(remaining.icu_type1 * frac);
+    chunk.icu_type2 = static_cast<std::uint64_t>(remaining.icu_type2 * frac);
+    chunk.dcache_miss =
+        static_cast<std::uint64_t>(remaining.dcache_miss * frac);
+    chunk.tlb_miss = static_cast<std::uint64_t>(remaining.tlb_miss * frac);
+    chunk.dcache_reload =
+        static_cast<std::uint64_t>(remaining.dcache_reload * frac);
+    chunk.dcache_store =
+        static_cast<std::uint64_t>(remaining.dcache_store * frac);
+    chunk.icache_reload =
+        static_cast<std::uint64_t>(remaining.icache_reload * frac);
+
+    monitor_.accumulate(chunk, hpm::PrivilegeMode::kUser);
+    ext_.sample(monitor_);
+
+    remaining.cycles -= chunk.cycles;
+    remaining.fxu0_inst -= chunk.fxu0_inst;
+    remaining.fxu1_inst -= chunk.fxu1_inst;
+    remaining.fp_add0 -= chunk.fp_add0;
+    remaining.fp_add1 -= chunk.fp_add1;
+    remaining.fp_mul0 -= chunk.fp_mul0;
+    remaining.fp_mul1 -= chunk.fp_mul1;
+    remaining.fp_fma0 -= chunk.fp_fma0;
+    remaining.fp_fma1 -= chunk.fp_fma1;
+    remaining.fpu0_inst -= chunk.fpu0_inst;
+    remaining.fpu1_inst -= chunk.fpu1_inst;
+    remaining.icu_type1 -= chunk.icu_type1;
+    remaining.icu_type2 -= chunk.icu_type2;
+    remaining.dcache_miss -= chunk.dcache_miss;
+    remaining.tlb_miss -= chunk.tlb_miss;
+    remaining.dcache_reload -= chunk.dcache_reload;
+    remaining.dcache_store -= chunk.dcache_store;
+    remaining.icache_reload -= chunk.icache_reload;
+  }
+
+  SectionReport rep;
+  rep.name = std::move(name);
+  rep.counts = r.counts;
+  rep.delta = ext_.totals().since(before);
+  rep.seconds = static_cast<double>(r.counts.cycles) / clock_hz_;
+  rep.rates = derive_rates(rep.delta, rep.seconds, r.counts.quad_inst,
+                           monitor_.config().selection);
+  sections_.push_back(std::move(rep));
+  return sections_.back();
+}
+
+SectionReport ProgramProfiler::total() const {
+  SectionReport t;
+  t.name = "TOTAL";
+  for (const SectionReport& s : sections_) {
+    t.counts += s.counts;
+    t.delta += s.delta;
+    t.seconds += s.seconds;
+  }
+  t.rates = derive_rates(t.delta, t.seconds, t.counts.quad_inst,
+                         monitor_.config().selection);
+  return t;
+}
+
+std::string ProgramProfiler::format() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-16s %9s %9s %9s %9s %9s %9s\n",
+                "section", "sec", "Mflops", "Mips", "f/memref", "dc-miss%",
+                "fma%");
+  out += buf;
+  auto line = [&](const SectionReport& s) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-16s %9.3f %9.1f %9.1f %9.2f %8.2f%% %8.0f%%\n",
+                  s.name.c_str(), s.seconds, s.rates.mflops_all,
+                  s.rates.mips, s.rates.flops_per_memref,
+                  100.0 * s.rates.cache_miss_ratio,
+                  100.0 * s.rates.fma_flop_fraction);
+    out += buf;
+  };
+  for (const SectionReport& s : sections_) line(s);
+  if (!sections_.empty()) line(total());
+  return out;
+}
+
+void ProgramProfiler::reset() {
+  sections_.clear();
+  core_.reset();
+  monitor_.clear();
+  ext_ = ExtendedCounters{};
+  ext_.attach(monitor_);
+}
+
+}  // namespace p2sim::rs2hpm

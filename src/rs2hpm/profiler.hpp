@@ -1,0 +1,65 @@
+// Per-program profiling: the user-facing face of RS2HPM.
+//
+// Section 3: "For individual programs to be reported, users must place
+// commands into their batch scripts or preface interactive sessions with
+// the appropriate RS2HPM commands."  ProgramProfiler is that interface for
+// simulated programs: each named section runs a kernel phase on a POWER2
+// core under the monitor, snapshots the extended counters around it, and
+// reports the section's counter delta and derived rates — so a "program"
+// (initialization, solver sweeps, boundary conditions, output) can be
+// decomposed the way a NAS user would have.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/hpm/monitor.hpp"
+#include "src/power2/core.hpp"
+#include "src/rs2hpm/derived.hpp"
+#include "src/rs2hpm/snapshot.hpp"
+
+namespace p2sim::rs2hpm {
+
+struct SectionReport {
+  std::string name;
+  power2::EventCounts counts;  ///< microarchitectural truth for the phase
+  ModeTotals delta;            ///< what the counters saw
+  double seconds = 0.0;        ///< wall time at the 66.7 MHz clock
+  DerivedRates rates;          ///< per-second rates over the phase
+
+  double mflops() const { return rates.mflops_all; }
+};
+
+class ProgramProfiler {
+ public:
+  explicit ProgramProfiler(const power2::CoreConfig& core_cfg = {},
+                           const hpm::MonitorConfig& mon_cfg = {});
+
+  /// Runs one program phase: `measure_iters` overrides the kernel's own
+  /// count when nonzero.  Cache/TLB state persists between sections, as it
+  /// does between phases of a real program.
+  const SectionReport& run_section(std::string name,
+                                   const power2::KernelDesc& kernel,
+                                   std::uint64_t measure_iters = 0);
+
+  const std::vector<SectionReport>& sections() const { return sections_; }
+
+  /// Whole-program totals across all sections so far.
+  SectionReport total() const;
+
+  /// Human-readable per-section table (the epilogue printout a user saw).
+  std::string format() const;
+
+  /// Drops recorded sections and resets the core's microarchitectural
+  /// state (a fresh program).
+  void reset();
+
+ private:
+  power2::Power2Core core_;
+  hpm::PerformanceMonitor monitor_;
+  ExtendedCounters ext_;
+  double clock_hz_;
+  std::vector<SectionReport> sections_;
+};
+
+}  // namespace p2sim::rs2hpm

@@ -1,0 +1,43 @@
+#include "src/rs2hpm/snapshot.hpp"
+
+namespace p2sim::rs2hpm {
+
+ModeTotals& ModeTotals::operator+=(const ModeTotals& o) {
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    user[i] += o.user[i];
+    system[i] += o.system[i];
+  }
+  return *this;
+}
+
+ModeTotals ModeTotals::since(const ModeTotals& earlier) const {
+  ModeTotals d;
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    d.user[i] = user[i] - earlier.user[i];
+    d.system[i] = system[i] - earlier.system[i];
+  }
+  return d;
+}
+
+void ExtendedCounters::attach(const hpm::PerformanceMonitor& mon) {
+  last_user_ = mon.bank(hpm::PrivilegeMode::kUser).raw();
+  last_system_ = mon.bank(hpm::PrivilegeMode::kSystem).raw();
+  attached_ = true;
+}
+
+void ExtendedCounters::sample(const hpm::PerformanceMonitor& mon) {
+  if (!attached_) {
+    attach(mon);
+    return;
+  }
+  const auto& u = mon.bank(hpm::PrivilegeMode::kUser).raw();
+  const auto& s = mon.bank(hpm::PrivilegeMode::kSystem).raw();
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    totals_.user[i] += wrap_delta(last_user_[i], u[i]);
+    totals_.system[i] += wrap_delta(last_system_[i], s[i]);
+    last_user_[i] = u[i];
+    last_system_[i] = s[i];
+  }
+}
+
+}  // namespace p2sim::rs2hpm

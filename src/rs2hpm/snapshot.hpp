@@ -1,0 +1,76 @@
+// Counter snapshots and wrap correction — the core of Maki's RS2HPM library.
+//
+// The physical counters are 32-bit and wrap silently; at 66.7 MHz the cycle
+// counter wraps every ~64 seconds.  The library therefore samples each bank
+// on a period comfortably below the fastest wrap ("multipass sampling") and
+// extends the values to 64 bits by accumulating wrap-corrected deltas.
+// A single missed period makes totals under-count by a multiple of 2^32 —
+// the classic failure mode this module's tests pin down.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/hpm/monitor.hpp"
+
+namespace p2sim::rs2hpm {
+
+/// 64-bit totals for the 22 counters in one privilege mode.
+using CounterTotals = std::array<std::uint64_t, hpm::kNumCounters>;
+
+/// 64-bit totals for both modes.
+struct ModeTotals {
+  CounterTotals user{};
+  CounterTotals system{};
+
+  ModeTotals& operator+=(const ModeTotals& o);
+  friend ModeTotals operator+(ModeTotals a, const ModeTotals& b) {
+    a += b;
+    return a;
+  }
+  /// Per-counter difference (this - earlier); requires monotone inputs.
+  ModeTotals since(const ModeTotals& earlier) const;
+
+  std::uint64_t user_at(hpm::HpmCounter c) const {
+    return user[hpm::index_of(c)];
+  }
+  std::uint64_t system_at(hpm::HpmCounter c) const {
+    return system[hpm::index_of(c)];
+  }
+  /// user + system for a counter.
+  std::uint64_t total_at(hpm::HpmCounter c) const {
+    return user_at(c) + system_at(c);
+  }
+
+  bool operator==(const ModeTotals&) const = default;
+};
+
+/// Wrap-corrected 32-bit delta: (now - prev) mod 2^32.  Correct as long as
+/// fewer than 2^32 events occurred between the samples.
+constexpr std::uint64_t wrap_delta(std::uint32_t prev, std::uint32_t now) {
+  return static_cast<std::uint32_t>(now - prev);
+}
+
+/// Maintains 64-bit extended totals over a wrapping PerformanceMonitor by
+/// periodic sampling.  sample() must be called at least once per counter
+/// wrap period; the SP2 deployment sampled far more often than the 64 s
+/// cycle-counter wrap.
+class ExtendedCounters {
+ public:
+  /// Captures the monitor's current raw values as the baseline.
+  void attach(const hpm::PerformanceMonitor& mon);
+
+  /// Folds the events since the previous sample into the 64-bit totals.
+  void sample(const hpm::PerformanceMonitor& mon);
+
+  const ModeTotals& totals() const { return totals_; }
+  void reset_totals() { totals_ = ModeTotals{}; }
+
+ private:
+  std::array<std::uint32_t, hpm::kNumCounters> last_user_{};
+  std::array<std::uint32_t, hpm::kNumCounters> last_system_{};
+  ModeTotals totals_;
+  bool attached_ = false;
+};
+
+}  // namespace p2sim::rs2hpm

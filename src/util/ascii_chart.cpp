@@ -1,0 +1,128 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace p2sim::util {
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  double span() const { return hi - lo; }
+};
+
+Range data_range(const std::vector<Series>& series, bool use_x,
+                 bool from_zero) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    const auto& v = use_x ? s.xs : s.ys;
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return {0.0, 1.0};
+  if (from_zero) lo = std::min(lo, 0.0);
+  if (hi <= lo) hi = lo + 1.0;
+  // Pad the top a little so maxima don't sit on the frame.
+  hi += (hi - lo) * 0.02;
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& opts) {
+  const int w = std::max(opts.width, 10);
+  const int h = std::max(opts.height, 4);
+  const Range xr = data_range(series, /*use_x=*/true, /*from_zero=*/false);
+  const Range yr = data_range(series, /*use_x=*/false, opts.y_from_zero);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+  auto plot = [&](double x, double y, char g) {
+    const int cx = static_cast<int>(std::lround((x - xr.lo) / xr.span() *
+                                                (w - 1)));
+    const int cy = static_cast<int>(std::lround((y - yr.lo) / yr.span() *
+                                                (h - 1)));
+    if (cx < 0 || cx >= w || cy < 0 || cy >= h) return;
+    canvas[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] =
+        g;
+  };
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (opts.connect && i > 0) {
+        // Crude interpolation: plot a few intermediate points.
+        const int steps = 4;
+        for (int k = 1; k < steps; ++k) {
+          const double t = static_cast<double>(k) / steps;
+          plot(s.xs[i - 1] + (s.xs[i] - s.xs[i - 1]) * t,
+               s.ys[i - 1] + (s.ys[i] - s.ys[i - 1]) * t, s.glyph);
+        }
+      }
+      plot(s.xs[i], s.ys[i], s.glyph);
+    }
+  }
+
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  char buf[64];
+  for (int r = 0; r < h; ++r) {
+    const double yv = yr.hi - (yr.span() * r) / (h - 1);
+    std::snprintf(buf, sizeof(buf), "%10.3g |", yv);
+    // Label only a few rows to keep the gutter readable.
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      out += buf;
+    } else {
+      out += "           |";
+    }
+    out += canvas[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "           +" + std::string(static_cast<std::size_t>(w), '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "%12.4g", xr.lo);
+  out += buf;
+  out += std::string(static_cast<std::size_t>(std::max(1, w - 14)), ' ');
+  std::snprintf(buf, sizeof(buf), "%.4g", xr.hi);
+  out += buf;
+  out += '\n';
+  if (!opts.x_label.empty()) out += "x: " + opts.x_label + "\n";
+  if (!opts.y_label.empty()) out += "y: " + opts.y_label + "\n";
+  for (const auto& s : series) {
+    out += "  [";
+    out += s.glyph;
+    out += "] " + s.name + "\n";
+  }
+  return out;
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& bars,
+                        std::string_view title, int width) {
+  double hi = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    hi = std::max(hi, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (hi <= 0.0) hi = 1.0;
+  std::string out(title);
+  out += '\n';
+  char buf[64];
+  for (const auto& [label, v] : bars) {
+    out += "  " + label + std::string(label_w - label.size(), ' ') + " |";
+    const int n = static_cast<int>(std::lround(v / hi * width));
+    out += std::string(static_cast<std::size_t>(std::max(0, n)), '#');
+    std::snprintf(buf, sizeof(buf), " %.4g", v);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace p2sim::util

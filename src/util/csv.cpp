@@ -1,0 +1,58 @@
+#include "src/util/csv.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p2sim::util {
+
+std::string csv_escape(std::string_view s) {
+  const bool needs_quote =
+      s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  if (!at_row_start_) out_ << ',';
+  out_ << csv_escape(s);
+  at_row_start_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return field(std::string_view(buf));
+}
+
+void CsvWriter::endrow() {
+  out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  endrow();
+}
+
+}  // namespace p2sim::util

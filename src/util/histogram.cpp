@@ -1,0 +1,30 @@
+#include "src/util/histogram.hpp"
+
+namespace p2sim::util {
+
+std::vector<std::int64_t> KeyedHistogram::keys() const {
+  std::vector<std::int64_t> out;
+  out.reserve(cells_.size());
+  for (const auto& [k, v] : cells_) out.push_back(k);
+  return out;
+}
+
+double KeyedHistogram::grand_total() const {
+  double t = 0.0;
+  for (const auto& [k, v] : cells_) t += v.total;
+  return t;
+}
+
+std::int64_t KeyedHistogram::argmax_total() const {
+  std::int64_t best_key = 0;
+  double best = -1.0;
+  for (const auto& [k, v] : cells_) {
+    if (v.total > best) {
+      best = v.total;
+      best_key = k;
+    }
+  }
+  return best_key;
+}
+
+}  // namespace p2sim::util

@@ -1,0 +1,51 @@
+// Weighted histogram keyed by an integer bucket.  Figures 2 and 3 of the
+// paper are histograms over "number of nodes requested"; this container
+// accumulates an arbitrary weight (walltime seconds, node-Mflop samples)
+// per key and supports per-key statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace p2sim::util {
+
+/// Accumulates a weight and per-key RunningStats under an integer key.
+class KeyedHistogram {
+ public:
+  void add(std::int64_t key, double weight) {
+    auto& cell = cells_[key];
+    cell.total += weight;
+    cell.stats.add(weight);
+  }
+
+  double total(std::int64_t key) const {
+    auto it = cells_.find(key);
+    return it == cells_.end() ? 0.0 : it->second.total;
+  }
+
+  const RunningStats* stats(std::int64_t key) const {
+    auto it = cells_.find(key);
+    return it == cells_.end() ? nullptr : &it->second.stats;
+  }
+
+  std::vector<std::int64_t> keys() const;
+  double grand_total() const;
+  std::size_t size() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+
+  /// Key holding the largest accumulated weight; 0 if empty.  The paper's
+  /// "most popular choice of nodes" (16) is exactly this query on Figure 2.
+  std::int64_t argmax_total() const;
+
+ private:
+  struct Cell {
+    double total = 0.0;
+    RunningStats stats;
+  };
+  std::map<std::int64_t, Cell> cells_;
+};
+
+}  // namespace p2sim::util

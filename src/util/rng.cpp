@@ -1,0 +1,92 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+
+namespace p2sim::util {
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256StarStar::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  // Box-Muller; u1 is kept away from zero so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Xoshiro256StarStar::lognormal_median(double median,
+                                            double sigma) noexcept {
+  return median * std::exp(sigma * normal());
+}
+
+double Xoshiro256StarStar::exponential(double mean) noexcept {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Xoshiro256StarStar::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation keeps the loop bounded for large means.
+    const double x = normal(mean, std::sqrt(mean));
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  std::uint64_t k = 0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::split(std::uint64_t tag) noexcept {
+  // Mix the parent's next output with the tag through splitmix64 so children
+  // with different tags are decorrelated even for adjacent tags.
+  SplitMix64 sm(next() ^ (tag * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+  return Xoshiro256StarStar(sm.next());
+}
+
+std::size_t sample_discrete(Xoshiro256StarStar& rng,
+                            std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size();
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (x < w) return i;
+    x -= w;
+  }
+  // Floating-point slop: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size();
+}
+
+}  // namespace p2sim::util

@@ -1,0 +1,17 @@
+#include "src/util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace p2sim::util {
+
+std::string SimClock::stamp() const {
+  const std::int64_t secs_of_day = interval_of_day() * kIntervalSeconds;
+  const int hh = static_cast<int>(secs_of_day / 3600);
+  const int mm = static_cast<int>((secs_of_day % 3600) / 60);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "day %lld, %02d:%02d",
+                static_cast<long long>(day()), hh, mm);
+  return buf;
+}
+
+}  // namespace p2sim::util

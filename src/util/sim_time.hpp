@@ -1,0 +1,65 @@
+// Simulated time for the nine-month measurement campaign.
+//
+// The paper's data pipeline is quantized: the RS2HPM daemon samples every
+// 15 minutes (96 intervals/day) and the study spans 270 days (July 1996 -
+// March 1997).  SimClock counts whole 15-minute intervals; helpers convert
+// between intervals, seconds, days and CPU cycles at the 66.7 MHz POWER2
+// clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2sim::util {
+
+/// Machine constants of the NAS SP2 as reported in the paper.
+struct MachineClock {
+  /// POWER2 clock in Hz (66.7 MHz).
+  static constexpr double kHz = 66.7e6;
+  /// Peak Mflops per node: 4 flops/cycle (dual FPU, fma) * 66.7 MHz.
+  static constexpr double kPeakMflopsPerNode = 266.8;
+};
+
+/// Seconds per daemon sampling interval (the cron job ran every 15 minutes).
+inline constexpr std::int64_t kIntervalSeconds = 15 * 60;
+/// Sampling intervals per day.
+inline constexpr std::int64_t kIntervalsPerDay = 24 * 3600 / kIntervalSeconds;
+/// Length of the measurement campaign in days (Figure 1's x-axis).
+inline constexpr std::int64_t kCampaignDays = 270;
+
+/// Cycles elapsed in `seconds` of wall time at the POWER2 clock.
+constexpr double cycles_in(double seconds) {
+  return seconds * MachineClock::kHz;
+}
+
+/// Monotonic simulated clock advancing in 15-minute ticks.
+class SimClock {
+ public:
+  std::int64_t interval() const noexcept { return interval_; }
+  std::int64_t day() const noexcept { return interval_ / kIntervalsPerDay; }
+  std::int64_t interval_of_day() const noexcept {
+    return interval_ % kIntervalsPerDay;
+  }
+  double seconds() const noexcept {
+    return static_cast<double>(interval_) *
+           static_cast<double>(kIntervalSeconds);
+  }
+  void tick() noexcept { ++interval_; }
+  void reset() noexcept { interval_ = 0; }
+
+  /// Human-readable "day D, HH:MM" stamp for logs and job records.
+  std::string stamp() const;
+
+ private:
+  std::int64_t interval_ = 0;
+};
+
+/// Day-of-week index (0 = Monday) assuming day 0 is a Monday; used by the
+/// demand model to give the workload its weekday/weekend rhythm.
+constexpr int day_of_week(std::int64_t day) {
+  return static_cast<int>(((day % 7) + 7) % 7);
+}
+
+constexpr bool is_weekend(std::int64_t day) { return day_of_week(day) >= 5; }
+
+}  // namespace p2sim::util

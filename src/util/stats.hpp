@@ -1,0 +1,71 @@
+// Streaming statistics used throughout the measurement pipeline: Welford
+// running moments (the paper reports averages and standard deviations over
+// day samples), windowed moving averages (Figures 1 and 4 plot moving
+// averages), and Pearson correlation (Figure 5 is a correlation study).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace p2sim::util {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-window trailing moving average, as used for the "moving average"
+/// curves in Figures 1 and 4.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  /// Adds a sample and returns the average of the last min(window, n) values.
+  double add(double x);
+  double value() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Applies a trailing moving average to a whole series.
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window);
+
+/// Pearson correlation coefficient; returns 0 when either series is constant
+/// or the series are shorter than two points.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares slope of y against x; 0 for degenerate inputs.  Used to
+/// check the paper's "no trend toward improvement over time" claims.
+double linear_slope(std::span<const double> xs, std::span<const double> ys);
+
+/// Quantile by linear interpolation on a copy of the data, q in [0,1].
+double quantile(std::span<const double> xs, double q);
+
+}  // namespace p2sim::util

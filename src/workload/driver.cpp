@@ -1,0 +1,232 @@
+#include "src/workload/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace p2sim::workload {
+
+WorkloadDriver::WorkloadDriver(const DriverConfig& cfg) : cfg_(cfg) {
+  if (cfg_.num_nodes <= 0) throw std::invalid_argument("num_nodes must be > 0");
+  if (cfg_.days <= 0) throw std::invalid_argument("days must be > 0");
+  if (cfg_.jobs_per_day < 0.0) {
+    throw std::invalid_argument("jobs_per_day must be >= 0");
+  }
+  if (cfg_.demand_min > cfg_.demand_max) {
+    throw std::invalid_argument("demand bounds inverted");
+  }
+  if (cfg_.slump_depth_min > cfg_.slump_depth_max ||
+      cfg_.slump_depth_min < 0.0 || cfg_.slump_depth_max > 1.0) {
+    throw std::invalid_argument("slump depth bounds invalid");
+  }
+}
+
+cluster::ActivityProfile WorkloadDriver::activity_for(
+    const Running& r, double disk_grant_fraction) const {
+  const cluster::PagingModel paging(cfg_.paging);
+  const cluster::PagingState pg = paging.evaluate(r.profile->memory_mb_per_node);
+  const cluster::HpsSwitch sw(cfg_.hps);
+  const double comm =
+      r.profile->comm_fraction(static_cast<int>(r.nodes.size()), sw);
+
+  cluster::ActivityProfile a;
+  const double active = r.profile->imbalance_efficiency * r.profile->duty_cycle;
+  a.compute_fraction = (1.0 - comm) * active * pg.user_slowdown;
+  // Wait-state accounting for the kWaitStates counter selection: the share
+  // of wall time blocked on messages (communication plus synchronization
+  // imbalance) and on fault/disk service.
+  a.comm_wait_fraction =
+      comm * active + (1.0 - r.profile->imbalance_efficiency) *
+                          r.profile->duty_cycle * (1.0 - comm);
+  a.io_wait_fraction = (1.0 - comm) * active * (1.0 - pg.user_slowdown);
+  // Message traffic: what the node pushes/pulls through the adapter.
+  // Receives run somewhat below sends (reductions fan in).
+  a.comm_send_bytes_per_s = r.profile->msg_bytes_per_s;
+  a.comm_recv_bytes_per_s = 0.7 * r.profile->msg_bytes_per_s;
+  a.disk_read_bytes_per_s =
+      r.profile->disk_read_bytes_per_s * disk_grant_fraction;
+  a.disk_write_bytes_per_s =
+      r.profile->disk_write_bytes_per_s * disk_grant_fraction;
+  a.page_faults_per_s = pg.fault_rate;
+  return a;
+}
+
+CampaignResult WorkloadDriver::run() {
+  const double interval_s = static_cast<double>(util::kIntervalSeconds);
+  const std::int64_t total_intervals = cfg_.days * util::kIntervalsPerDay;
+
+  // --- substrate instances ---
+  pbs::SchedulerConfig sched_cfg = cfg_.sched;
+  sched_cfg.total_nodes = cfg_.num_nodes;
+  pbs::Scheduler sched(sched_cfg);
+
+  cluster::NodeConfig node_cfg = cfg_.node;
+  node_cfg.fault_fxu_inst = cfg_.paging.fxu_inst_per_fault;
+  node_cfg.fault_icu_inst = cfg_.paging.icu_inst_per_fault;
+  node_cfg.fault_cycles = cfg_.paging.cycles_per_fault;
+  node_cfg.page_bytes = cfg_.paging.page_bytes;
+  std::vector<cluster::Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(cfg_.num_nodes));
+  for (int i = 0; i < cfg_.num_nodes; ++i) nodes.emplace_back(i, node_cfg);
+
+  ProfileRegistry registry;
+  JobGenConfig gen_cfg = cfg_.jobgen;
+  gen_cfg.seed ^= cfg_.seed;
+  JobGenerator gen(gen_cfg, registry);
+  power2::SignatureCache signatures(cfg_.core);
+  rs2hpm::SamplingDaemon daemon(static_cast<std::size_t>(cfg_.num_nodes));
+  rs2hpm::JobMonitor jobmon;
+  cluster::NfsModel nfs(cfg_.nfs);
+
+  util::Xoshiro256StarStar rng(cfg_.seed);
+  double demand_level = 1.0;
+  int slump_days_left = 0;
+  double slump_depth = 1.0;
+
+  std::map<std::int64_t, Running> running;            // by job id
+  std::vector<const Running*> node_job(
+      static_cast<std::size_t>(cfg_.num_nodes), nullptr);
+
+  CampaignResult result;
+  result.num_nodes = cfg_.num_nodes;
+  result.days = cfg_.days;
+  result.selection = node_cfg.monitor.selection;
+
+  // Scratch spans for daemon / monitor snapshots.
+  std::vector<rs2hpm::ModeTotals> totals_scratch(
+      static_cast<std::size_t>(cfg_.num_nodes));
+  std::vector<std::uint64_t> quads_scratch(
+      static_cast<std::size_t>(cfg_.num_nodes));
+  auto refresh_scratch = [&] {
+    for (int i = 0; i < cfg_.num_nodes; ++i) {
+      totals_scratch[static_cast<std::size_t>(i)] =
+          nodes[static_cast<std::size_t>(i)].totals();
+      quads_scratch[static_cast<std::size_t>(i)] =
+          nodes[static_cast<std::size_t>(i)].quad_total();
+    }
+  };
+  auto job_spans = [&](const std::vector<int>& held) {
+    std::pair<std::vector<rs2hpm::ModeTotals>, std::vector<std::uint64_t>> out;
+    for (int n : held) {
+      out.first.push_back(nodes[static_cast<std::size_t>(n)].totals());
+      out.second.push_back(nodes[static_cast<std::size_t>(n)].quad_total());
+    }
+    return out;
+  };
+
+  // Prime the daemon (first collect establishes the baseline).
+  refresh_scratch();
+  daemon.collect(-1, totals_scratch, quads_scratch, 0);
+
+  for (std::int64_t t = 0; t < total_intervals; ++t) {
+    const double now = static_cast<double>(t) * interval_s;
+    const std::int64_t day = t / util::kIntervalsPerDay;
+
+    // Demand process updates at day boundaries.
+    if (t % util::kIntervalsPerDay == 0) {
+      demand_level = std::clamp(
+          cfg_.demand_walk_rho * demand_level +
+              rng.normal(1.0 - cfg_.demand_walk_rho, cfg_.demand_walk_noise *
+                                                         (1.0 - cfg_.demand_walk_rho) * 4.0),
+          cfg_.demand_min, cfg_.demand_max);
+      if (slump_days_left > 0) {
+        --slump_days_left;
+      } else if (rng.chance(cfg_.slump_prob_per_day)) {
+        slump_days_left = static_cast<int>(2 + rng.below(6));
+        slump_depth = rng.uniform(cfg_.slump_depth_min, cfg_.slump_depth_max);
+      }
+    }
+
+    // --- arrivals ---
+    const double day_factor =
+        (util::is_weekend(day) ? cfg_.weekend_factor : 1.0) *
+        (slump_days_left > 0 ? slump_depth : 1.0);
+    const double lambda = cfg_.jobs_per_day * day_factor * demand_level /
+                          static_cast<double>(util::kIntervalsPerDay);
+    const std::uint64_t arrivals = rng.poisson(lambda);
+    for (std::uint64_t a = 0; a < arrivals; ++a) sched.submit(gen.next(now));
+
+    // --- scheduling pass / prologues ---
+    for (pbs::StartEvent& ev : sched.schedule(now)) {
+      Running r;
+      r.spec = ev.spec;
+      r.profile = &registry.get(ev.spec.profile_id);
+      r.sig = &signatures.get(r.profile->kernel);
+      r.nodes = std::move(ev.nodes);
+      r.start_s = now;
+      r.end_s = now + ev.spec.runtime_s;
+      auto [jt, jq] = job_spans(r.nodes);
+      jobmon.prologue(r.spec.job_id, now, jt, jq);
+      auto [it, inserted] = running.emplace(r.spec.job_id, std::move(r));
+      for (int n : it->second.nodes) {
+        node_job[static_cast<std::size_t>(n)] = &it->second;
+      }
+      (void)inserted;
+    }
+
+    // --- cluster-wide NFS throttle for this interval ---
+    double disk_demand = 0.0;
+    for (const auto& [id, r] : running) {
+      disk_demand += (r.profile->disk_read_bytes_per_s +
+                      r.profile->disk_write_bytes_per_s) *
+                     static_cast<double>(r.nodes.size());
+    }
+    const double grant = nfs.grant_fraction(disk_demand);
+    nfs.account(nfs.grant(disk_demand) * interval_s);
+
+    // --- advance every node through the interval ---
+    double busy_node_seconds = 0.0;
+    for (int n = 0; n < cfg_.num_nodes; ++n) {
+      const Running* r = node_job[static_cast<std::size_t>(n)];
+      if (r == nullptr) {
+        nodes[static_cast<std::size_t>(n)].advance_idle(interval_s);
+        continue;
+      }
+      const double busy = std::min(r->end_s, now + interval_s) - now;
+      const cluster::ActivityProfile act = activity_for(*r, grant);
+      nodes[static_cast<std::size_t>(n)].advance(busy, r->sig, act);
+      if (busy < interval_s) {
+        nodes[static_cast<std::size_t>(n)].advance_idle(interval_s - busy);
+      }
+      busy_node_seconds += busy;
+    }
+    result.total_busy_node_seconds += busy_node_seconds;
+
+    // --- epilogues for jobs that finished inside this interval ---
+    std::vector<std::int64_t> done;
+    for (const auto& [id, r] : running) {
+      if (r.end_s <= now + interval_s) done.push_back(id);
+    }
+    for (std::int64_t id : done) {
+      Running& r = running.at(id);
+      auto [jt, jq] = job_spans(r.nodes);
+      pbs::JobRecord rec;
+      rec.spec = r.spec;
+      rec.start_time_s = r.start_s;
+      rec.end_time_s = r.end_s;
+      rec.report = jobmon.epilogue(id, r.end_s, jt, jq);
+      result.jobs.add(std::move(rec));
+      for (int n : r.nodes) node_job[static_cast<std::size_t>(n)] = nullptr;
+      sched.release(id);
+      running.erase(id);
+    }
+
+    // --- 15-minute daemon sample ---
+    refresh_scratch();
+    daemon.collect(t, totals_scratch, quads_scratch,
+                   static_cast<int>(std::lround(busy_node_seconds /
+                                                interval_s)));
+  }
+
+  result.intervals = daemon.records();
+  return result;
+}
+
+CampaignResult run_campaign(const DriverConfig& cfg) {
+  WorkloadDriver driver(cfg);
+  return driver.run();
+}
+
+}  // namespace p2sim::workload

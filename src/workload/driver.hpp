@@ -1,0 +1,105 @@
+// The nine-month campaign driver: ties every substrate together.
+//
+// Per 15-minute interval it (1) draws job arrivals from a demand process
+// with the weekday/weekend rhythm and slow load fluctuation the paper
+// attributes Figure 1's swings to, (2) runs the PBS scheduling pass,
+// (3) advances every node — busy nodes by their job's kernel signature
+// modulated by communication, filesystem and paging behaviour, idle nodes
+// by OS noise only — and (4) lets the RS2HPM daemon collect the interval
+// sample.  Job starts fire the PBS prologue snapshot, job ends the
+// epilogue, populating the accounting database behind Figures 2-4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/nfs.hpp"
+#include "src/cluster/node.hpp"
+#include "src/cluster/paging.hpp"
+#include "src/cluster/switch.hpp"
+#include "src/pbs/accounting.hpp"
+#include "src/pbs/scheduler.hpp"
+#include "src/power2/signature.hpp"
+#include "src/rs2hpm/daemon.hpp"
+#include "src/rs2hpm/job_monitor.hpp"
+#include "src/util/sim_time.hpp"
+#include "src/workload/jobgen.hpp"
+
+namespace p2sim::workload {
+
+struct DriverConfig {
+  int num_nodes = 144;
+  std::int64_t days = util::kCampaignDays;
+
+  /// Mean submissions per weekday at demand level 1.0.
+  double jobs_per_day = 42.0;
+  double weekend_factor = 0.40;
+  /// AR(1) demand random walk (per-day): level' = rho*level + noise.
+  double demand_walk_rho = 0.90;
+  double demand_walk_noise = 0.40;
+  double demand_min = 0.15;
+  double demand_max = 2.00;
+  /// Multi-day demand slumps (holidays, deadlines elsewhere, maintenance):
+  /// entered with this per-day probability, lasting 2-7 days at a fraction
+  /// of normal demand.  These produce Figure 1's deep valleys.
+  double slump_prob_per_day = 0.05;
+  double slump_depth_min = 0.10;
+  double slump_depth_max = 0.45;
+
+  std::uint64_t seed = 0xC0FFEE42ULL;
+
+  pbs::SchedulerConfig sched{};
+  cluster::NodeConfig node{};
+  cluster::PagingConfig paging{};
+  cluster::SwitchConfig hps{};
+  cluster::NfsConfig nfs{};
+  power2::CoreConfig core{};
+  JobGenConfig jobgen{};
+};
+
+/// Everything the analysis layer needs.
+struct CampaignResult {
+  int num_nodes = 0;
+  std::int64_t days = 0;
+  /// Counter selection the campaign's monitors ran (analysis must match).
+  hpm::CounterSelection selection = hpm::CounterSelection::kNasDefault;
+  std::vector<rs2hpm::IntervalRecord> intervals;
+  pbs::JobDatabase jobs;
+  double total_busy_node_seconds = 0.0;
+
+  /// Machine utilization over the whole campaign (fraction of node-time
+  /// servicing PBS jobs — the paper's 64%).
+  double mean_utilization() const {
+    const double total = static_cast<double>(num_nodes) *
+                         static_cast<double>(days) * 86400.0;
+    return total > 0.0 ? total_busy_node_seconds / total : 0.0;
+  }
+};
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(const DriverConfig& cfg);
+
+  /// Runs the full campaign.  Deterministic in the config.
+  CampaignResult run();
+
+ private:
+  struct Running {
+    pbs::JobSpec spec;
+    const JobProfile* profile = nullptr;
+    const power2::EventSignature* sig = nullptr;
+    std::vector<int> nodes;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+
+  cluster::ActivityProfile activity_for(const Running& r,
+                                        double disk_grant_fraction) const;
+
+  DriverConfig cfg_;
+};
+
+/// Convenience: run a campaign with the given config.
+CampaignResult run_campaign(const DriverConfig& cfg = {});
+
+}  // namespace p2sim::workload

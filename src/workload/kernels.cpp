@@ -1,0 +1,210 @@
+#include "src/workload/kernels.hpp"
+
+#include <algorithm>
+
+#include "src/util/rng.hpp"
+
+namespace p2sim::workload {
+
+using power2::KernelBuilder;
+using power2::KernelDesc;
+using power2::kNoDep;
+using power2::MixKernelSpec;
+
+KernelDesc blocked_matmul() {
+  // A 4x4-unrolled DGEMM inner loop operating on cache-resident blocks:
+  // 16 independent accumulator chains (dep distance 4 per FPU pair), quad
+  // loads streaming the A and B panels, the C block register-resident.
+  KernelBuilder b("blocked_matmul");
+  const auto a_panel = b.stream(64 * 1024, 16);  // quad-stride walk, in cache
+  const auto b_panel = b.stream(64 * 1024, 16);
+  const auto c_block = b.stream(32 * 1024, 16);
+
+  // Interleave loads and fmas the way xlf schedules an unrolled kernel.
+  std::int16_t fma_idx[16];
+  int f = 0;
+  for (int g = 0; g < 4; ++g) {
+    b.load(a_panel, /*quad=*/true);
+    b.load(b_panel, /*quad=*/true);
+    for (int k = 0; k < 4; ++k) {
+      // Chains: each fma depends on the fma four positions earlier, so
+      // four chains stay in flight per FPU and the units pipeline fully.
+      const std::int16_t dep = f >= 4 ? fma_idx[f - 4] : kNoDep;
+      fma_idx[f] = b.fma(dep);
+      ++f;
+    }
+  }
+  b.load(c_block, /*quad=*/true);
+  b.store(c_block, /*quad=*/true);
+  b.alu();  // block index bookkeeping
+  return b.warmup(1024).measure(8192).build();
+}
+
+KernelDesc naive_matmul() {
+  // Unblocked ijk DGEMM: the B column walk strides by the full row length
+  // (1024 doubles = 8192 bytes), missing the cache almost every access and
+  // touching a new page every other access.
+  KernelBuilder b("naive_matmul");
+  const auto a_row = b.stream(8 * 1024 * 1024, 8);
+  const auto b_col = b.stream(8 * 1024 * 1024, 8192);
+  const auto c_elt = b.stream(32 * 1024, 8);
+
+  const auto la = b.load(a_row);
+  const auto lb = b.load(b_col);
+  const auto m = b.fp_mul(lb);
+  (void)la;
+  const auto acc = b.fp_add(m, /*carried=*/3);  // running dot product
+  (void)acc;
+  b.load(c_elt);
+  b.store(c_elt);
+  b.alu();
+  return b.warmup(2048).measure(16384).build();
+}
+
+KernelDesc cfd_multiblock(std::uint64_t variant, double quality) {
+  quality = std::clamp(quality, 0.0, 1.0);
+  util::Xoshiro256StarStar rng(0xCFD0000 + variant);
+
+  MixKernelSpec s;
+  s.name = "cfd_multiblock_v" + std::to_string(variant);
+  s.fp_inst = 12 + static_cast<int>(rng.below(6));
+  // fma share of FP instructions rises with code quality; at the median it
+  // puts ~half the flops in the fma unit (Table 3), at high quality >= 80%.
+  s.fma_frac = 0.25 + 0.40 * quality + rng.uniform(-0.04, 0.04);
+  s.mul_frac = 0.18 + rng.uniform(-0.05, 0.05);
+  s.div_frac = 0.03;  // ~3% of flops are divides (hidden by the HPM bug)
+  s.dep_prob = 0.72 - 0.30 * quality + rng.uniform(-0.05, 0.05);
+  s.carried_prob = 0.20;
+  // Register reuse: poor codes reload operands (the paper's flops/memref
+  // ~0.5-1.0); tuned codes hold them (toward matmul's 3.0).
+  s.mem_per_fp = 3.2 - 2.0 * quality + rng.uniform(-0.15, 0.15);
+  s.store_frac = 0.28;
+  s.quad_frac = 0.06 + 0.20 * quality;
+  s.alu_per_iter = 3.5;    // index arithmetic and loop bookkeeping
+  s.addr_mul_per_iter = 1.0;  // multi-dimensional addressing (FXU1 only)
+  s.condreg_per_iter = 2.4;   // BC tests and short inner DO-loop control
+  s.streams = 6 + static_cast<int>(rng.below(3));
+  // Reused plane-sized arrays: cache-resident between sweeps.
+  s.stream_footprint_bytes = 24 * 1024;
+  s.stride_bytes = 8;
+  s.icache_miss_per_kinst = 0.35;  // solver/BC subroutine alternation
+  s.seed = 0x1234 + variant;
+  s.warmup_iters = 768;
+  s.measure_iters = 6144;
+  KernelDesc k = power2::make_mix_kernel(s);
+
+  // A minority of the streams walk whole multi-MB grid blocks with no
+  // reuse: these supply the workload's ~1% cache miss ratio and, because
+  // the blocks exceed the 2 MB TLB reach, its ~0.1% TLB miss ratio.
+  if (k.streams.size() >= 2) {
+    k.streams[0].footprint_bytes = (8ull + rng.below(8)) << 20;
+    k.streams[1].footprint_bytes = (3ull + rng.below(3)) << 20;
+  }
+  return k;
+}
+
+KernelDesc npb_bt_like() {
+  // BT after the loop-nest rearrangement Saphir et al. describe: the 5x5
+  // block solves run from cache-resident planes, long strides eliminated.
+  MixKernelSpec s;
+  s.name = "npb_bt";
+  s.fp_inst = 24;
+  s.fma_frac = 0.52;
+  s.mul_frac = 0.18;
+  s.div_frac = 0.01;
+  s.dep_prob = 0.55;
+  s.carried_prob = 0.08;
+  s.mem_per_fp = 0.80;
+  s.store_frac = 0.30;
+  s.quad_frac = 0.30;
+  s.alu_per_iter = 1.5;
+  s.addr_mul_per_iter = 0.3;
+  s.condreg_per_iter = 0.3;
+  s.streams = 4;
+  s.stream_footprint_bytes = 48 * 1024;  // plane working set: cache-resident
+  s.stride_bytes = 8;
+  s.seed = 0xB7;
+  s.warmup_iters = 1024;
+  s.measure_iters = 8192;
+  KernelDesc k = power2::make_mix_kernel(s);
+  // One streaming input keeps a realistic residual miss rate; its 2 MB
+  // footprint sits at the TLB-reach boundary, so TLB misses stay rare —
+  // the hallmark of BT's rearranged loop nests.
+  if (k.streams.size() > 1) {
+    k.streams[1].footprint_bytes = 2ull << 20;
+    k.streams[1].stride_bytes = 8;
+  }
+  return k;
+}
+
+KernelDesc sequential_sweep() {
+  // Table 4's reference pattern: one long stride-8 walk with no reuse.
+  // real*8 data on 256-byte lines -> a miss every 32 elements; 4 kB pages
+  // -> a TLB miss every 512 elements.
+  KernelBuilder b("sequential_sweep");
+  const auto x = b.stream(64ull << 20, 8);
+  const auto l = b.load(x);
+  b.fp_add(l, /*carried=*/1);  // running sum
+  return b.warmup(4096).measure(65536).build();
+}
+
+KernelDesc mdo_ensemble(std::uint64_t variant) {
+  // Optimization sweeps: many independent configuration evaluations, so
+  // high ILP and good locality; fma-dominant arithmetic.
+  MixKernelSpec s;
+  s.name = "mdo_ensemble_v" + std::to_string(variant);
+  s.fp_inst = 20;
+  s.fma_frac = 0.62;
+  s.mul_frac = 0.15;
+  s.dep_prob = 0.58;
+  s.carried_prob = 0.06;
+  s.mem_per_fp = 1.0;
+  s.store_frac = 0.25;
+  s.quad_frac = 0.35;
+  s.alu_per_iter = 1.0;
+  s.condreg_per_iter = 0.3;
+  s.streams = 4;
+  s.stream_footprint_bytes = 192 * 1024;
+  s.stride_bytes = 8;
+  s.seed = 0x3D0 + variant;
+  s.warmup_iters = 1024;
+  s.measure_iters = 8192;
+  return power2::make_mix_kernel(s);
+}
+
+KernelDesc strided_transpose() {
+  // Column-major walk of a large row-major array: every access a new line,
+  // most accesses a new page — the high-TLB-miss pathology of section 5.
+  KernelBuilder b("strided_transpose");
+  const auto src = b.stream(32ull << 20, 4096 + 8);
+  const auto dst = b.stream(8ull << 20, 8);
+  const auto l = b.load(src);
+  b.store(dst);
+  b.fp_add(l);
+  b.alu();
+  return b.warmup(2048).measure(16384).build();
+}
+
+KernelDesc io_heavy(std::uint64_t variant) {
+  // Pre/post-processing codes: light arithmetic over streaming buffers.
+  MixKernelSpec s;
+  s.name = "io_heavy_v" + std::to_string(variant);
+  s.fp_inst = 6;
+  s.fma_frac = 0.10;
+  s.mul_frac = 0.25;
+  s.dep_prob = 0.5;
+  s.mem_per_fp = 2.5;
+  s.store_frac = 0.45;
+  s.quad_frac = 0.05;
+  s.alu_per_iter = 4.0;
+  s.condreg_per_iter = 1.0;
+  s.streams = 3;
+  s.stream_footprint_bytes = 16ull << 20;
+  s.stride_bytes = 8;
+  s.seed = 0x10 + variant;
+  s.warmup_iters = 512;
+  s.measure_iters = 4096;
+  return power2::make_mix_kernel(s);
+}
+
+}  // namespace p2sim::workload

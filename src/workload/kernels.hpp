@@ -1,0 +1,54 @@
+// The kernel library: concrete loop nests standing in for the NAS codes.
+//
+// The paper characterizes its workload by counter statistics, not source;
+// each factory here produces a kernel whose *signature* reproduces one of
+// the populations the paper names:
+//   * blocked_matmul      — the 240 Mflops single-processor calibration peak
+//                           (section 5): fully blocked, in-cache, unrolled,
+//                           flops/memref ~ 3.
+//   * naive_matmul        — the same computation without blocking: streams
+//                           from memory, the ablation baseline.
+//   * cfd_multiblock      — the bulk of the workload: multi-block implicit
+//                           solvers with ~0.5-0.7 flops/memref, ~50% of
+//                           flops from fma, ~1% cache and ~0.1% TLB miss
+//                           ratios (Tables 3 and 4).
+//   * npb_bt_like         — NPB BT after its loop-nest rearrangement: high
+//                           cache reuse, very low TLB miss ratio, ~44
+//                           Mflops/CPU (Table 4).
+//   * sequential_sweep    — the no-reuse reference pattern of Table 4:
+//                           one long stride-8 walk; misses every line
+//                           (32 real*8 elements) and pages every 512.
+//   * mdo_ensemble        — multidisciplinary-optimization sweeps:
+//                           independent evaluations, high ILP, fma-rich
+//                           (the ">= 80% fma" better-performing codes).
+//   * strided_transpose   — large-stride access generating high TLB miss
+//                           rates (the pathology section 5 warns about).
+//   * io_heavy            — low arithmetic intensity, used with heavy disk
+//                           profiles.
+// Variants are seeded so the job generator can draw a *population* of
+// CFD codes rather than one canonical kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "src/power2/kernel_desc.hpp"
+#include "src/power2/mix_kernel.hpp"
+
+namespace p2sim::workload {
+
+power2::KernelDesc blocked_matmul();
+power2::KernelDesc naive_matmul();
+
+/// `variant` seeds the per-code perturbation; `quality` in [0,1] skews the
+/// draw toward better register reuse and more fma (the paper's spread of
+/// batch-job performance: Figure 4 shows 16-node jobs from ~50 to ~900
+/// job-Mflops).
+power2::KernelDesc cfd_multiblock(std::uint64_t variant, double quality);
+
+power2::KernelDesc npb_bt_like();
+power2::KernelDesc sequential_sweep();
+power2::KernelDesc mdo_ensemble(std::uint64_t variant);
+power2::KernelDesc strided_transpose();
+power2::KernelDesc io_heavy(std::uint64_t variant);
+
+}  // namespace p2sim::workload

@@ -1,0 +1,219 @@
+#include "src/workload/npb.hpp"
+
+#include <stdexcept>
+
+#include "src/power2/mix_kernel.hpp"
+#include "src/workload/kernels.hpp"
+
+namespace p2sim::workload {
+
+using power2::KernelDesc;
+using power2::MixKernelSpec;
+
+const std::vector<NpbBenchmark>& npb_suite() {
+  static const std::vector<NpbBenchmark> suite = {
+      NpbBenchmark::kBT, NpbBenchmark::kSP, NpbBenchmark::kLU,
+      NpbBenchmark::kMG, NpbBenchmark::kFT, NpbBenchmark::kCG,
+      NpbBenchmark::kEP};
+  return suite;
+}
+
+std::string_view npb_name(NpbBenchmark b) {
+  switch (b) {
+    case NpbBenchmark::kBT: return "BT";
+    case NpbBenchmark::kSP: return "SP";
+    case NpbBenchmark::kLU: return "LU";
+    case NpbBenchmark::kMG: return "MG";
+    case NpbBenchmark::kFT: return "FT";
+    case NpbBenchmark::kCG: return "CG";
+    case NpbBenchmark::kEP: return "EP";
+  }
+  return "?";
+}
+
+std::string_view npb_description(NpbBenchmark b) {
+  switch (b) {
+    case NpbBenchmark::kBT: return "block tridiagonal solver (5x5 blocks)";
+    case NpbBenchmark::kSP: return "scalar pentadiagonal solver";
+    case NpbBenchmark::kLU: return "SSOR lower-upper solver (wavefront)";
+    case NpbBenchmark::kMG: return "multigrid V-cycle Poisson solver";
+    case NpbBenchmark::kFT: return "3-D FFT spectral solver";
+    case NpbBenchmark::kCG: return "sparse conjugate gradient";
+    case NpbBenchmark::kEP: return "embarrassingly parallel Gaussian pairs";
+  }
+  return "?";
+}
+
+KernelDesc npb_kernel(NpbBenchmark b) {
+  switch (b) {
+    case NpbBenchmark::kBT:
+      // The Table 4 reference code.
+      return npb_bt_like();
+
+    case NpbBenchmark::kSP: {
+      // Scalar pentadiagonal: the same data structures as BT but scalar
+      // (not block) solves — less unrolling headroom, longer chains.
+      MixKernelSpec s;
+      s.name = "npb_sp";
+      s.fp_inst = 20;
+      s.fma_frac = 0.45;
+      s.mul_frac = 0.20;
+      s.div_frac = 0.02;
+      s.dep_prob = 0.52;
+      s.carried_prob = 0.10;
+      s.mem_per_fp = 0.70;
+      s.store_frac = 0.30;
+      s.quad_frac = 0.22;
+      s.alu_per_iter = 2.0;
+      s.addr_mul_per_iter = 0.5;
+      s.condreg_per_iter = 0.5;
+      s.streams = 4;
+      s.stream_footprint_bytes = 56 * 1024;
+      s.seed = 0x5B;
+      s.warmup_iters = 1024;
+      s.measure_iters = 8192;
+      KernelDesc k = power2::make_mix_kernel(s);
+      if (k.streams.size() > 1) k.streams[1].footprint_bytes = 3ull << 20;
+      return k;
+    }
+
+    case NpbBenchmark::kLU: {
+      // SSOR: wavefront sweeps carry true dependences between grid points.
+      MixKernelSpec s;
+      s.name = "npb_lu";
+      s.fp_inst = 18;
+      s.fma_frac = 0.40;
+      s.mul_frac = 0.22;
+      s.div_frac = 0.02;
+      s.dep_prob = 0.72;       // the wavefront recurrence
+      s.carried_prob = 0.30;
+      s.mem_per_fp = 0.75;
+      s.store_frac = 0.30;
+      s.quad_frac = 0.15;
+      s.alu_per_iter = 2.0;
+      s.addr_mul_per_iter = 0.6;
+      s.condreg_per_iter = 0.6;
+      s.streams = 4;
+      s.stream_footprint_bytes = 64 * 1024;
+      s.seed = 0x17;
+      s.warmup_iters = 1024;
+      s.measure_iters = 8192;
+      KernelDesc k = power2::make_mix_kernel(s);
+      if (k.streams.size() > 1) k.streams[1].footprint_bytes = 4ull << 20;
+      return k;
+    }
+
+    case NpbBenchmark::kMG: {
+      // Multigrid: stride doubles per level; bandwidth-bound with little
+      // arithmetic per point.
+      MixKernelSpec s;
+      s.name = "npb_mg";
+      s.fp_inst = 8;
+      s.fma_frac = 0.45;
+      s.mul_frac = 0.15;
+      s.dep_prob = 0.30;
+      s.mem_per_fp = 1.9;
+      s.store_frac = 0.30;
+      s.quad_frac = 0.25;
+      s.alu_per_iter = 2.0;
+      s.addr_mul_per_iter = 0.8;
+      s.condreg_per_iter = 0.5;
+      s.streams = 5;
+      s.stream_footprint_bytes = 8ull << 20;  // whole-grid sweeps
+      s.stride_bytes = 8;
+      s.seed = 0x36;
+      s.warmup_iters = 2048;
+      s.measure_iters = 8192;
+      KernelDesc k = power2::make_mix_kernel(s);
+      // Coarse-level sweeps stride across the fine grid.
+      if (k.streams.size() > 2) {
+        k.streams[1].stride_bytes = 16;
+        k.streams[2].stride_bytes = 64;
+      }
+      return k;
+    }
+
+    case NpbBenchmark::kFT: {
+      // FFT: butterfly arithmetic is mul/add-rich (no fma chains) and the
+      // 3-D transposes walk page-scale strides.
+      MixKernelSpec s;
+      s.name = "npb_ft";
+      s.fp_inst = 16;
+      s.fma_frac = 0.15;
+      s.mul_frac = 0.45;
+      s.dep_prob = 0.35;
+      s.mem_per_fp = 1.0;
+      s.store_frac = 0.40;
+      s.quad_frac = 0.20;
+      s.alu_per_iter = 2.0;
+      s.addr_mul_per_iter = 1.2;  // index bit-reversal arithmetic
+      s.condreg_per_iter = 0.4;
+      s.streams = 4;
+      s.stream_footprint_bytes = 16ull << 20;
+      s.seed = 0xF7;
+      s.warmup_iters = 2048;
+      s.measure_iters = 8192;
+      KernelDesc k = power2::make_mix_kernel(s);
+      // The transpose stream: a new cache line every access, a new page
+      // every fourth (the blocked transposes of NPB 2.x soften the worst
+      // case somewhat).
+      if (!k.streams.empty()) k.streams[0].stride_bytes = 1040;
+      return k;
+    }
+
+    case NpbBenchmark::kCG: {
+      // Sparse matvec: indirect gathers defeat both cache and registers.
+      MixKernelSpec s;
+      s.name = "npb_cg";
+      s.fp_inst = 6;
+      s.fma_frac = 0.50;  // a*x[k] accumulations
+      s.mul_frac = 0.10;
+      s.dep_prob = 0.55;
+      s.carried_prob = 0.40;  // the dot-product recurrence
+      s.load_dep_prob = 0.9;  // every flop feeds off a gather
+      s.mem_per_fp = 2.4;     // index load + value load per multiply
+      s.store_frac = 0.10;
+      s.quad_frac = 0.0;      // gathers cannot use quad loads
+      s.alu_per_iter = 3.0;
+      s.addr_mul_per_iter = 1.0;
+      s.condreg_per_iter = 0.6;
+      s.streams = 3;
+      s.stream_footprint_bytes = 24ull << 20;
+      s.seed = 0xC6;
+      s.warmup_iters = 2048;
+      s.measure_iters = 8192;
+      KernelDesc k = power2::make_mix_kernel(s);
+      // The gather stream: a fresh line roughly every other access (row
+      // bandwidth gives partial locality), pages churning constantly.
+      if (!k.streams.empty()) k.streams[0].stride_bytes = 136;
+      return k;
+    }
+
+    case NpbBenchmark::kEP: {
+      // EP: pseudo-random pair generation; pure arithmetic with sqrt/log
+      // (modelled as sqrt + divide multicycle traffic), almost no memory.
+      MixKernelSpec s;
+      s.name = "npb_ep";
+      s.fp_inst = 24;
+      s.fma_frac = 0.30;
+      s.mul_frac = 0.35;
+      s.div_frac = 0.04;
+      s.sqrt_frac = 0.04;
+      s.dep_prob = 0.30;
+      s.mem_per_fp = 0.10;
+      s.store_frac = 0.20;
+      s.quad_frac = 0.0;
+      s.alu_per_iter = 3.0;
+      s.condreg_per_iter = 1.0;
+      s.streams = 1;
+      s.stream_footprint_bytes = 16 * 1024;
+      s.seed = 0xE9;
+      s.warmup_iters = 512;
+      s.measure_iters = 8192;
+      return power2::make_mix_kernel(s);
+    }
+  }
+  throw std::invalid_argument("unknown NPB benchmark");
+}
+
+}  // namespace p2sim::workload

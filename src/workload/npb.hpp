@@ -1,0 +1,38 @@
+// NAS Parallel Benchmark kernel models.
+//
+// The paper's Table 4 uses NPB BT (after Saphir/Woo/Yarrow's NPB 2.1
+// report) as its tuned-code reference.  This module models the counter
+// behaviour of the full NPB kernel set on the POWER2, so the suite can be
+// "run" under the simulated monitor the way NAS ran it:
+//   BT - block-tridiagonal solver: high reuse, fma-rich (the Table 4 column)
+//   SP - scalar pentadiagonal: like BT with less unrolling headroom
+//   LU - SSOR wavefront: dependence-chained, modest ILP
+//   MG - multigrid V-cycles: bandwidth-bound, stride mixes across levels
+//   FT - 3-D FFT: transpose phases with page-scale strides (TLB-heavy)
+//   CG - sparse conjugate gradient: irregular gathers, cache-hostile
+//   EP - embarrassingly parallel: compute-dense, tiny working set,
+//        sqrt/log-heavy (multicycle FPU traffic)
+// Relative behaviour (who reuses, who strides, who chains) follows the
+// well-documented character of each benchmark; absolute rates come out of
+// the core model.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/power2/kernel_desc.hpp"
+
+namespace p2sim::workload {
+
+enum class NpbBenchmark { kBT, kSP, kLU, kMG, kFT, kCG, kEP };
+
+/// All benchmarks, in customary suite order.
+const std::vector<NpbBenchmark>& npb_suite();
+
+std::string_view npb_name(NpbBenchmark b);
+std::string_view npb_description(NpbBenchmark b);
+
+/// The kernel model for one benchmark.
+power2::KernelDesc npb_kernel(NpbBenchmark b);
+
+}  // namespace p2sim::workload

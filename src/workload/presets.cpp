@@ -1,0 +1,46 @@
+#include "src/workload/presets.hpp"
+
+namespace p2sim::workload {
+
+DriverConfig paper_campaign() { return DriverConfig{}; }
+
+DriverConfig dedicated_benchmark_week() {
+  DriverConfig cfg;
+  cfg.days = 7;
+  cfg.jobs_per_day = 60.0;
+  cfg.weekend_factor = 1.0;       // benchmarkers do not take weekends
+  cfg.slump_prob_per_day = 0.0;
+  cfg.demand_walk_noise = 0.05;
+  cfg.jobgen.interactive_prob = 0.0;
+  cfg.jobgen.dev_session_prob = 0.0;
+  cfg.jobgen.narrow_paging_prob = 0.0;
+  cfg.jobgen.wide_paging_prob = 0.0;
+  cfg.jobgen.paging_episode_start_prob = 0.0;
+  // Tuned codes only: BT-class solvers and high-quality CFD.
+  cfg.jobgen.family_weights = {0.35, 0.25, 0.40, 0.0, 0.0, 0.0};
+  cfg.jobgen.quality_mean = 0.75;
+  cfg.jobgen.quality_sigma = 0.10;
+  cfg.jobgen.runtime_median_s = 1.0 * 3600.0;
+  cfg.jobgen.runtime_sigma = 0.5;
+  return cfg;
+}
+
+DriverConfig paging_storm_fortnight() {
+  DriverConfig cfg;
+  cfg.days = 14;
+  cfg.jobs_per_day = 36.0;
+  cfg.jobgen.narrow_paging_prob = 0.35;
+  cfg.jobgen.wide_paging_prob = 0.9;
+  cfg.jobgen.paging_episode_start_prob = 0.5;
+  cfg.jobgen.paging_episode_narrow_prob = 0.6;
+  cfg.jobgen.paging_demand_max = 2.6;
+  return cfg;
+}
+
+DriverConfig instrumented_campaign() {
+  DriverConfig cfg;
+  cfg.node.monitor.selection = hpm::CounterSelection::kWaitStates;
+  return cfg;
+}
+
+}  // namespace p2sim::workload

@@ -1,0 +1,30 @@
+// Campaign presets: named driver configurations for common studies.
+//
+// The default DriverConfig reproduces the paper's nine-month campaign;
+// these presets reshape it into the other situations the paper mentions
+// or that a site operator would want to rehearse.
+#pragma once
+
+#include "src/workload/driver.hpp"
+
+namespace p2sim::workload {
+
+/// The paper's campaign verbatim: 144 nodes, 270 days, the NAS counter
+/// selection with the divide bug.
+DriverConfig paper_campaign();
+
+/// A dedicated benchmarking week: no interactive or development sessions,
+/// no paging (benchmarkers size their problems), high-quality tuned codes
+/// only, heavy sustained demand.  This is the regime of the NPB 2.1
+/// report — expect per-node rates far above the production workload.
+DriverConfig dedicated_benchmark_week();
+
+/// A paging storm: a fortnight where memory-oversubscribed jobs dominate —
+/// the Figure 5 pathology amplified for study.
+DriverConfig paging_storm_fortnight();
+
+/// The paper's campaign rerun with the recommended wait-state counter
+/// selection (see hpm::CounterSelection::kWaitStates).
+DriverConfig instrumented_campaign();
+
+}  // namespace p2sim::workload

@@ -1,0 +1,90 @@
+#include "src/workload/stencil.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p2sim::workload {
+
+using power2::KernelBuilder;
+using power2::KernelDesc;
+using power2::kNoDep;
+
+KernelDesc make_stencil_kernel(const StencilSpec& spec) {
+  if (spec.nx < 3 || spec.ny < 3 || spec.nz < 3) {
+    throw std::invalid_argument("stencil grid must be at least 3^3");
+  }
+  if (spec.arm < 1 || spec.variables < 1 || spec.elem_bytes <= 0) {
+    throw std::invalid_argument("stencil spec degenerate");
+  }
+
+  const std::uint64_t points = static_cast<std::uint64_t>(spec.nx) *
+                               static_cast<std::uint64_t>(spec.ny) *
+                               static_cast<std::uint64_t>(spec.nz);
+  const std::uint64_t field_bytes =
+      points * static_cast<std::uint64_t>(spec.elem_bytes);
+  KernelBuilder b("stencil_" + std::to_string(spec.nx) + "x" +
+                  std::to_string(spec.ny) + "x" + std::to_string(spec.nz) +
+                  "_v" + std::to_string(spec.variables) +
+                  (spec.register_reuse ? "_tuned" : ""));
+
+  // Streams: in a k-j-i sweep *every* stencil leg advances unit-stride —
+  // the j and k neighbours are just row- and plane-offset views of the
+  // same field.  What distinguishes them is the alignment: each offset
+  // walks its own sequence of cache lines and pages, so they are modelled
+  // as separate unit-stride streams over the field footprint.  (The row
+  // and plane strides matter to a j- or k-inner sweep; see
+  // strided_transpose for that pathology.)  Output is a fourth walk.
+  const auto centre = b.stream(field_bytes, spec.elem_bytes);
+  const auto j_legs = b.stream(field_bytes, spec.elem_bytes);
+  const auto k_legs = b.stream(field_bytes, spec.elem_bytes);
+  const auto output = b.stream(field_bytes, spec.elem_bytes);
+
+  for (int v = 0; v < spec.variables; ++v) {
+    // Centre point: load once; tuned code keeps it in a register across
+    // the variable group (one load for all variables).
+    std::int16_t acc = kNoDep;
+    if (v == 0 || !spec.register_reuse) {
+      const auto lc = b.load(centre);
+      acc = b.fp_mul(lc);  // coefficient * centre
+    } else {
+      acc = b.fp_mul();    // centre already register-resident
+    }
+
+    for (int a = 0; a < spec.arm; ++a) {
+      // i-direction neighbours ride the unit-stride stream.
+      const auto li_m = b.load(centre);
+      acc = b.fma(li_m == kNoDep ? acc : acc);
+      const auto li_p = b.load(centre);
+      (void)li_p;
+      acc = b.fma(acc);
+      // j-direction: row stride.
+      b.load(j_legs);
+      acc = b.fma(acc);
+      b.load(j_legs);
+      acc = b.fma(acc);
+      // k-direction: plane stride (the TLB-relevant legs on big grids).
+      b.load(k_legs);
+      acc = b.fma(acc);
+      b.load(k_legs);
+      acc = b.fma(acc);
+    }
+    b.store(output);
+  }
+
+  // Loop overhead: index arithmetic for the three-dimensional sweep and
+  // the end-of-row/plane tests.
+  b.alu();
+  b.alu();
+  b.addr_mul();
+  b.cond_reg();
+
+  return b.warmup(spec.warmup_iters).measure(spec.measure_iters).build();
+}
+
+KernelDesc archetype_block_sweep(bool register_reuse) {
+  StencilSpec spec;
+  spec.register_reuse = register_reuse;
+  return make_stencil_kernel(spec);
+}
+
+}  // namespace p2sim::workload

@@ -1,0 +1,54 @@
+// Structured stencil-kernel generation.
+//
+// Section 4's archetype: "The flowfield surrounding a complete aircraft is
+// partitioned into blocks, 3-dimensional volumes ... a typical grid size
+// might be a cube with 50 grid points on a side with 25 variables per grid
+// point."  This module turns that *geometric* description — grid shape,
+// stencil footprint, variables per point — into a KernelDesc whose memory
+// streams and instruction mix follow from the geometry rather than from
+// tuned statistical fractions:
+//   * one load stream per stencil leg per variable group, with the strides
+//     a k-j-i sweep implies (unit, row, and plane strides);
+//   * one fma per off-centre leg per updated variable (coefficient *
+//     neighbour, accumulated), one multiply for the centre point;
+//   * stores of the updated variables;
+//   * index/loop overhead on the FXUs and ICU.
+// The resulting counters land where real structured-grid codes land: plane
+// strides generate the TLB pressure of large grids, row strides the cache
+// behaviour, and the accumulation chains the dependence-limited ILP.
+#pragma once
+
+#include <cstdint>
+
+#include "src/power2/kernel_desc.hpp"
+
+namespace p2sim::workload {
+
+struct StencilSpec {
+  /// Grid dimensions (points per side of the block).
+  int nx = 50;
+  int ny = 50;
+  int nz = 50;
+  /// Stencil points per axis arm: 1 = 7-point star in 3-D.
+  int arm = 1;
+  /// Solution variables updated per grid point (paper: 25 per point; a
+  /// kernel typically sweeps a handful per pass).
+  int variables = 4;
+  /// Bytes per value (real*8).
+  int elem_bytes = 8;
+  /// Registers available for reuse: when true, the centre value and
+  /// coefficients stay register-resident (tuned code); when false they
+  /// reload every point (the paper's untuned majority).
+  bool register_reuse = false;
+  std::uint64_t warmup_iters = 1024;
+  std::uint64_t measure_iters = 8192;
+};
+
+/// Builds the inner-loop kernel of one stencil sweep over the block.
+/// Throws std::invalid_argument for degenerate geometry.
+power2::KernelDesc make_stencil_kernel(const StencilSpec& spec);
+
+/// Convenience: the paper's "50^3 cube" archetype.
+power2::KernelDesc archetype_block_sweep(bool register_reuse = false);
+
+}  // namespace p2sim::workload

@@ -1,0 +1,138 @@
+#include "src/analysis/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::analysis {
+namespace {
+
+std::vector<DayStats> trending_days(double slope) {
+  std::vector<DayStats> days(20);
+  for (int i = 0; i < 20; ++i) {
+    DayStats& d = days[static_cast<std::size_t>(i)];
+    d.day = i;
+    d.gflops = 1.0 + slope * i;
+    d.utilization = 0.6;
+    d.per_node.mflops_all = d.gflops * 1000.0 / 144.0;
+    d.per_node.system_user_fxu_ratio = 0.1;
+  }
+  return days;
+}
+
+pbs::JobRecord job(std::int64_t id, int nodes, double start, double wall,
+                   double adds) {
+  pbs::JobRecord r;
+  r.spec.job_id = id;
+  r.spec.nodes_requested = nodes;
+  r.start_time_s = start;
+  r.end_time_s = start + wall;
+  r.report.nodes = nodes;
+  r.report.elapsed_s = wall;
+  r.report.delta.user[hpm::index_of(hpm::HpmCounter::kFpAdd0)] =
+      static_cast<std::uint64_t>(adds);
+  return r;
+}
+
+TEST(Fig1, SeriesAndSummaries) {
+  const Fig1Series f = make_fig1(trending_days(0.0), 5);
+  ASSERT_EQ(f.day.size(), 20u);
+  ASSERT_EQ(f.gflops_moving_avg.size(), 20u);
+  EXPECT_NEAR(f.mean_gflops, 1.0, 1e-12);
+  EXPECT_NEAR(f.mean_utilization, 0.6, 1e-12);
+  EXPECT_NEAR(f.trend_slope, 0.0, 1e-12);
+}
+
+TEST(Fig1, DetectsTrends) {
+  EXPECT_NEAR(make_fig1(trending_days(0.05)).trend_slope, 0.05, 1e-9);
+  EXPECT_NEAR(make_fig1(trending_days(-0.02)).trend_slope, -0.02, 1e-9);
+}
+
+TEST(Fig1, MovingAverageSmooths) {
+  auto days = trending_days(0.0);
+  days[10].gflops = 10.0;  // spike
+  const Fig1Series f = make_fig1(days, 5);
+  EXPECT_LT(f.gflops_moving_avg[10], 5.0);
+  EXPECT_NEAR(f.max_daily_gflops, 10.0, 1e-12);
+}
+
+TEST(Fig2, BinsWalltimeByNodes) {
+  pbs::JobDatabase db;
+  db.add(job(1, 16, 0, 4000, 1e9));
+  db.add(job(2, 16, 0, 5000, 1e9));
+  db.add(job(3, 32, 0, 3000, 1e9));
+  db.add(job(4, 8, 0, 100, 1e9));  // filtered: < 600 s
+  const Fig2Series f = make_fig2(db);
+  ASSERT_EQ(f.bins.size(), 2u);
+  EXPECT_EQ(f.bins[0].nodes, 16);
+  EXPECT_DOUBLE_EQ(f.bins[0].total_walltime_s, 9000.0);
+  EXPECT_EQ(f.bins[0].jobs, 2);
+  EXPECT_EQ(f.most_popular_nodes, 16);
+  EXPECT_DOUBLE_EQ(f.walltime_beyond_64_fraction, 0.0);
+}
+
+TEST(Fig2, WideWalltimeFraction) {
+  pbs::JobDatabase db;
+  db.add(job(1, 16, 0, 3000, 1e9));
+  db.add(job(2, 128, 0, 1000, 1e9));
+  const Fig2Series f = make_fig2(db);
+  EXPECT_DOUBLE_EQ(f.walltime_beyond_64_fraction, 0.25);
+}
+
+TEST(Fig3, PerBinStatsAndCollapse) {
+  pbs::JobDatabase db;
+  // 16-node jobs at 20 Mflops/node; 128-node jobs at 5 Mflops/node
+  // (adds = Mflops * 1e6 * walltime * nodes).
+  db.add(job(1, 16, 0, 1000, 16 * 20e6 * 1000.0));
+  db.add(job(2, 16, 0, 1000, 16 * 20e6 * 1000.0));
+  db.add(job(3, 128, 0, 1000, 128 * 5e6 * 1000.0));
+  const Fig3Series f = make_fig3(db);
+  ASSERT_EQ(f.bins.size(), 2u);
+  EXPECT_NEAR(f.bins[0].mean_mflops_per_node, 20.0, 0.01);
+  EXPECT_NEAR(f.mean_upto_64, 20.0, 0.01);
+  EXPECT_NEAR(f.mean_beyond_64, 5.0, 0.01);
+}
+
+TEST(Fig4, HistoryInStartOrderWithStats) {
+  pbs::JobDatabase db;
+  db.add(job(1, 16, 9000, 1000, 300e6 * 1000.0));  // started later
+  db.add(job(2, 16, 1000, 1000, 100e6 * 1000.0));
+  db.add(job(3, 32, 2000, 1000, 100e6 * 1000.0));  // different node count
+  const Fig4Series f = make_fig4(db, 16, 2);
+  ASSERT_EQ(f.job_mflops.size(), 2u);
+  EXPECT_NEAR(f.job_mflops[0], 100.0, 0.01);  // job 2 first (earlier start)
+  EXPECT_NEAR(f.job_mflops[1], 300.0, 0.01);
+  EXPECT_NEAR(f.mean, 200.0, 0.01);
+  EXPECT_GT(f.stddev, 0.0);
+}
+
+TEST(Fig4, EmptyNodeClassIsSafe) {
+  pbs::JobDatabase db;
+  const Fig4Series f = make_fig4(db, 16);
+  EXPECT_TRUE(f.job_mflops.empty());
+  EXPECT_EQ(f.mean, 0.0);
+}
+
+TEST(Fig5, NegativeCorrelationDetected) {
+  std::vector<DayStats> days(10);
+  for (int i = 0; i < 10; ++i) {
+    DayStats& d = days[static_cast<std::size_t>(i)];
+    d.utilization = 0.6;
+    d.per_node.system_user_fxu_ratio = 0.1 * i;
+    d.per_node.mflops_all = 20.0 - 1.5 * i;  // higher ratio, lower perf
+  }
+  const Fig5Series f = make_fig5(days);
+  ASSERT_EQ(f.mflops_per_node.size(), 10u);
+  EXPECT_NEAR(f.correlation, -1.0, 1e-9);
+}
+
+TEST(Fig5, IdleDaysExcluded) {
+  std::vector<DayStats> days(4);
+  for (int i = 0; i < 4; ++i) {
+    days[static_cast<std::size_t>(i)].utilization = (i < 2) ? 0.05 : 0.6;
+    days[static_cast<std::size_t>(i)].per_node.mflops_all = 10.0;
+  }
+  const Fig5Series f = make_fig5(days, 0.15);
+  EXPECT_EQ(f.mflops_per_node.size(), 2u);
+}
+
+}  // namespace
+}  // namespace p2sim::analysis

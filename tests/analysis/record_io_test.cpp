@@ -1,0 +1,177 @@
+#include "src/analysis/record_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/analysis/daily.hpp"
+#include "src/analysis/figures.hpp"
+#include "src/workload/driver.hpp"
+
+namespace p2sim::analysis {
+namespace {
+
+rs2hpm::IntervalRecord make_interval(std::int64_t i) {
+  rs2hpm::IntervalRecord rec;
+  rec.interval = i;
+  rec.nodes_sampled = 144;
+  rec.busy_nodes = static_cast<int>(i % 145);
+  rec.quad_surplus = 1000 + static_cast<std::uint64_t>(i);
+  for (std::size_t c = 0; c < hpm::kNumCounters; ++c) {
+    rec.delta.user[c] = static_cast<std::uint64_t>(i) * 100 + c;
+    rec.delta.system[c] = static_cast<std::uint64_t>(i) * 7 + c;
+  }
+  return rec;
+}
+
+pbs::JobRecord make_job(std::int64_t id) {
+  pbs::JobRecord r;
+  r.spec.job_id = id;
+  r.spec.nodes_requested = 16;
+  r.spec.submit_time_s = 100.0 * static_cast<double>(id);
+  r.start_time_s = r.spec.submit_time_s + 50.0;
+  r.end_time_s = r.start_time_s + 1234.5;
+  r.report.job_id = id;
+  r.report.nodes = 16;
+  r.report.elapsed_s = 1234.5;
+  r.report.quad_surplus = 77;
+  for (std::size_t c = 0; c < hpm::kNumCounters; ++c) {
+    r.report.delta.user[c] = static_cast<std::uint64_t>(id) * 11 + c;
+  }
+  return r;
+}
+
+TEST(RecordIo, IntervalRoundTrip) {
+  std::vector<rs2hpm::IntervalRecord> in;
+  for (std::int64_t i = 0; i < 20; ++i) in.push_back(make_interval(i));
+  std::stringstream ss;
+  save_intervals(ss, in);
+  const auto out = load_intervals(ss);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].interval, in[i].interval);
+    EXPECT_EQ(out[i].nodes_sampled, in[i].nodes_sampled);
+    EXPECT_EQ(out[i].busy_nodes, in[i].busy_nodes);
+    EXPECT_EQ(out[i].quad_surplus, in[i].quad_surplus);
+    EXPECT_EQ(out[i].delta, in[i].delta);
+  }
+}
+
+TEST(RecordIo, EmptyIntervalListRoundTrips) {
+  std::stringstream ss;
+  save_intervals(ss, {});
+  EXPECT_TRUE(load_intervals(ss).empty());
+}
+
+TEST(RecordIo, JobRoundTrip) {
+  pbs::JobDatabase db;
+  for (std::int64_t i = 1; i <= 10; ++i) db.add(make_job(i));
+  std::stringstream ss;
+  save_jobs(ss, db);
+  const pbs::JobDatabase out = load_jobs(ss);
+  ASSERT_EQ(out.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(out.all()[i].spec.job_id, db.all()[i].spec.job_id);
+    EXPECT_DOUBLE_EQ(out.all()[i].start_time_s, db.all()[i].start_time_s);
+    EXPECT_DOUBLE_EQ(out.all()[i].walltime_s(), db.all()[i].walltime_s());
+    EXPECT_EQ(out.all()[i].report.delta, db.all()[i].report.delta);
+    EXPECT_EQ(out.all()[i].report.quad_surplus,
+              db.all()[i].report.quad_surplus);
+  }
+}
+
+TEST(RecordIo, DerivedAnalysisSurvivesRoundTrip) {
+  pbs::JobDatabase db;
+  db.add(make_job(1));
+  std::stringstream ss;
+  save_jobs(ss, db);
+  const pbs::JobDatabase out = load_jobs(ss);
+  EXPECT_NEAR(out.all()[0].mflops_per_node(),
+              db.all()[0].mflops_per_node(), 1e-12);
+}
+
+TEST(RecordIo, RejectsEmptyInput) {
+  std::stringstream ss;
+  EXPECT_THROW(load_intervals(ss), std::runtime_error);
+}
+
+TEST(RecordIo, RejectsWrongHeader) {
+  std::stringstream ss("p2sim-jobs v1 22\n");
+  EXPECT_THROW(load_intervals(ss), std::runtime_error);
+}
+
+TEST(RecordIo, RejectsWrongVersion) {
+  std::stringstream ss("p2sim-intervals v9 22\n");
+  EXPECT_THROW(load_intervals(ss), std::runtime_error);
+}
+
+TEST(RecordIo, RejectsCounterCountMismatch) {
+  std::stringstream ss("p2sim-intervals v1 7\n");
+  EXPECT_THROW(load_intervals(ss), std::runtime_error);
+}
+
+TEST(RecordIo, RejectsTruncatedLine) {
+  std::stringstream ss;
+  ss << "p2sim-intervals v1 " << hpm::kNumCounters << "\n";
+  ss << "I,1,144,10,0,1,2,3\n";  // far too few counter fields
+  EXPECT_THROW(load_intervals(ss), std::runtime_error);
+}
+
+TEST(RecordIo, RejectsNonNumericField) {
+  std::vector<rs2hpm::IntervalRecord> in = {make_interval(0)};
+  std::stringstream ss;
+  save_intervals(ss, in);
+  std::string text = ss.str();
+  const auto pos = text.find("I,0,");
+  text.replace(pos + 2, 1, "x");
+  std::stringstream bad(text);
+  EXPECT_THROW(load_intervals(bad), std::runtime_error);
+}
+
+TEST(RecordIo, CollectOnceAnalyzeManyOnARealCampaign) {
+  // The full pipeline the real deployment used: run the campaign, store
+  // the daemon and epilogue files, reload them later, and get the same
+  // analysis out.
+  workload::DriverConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.days = 3;
+  cfg.jobs_per_day = 6.0;
+  cfg.jobgen.node_choices = {1, 2, 4};
+  cfg.jobgen.node_weights = {4, 3, 6};
+  cfg.sched.drain_threshold_nodes = 4;
+  const auto campaign = workload::run_campaign(cfg);
+
+  std::stringstream intervals, jobs;
+  save_intervals(intervals, campaign.intervals);
+  save_jobs(jobs, campaign.jobs);
+
+  workload::CampaignResult reloaded;
+  reloaded.num_nodes = campaign.num_nodes;
+  reloaded.days = campaign.days;
+  reloaded.intervals = load_intervals(intervals);
+  reloaded.jobs = load_jobs(jobs);
+
+  const auto a = daily_stats(campaign);
+  const auto b = daily_stats(reloaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].gflops, b[i].gflops);
+    EXPECT_DOUBLE_EQ(a[i].per_node.mips, b[i].per_node.mips);
+  }
+  const auto fa = make_fig2(campaign.jobs);
+  const auto fb = make_fig2(reloaded.jobs);
+  EXPECT_EQ(fa.most_popular_nodes, fb.most_popular_nodes);
+  EXPECT_DOUBLE_EQ(fa.walltime_beyond_64_fraction,
+                   fb.walltime_beyond_64_fraction);
+}
+
+TEST(RecordIo, SkipsBlankLines) {
+  std::vector<rs2hpm::IntervalRecord> in = {make_interval(3)};
+  std::stringstream ss;
+  save_intervals(ss, in);
+  std::stringstream padded(ss.str() + "\n\n");
+  EXPECT_EQ(load_intervals(padded).size(), 1u);
+}
+
+}  // namespace
+}  // namespace p2sim::analysis

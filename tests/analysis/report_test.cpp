@@ -1,0 +1,67 @@
+#include "src/analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/driver.hpp"
+
+namespace p2sim::analysis {
+namespace {
+
+workload::DriverConfig tiny_config() {
+  workload::DriverConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.days = 8;
+  cfg.jobs_per_day = 5.0;
+  cfg.jobgen.node_choices = {1, 2, 4, 8};
+  cfg.jobgen.node_weights = {4, 3, 6, 14};
+  cfg.sched.drain_threshold_nodes = 6;
+  return cfg;
+}
+
+TEST(Monthly, SplitsDaysIntoMonths) {
+  std::vector<DayStats> days(70);
+  for (int i = 0; i < 70; ++i) {
+    days[static_cast<std::size_t>(i)].day = i;
+    days[static_cast<std::size_t>(i)].gflops = 1.0 + (i / 30);
+    days[static_cast<std::size_t>(i)].utilization = 0.5;
+  }
+  const auto months = monthly_stats(days, 30);
+  ASSERT_EQ(months.size(), 3u);
+  EXPECT_EQ(months[0].days, 30);
+  EXPECT_EQ(months[1].days, 30);
+  EXPECT_EQ(months[2].days, 10);
+  EXPECT_NEAR(months[0].mean_gflops, 1.0, 1e-9);
+  EXPECT_NEAR(months[1].mean_gflops, 2.0, 1e-9);
+  EXPECT_NEAR(months[2].mean_gflops, 3.0, 1e-9);
+}
+
+TEST(Monthly, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(monthly_stats({}, 30).empty());
+  EXPECT_TRUE(monthly_stats(std::vector<DayStats>(5), 0).empty());
+}
+
+TEST(Report, BuildsFromACampaign) {
+  const auto campaign = workload::run_campaign(tiny_config());
+  const CampaignReport r = build_report(campaign, /*min_gflops=*/0.0);
+  EXPECT_EQ(r.num_nodes, 12);
+  EXPECT_EQ(r.days, 8);
+  EXPECT_EQ(r.fig1.day.size(), 8u);
+  EXPECT_FALSE(r.months.empty());
+  EXPECT_GT(r.total_jobs, 0u);
+  EXPECT_EQ(r.table3.rows.size(), 17u);
+}
+
+TEST(Report, FormatsEverySection) {
+  const auto campaign = workload::run_campaign(tiny_config());
+  const std::string text =
+      format_report(build_report(campaign, /*min_gflops=*/0.0));
+  for (const char* needle :
+       {"Measurement Report", "monthly summary", "Table 2", "Table 3",
+        "Table 4", "batch jobs", "system intervention", "day-level trends",
+        "heaviest users"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace p2sim::analysis

@@ -1,0 +1,107 @@
+#include "src/analysis/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::analysis {
+namespace {
+
+std::vector<DayStats> synthetic_days() {
+  // Five days; three pass a 2.0 Gflops filter with Mflops 15, 20, 25.
+  std::vector<DayStats> days(5);
+  const double mflops[] = {5.0, 15.0, 20.0, 25.0, 8.0};
+  for (int i = 0; i < 5; ++i) {
+    DayStats& d = days[static_cast<std::size_t>(i)];
+    d.day = i;
+    d.per_node.mflops_all = mflops[i];
+    d.per_node.mips = 2.0 * mflops[i];
+    d.per_node.mops = 2.1 * mflops[i];
+    d.per_node.mflops_add = 0.5 * mflops[i];
+    d.per_node.cache_miss_ratio = 0.01;
+    d.per_node.tlb_miss_ratio = 0.001;
+    d.gflops = mflops[i] * 144 / 1000.0;  // 0.72 .. 3.6
+    d.utilization = 0.5 + 0.02 * i;
+  }
+  return days;
+}
+
+TEST(Table2, FiltersAndAggregates) {
+  const Table2 t = make_table2(synthetic_days(), 2.0);
+  EXPECT_EQ(t.total_days, 5);
+  EXPECT_EQ(t.sample_days, 3);
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.rows[0].label, "Mips");
+  EXPECT_EQ(t.rows[1].label, "Mops");
+  EXPECT_EQ(t.rows[2].label, "Mflops");
+  EXPECT_NEAR(t.rows[2].avg, 20.0, 1e-9);
+  EXPECT_NEAR(t.rows[2].stddev, 5.0, 1e-9);
+  // Representative day is the median performer: day 2 (20 Mflops).
+  EXPECT_EQ(t.representative_day, 2);
+  EXPECT_NEAR(t.rows[2].day, 20.0, 1e-9);
+}
+
+TEST(Table2, EmptyFilterFallsBackToAllDays) {
+  const Table2 t = make_table2(synthetic_days(), 100.0);
+  EXPECT_FALSE(t.filtered);
+  EXPECT_EQ(t.sample_days, 5);
+  ASSERT_EQ(t.rows.size(), 3u);
+  // Mean over all five days' Mflops.
+  EXPECT_NEAR(t.rows[2].avg, (5.0 + 15 + 20 + 25 + 8) / 5.0, 1e-9);
+}
+
+TEST(Table2, FilteredFlagSetWhenSamplePasses) {
+  EXPECT_TRUE(make_table2(synthetic_days(), 2.0).filtered);
+  EXPECT_TRUE(make_table3(synthetic_days(), 2.0).filtered);
+  EXPECT_FALSE(make_table3(synthetic_days(), 100.0).filtered);
+}
+
+TEST(Table2, SampleSummaries) {
+  const Table2 t = make_table2(synthetic_days(), 2.0);
+  EXPECT_NEAR(t.sample_mean_gflops, 20.0 * 144 / 1000.0, 1e-9);
+  EXPECT_GT(t.sample_mean_utilization, 0.5);
+}
+
+TEST(Table3, HasThePaperRowsInOrder) {
+  const Table3 t = make_table3(synthetic_days(), 2.0);
+  ASSERT_EQ(t.rows.size(), 17u);
+  EXPECT_EQ(t.rows[0].label, "Mflops-All");
+  EXPECT_EQ(t.rows[0].section, "OPS");
+  EXPECT_EQ(t.rows[5].label, "Mips-Floating Point (Total)");
+  EXPECT_EQ(t.rows[5].section, "INST");
+  EXPECT_EQ(t.rows[12].section, "CACHE");
+  EXPECT_EQ(t.rows[15].section, "I/O");
+  EXPECT_NEAR(t.rows[0].avg, 20.0, 1e-9);
+  EXPECT_NEAR(t.rows[1].avg, 10.0, 1e-9);  // Mflops-add = 0.5x
+}
+
+TEST(Table4, SequentialAndBtColumnsFromKernels) {
+  const Table4 t = make_table4(synthetic_days(), power2::CoreConfig{}, 2.0);
+  EXPECT_NEAR(t.nas_workload.cache_miss_ratio, 0.01, 1e-9);
+  EXPECT_NEAR(t.nas_workload.tlb_miss_ratio, 0.001, 1e-9);
+  EXPECT_NEAR(t.nas_workload.mflops_per_cpu, 20.0, 1e-9);
+  // Table 4 shape: sequential access misses ~3x the workload.
+  EXPECT_NEAR(t.sequential.cache_miss_ratio, 1.0 / 32.0, 0.004);
+  EXPECT_NEAR(t.sequential.tlb_miss_ratio, 1.0 / 512.0, 0.0006);
+  EXPECT_EQ(t.sequential.mflops_per_cpu, 0.0);  // not reported in the paper
+  // BT: tuned loop nests -> lowest TLB ratio, higher Mflops than workload.
+  EXPECT_LT(t.npb_bt.tlb_miss_ratio, t.nas_workload.tlb_miss_ratio);
+  EXPECT_GT(t.npb_bt.mflops_per_cpu, t.nas_workload.mflops_per_cpu);
+}
+
+TEST(Formatting, TablesRenderTheirHeadings) {
+  const auto days = synthetic_days();
+  const std::string t2 = format_table2(make_table2(days, 2.0));
+  EXPECT_NE(t2.find("Table 2"), std::string::npos);
+  EXPECT_NE(t2.find("Mflops"), std::string::npos);
+  const std::string t3 = format_table3(make_table3(days, 2.0));
+  EXPECT_NE(t3.find("Table 3"), std::string::npos);
+  EXPECT_NE(t3.find("OPS"), std::string::npos);
+  EXPECT_NE(t3.find("DMA reads-MTransfer/S"), std::string::npos);
+  const std::string t4 =
+      format_table4(make_table4(days, power2::CoreConfig{}, 2.0));
+  EXPECT_NE(t4.find("Table 4"), std::string::npos);
+  EXPECT_NE(t4.find("Cache Miss Ratio"), std::string::npos);
+  EXPECT_NE(t4.find("NPB BT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2sim::analysis

@@ -1,0 +1,70 @@
+#include "src/analysis/trends.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::analysis {
+namespace {
+
+std::vector<DayStats> correlated_days(int n) {
+  // fma fraction rises with performance; TLB ratio falls; everything
+  // else constant.
+  std::vector<DayStats> days(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    DayStats& d = days[static_cast<std::size_t>(i)];
+    d.day = i;
+    d.utilization = 0.6;
+    d.per_node.mflops_all = 10.0 + i;
+    d.per_node.fma_flop_fraction = 0.3 + 0.01 * i;
+    d.per_node.tlb_miss_ratio = 0.01 - 0.0002 * i;
+    d.per_node.cache_miss_ratio = 0.01;
+  }
+  return days;
+}
+
+TEST(Trends, DetectsEngineeredCorrelations) {
+  const TrendReport t = analyze_trends(correlated_days(20));
+  EXPECT_EQ(t.days_analyzed, 20);
+  const auto* fma = t.find("fma_flop_fraction");
+  ASSERT_NE(fma, nullptr);
+  EXPECT_NEAR(fma->vs_mflops, 1.0, 1e-9);
+  const auto* tlb = t.find("tlb_miss_ratio");
+  ASSERT_NE(tlb, nullptr);
+  EXPECT_NEAR(tlb->vs_mflops, -1.0, 1e-9);
+  const auto* cache = t.find("cache_miss_ratio");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->vs_mflops, 0.0);  // constant series
+}
+
+TEST(Trends, SlopesTrackDrift) {
+  const TrendReport t = analyze_trends(correlated_days(20));
+  EXPECT_NEAR(t.find("fma_flop_fraction")->slope_per_day, 0.01, 1e-9);
+  EXPECT_NEAR(t.find("mflops_per_node")->slope_per_day, 1.0, 1e-9);
+}
+
+TEST(Trends, IdleDaysExcluded) {
+  auto days = correlated_days(20);
+  for (int i = 0; i < 5; ++i) days[static_cast<std::size_t>(i)].utilization = 0.01;
+  const TrendReport t = analyze_trends(days, 0.15);
+  EXPECT_EQ(t.days_analyzed, 15);
+}
+
+TEST(Trends, UnknownMetricIsNull) {
+  const TrendReport t = analyze_trends(correlated_days(5));
+  EXPECT_EQ(t.find("nonexistent"), nullptr);
+}
+
+TEST(Trends, FormatListsAllMetrics) {
+  const std::string out = format_trends(analyze_trends(correlated_days(5)));
+  EXPECT_NE(out.find("fma_flop_fraction"), std::string::npos);
+  EXPECT_NE(out.find("tlb_miss_ratio"), std::string::npos);
+  EXPECT_NE(out.find("corr(Mflops)"), std::string::npos);
+}
+
+TEST(Trends, EmptyInputSafe) {
+  const TrendReport t = analyze_trends({});
+  EXPECT_EQ(t.days_analyzed, 0);
+  EXPECT_FALSE(t.metrics.empty());  // metric rows exist with zero values
+}
+
+}  // namespace
+}  // namespace p2sim::analysis

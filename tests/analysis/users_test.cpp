@@ -1,0 +1,60 @@
+#include "src/analysis/users.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::analysis {
+namespace {
+
+pbs::JobRecord job(std::int64_t id, std::int32_t user, int nodes,
+                   double walltime, double mflops_per_node) {
+  pbs::JobRecord r;
+  r.spec.job_id = id;
+  r.spec.user_id = user;
+  r.spec.nodes_requested = nodes;
+  r.start_time_s = 0.0;
+  r.end_time_s = walltime;
+  r.report.nodes = nodes;
+  r.report.elapsed_s = walltime;
+  // adds = mflops/node * nodes * walltime * 1e6
+  r.report.delta.user[hpm::index_of(hpm::HpmCounter::kFpAdd0)] =
+      static_cast<std::uint64_t>(mflops_per_node * nodes * walltime * 1e6);
+  return r;
+}
+
+TEST(Users, AggregatesPerUser) {
+  pbs::JobDatabase db;
+  db.add(job(1, 7, 16, 3600.0, 20.0));
+  db.add(job(2, 7, 8, 3600.0, 10.0));
+  db.add(job(3, 9, 32, 1800.0, 30.0));
+  const auto stats = user_stats(db);
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by node-hours: user 7 has 24 node-hours, user 9 has 16.
+  EXPECT_EQ(stats[0].user_id, 7);
+  EXPECT_EQ(stats[0].jobs, 2);
+  EXPECT_NEAR(stats[0].node_hours, 24.0, 1e-9);
+  EXPECT_NEAR(stats[0].mflops_per_node, 15.0, 0.01);  // equal-time average
+  EXPECT_NEAR(stats[0].best_mflops_per_node, 20.0, 0.01);
+  EXPECT_EQ(stats[1].user_id, 9);
+  EXPECT_NEAR(stats[1].node_hours, 16.0, 1e-9);
+}
+
+TEST(Users, ShortJobsExcluded) {
+  pbs::JobDatabase db;
+  db.add(job(1, 7, 16, 100.0, 20.0));  // below the 600 s filter
+  EXPECT_TRUE(user_stats(db).empty());
+}
+
+TEST(Users, TopNShare) {
+  pbs::JobDatabase db;
+  db.add(job(1, 1, 10, 3600.0, 1.0));  // 10 node-hours
+  db.add(job(2, 2, 10, 3600.0, 1.0));
+  db.add(job(3, 3, 20, 3600.0, 1.0));  // 20 node-hours
+  const auto stats = user_stats(db);
+  EXPECT_NEAR(top_n_node_hour_share(stats, 1), 0.5, 1e-9);
+  EXPECT_NEAR(top_n_node_hour_share(stats, 3), 1.0, 1e-9);
+  EXPECT_NEAR(top_n_node_hour_share(stats, 10), 1.0, 1e-9);
+  EXPECT_EQ(top_n_node_hour_share({}, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace p2sim::analysis

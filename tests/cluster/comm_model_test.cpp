@@ -1,0 +1,77 @@
+#include "src/cluster/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::cluster {
+namespace {
+
+TEST(CommModel, SingleNodeDoesNotCommunicate) {
+  HpsSwitch sw;
+  EXPECT_EQ(comm_fraction(sw, CommShape{}, 1), 0.0);
+  EXPECT_EQ(comm_fraction(sw, CommShape{}, 0), 0.0);
+}
+
+TEST(CommModel, FractionGrowsWithNodeCount) {
+  // Fixed global problem: more nodes -> smaller blocks -> worse
+  // surface-to-volume -> larger communication share.
+  HpsSwitch sw;
+  const CommShape shape{};
+  double prev = 0.0;
+  for (int n : {2, 4, 8, 16, 32, 64, 128}) {
+    const double f = comm_fraction(sw, shape, n);
+    EXPECT_GT(f, prev) << n;
+    EXPECT_LE(f, 0.95);
+    prev = f;
+  }
+}
+
+TEST(CommModel, ReferenceDecompositionIsModerate) {
+  // The paper's typical code (50^3 block per node, 25 variables) should
+  // sit in the moderate-communication regime at 16 nodes.
+  HpsSwitch sw;
+  const double f = comm_fraction(sw, CommShape{}, 16);
+  EXPECT_GT(f, 0.05);
+  EXPECT_LT(f, 0.6);
+}
+
+TEST(CommModel, AsynchronousOverlapHelps) {
+  HpsSwitch sw;
+  CommShape sync{};
+  sync.synchronous = true;
+  CommShape async = sync;
+  async.synchronous = false;
+  EXPECT_LT(comm_fraction(sw, async, 32), comm_fraction(sw, sync, 32));
+}
+
+TEST(CommModel, FasterSwitchShrinksTheShare) {
+  HpsSwitch slow;
+  HpsSwitch fast(SwitchConfig{.latency_s = 5e-6,
+                              .bandwidth_bytes_per_s = 300e6});
+  EXPECT_LT(comm_fraction(fast, CommShape{}, 32),
+            comm_fraction(slow, CommShape{}, 32));
+}
+
+TEST(CommModel, LatencyDominatesSmallMessages) {
+  // With tiny per-message payloads, halving bandwidth changes little but
+  // doubling latency hurts.
+  CommShape tiny{};
+  tiny.bytes_per_surface_point = 1.0;
+  HpsSwitch base;
+  HpsSwitch half_bw(SwitchConfig{.latency_s = 45e-6,
+                                 .bandwidth_bytes_per_s = 17e6});
+  HpsSwitch double_lat(SwitchConfig{.latency_s = 90e-6,
+                                    .bandwidth_bytes_per_s = 34e6});
+  const double f_base = comm_fraction(base, tiny, 64);
+  EXPECT_NEAR(comm_fraction(half_bw, tiny, 64), f_base, 0.02);
+  EXPECT_GT(comm_fraction(double_lat, tiny, 64), f_base * 1.3);
+}
+
+TEST(CommModel, ClampedAtNinetyFivePercent) {
+  CommShape brutal{};
+  brutal.compute_s_per_point = 1e-12;
+  HpsSwitch sw;
+  EXPECT_LE(comm_fraction(sw, brutal, 128), 0.95);
+}
+
+}  // namespace
+}  // namespace p2sim::cluster

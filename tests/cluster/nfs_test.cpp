@@ -1,0 +1,41 @@
+#include "src/cluster/nfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::cluster {
+namespace {
+
+TEST(Nfs, DefaultsMatchPaperTopology) {
+  NfsModel nfs;
+  EXPECT_EQ(nfs.config().num_filesystems, 3);   // "3 home filesystems"
+  EXPECT_DOUBLE_EQ(nfs.config().capacity_gb_each, 8.0);  // "of 8 GB each"
+}
+
+TEST(Nfs, GrantsFullRateBelowCapacity) {
+  NfsModel nfs;
+  const double req = nfs.config().server_bandwidth_bytes_per_s / 2;
+  EXPECT_DOUBLE_EQ(nfs.grant(req), req);
+  EXPECT_DOUBLE_EQ(nfs.grant_fraction(req), 1.0);
+}
+
+TEST(Nfs, ThrottlesAboveCapacity) {
+  NfsModel nfs;
+  const double cap = nfs.config().server_bandwidth_bytes_per_s;
+  EXPECT_DOUBLE_EQ(nfs.grant(4 * cap), cap);
+  EXPECT_DOUBLE_EQ(nfs.grant_fraction(4 * cap), 0.25);
+}
+
+TEST(Nfs, ZeroRequestFullyGranted) {
+  NfsModel nfs;
+  EXPECT_DOUBLE_EQ(nfs.grant_fraction(0.0), 1.0);
+}
+
+TEST(Nfs, AccountsTraffic) {
+  NfsModel nfs;
+  nfs.account(1e6);
+  nfs.account(2e6);
+  EXPECT_DOUBLE_EQ(nfs.total_bytes(), 3e6);
+}
+
+}  // namespace
+}  // namespace p2sim::cluster

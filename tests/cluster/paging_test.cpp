@@ -1,0 +1,67 @@
+#include "src/cluster/paging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::cluster {
+namespace {
+
+TEST(Paging, WithinMemoryNoFaults) {
+  PagingModel m;
+  for (double mb : {8.0, 64.0, 127.9, 128.0}) {
+    const PagingState s = m.evaluate(mb);
+    EXPECT_EQ(s.fault_rate, 0.0) << mb;
+    EXPECT_EQ(s.user_slowdown, 1.0) << mb;
+  }
+}
+
+TEST(Paging, OversubscriptionComputed) {
+  PagingModel m;
+  EXPECT_NEAR(m.evaluate(192.0).oversubscription, 1.5, 1e-12);
+  EXPECT_NEAR(m.evaluate(64.0).oversubscription, 0.5, 1e-12);
+}
+
+TEST(Paging, FaultRateGrowsWithDemand) {
+  PagingModel m;
+  const double r1 = m.evaluate(140.0).fault_rate;
+  const double r2 = m.evaluate(180.0).fault_rate;
+  const double r3 = m.evaluate(250.0).fault_rate;
+  EXPECT_GT(r1, 0.0);
+  EXPECT_GT(r2, r1);
+  EXPECT_GT(r3, r2);
+}
+
+TEST(Paging, SlowdownMonotoneAndBounded) {
+  PagingModel m;
+  double prev = 1.0;
+  for (double mb = 130.0; mb <= 320.0; mb += 10.0) {
+    const PagingState s = m.evaluate(mb);
+    EXPECT_LE(s.user_slowdown, prev + 1e-12);
+    EXPECT_GE(s.user_slowdown, 0.02);
+    prev = s.user_slowdown;
+  }
+  // Deep thrash: user work nearly stops — the mechanism behind system-mode
+  // instruction counts exceeding user mode (section 6).
+  EXPECT_LT(m.evaluate(300.0).user_slowdown, 0.3);
+}
+
+TEST(Paging, MildOvercommitIsSurvivable) {
+  PagingModel m;
+  const PagingState s = m.evaluate(135.0);  // ~5% over
+  EXPECT_GT(s.user_slowdown, 0.95);
+}
+
+TEST(Paging, CustomCapacity) {
+  PagingModel m(PagingConfig{.node_memory_mb = 256.0});
+  EXPECT_EQ(m.evaluate(200.0).fault_rate, 0.0);
+  EXPECT_GT(m.evaluate(400.0).fault_rate, 0.0);
+}
+
+TEST(Paging, ZeroCapacityIsInert) {
+  PagingModel m(PagingConfig{.node_memory_mb = 0.0});
+  const PagingState s = m.evaluate(100.0);
+  EXPECT_EQ(s.fault_rate, 0.0);
+  EXPECT_EQ(s.user_slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace p2sim::cluster

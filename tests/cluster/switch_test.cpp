@@ -1,0 +1,56 @@
+#include "src/cluster/switch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::cluster {
+namespace {
+
+TEST(Switch, DefaultsMatchPaper) {
+  HpsSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.config().latency_s, 45e-6);   // "approximately 45 us"
+  EXPECT_DOUBLE_EQ(sw.config().bandwidth_bytes_per_s, 34e6);  // "34 Mbyte/s"
+}
+
+TEST(Switch, ZeroByteMessageCostsLatency) {
+  HpsSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.message_time(0.0), 45e-6);
+}
+
+TEST(Switch, LargeMessageIsBandwidthBound) {
+  HpsSwitch sw;
+  const double t = sw.message_time(34e6);  // one second of payload
+  EXPECT_NEAR(t, 1.0 + 45e-6, 1e-9);
+}
+
+TEST(Switch, ExchangeSerializesPerNodeMessages) {
+  HpsSwitch sw;
+  const double one = sw.message_time(1000.0);
+  EXPECT_DOUBLE_EQ(sw.exchange_time(6, 1000.0), 6 * one);
+  EXPECT_DOUBLE_EQ(sw.exchange_time(0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(sw.exchange_time(-3, 1000.0), 0.0);
+}
+
+TEST(Switch, AggregateBandwidthScalesLinearly) {
+  // "The available communication bandwidth over this switch scales
+  // linearly with the number of processors."
+  HpsSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.aggregate_bandwidth(144), 144 * 34e6);
+  EXPECT_DOUBLE_EQ(sw.aggregate_bandwidth(1), 34e6);
+  EXPECT_DOUBLE_EQ(sw.aggregate_bandwidth(0), 0.0);
+  EXPECT_DOUBLE_EQ(sw.aggregate_bandwidth(-2), 0.0);
+}
+
+TEST(Switch, AccountsTraffic) {
+  HpsSwitch sw;
+  sw.account(100.0);
+  sw.account(50.0);
+  EXPECT_DOUBLE_EQ(sw.total_bytes(), 150.0);
+}
+
+TEST(Switch, CustomConfig) {
+  HpsSwitch sw(SwitchConfig{.latency_s = 1e-6, .bandwidth_bytes_per_s = 1e9});
+  EXPECT_NEAR(sw.message_time(1e9), 1.0 + 1e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace p2sim::cluster

@@ -1,0 +1,98 @@
+// End-to-end tests for the wait-state counter selection: the experiment
+// the paper's conclusions propose, run on a scaled campaign.
+#include <gtest/gtest.h>
+
+#include "src/analysis/daily.hpp"
+#include "src/util/stats.hpp"
+#include "src/workload/driver.hpp"
+
+namespace p2sim::core {
+namespace {
+
+workload::DriverConfig wait_config() {
+  workload::DriverConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.days = 30;
+  cfg.jobs_per_day = 42.0 * 24 / 144.0;
+  cfg.jobgen.node_choices = {1, 2, 4, 8, 16};
+  cfg.jobgen.node_weights = {4, 3, 6, 14, 22};
+  cfg.sched.drain_threshold_nodes = 12;
+  cfg.node.monitor.selection = hpm::CounterSelection::kWaitStates;
+  return cfg;
+}
+
+class WaitStates : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new workload::CampaignResult(
+        workload::run_campaign(wait_config()));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static workload::CampaignResult* result_;
+};
+
+workload::CampaignResult* WaitStates::result_ = nullptr;
+
+TEST_F(WaitStates, CampaignRecordsItsSelection) {
+  EXPECT_EQ(result_->selection, hpm::CounterSelection::kWaitStates);
+}
+
+TEST_F(WaitStates, WaitFractionsAreVisibleAndSane) {
+  const auto days = analysis::daily_stats(*result_);
+  bool any = false;
+  for (const auto& d : days) {
+    EXPECT_GE(d.per_node.comm_wait_fraction, 0.0);
+    EXPECT_LE(d.per_node.comm_wait_fraction, 1.0);
+    EXPECT_GE(d.per_node.io_wait_fraction, 0.0);
+    EXPECT_LE(d.per_node.io_wait_fraction, 1.0);
+    if (d.per_node.comm_wait_fraction > 0.01) any = true;
+  }
+  EXPECT_TRUE(any) << "no day showed communication wait";
+}
+
+TEST_F(WaitStates, DivideRowsStayZero) {
+  // The slots carry wait cycles; divide rates must not leak through.
+  const auto days = analysis::daily_stats(*result_);
+  for (const auto& d : days) {
+    EXPECT_EQ(d.per_node.mflops_div, 0.0);
+  }
+}
+
+TEST_F(WaitStates, OtherCountersUnaffectedBySelection) {
+  // The same campaign under the NAS selection produces identical
+  // non-divide counters (the selection only changes two slots).
+  workload::DriverConfig nas = wait_config();
+  nas.node.monitor.selection = hpm::CounterSelection::kNasDefault;
+  const auto nas_result = workload::run_campaign(nas);
+  ASSERT_EQ(nas_result.intervals.size(), result_->intervals.size());
+  using hpm::HpmCounter;
+  for (std::size_t i = 0; i < result_->intervals.size(); ++i) {
+    const auto& a = result_->intervals[i].delta;
+    const auto& b = nas_result.intervals[i].delta;
+    EXPECT_EQ(a.user_at(HpmCounter::kUserCycles),
+              b.user_at(HpmCounter::kUserCycles));
+    EXPECT_EQ(a.user_at(HpmCounter::kFpAdd0), b.user_at(HpmCounter::kFpAdd0));
+    EXPECT_EQ(a.user_at(HpmCounter::kUserFxu0),
+              b.user_at(HpmCounter::kUserFxu0));
+  }
+}
+
+TEST_F(WaitStates, TotalWaitAnticorrelatesWithPerformance) {
+  // The causal correlation the NAS selection could not draw.
+  const auto days = analysis::daily_stats(*result_);
+  std::vector<double> mflops, wait;
+  for (const auto& d : days) {
+    if (d.utilization < 0.15) continue;
+    mflops.push_back(d.per_node.mflops_all / std::max(d.utilization, 1e-9));
+    wait.push_back(d.per_node.comm_wait_fraction +
+                   d.per_node.io_wait_fraction);
+  }
+  ASSERT_GT(mflops.size(), 5u);
+  EXPECT_LT(util::pearson(wait, mflops), 0.1);
+}
+
+}  // namespace
+}  // namespace p2sim::core

@@ -1,0 +1,174 @@
+#include "src/hpm/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hpm/events.hpp"
+
+namespace p2sim::hpm {
+namespace {
+
+TEST(CounterTable, HasTwentyTwoEntriesInTableOrder) {
+  const auto& t = counter_table();
+  ASSERT_EQ(t.size(), kNumCounters);
+  ASSERT_EQ(kNumCounters, 22u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(index_of(t[i].id), i);
+  }
+}
+
+TEST(CounterTable, SlotsFollowHardwareLayout) {
+  // 5 counters per unit group: FXU, FPU0, FPU1, ICU(2), SCU(5).
+  EXPECT_EQ(counter_info(HpmCounter::kUserFxu0).slot, "FXU[0]");
+  EXPECT_EQ(counter_info(HpmCounter::kUserCycles).slot, "FXU[4]");
+  EXPECT_EQ(counter_info(HpmCounter::kFpMulAdd0).slot, "FPU0[4]");
+  EXPECT_EQ(counter_info(HpmCounter::kFpMulAdd1).slot, "FPU1[4]");
+  EXPECT_EQ(counter_info(HpmCounter::kUserIcu0).slot, "ICU[0]");
+  EXPECT_EQ(counter_info(HpmCounter::kDmaWrite).slot, "SCU[4]");
+}
+
+TEST(CounterTable, LabelsMatchPaperNames) {
+  EXPECT_EQ(counter_info(HpmCounter::kUserFxu0).label, "user.fxu0");
+  EXPECT_EQ(counter_info(HpmCounter::kUserDcacheMiss).label,
+            "user.dcache_mis");
+  EXPECT_EQ(counter_info(HpmCounter::kFpMulAdd1).label, "fpop.fp_muladd");
+  EXPECT_EQ(counter_info(HpmCounter::kDcacheStore).label,
+            "user.dcache_store");
+}
+
+TEST(CounterBank, StartsAtZeroAndAccumulates) {
+  CounterBank b;
+  EXPECT_EQ(b.read(HpmCounter::kUserCycles), 0u);
+  b.add(HpmCounter::kUserCycles, 100);
+  b.add(HpmCounter::kUserCycles, 23);
+  EXPECT_EQ(b.read(HpmCounter::kUserCycles), 123u);
+}
+
+TEST(CounterBank, WrapsAt32Bits) {
+  CounterBank b;
+  b.add(HpmCounter::kUserCycles, 0xFFFFFFFFull);
+  b.add(HpmCounter::kUserCycles, 3);
+  EXPECT_EQ(b.read(HpmCounter::kUserCycles), 2u);
+}
+
+TEST(CounterBank, LargeAdditionWrapsModulo) {
+  CounterBank b;
+  b.add(HpmCounter::kUserCycles, (1ull << 32) * 5 + 7);
+  EXPECT_EQ(b.read(HpmCounter::kUserCycles), 7u);
+}
+
+TEST(CounterBank, ClearResets) {
+  CounterBank b;
+  b.add(HpmCounter::kDmaRead, 5);
+  b.clear();
+  EXPECT_EQ(b.read(HpmCounter::kDmaRead), 0u);
+}
+
+power2::EventCounts sample_events() {
+  power2::EventCounts ev;
+  ev.cycles = 1000;
+  ev.fxu0_inst = 10;
+  ev.fxu1_inst = 20;
+  ev.dcache_miss = 3;
+  ev.tlb_miss = 1;
+  ev.fpu0_inst = 7;
+  ev.fpu1_inst = 5;
+  ev.fp_add0 = 4;
+  ev.fp_add1 = 2;
+  ev.fp_mul0 = 1;
+  ev.fp_mul1 = 1;
+  ev.fp_div0 = 6;
+  ev.fp_div1 = 2;
+  ev.fp_fma0 = 3;
+  ev.fp_fma1 = 1;
+  ev.icu_type1 = 9;
+  ev.icu_type2 = 4;
+  ev.icache_reload = 2;
+  ev.dcache_reload = 3;
+  ev.dcache_store = 1;
+  ev.dma_read = 11;
+  ev.dma_write = 13;
+  return ev;
+}
+
+TEST(Monitor, MapsEventsOntoCounters) {
+  PerformanceMonitor mon;
+  mon.accumulate(sample_events(), PrivilegeMode::kUser);
+  const CounterBank& b = mon.bank(PrivilegeMode::kUser);
+  EXPECT_EQ(b.read(HpmCounter::kUserFxu0), 10u);
+  EXPECT_EQ(b.read(HpmCounter::kUserFxu1), 20u);
+  EXPECT_EQ(b.read(HpmCounter::kUserDcacheMiss), 3u);
+  EXPECT_EQ(b.read(HpmCounter::kUserTlbMiss), 1u);
+  EXPECT_EQ(b.read(HpmCounter::kUserCycles), 1000u);
+  EXPECT_EQ(b.read(HpmCounter::kUserFpu0), 7u);
+  EXPECT_EQ(b.read(HpmCounter::kFpAdd0), 4u);
+  EXPECT_EQ(b.read(HpmCounter::kFpMulAdd1), 1u);
+  EXPECT_EQ(b.read(HpmCounter::kUserIcu0), 9u);
+  EXPECT_EQ(b.read(HpmCounter::kIcacheReload), 2u);
+  EXPECT_EQ(b.read(HpmCounter::kDcacheReload), 3u);
+  EXPECT_EQ(b.read(HpmCounter::kDcacheStore), 1u);
+  EXPECT_EQ(b.read(HpmCounter::kDmaRead), 11u);
+  EXPECT_EQ(b.read(HpmCounter::kDmaWrite), 13u);
+}
+
+TEST(Monitor, DivideBugSuppressesDivideCounters) {
+  // The NAS campaign's monitor bug: Table 3 reports Mflops-div = 0.0.
+  PerformanceMonitor mon;  // bug on by default
+  mon.accumulate(sample_events(), PrivilegeMode::kUser);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kFpDiv0), 0u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kFpDiv1), 0u);
+  // Instruction counts are unaffected by the bug.
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kUserFpu0), 7u);
+}
+
+TEST(Monitor, FixedMonitorReportsDivides) {
+  PerformanceMonitor mon(MonitorConfig{.divide_counter_bug = false});
+  mon.accumulate(sample_events(), PrivilegeMode::kUser);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kFpDiv0), 6u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kFpDiv1), 2u);
+}
+
+TEST(Monitor, ModesAccumulateSeparately) {
+  PerformanceMonitor mon;
+  mon.accumulate(sample_events(), PrivilegeMode::kUser);
+  power2::EventCounts sys;
+  sys.fxu0_inst = 1000;
+  mon.accumulate(sys, PrivilegeMode::kSystem);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kUserFxu0), 10u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kSystem).read(HpmCounter::kUserFxu0),
+            1000u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kSystem).read(HpmCounter::kUserCycles),
+            0u);
+}
+
+TEST(Monitor, ClearZeroesBothBanks) {
+  PerformanceMonitor mon;
+  mon.accumulate(sample_events(), PrivilegeMode::kUser);
+  mon.accumulate(sample_events(), PrivilegeMode::kSystem);
+  mon.clear();
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(HpmCounter::kUserCycles), 0u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kSystem).read(HpmCounter::kUserCycles),
+            0u);
+}
+
+TEST(EventCounts, DerivedTotalsAndFlopAccounting) {
+  const power2::EventCounts ev = sample_events();
+  EXPECT_EQ(ev.fxu_inst(), 30u);
+  EXPECT_EQ(ev.fpu_inst(), 12u);
+  EXPECT_EQ(ev.icu_inst(), 13u);
+  EXPECT_EQ(ev.instructions(), 55u);
+  // flops = adds(6) + muls(2) + divs(8) + fmas(4).
+  EXPECT_EQ(ev.flops(), 20u);
+}
+
+TEST(EventCounts, AdditionIsFieldwise) {
+  power2::EventCounts a = sample_events();
+  const power2::EventCounts b = sample_events();
+  a += b;
+  EXPECT_EQ(a.cycles, 2000u);
+  EXPECT_EQ(a.fp_fma0, 6u);
+  const power2::EventCounts c = sample_events() + sample_events();
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace p2sim::hpm

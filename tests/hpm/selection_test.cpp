@@ -1,0 +1,73 @@
+// Tests for the counter-selection mechanism: the NAS default vs the
+// wait-state selection the paper's conclusions recommend.
+#include <gtest/gtest.h>
+
+#include "src/hpm/monitor.hpp"
+#include "src/rs2hpm/derived.hpp"
+
+namespace p2sim::hpm {
+namespace {
+
+power2::EventCounts events_with_waits() {
+  power2::EventCounts ev;
+  ev.cycles = 66'700'000;  // one second
+  ev.fp_div0 = 123;
+  ev.fp_div1 = 456;
+  ev.comm_wait_cycles = 13'340'000;  // 20% of the second
+  ev.io_wait_cycles = 6'670'000;     // 10%
+  ev.fxu0_inst = 1'000'000;
+  ev.fxu1_inst = 1'000'000;
+  return ev;
+}
+
+TEST(Selection, NasDefaultIgnoresWaitStates) {
+  PerformanceMonitor mon;  // NAS default, bug on
+  mon.accumulate(events_with_waits(), PrivilegeMode::kUser);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(kCommWaitSlot), 0u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(kIoWaitSlot), 0u);
+}
+
+TEST(Selection, WaitStatesRededicateTheDivideSlots) {
+  PerformanceMonitor mon(
+      MonitorConfig{.selection = CounterSelection::kWaitStates});
+  mon.accumulate(events_with_waits(), PrivilegeMode::kUser);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(kCommWaitSlot), 13'340'000u);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(kIoWaitSlot), 6'670'000u);
+}
+
+TEST(Selection, WaitStatesOverrideTheDivideFix) {
+  // Even a "fixed" monitor cannot count divides under kWaitStates: the
+  // slots are physically rededicated.
+  PerformanceMonitor mon(MonitorConfig{
+      .divide_counter_bug = false,
+      .selection = CounterSelection::kWaitStates});
+  mon.accumulate(events_with_waits(), PrivilegeMode::kUser);
+  EXPECT_EQ(mon.bank(PrivilegeMode::kUser).read(kCommWaitSlot), 13'340'000u);
+}
+
+TEST(Selection, DeriveRatesReadsWaitFractions) {
+  PerformanceMonitor mon(
+      MonitorConfig{.selection = CounterSelection::kWaitStates});
+  mon.accumulate(events_with_waits(), PrivilegeMode::kUser);
+  rs2hpm::ModeTotals t;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    t.user[i] = mon.bank(PrivilegeMode::kUser).raw()[i];
+  }
+  const auto r =
+      rs2hpm::derive_rates(t, 1.0, 0, CounterSelection::kWaitStates);
+  EXPECT_NEAR(r.comm_wait_fraction, 0.20, 1e-9);
+  EXPECT_NEAR(r.io_wait_fraction, 0.10, 1e-9);
+  // Divide rates must read zero: the slots hold wait cycles, not divides.
+  EXPECT_EQ(r.mflops_div, 0.0);
+}
+
+TEST(Selection, NasDeriveLeavesWaitFractionsZero) {
+  rs2hpm::ModeTotals t;
+  t.user[index_of(kCommWaitSlot)] = 1'000'000;
+  const auto r = rs2hpm::derive_rates(t, 1.0);
+  EXPECT_EQ(r.comm_wait_fraction, 0.0);
+  EXPECT_EQ(r.io_wait_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace p2sim::hpm

@@ -1,0 +1,80 @@
+#include "src/pbs/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::pbs {
+namespace {
+
+using rs2hpm::ModeTotals;
+
+JobRecord record(std::int64_t id, int nodes, double start, double walltime,
+                 double total_adds) {
+  JobRecord r;
+  r.spec.job_id = id;
+  r.spec.nodes_requested = nodes;
+  r.start_time_s = start;
+  r.end_time_s = start + walltime;
+  r.report.job_id = id;
+  r.report.nodes = nodes;
+  r.report.elapsed_s = walltime;
+  r.report.delta.user[hpm::index_of(hpm::HpmCounter::kFpAdd0)] =
+      static_cast<std::uint64_t>(total_adds);
+  return r;
+}
+
+TEST(JobDatabase, StartsEmpty) {
+  JobDatabase db;
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_TRUE(db.analyzed().empty());
+  EXPECT_EQ(db.time_weighted_mflops_per_node(), 0.0);
+}
+
+TEST(JobDatabase, SixHundredSecondFilter) {
+  JobDatabase db;
+  db.add(record(1, 4, 0.0, 599.0, 1e6));   // excluded: too short
+  db.add(record(2, 4, 0.0, 600.0, 1e6));   // excluded: boundary (strictly >)
+  db.add(record(3, 4, 0.0, 601.0, 1e6));   // included
+  const auto a = db.analyzed();
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0]->spec.job_id, 3);
+}
+
+TEST(JobDatabase, ByNodesFiltersAndSortsByStart) {
+  JobDatabase db;
+  db.add(record(1, 16, 5000.0, 1000.0, 1e6));
+  db.add(record(2, 32, 0.0, 1000.0, 1e6));
+  db.add(record(3, 16, 1000.0, 1000.0, 1e6));
+  const auto a = db.by_nodes(16);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0]->spec.job_id, 3);  // earlier start first
+  EXPECT_EQ(a[1]->spec.job_id, 1);
+}
+
+TEST(JobDatabase, WalltimeAndMflops) {
+  JobDatabase db;
+  // 2e9 adds over 1000 s on 2 nodes = 2000 Mflop / 1000 s = 2 job-Mflops.
+  db.add(record(1, 2, 0.0, 1000.0, 2e9));
+  const JobRecord& r = db.all()[0];
+  EXPECT_DOUBLE_EQ(r.walltime_s(), 1000.0);
+  EXPECT_NEAR(r.job_mflops(), 2.0, 1e-9);
+  EXPECT_NEAR(r.mflops_per_node(), 1.0, 1e-9);
+}
+
+TEST(JobDatabase, TimeWeightedAverageWeightsLongJobs) {
+  JobDatabase db;
+  // Job A: 1 Mflops/node for 1000 s; Job B: 4 Mflops/node for 3000 s.
+  db.add(record(1, 1, 0.0, 1000.0, 1e9));     // 1e9/1e6/1000 = 1 Mflops
+  db.add(record(2, 1, 0.0, 3000.0, 12e9));    // 12e9/1e6/3000 = 4 Mflops
+  EXPECT_NEAR(db.time_weighted_mflops_per_node(),
+              (1.0 * 1000 + 4.0 * 3000) / 4000.0, 1e-9);
+}
+
+TEST(JobDatabase, CustomThreshold) {
+  JobDatabase db;
+  db.add(record(1, 4, 0.0, 100.0, 1e6));
+  EXPECT_EQ(db.analyzed(50.0).size(), 1u);
+  EXPECT_TRUE(db.analyzed(100.0).empty());
+}
+
+}  // namespace
+}  // namespace p2sim::pbs

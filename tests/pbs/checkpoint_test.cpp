@@ -1,0 +1,112 @@
+// Tests for the checkpointing counterfactual scheduler mode.
+#include <gtest/gtest.h>
+
+#include "src/pbs/scheduler.hpp"
+
+namespace p2sim::pbs {
+namespace {
+
+JobSpec job(std::int64_t id, int nodes, double submit = 0.0) {
+  JobSpec s;
+  s.job_id = id;
+  s.nodes_requested = nodes;
+  s.submit_time_s = submit;
+  s.runtime_s = 3600.0;
+  return s;
+}
+
+SchedulerConfig ckpt_config() {
+  SchedulerConfig cfg;
+  cfg.total_nodes = 144;
+  cfg.drain_threshold_nodes = 64;
+  cfg.wide_wait_patience_s = 1000.0;
+  cfg.checkpoint_for_wide = true;
+  return cfg;
+}
+
+TEST(Checkpoint, PreemptsYoungestNarrowJobsForWideJob) {
+  Scheduler s(ckpt_config());
+  s.submit(job(1, 60));
+  s.submit(job(2, 60));
+  s.schedule(0.0);  // both running; 24 free
+  s.submit(job(3, 100, 0.0));
+
+  // Patience not yet exhausted: nothing happens.
+  EXPECT_TRUE(s.schedule(500.0).empty());
+  EXPECT_TRUE(s.take_preempted().empty());
+
+  // Patience exhausted.  The wide job needs 100 nodes; 24 are free, so
+  // preempting job 2 (60 nodes) leaves 84 — still short — and job 1 is
+  // checkpointed as well, youngest first.
+  const auto started = s.schedule(1500.0);
+  const auto preempted = s.take_preempted();
+  ASSERT_EQ(preempted.size(), 2u);
+  EXPECT_EQ(preempted[0], 2);  // youngest first
+  EXPECT_EQ(preempted[1], 1);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 3);
+  EXPECT_EQ(s.running_jobs(), 1u);  // only the wide job
+}
+
+TEST(Checkpoint, StopsPreemptingOnceTheWideJobFits) {
+  Scheduler s(ckpt_config());
+  s.submit(job(1, 60));
+  s.submit(job(2, 60));
+  s.schedule(0.0);  // 24 free
+  s.submit(job(3, 80, 0.0));  // 24 + 60 = 84 >= 80: one preemption suffices
+  const auto started = s.schedule(1500.0);
+  const auto preempted = s.take_preempted();
+  ASSERT_EQ(preempted.size(), 1u);
+  EXPECT_EQ(preempted[0], 2);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 3);
+  EXPECT_EQ(s.running_jobs(), 2u);  // job 1 + wide job 3
+}
+
+TEST(Checkpoint, PreemptsOnlyAsManyAsNeeded) {
+  Scheduler s(ckpt_config());
+  s.submit(job(1, 40));
+  s.submit(job(2, 40));
+  s.submit(job(3, 40));
+  s.schedule(0.0);  // 24 free
+  s.submit(job(4, 100, 0.0));
+  s.schedule(2000.0);
+  // 100 needed, 24 free: preempting two 40-node jobs suffices.
+  EXPECT_EQ(s.take_preempted().size(), 2u);
+}
+
+TEST(Checkpoint, NeverPreemptsWideJobs) {
+  Scheduler s(ckpt_config());
+  s.submit(job(1, 120));
+  s.schedule(0.0);  // one wide job holds the machine
+  s.submit(job(2, 100, 0.0));
+  const auto started = s.schedule(2000.0);
+  EXPECT_TRUE(started.empty());
+  EXPECT_TRUE(s.take_preempted().empty());
+  EXPECT_EQ(s.running_jobs(), 1u);
+}
+
+TEST(Checkpoint, DisabledModeNeverPreempts) {
+  SchedulerConfig cfg = ckpt_config();
+  cfg.checkpoint_for_wide = false;
+  Scheduler s(cfg);
+  s.submit(job(1, 100));
+  s.schedule(0.0);
+  s.submit(job(2, 128, 0.0));
+  s.schedule(5000.0);
+  EXPECT_TRUE(s.take_preempted().empty());
+  EXPECT_TRUE(s.draining());
+}
+
+TEST(Checkpoint, TakePreemptedClearsTheList) {
+  Scheduler s(ckpt_config());
+  s.submit(job(1, 60));
+  s.schedule(0.0);
+  s.submit(job(2, 128, 0.0));
+  s.schedule(2000.0);
+  EXPECT_FALSE(s.take_preempted().empty());
+  EXPECT_TRUE(s.take_preempted().empty());
+}
+
+}  // namespace
+}  // namespace p2sim::pbs

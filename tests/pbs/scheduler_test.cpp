@@ -1,0 +1,166 @@
+#include "src/pbs/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p2sim::pbs {
+namespace {
+
+JobSpec job(std::int64_t id, int nodes, double submit = 0.0) {
+  JobSpec s;
+  s.job_id = id;
+  s.nodes_requested = nodes;
+  s.submit_time_s = submit;
+  s.runtime_s = 3600.0;
+  return s;
+}
+
+TEST(Scheduler, ConfigValidation) {
+  EXPECT_THROW(Scheduler(SchedulerConfig{.total_nodes = 0}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, RejectsOutOfRangeRequests) {
+  Scheduler s(SchedulerConfig{.total_nodes = 16});
+  EXPECT_THROW(s.submit(job(1, 0)), std::invalid_argument);
+  EXPECT_THROW(s.submit(job(2, 17)), std::invalid_argument);
+  EXPECT_NO_THROW(s.submit(job(3, 16)));
+}
+
+TEST(Scheduler, StartsJobsThatFit) {
+  Scheduler s(SchedulerConfig{.total_nodes = 16});
+  s.submit(job(1, 8));
+  s.submit(job(2, 8));
+  s.submit(job(3, 8));
+  const auto started = s.schedule(0.0);
+  ASSERT_EQ(started.size(), 2u);
+  EXPECT_EQ(s.free_nodes(), 0);
+  EXPECT_EQ(s.busy_nodes(), 16);
+  EXPECT_EQ(s.queued_jobs(), 1u);
+  EXPECT_EQ(s.running_jobs(), 2u);
+}
+
+TEST(Scheduler, NodesAreDedicatedAndDisjoint) {
+  Scheduler s(SchedulerConfig{.total_nodes = 12});
+  s.submit(job(1, 5));
+  s.submit(job(2, 7));
+  const auto started = s.schedule(0.0);
+  ASSERT_EQ(started.size(), 2u);
+  std::set<int> all;
+  for (const auto& ev : started) {
+    EXPECT_EQ(static_cast<int>(ev.nodes.size()), ev.spec.nodes_requested);
+    for (int n : ev.nodes) {
+      EXPECT_TRUE(all.insert(n).second) << "node " << n << " double-booked";
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 12);
+    }
+  }
+}
+
+TEST(Scheduler, BackfillSkipsBlockedHead) {
+  Scheduler s(SchedulerConfig{.total_nodes = 16});
+  s.submit(job(1, 12));
+  const auto first = s.schedule(0.0);
+  ASSERT_EQ(first.size(), 1u);
+  s.submit(job(2, 8));  // cannot fit (4 free)
+  s.submit(job(3, 4));  // fits: should backfill past job 2
+  const auto started = s.schedule(1.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 3);
+  EXPECT_EQ(s.queued_jobs(), 1u);
+}
+
+TEST(Scheduler, ReleaseFreesNodes) {
+  Scheduler s(SchedulerConfig{.total_nodes = 8});
+  s.submit(job(1, 8));
+  s.schedule(0.0);
+  EXPECT_EQ(s.free_nodes(), 0);
+  s.release(1);
+  EXPECT_EQ(s.free_nodes(), 8);
+  EXPECT_EQ(s.running_jobs(), 0u);
+}
+
+TEST(Scheduler, ReleaseUnknownJobThrows) {
+  Scheduler s(SchedulerConfig{.total_nodes = 8});
+  EXPECT_THROW(s.release(99), std::invalid_argument);
+}
+
+TEST(Scheduler, NodesOfRunningJob) {
+  Scheduler s(SchedulerConfig{.total_nodes = 8});
+  s.submit(job(1, 3));
+  s.schedule(0.0);
+  EXPECT_EQ(s.nodes_of(1).size(), 3u);
+  EXPECT_TRUE(s.nodes_of(2).empty());
+}
+
+TEST(Scheduler, WideJobWaitsThenTriggersDrain) {
+  SchedulerConfig cfg;
+  cfg.total_nodes = 144;
+  cfg.drain_threshold_nodes = 64;
+  cfg.wide_wait_patience_s = 1000.0;
+  Scheduler s(cfg);
+
+  // Fill most of the machine with narrow work.
+  s.submit(job(1, 100));
+  s.schedule(0.0);
+  // A 128-node job arrives; 44 nodes free.
+  s.submit(job(2, 128, /*submit=*/0.0));
+  s.submit(job(3, 30));
+
+  // Before patience expires, backfill continues.
+  auto started = s.schedule(500.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 3);
+  EXPECT_FALSE(s.draining());
+
+  // After patience, the machine drains: narrow jobs stop starting.
+  s.submit(job(4, 8));
+  started = s.schedule(2000.0);
+  EXPECT_TRUE(started.empty());
+  EXPECT_TRUE(s.draining());
+
+  // Once enough nodes free, the wide job launches and draining ends.
+  s.release(1);
+  s.release(3);
+  started = s.schedule(3000.0);
+  ASSERT_GE(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 2);
+  EXPECT_FALSE(s.draining());
+}
+
+TEST(Scheduler, AfterDrainNormalSchedulingResumes) {
+  SchedulerConfig cfg;
+  cfg.total_nodes = 144;
+  cfg.wide_wait_patience_s = 0.0;  // drain immediately
+  Scheduler s(cfg);
+  s.submit(job(1, 100));
+  auto started = s.schedule(0.0);  // 100-node wide job starts right away
+  ASSERT_EQ(started.size(), 1u);
+  s.submit(job(2, 16));
+  started = s.schedule(1.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 2);
+}
+
+TEST(Scheduler, FifoOrderAmongEqualJobs) {
+  Scheduler s(SchedulerConfig{.total_nodes = 8});
+  s.submit(job(1, 8));
+  s.submit(job(2, 8));
+  auto started = s.schedule(0.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 1);
+  s.release(1);
+  started = s.schedule(1.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 2);
+}
+
+TEST(Scheduler, MultipleStartsPerPass) {
+  Scheduler s(SchedulerConfig{.total_nodes = 32});
+  for (int i = 1; i <= 4; ++i) s.submit(job(i, 8));
+  EXPECT_EQ(s.schedule(0.0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace p2sim::pbs

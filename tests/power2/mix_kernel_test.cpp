@@ -1,0 +1,150 @@
+#include "src/power2/mix_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/power2/isa.hpp"
+
+namespace p2sim::power2 {
+namespace {
+
+MixKernelSpec base_spec() {
+  MixKernelSpec s;
+  s.name = "test_mix";
+  s.fp_inst = 20;
+  s.fma_frac = 0.30;
+  s.mul_frac = 0.20;
+  s.div_frac = 0.05;
+  s.mem_per_fp = 1.0;
+  s.store_frac = 0.25;
+  s.seed = 77;
+  return s;
+}
+
+int count_ops(const KernelDesc& k, OpClass op) {
+  int n = 0;
+  for (const Instr& in : k.body) n += (in.op == op);
+  return n;
+}
+
+TEST(MixKernel, DeterministicForSameSpec) {
+  const KernelDesc a = make_mix_kernel(base_spec());
+  const KernelDesc b = make_mix_kernel(base_spec());
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_EQ(a.body, b.body);
+}
+
+TEST(MixKernel, DifferentSeedDifferentBody) {
+  MixKernelSpec s2 = base_spec();
+  s2.seed = 78;
+  EXPECT_NE(make_mix_kernel(base_spec()).content_hash(),
+            make_mix_kernel(s2).content_hash());
+}
+
+TEST(MixKernel, ValidatesCleanly) {
+  const KernelDesc k = make_mix_kernel(base_spec());
+  EXPECT_TRUE(k.validate().empty());
+}
+
+TEST(MixKernel, FpInstructionCountMatchesSpec) {
+  const KernelDesc k = make_mix_kernel(base_spec());
+  int fp = 0;
+  for (const Instr& in : k.body) fp += is_floating_point(in.op);
+  EXPECT_EQ(fp, 20);
+}
+
+TEST(MixKernel, TypeFractionsRespected) {
+  const KernelDesc k = make_mix_kernel(base_spec());
+  EXPECT_EQ(count_ops(k, OpClass::kFpFma), 6);   // 0.30 * 20
+  EXPECT_EQ(count_ops(k, OpClass::kFpMul), 4);   // 0.20 * 20
+  EXPECT_EQ(count_ops(k, OpClass::kFpDiv), 1);   // 0.05 * 20
+}
+
+TEST(MixKernel, MemoryInstructionCountMatchesSpec) {
+  const KernelDesc k = make_mix_kernel(base_spec());
+  EXPECT_EQ(static_cast<int>(k.memrefs_per_iter()), 20);  // mem_per_fp = 1
+  EXPECT_EQ(count_ops(k, OpClass::kFxStore), 5);          // 25% stores
+}
+
+TEST(MixKernel, StreamsDeclaredAsConfigured) {
+  MixKernelSpec s = base_spec();
+  s.streams = 7;
+  s.stream_footprint_bytes = 12345;
+  s.stride_bytes = 16;
+  const KernelDesc k = make_mix_kernel(s);
+  ASSERT_EQ(k.streams.size(), 7u);
+  for (const MemStream& st : k.streams) {
+    EXPECT_EQ(st.footprint_bytes, 12345u);
+    EXPECT_EQ(st.stride_bytes, 16);
+  }
+}
+
+TEST(MixKernel, ZeroDepProbMeansNoFpChains) {
+  MixKernelSpec s = base_spec();
+  s.dep_prob = 0.0;
+  s.load_dep_prob = 0.0;
+  const KernelDesc k = make_mix_kernel(s);
+  for (const Instr& in : k.body) {
+    if (is_floating_point(in.op)) {
+      EXPECT_EQ(in.dep, kNoDep);
+      EXPECT_EQ(in.carried_dep, kNoDep);
+    }
+  }
+}
+
+TEST(MixKernel, FullDepProbChainsEveryFpOp) {
+  MixKernelSpec s = base_spec();
+  s.dep_prob = 1.0;
+  s.carried_prob = 0.0;
+  const KernelDesc k = make_mix_kernel(s);
+  int fp_seen = 0;
+  for (const Instr& in : k.body) {
+    if (!is_floating_point(in.op)) continue;
+    if (fp_seen > 0) EXPECT_NE(in.dep, kNoDep);
+    ++fp_seen;
+  }
+}
+
+TEST(MixKernel, QuadFractionZeroAndOne) {
+  MixKernelSpec s = base_spec();
+  s.quad_frac = 0.0;
+  for (const Instr& in : make_mix_kernel(s).body) EXPECT_FALSE(in.quad);
+  s.quad_frac = 1.0;
+  s.seed = 5;
+  for (const Instr& in : make_mix_kernel(s).body) {
+    if (is_memory(in.op)) EXPECT_TRUE(in.quad);
+  }
+}
+
+TEST(MixKernel, MetadataPassedThrough) {
+  MixKernelSpec s = base_spec();
+  s.warmup_iters = 33;
+  s.measure_iters = 44;
+  s.icache_miss_per_kinst = 0.5;
+  const KernelDesc k = make_mix_kernel(s);
+  EXPECT_EQ(k.warmup_iters, 33u);
+  EXPECT_EQ(k.measure_iters, 44u);
+  EXPECT_DOUBLE_EQ(k.icache_miss_per_kinst, 0.5);
+  EXPECT_EQ(k.name, "test_mix");
+}
+
+TEST(MixKernel, RejectsBadSpecs) {
+  MixKernelSpec s = base_spec();
+  s.fp_inst = -1;
+  EXPECT_THROW(make_mix_kernel(s), std::invalid_argument);
+  s = base_spec();
+  s.streams = 0;
+  EXPECT_THROW(make_mix_kernel(s), std::invalid_argument);
+}
+
+TEST(MixKernel, ZeroFpInstructionsStillValid) {
+  MixKernelSpec s = base_spec();
+  s.fp_inst = 0;
+  s.mem_per_fp = 0.0;
+  const KernelDesc k = make_mix_kernel(s);
+  EXPECT_TRUE(k.validate().empty());
+}
+
+}  // namespace
+}  // namespace p2sim::power2

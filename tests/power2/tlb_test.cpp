@@ -1,0 +1,101 @@
+#include "src/power2/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::power2 {
+namespace {
+
+TEST(TlbConfig, DefaultIsTheSp2Geometry) {
+  TlbConfig cfg;
+  EXPECT_EQ(cfg.entries, 512u);     // "supports 512 entries in the TLB"
+  EXPECT_EQ(cfg.page_bytes, 4096u); // "page size of 4096 bytes"
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(TlbConfig, RejectsBadGeometry) {
+  EXPECT_FALSE(TlbConfig({.entries = 0}).valid());
+  EXPECT_FALSE(TlbConfig({.page_bytes = 1000}).valid());
+  EXPECT_FALSE(TlbConfig({.entries = 10, .ways = 4}).valid());
+  EXPECT_THROW(Tlb(TlbConfig{.entries = 0}), std::invalid_argument);
+}
+
+TEST(Tlb, MissThenHitSamePage) {
+  Tlb t(TlbConfig{});
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1FFF));   // same 4 kB page
+  EXPECT_FALSE(t.access(0x2000));  // next page
+}
+
+TEST(Tlb, CountsHitsAndMisses) {
+  Tlb t(TlbConfig{});
+  t.access(0);
+  t.access(0);
+  t.access(4096);
+  EXPECT_EQ(t.misses(), 2u);
+  EXPECT_EQ(t.hits(), 1u);
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  Tlb t({.entries = 4, .page_bytes = 4096, .ways = 2});  // 2 sets
+  // Pages 0, 2, 4 share set 0 (vpn mod 2 == 0).
+  const std::uint64_t p0 = 0, p2 = 2 * 4096, p4 = 4 * 4096;
+  t.access(p0);
+  t.access(p2);
+  t.access(p0);  // refresh
+  t.access(p4);  // evicts p2
+  EXPECT_TRUE(t.access(p0));
+  EXPECT_FALSE(t.access(p2));
+}
+
+TEST(Tlb, FlushDropsTranslations) {
+  Tlb t(TlbConfig{});
+  t.access(0);
+  t.flush();
+  EXPECT_FALSE(t.access(0));
+}
+
+TEST(Tlb, ReachIsTwoMegabytes) {
+  // 512 entries x 4 kB pages = 2 MB of reach: touching 2 MB round-robin
+  // leaves everything resident; exceeding it thrashes.
+  Tlb t(TlbConfig{});
+  const std::uint64_t pages = 512;
+  for (std::uint64_t p = 0; p < pages; ++p) t.access(p * 4096);
+  std::uint64_t second_pass_misses = 0;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    if (!t.access(p * 4096)) ++second_pass_misses;
+  }
+  EXPECT_EQ(second_pass_misses, 0u);
+}
+
+TEST(Tlb, SequentialStride8MissesEvery512Elements) {
+  // The paper: "a TLB miss every 512 elements" for real*8 streaming.
+  Tlb t(TlbConfig{});
+  const std::uint64_t n = 1u << 16;
+  std::uint64_t misses = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!t.access(1ull << 30 | (i * 8))) ++misses;
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(misses) / n, 1.0 / 512.0);
+}
+
+class TlbSizeProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TlbSizeProperty, LargerTlbNeverMissesMore) {
+  const std::uint32_t entries = GetParam();
+  Tlb small({.entries = entries, .page_bytes = 4096, .ways = 2});
+  Tlb large({.entries = entries * 2, .page_bytes = 4096, .ways = 4});
+  std::uint64_t x = 99;
+  for (int i = 0; i < 30000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t addr = (x >> 30) % (entries * 4096ull * 8);
+    small.access(addr);
+    large.access(addr);
+  }
+  EXPECT_LE(large.misses(), small.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, TlbSizeProperty,
+                         ::testing::Values(16u, 64u, 256u, 512u));
+
+}  // namespace
+}  // namespace p2sim::power2

@@ -1,0 +1,79 @@
+#include "src/rs2hpm/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2sim::rs2hpm {
+namespace {
+
+ModeTotals totals_with_user0(std::uint64_t v) {
+  ModeTotals t;
+  t.user[0] = v;
+  return t;
+}
+
+TEST(Daemon, RequiresAtLeastOneNode) {
+  EXPECT_THROW(SamplingDaemon(0), std::invalid_argument);
+}
+
+TEST(Daemon, FirstCollectPrimesWithoutRecord) {
+  SamplingDaemon d(2);
+  std::vector<ModeTotals> t = {totals_with_user0(5), totals_with_user0(7)};
+  std::vector<std::uint64_t> q = {0, 0};
+  d.collect(0, t, q, 1);
+  EXPECT_TRUE(d.records().empty());
+}
+
+TEST(Daemon, DeltasAggregateAcrossNodes) {
+  SamplingDaemon d(2);
+  std::vector<ModeTotals> t = {totals_with_user0(5), totals_with_user0(7)};
+  std::vector<std::uint64_t> q = {1, 2};
+  d.collect(0, t, q, 1);
+  t[0].user[0] = 15;   // +10
+  t[1].user[0] = 10;   // +3
+  q = {4, 2};          // +3, +0
+  d.collect(1, t, q, 2);
+  ASSERT_EQ(d.records().size(), 1u);
+  const IntervalRecord& rec = d.records()[0];
+  EXPECT_EQ(rec.interval, 1);
+  EXPECT_EQ(rec.delta.user[0], 13u);
+  EXPECT_EQ(rec.quad_surplus, 3u);
+  EXPECT_EQ(rec.busy_nodes, 2);
+  EXPECT_EQ(rec.nodes_sampled, 2);
+}
+
+TEST(Daemon, SuccessiveIntervalsIndependent) {
+  SamplingDaemon d(1);
+  std::vector<ModeTotals> t = {totals_with_user0(0)};
+  std::vector<std::uint64_t> q = {0};
+  d.collect(0, t, q, 0);
+  t[0].user[0] = 10;
+  d.collect(1, t, q, 1);
+  t[0].user[0] = 10;  // no progress
+  d.collect(2, t, q, 0);
+  ASSERT_EQ(d.records().size(), 2u);
+  EXPECT_EQ(d.records()[0].delta.user[0], 10u);
+  EXPECT_EQ(d.records()[1].delta.user[0], 0u);
+}
+
+TEST(Daemon, SystemModeTracked) {
+  SamplingDaemon d(1);
+  ModeTotals t0;
+  std::vector<ModeTotals> t = {t0};
+  std::vector<std::uint64_t> q = {0};
+  d.collect(0, t, q, 0);
+  t[0].system[2] = 42;
+  d.collect(1, t, q, 0);
+  EXPECT_EQ(d.records()[0].delta.system[2], 42u);
+}
+
+TEST(Daemon, RejectsWrongSpanSizes) {
+  SamplingDaemon d(2);
+  std::vector<ModeTotals> t = {ModeTotals{}};
+  std::vector<std::uint64_t> q = {0};
+  EXPECT_THROW(d.collect(0, t, q, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2sim::rs2hpm

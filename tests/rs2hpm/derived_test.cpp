@@ -1,0 +1,126 @@
+#include "src/rs2hpm/derived.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::rs2hpm {
+namespace {
+
+using hpm::HpmCounter;
+
+void set_user(ModeTotals& t, HpmCounter c, std::uint64_t v) {
+  t.user[hpm::index_of(c)] = v;
+}
+void set_system(ModeTotals& t, HpmCounter c, std::uint64_t v) {
+  t.system[hpm::index_of(c)] = v;
+}
+
+ModeTotals one_second_sample() {
+  // Counts over 1 second, in events (not millions).
+  ModeTotals t;
+  set_user(t, HpmCounter::kFpAdd0, 6'000'000);
+  set_user(t, HpmCounter::kFpAdd1, 4'000'000);   // adds (incl. fma halves)
+  set_user(t, HpmCounter::kFpMul0, 2'000'000);
+  set_user(t, HpmCounter::kFpMul1, 1'000'000);
+  set_user(t, HpmCounter::kFpMulAdd0, 3'000'000);
+  set_user(t, HpmCounter::kFpMulAdd1, 2'000'000);
+  set_user(t, HpmCounter::kUserFpu0, 9'000'000);
+  set_user(t, HpmCounter::kUserFpu1, 5'000'000);
+  set_user(t, HpmCounter::kUserFxu0, 11'000'000);
+  set_user(t, HpmCounter::kUserFxu1, 16'000'000);
+  set_user(t, HpmCounter::kUserIcu0, 3'000'000);
+  set_user(t, HpmCounter::kUserIcu1, 500'000);
+  set_user(t, HpmCounter::kUserDcacheMiss, 270'000);
+  set_user(t, HpmCounter::kUserTlbMiss, 27'000);
+  set_user(t, HpmCounter::kIcacheReload, 14'000);
+  set_user(t, HpmCounter::kDmaRead, 24'000);
+  set_user(t, HpmCounter::kDmaWrite, 17'000);
+  set_system(t, HpmCounter::kUserFxu0, 5'000'000);
+  set_system(t, HpmCounter::kUserFxu1, 8'500'000);
+  return t;
+}
+
+TEST(Derived, FlopBreakdownFollowsPaperAccounting) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.mflops_add, 10.0, 1e-9);
+  EXPECT_NEAR(r.mflops_mul, 3.0, 1e-9);
+  EXPECT_NEAR(r.mflops_fma, 5.0, 1e-9);
+  EXPECT_NEAR(r.mflops_div, 0.0, 1e-9);  // divide-bug campaign data
+  EXPECT_NEAR(r.mflops_all, 18.0, 1e-9);
+}
+
+TEST(Derived, InstructionRatesPerUnit) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.mips_fpu, 14.0, 1e-9);
+  EXPECT_NEAR(r.mips_fpu0, 9.0, 1e-9);
+  EXPECT_NEAR(r.mips_fpu1, 5.0, 1e-9);
+  EXPECT_NEAR(r.mips_fxu, 27.0, 1e-9);
+  EXPECT_NEAR(r.mips_icu, 3.5, 1e-9);
+  EXPECT_NEAR(r.mips, 44.5, 1e-9);
+}
+
+TEST(Derived, MopsAddsQuadSurplus) {
+  const DerivedRates r =
+      derive_rates(one_second_sample(), 1.0, /*quad_surplus=*/2'500'000);
+  EXPECT_NEAR(r.mops, r.mips + 2.5, 1e-9);
+  const DerivedRates r0 = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r0.mops, r0.mips, 1e-9);
+}
+
+TEST(Derived, CacheAndTlbRatiosUseFxuDenominator) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.cache_miss_ratio, 0.27 / 27.0, 1e-12);
+  EXPECT_NEAR(r.tlb_miss_ratio, 0.027 / 27.0, 1e-12);
+  EXPECT_NEAR(r.dcache_miss_mps, 0.27, 1e-9);
+  EXPECT_NEAR(r.tlb_miss_mps, 0.027, 1e-9);
+  EXPECT_NEAR(r.icache_miss_mps, 0.014, 1e-9);
+}
+
+TEST(Derived, FlopsPerMemrefAndFmaFraction) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.flops_per_memref, 18.0 / 27.0, 1e-12);
+  // Both halves of each fma count: 2 * 5 / 18.
+  EXPECT_NEAR(r.fma_flop_fraction, 10.0 / 18.0, 1e-12);
+}
+
+TEST(Derived, UnitAsymmetryRatios) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.fpu0_fpu1_ratio, 9.0 / 5.0, 1e-12);
+  EXPECT_NEAR(r.fxu1_fxu0_ratio, 16.0 / 11.0, 1e-12);
+}
+
+TEST(Derived, SystemUserFxuRatio) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.system_user_fxu_ratio, 13.5 / 27.0, 1e-12);
+}
+
+TEST(Derived, DmaRates) {
+  const DerivedRates r = derive_rates(one_second_sample(), 1.0);
+  EXPECT_NEAR(r.dma_read_mps, 0.024, 1e-9);
+  EXPECT_NEAR(r.dma_write_mps, 0.017, 1e-9);
+}
+
+TEST(Derived, ElapsedScalesEverything) {
+  const DerivedRates r1 = derive_rates(one_second_sample(), 1.0);
+  const DerivedRates r2 = derive_rates(one_second_sample(), 2.0);
+  EXPECT_NEAR(r2.mflops_all, r1.mflops_all / 2.0, 1e-9);
+  EXPECT_NEAR(r2.mips, r1.mips / 2.0, 1e-9);
+  // Ratios are time-independent.
+  EXPECT_NEAR(r2.cache_miss_ratio, r1.cache_miss_ratio, 1e-12);
+}
+
+TEST(Derived, ZeroElapsedIsAllZero) {
+  const DerivedRates r = derive_rates(one_second_sample(), 0.0);
+  EXPECT_EQ(r.mflops_all, 0.0);
+  EXPECT_EQ(r.mips, 0.0);
+}
+
+TEST(Derived, EmptyCountersGiveZeroRatios) {
+  const DerivedRates r = derive_rates(ModeTotals{}, 1.0);
+  EXPECT_EQ(r.cache_miss_ratio, 0.0);
+  EXPECT_EQ(r.fpu0_fpu1_ratio, 0.0);
+  EXPECT_EQ(r.fma_flop_fraction, 0.0);
+  EXPECT_EQ(r.system_user_fxu_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace p2sim::rs2hpm

@@ -1,0 +1,81 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::util {
+namespace {
+
+TEST(RenderChart, ContainsTitleAndLegend) {
+  Series s{.name = "daily", .xs = {0, 1, 2}, .ys = {1, 2, 3}, .glyph = '*'};
+  ChartOptions opts;
+  opts.title = "Figure 1";
+  opts.x_label = "day";
+  opts.y_label = "Gflops";
+  const std::string out = render_chart({s}, opts);
+  EXPECT_NE(out.find("Figure 1"), std::string::npos);
+  EXPECT_NE(out.find("daily"), std::string::npos);
+  EXPECT_NE(out.find("x: day"), std::string::npos);
+  EXPECT_NE(out.find("y: Gflops"), std::string::npos);
+}
+
+TEST(RenderChart, PlotsGlyphs) {
+  Series s{.name = "s", .xs = {0, 1}, .ys = {0, 1}, .glyph = '#'};
+  const std::string out = render_chart({s}, {});
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(RenderChart, EmptySeriesDoesNotCrash) {
+  Series s{.name = "empty", .xs = {}, .ys = {}, .glyph = '*'};
+  const std::string out = render_chart({s}, {});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(RenderChart, MultipleSeriesDistinctGlyphs) {
+  Series a{.name = "a", .xs = {0, 1}, .ys = {0, 1}, .glyph = 'a'};
+  Series b{.name = "b", .xs = {0, 1}, .ys = {1, 0}, .glyph = 'b'};
+  const std::string out = render_chart({a, b}, {});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(RenderChart, HeightControlsRows) {
+  Series s{.name = "s", .xs = {0, 1}, .ys = {0, 1}, .glyph = '*'};
+  ChartOptions opts;
+  opts.height = 8;
+  const std::string out = render_chart({s}, opts);
+  int rows = 0;
+  for (char c : out) rows += (c == '\n');
+  // 8 plot rows + frame + range line + legend.
+  EXPECT_GE(rows, 10);
+}
+
+TEST(RenderBars, ShowsLabelsAndValues) {
+  const std::string out =
+      render_bars({{"16", 900.0}, {"32", 450.0}}, "walltime by nodes");
+  EXPECT_NE(out.find("walltime by nodes"), std::string::npos);
+  EXPECT_NE(out.find("16"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(RenderBars, LargestBarIsLongest) {
+  const std::string out = render_bars({{"a", 10.0}, {"b", 100.0}}, "t", 40);
+  const auto line_of = [&](const std::string& label) {
+    const auto pos = out.find("  " + label + " ");
+    const auto end = out.find('\n', pos);
+    return out.substr(pos, end - pos);
+  };
+  const auto count_hashes = [](const std::string& s) {
+    int n = 0;
+    for (char c : s) n += (c == '#');
+    return n;
+  };
+  EXPECT_LT(count_hashes(line_of("a")), count_hashes(line_of("b")));
+}
+
+TEST(RenderBars, AllZeroValuesSafe) {
+  const std::string out = render_bars({{"a", 0.0}}, "t");
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2sim::util

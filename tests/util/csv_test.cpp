@@ -1,0 +1,58 @@
+#include "src/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace p2sim::util {
+namespace {
+
+TEST(CsvEscape, PlainStringUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, FieldsSeparatedByCommas) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("a").field("b").field("c");
+  w.endrow();
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, NumericFields) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field(1.5).field(std::int64_t{-7}).field(std::uint64_t{42});
+  w.endrow();
+  EXPECT_EQ(os.str(), "1.5,-7,42\n");
+}
+
+TEST(CsvWriter, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"x", "y"});
+  w.row({"1", "2"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(CsvWriter, QuotedFieldInRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"plain", "with,comma"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\"\n");
+}
+
+}  // namespace
+}  // namespace p2sim::util

@@ -1,0 +1,68 @@
+#include "src/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::util {
+namespace {
+
+TEST(KeyedHistogram, EmptyState) {
+  KeyedHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.total(5), 0.0);
+  EXPECT_EQ(h.stats(5), nullptr);
+  EXPECT_EQ(h.grand_total(), 0.0);
+  EXPECT_EQ(h.argmax_total(), 0);
+}
+
+TEST(KeyedHistogram, AccumulatesPerKey) {
+  KeyedHistogram h;
+  h.add(16, 100.0);
+  h.add(16, 50.0);
+  h.add(32, 60.0);
+  EXPECT_DOUBLE_EQ(h.total(16), 150.0);
+  EXPECT_DOUBLE_EQ(h.total(32), 60.0);
+  EXPECT_DOUBLE_EQ(h.grand_total(), 210.0);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(KeyedHistogram, PerKeyStats) {
+  KeyedHistogram h;
+  h.add(8, 10.0);
+  h.add(8, 20.0);
+  const RunningStats* s = h.stats(8);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count(), 2u);
+  EXPECT_DOUBLE_EQ(s->mean(), 15.0);
+}
+
+TEST(KeyedHistogram, KeysAreSorted) {
+  KeyedHistogram h;
+  h.add(32, 1.0);
+  h.add(8, 1.0);
+  h.add(16, 1.0);
+  const auto keys = h.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], 8);
+  EXPECT_EQ(keys[1], 16);
+  EXPECT_EQ(keys[2], 32);
+}
+
+TEST(KeyedHistogram, ArgmaxFindsHeaviestBucket) {
+  // The paper's "most popular choice of nodes" query.
+  KeyedHistogram h;
+  h.add(8, 500.0);
+  h.add(16, 900.0);
+  h.add(32, 400.0);
+  EXPECT_EQ(h.argmax_total(), 16);
+}
+
+TEST(KeyedHistogram, NegativeKeysSupported) {
+  KeyedHistogram h;
+  h.add(-2, 3.0);
+  EXPECT_DOUBLE_EQ(h.total(-2), 3.0);
+  EXPECT_EQ(h.argmax_total(), -2);
+}
+
+}  // namespace
+}  // namespace p2sim::util

@@ -1,0 +1,74 @@
+#include "src/util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2sim::util {
+namespace {
+
+TEST(Constants, IntervalGeometryMatchesPaper) {
+  EXPECT_EQ(kIntervalSeconds, 900);   // 15-minute cron samples
+  EXPECT_EQ(kIntervalsPerDay, 96);
+  EXPECT_EQ(kCampaignDays, 270);      // nine months
+}
+
+TEST(Constants, PeakRateIsFourFlopsPerCycle) {
+  EXPECT_NEAR(MachineClock::kPeakMflopsPerNode,
+              4.0 * MachineClock::kHz / 1e6, 1e-9);
+}
+
+TEST(Cycles, ConversionAtClock) {
+  EXPECT_DOUBLE_EQ(cycles_in(1.0), 66.7e6);
+  EXPECT_DOUBLE_EQ(cycles_in(0.0), 0.0);
+}
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.interval(), 0);
+  EXPECT_EQ(c.day(), 0);
+  EXPECT_EQ(c.seconds(), 0.0);
+}
+
+TEST(SimClock, TickAdvancesInterval) {
+  SimClock c;
+  c.tick();
+  EXPECT_EQ(c.interval(), 1);
+  EXPECT_DOUBLE_EQ(c.seconds(), 900.0);
+}
+
+TEST(SimClock, DayRollsAt96Intervals) {
+  SimClock c;
+  for (int i = 0; i < 96; ++i) c.tick();
+  EXPECT_EQ(c.day(), 1);
+  EXPECT_EQ(c.interval_of_day(), 0);
+}
+
+TEST(SimClock, StampFormatsDayAndTime) {
+  SimClock c;
+  for (int i = 0; i < 96 + 5; ++i) c.tick();  // day 1, 01:15
+  EXPECT_EQ(c.stamp(), "day 1, 01:15");
+}
+
+TEST(SimClock, ResetReturnsToZero) {
+  SimClock c;
+  c.tick();
+  c.reset();
+  EXPECT_EQ(c.interval(), 0);
+}
+
+TEST(DayOfWeek, CyclesFromMonday) {
+  EXPECT_EQ(day_of_week(0), 0);
+  EXPECT_EQ(day_of_week(6), 6);
+  EXPECT_EQ(day_of_week(7), 0);
+}
+
+TEST(Weekend, SaturdayAndSundayOnly) {
+  int weekend_days = 0;
+  for (std::int64_t d = 0; d < 14; ++d) weekend_days += is_weekend(d);
+  EXPECT_EQ(weekend_days, 4);
+  EXPECT_FALSE(is_weekend(0));
+  EXPECT_TRUE(is_weekend(5));
+  EXPECT_TRUE(is_weekend(6));
+}
+
+}  // namespace
+}  // namespace p2sim::util

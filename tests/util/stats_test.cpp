@@ -1,0 +1,177 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace p2sim::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesBulk) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.2502502502, 1e-6);
+}
+
+TEST(MovingAverage, WindowOfOneTracksInput) {
+  MovingAverage ma(1);
+  EXPECT_EQ(ma.add(3.0), 3.0);
+  EXPECT_EQ(ma.add(7.0), 7.0);
+}
+
+TEST(MovingAverage, PartialWindowAveragesWhatExists) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.add(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ma.add(4.0), 3.0);
+  EXPECT_DOUBLE_EQ(ma.add(6.0), 4.0);
+}
+
+TEST(MovingAverage, SlidesCorrectly) {
+  MovingAverage ma(2);
+  ma.add(1.0);
+  ma.add(3.0);
+  EXPECT_DOUBLE_EQ(ma.add(5.0), 4.0);   // (3+5)/2
+  EXPECT_DOUBLE_EQ(ma.add(11.0), 8.0);  // (5+11)/2
+}
+
+TEST(MovingAverage, ZeroWindowClampsToOne) {
+  MovingAverage ma(0);
+  EXPECT_EQ(ma.window(), 1u);
+  EXPECT_EQ(ma.add(9.0), 9.0);
+}
+
+TEST(MovingAverageSeries, MatchesIncremental) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7};
+  const auto out = moving_average(xs, 3);
+  ASSERT_EQ(out.size(), xs.size());
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+  EXPECT_DOUBLE_EQ(out[6], 6.0);
+}
+
+TEST(Pearson, PerfectPositive) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {10, 20, 30, 40};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {5, 5, 5};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, TooShortGivesZero) {
+  std::vector<double> x = {1};
+  std::vector<double> y = {2};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(LinearSlope, KnownLine) {
+  std::vector<double> x = {0, 1, 2, 3};
+  std::vector<double> y = {1, 3, 5, 7};
+  EXPECT_NEAR(linear_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(LinearSlope, FlatLine) {
+  std::vector<double> x = {0, 1, 2};
+  std::vector<double> y = {4, 4, 4};
+  EXPECT_EQ(linear_slope(x, y), 0.0);
+}
+
+TEST(LinearSlope, DegenerateX) {
+  std::vector<double> x = {2, 2, 2};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(linear_slope(x, y), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Quantile, EmptyIsZero) {
+  std::vector<double> xs;
+  EXPECT_EQ(quantile(xs, 0.5), 0.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+}  // namespace
+}  // namespace p2sim::util

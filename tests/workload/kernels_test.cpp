@@ -1,0 +1,158 @@
+#include "src/workload/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/power2/signature.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+using power2::EventSignature;
+using power2::KernelDesc;
+using power2::measure_signature;
+using power2::Power2Core;
+
+EventSignature sig_of(const KernelDesc& k) {
+  Power2Core core;
+  return measure_signature(core, k);
+}
+
+double cache_ratio(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.dcache_miss / fxu : 0.0;
+}
+
+double tlb_ratio(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.tlb_miss / fxu : 0.0;
+}
+
+double flops_per_memref(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.flops_per_cycle() / fxu : 0.0;
+}
+
+TEST(Kernels, AllLibraryKernelsValidate) {
+  EXPECT_TRUE(blocked_matmul().validate().empty());
+  EXPECT_TRUE(naive_matmul().validate().empty());
+  EXPECT_TRUE(npb_bt_like().validate().empty());
+  EXPECT_TRUE(sequential_sweep().validate().empty());
+  EXPECT_TRUE(strided_transpose().validate().empty());
+  EXPECT_TRUE(mdo_ensemble(3).validate().empty());
+  EXPECT_TRUE(io_heavy(3).validate().empty());
+  EXPECT_TRUE(cfd_multiblock(3, 0.4).validate().empty());
+}
+
+TEST(Kernels, BlockedMatmulHitsThePaperCalibration) {
+  // Section 5: "approximately 240 Mflops on the 67 Mhz POWER2" and a
+  // flops-to-memory-instruction ratio of 3.0.
+  const EventSignature s = sig_of(blocked_matmul());
+  EXPECT_GT(s.mflops(), 215.0);
+  EXPECT_LT(s.mflops(), 260.0);
+  EXPECT_NEAR(flops_per_memref(s), 3.0, 0.35);
+  // Fully blocked: no cache misses in steady state.
+  EXPECT_LT(cache_ratio(s), 0.001);
+  // All flops come from fma.
+  EXPECT_NEAR(2.0 * (s.fp_fma0 + s.fp_fma1) / s.flops_per_cycle(), 1.0,
+              1e-9);
+}
+
+TEST(Kernels, BlockedMatmulBalancesTheFpus) {
+  // "Higher performance workloads should display ratios closer to 1."
+  const EventSignature s = sig_of(blocked_matmul());
+  EXPECT_NEAR(s.fpu0_inst / s.fpu1_inst, 1.0, 0.3);
+}
+
+TEST(Kernels, NaiveMatmulCollapses) {
+  // The ablation baseline: the same computation without blocking runs
+  // orders of magnitude slower and misses constantly.
+  const EventSignature s = sig_of(naive_matmul());
+  EXPECT_LT(s.mflops(), 30.0);
+  EXPECT_GT(cache_ratio(s), 0.1);
+  EXPECT_GT(tlb_ratio(s), 0.05);
+}
+
+TEST(Kernels, SequentialSweepMatchesTable4Arithmetic) {
+  // Table 4 "Sequential Access": ~3% cache, ~0.2% TLB miss ratios (a miss
+  // every 32 and every 512 real*8 elements respectively).
+  const EventSignature s = sig_of(sequential_sweep());
+  EXPECT_NEAR(cache_ratio(s), 1.0 / 32.0, 0.004);
+  EXPECT_NEAR(tlb_ratio(s), 1.0 / 512.0, 0.0006);
+}
+
+TEST(Kernels, NpbBtIsTheTunedCode) {
+  // Table 4 "NPB BT": low TLB ratio from the rearranged loop nests, cache
+  // ratio near 1%, ~44 Mflops/CPU class performance.
+  const EventSignature s = sig_of(npb_bt_like());
+  EXPECT_LT(tlb_ratio(s), 0.001);
+  EXPECT_LT(cache_ratio(s), 0.02);
+  EXPECT_GT(s.mflops(), 40.0);
+  EXPECT_LT(s.mflops(), 90.0);
+}
+
+TEST(Kernels, StridedTransposeIsTheTlbPathology) {
+  // Section 5: "We might expect high TLB miss rates from programs
+  // accessing data with large memory strides."
+  const EventSignature s = sig_of(strided_transpose());
+  EXPECT_GT(tlb_ratio(s), 0.1);
+  EXPECT_GT(tlb_ratio(s), 100.0 * tlb_ratio(sig_of(npb_bt_like())));
+}
+
+TEST(Kernels, CfdQualityImprovesPerformance) {
+  const EventSignature lo = sig_of(cfd_multiblock(11, 0.1));
+  const EventSignature hi = sig_of(cfd_multiblock(11, 0.9));
+  EXPECT_GT(hi.mflops(), lo.mflops());
+  EXPECT_GT(flops_per_memref(hi), flops_per_memref(lo));
+}
+
+TEST(Kernels, CfdMedianMatchesWorkloadRatios) {
+  // The bulk population at median quality must sit near the paper's
+  // workload aggregates: flops/memref ~0.5, fma ~half the flops, ~1%
+  // cache and ~0.05-0.2% TLB miss ratios.
+  const EventSignature s = sig_of(cfd_multiblock(5, 0.25));
+  EXPECT_GT(flops_per_memref(s), 0.3);
+  EXPECT_LT(flops_per_memref(s), 0.9);
+  const double fma_share = 2.0 * (s.fp_fma0 + s.fp_fma1) / s.flops_per_cycle();
+  EXPECT_GT(fma_share, 0.3);
+  EXPECT_LT(fma_share, 0.75);
+  EXPECT_GT(cache_ratio(s), 0.004);
+  EXPECT_LT(cache_ratio(s), 0.03);
+  EXPECT_GT(tlb_ratio(s), 0.0002);
+  EXPECT_LT(tlb_ratio(s), 0.004);
+}
+
+TEST(Kernels, CfdVariantsDiffer) {
+  EXPECT_NE(cfd_multiblock(1, 0.3).content_hash(),
+            cfd_multiblock(2, 0.3).content_hash());
+  EXPECT_EQ(cfd_multiblock(1, 0.3).content_hash(),
+            cfd_multiblock(1, 0.3).content_hash());
+}
+
+TEST(Kernels, MdoIsFmaRichAndFast) {
+  // The "better-performing individual codes perform at least 80% of their
+  // operations from fma instructions."
+  const EventSignature s = sig_of(mdo_ensemble(2));
+  const double fma_share = 2.0 * (s.fp_fma0 + s.fp_fma1) / s.flops_per_cycle();
+  EXPECT_GT(fma_share, 0.6);
+  EXPECT_GT(s.mflops(), sig_of(cfd_multiblock(2, 0.25)).mflops());
+}
+
+TEST(Kernels, IoHeavyIsArithmeticallyLight) {
+  const EventSignature s = sig_of(io_heavy(1));
+  EXPECT_LT(flops_per_memref(s), 0.6);
+  EXPECT_LT(s.mflops(), 40.0);
+}
+
+// The divide fraction in the CFD population exists even though the NAS
+// monitor bug hides it: a good share of the population executes divides.
+TEST(Kernels, CfdPopulationExecutesDivides) {
+  int with_div = 0;
+  for (std::uint64_t v = 0; v < 10; ++v) {
+    const EventSignature s = sig_of(cfd_multiblock(v, 0.3));
+    if (s.fp_div0 + s.fp_div1 > 0.0) ++with_div;
+  }
+  EXPECT_GE(with_div, 2);
+}
+
+}  // namespace
+}  // namespace p2sim::workload

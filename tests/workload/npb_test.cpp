@@ -1,0 +1,107 @@
+#include "src/workload/npb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/power2/signature.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+using power2::EventSignature;
+
+EventSignature sig_of(NpbBenchmark b) {
+  power2::Power2Core core;
+  return power2::measure_signature(core, npb_kernel(b));
+}
+
+double cache_ratio(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.dcache_miss / fxu : 0.0;
+}
+
+double tlb_ratio(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.tlb_miss / fxu : 0.0;
+}
+
+double flops_per_memref(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.flops_per_cycle() / fxu : 0.0;
+}
+
+TEST(Npb, SuiteHasSevenBenchmarksWithDistinctNames) {
+  const auto& suite = npb_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(npb_name(suite[i]), npb_name(suite[j]));
+    }
+    EXPECT_FALSE(npb_description(suite[i]).empty());
+  }
+}
+
+TEST(Npb, AllKernelsValidate) {
+  for (NpbBenchmark b : npb_suite()) {
+    EXPECT_TRUE(npb_kernel(b).validate().empty())
+        << std::string(npb_name(b));
+  }
+}
+
+TEST(Npb, KernelsAreDeterministic) {
+  for (NpbBenchmark b : npb_suite()) {
+    EXPECT_EQ(npb_kernel(b).content_hash(), npb_kernel(b).content_hash());
+  }
+}
+
+TEST(Npb, EpIsComputeDense) {
+  // EP: almost no memory traffic, negligible misses.
+  const EventSignature ep = sig_of(NpbBenchmark::kEP);
+  EXPECT_GT(flops_per_memref(ep), 3.0);
+  EXPECT_LT(cache_ratio(ep), 0.005);
+  EXPECT_LT(tlb_ratio(ep), 0.001);
+}
+
+TEST(Npb, CgIsCacheHostile) {
+  // CG's gathers must miss far more than any structured-grid code.
+  const EventSignature cg = sig_of(NpbBenchmark::kCG);
+  EXPECT_GT(cache_ratio(cg), 5.0 * cache_ratio(sig_of(NpbBenchmark::kBT)));
+  EXPECT_LT(flops_per_memref(cg), 0.8);
+}
+
+TEST(Npb, FtHasTheHighestTlbPressureOfTheSolvers) {
+  const double ft = tlb_ratio(sig_of(NpbBenchmark::kFT));
+  EXPECT_GT(ft, tlb_ratio(sig_of(NpbBenchmark::kBT)));
+  EXPECT_GT(ft, tlb_ratio(sig_of(NpbBenchmark::kSP)));
+  EXPECT_GT(ft, tlb_ratio(sig_of(NpbBenchmark::kLU)));
+  EXPECT_GT(ft, tlb_ratio(sig_of(NpbBenchmark::kMG)));
+}
+
+TEST(Npb, TunedSolversOutperformBandwidthBoundCodes) {
+  const double bt = sig_of(NpbBenchmark::kBT).mflops();
+  const double sp = sig_of(NpbBenchmark::kSP).mflops();
+  const double mg = sig_of(NpbBenchmark::kMG).mflops();
+  const double cg = sig_of(NpbBenchmark::kCG).mflops();
+  EXPECT_GT(bt, mg);
+  EXPECT_GT(sp, mg);
+  EXPECT_GT(mg, cg);
+}
+
+TEST(Npb, LuIsDependenceBound) {
+  // The SSOR wavefront runs below the ILP-rich solvers despite a similar
+  // mix.
+  EXPECT_LT(sig_of(NpbBenchmark::kLU).mflops(),
+            sig_of(NpbBenchmark::kSP).mflops());
+}
+
+TEST(Npb, AllRatesWithinHardwareBounds) {
+  for (NpbBenchmark b : npb_suite()) {
+    const EventSignature s = sig_of(b);
+    EXPECT_GT(s.mflops(), 0.0) << std::string(npb_name(b));
+    EXPECT_LT(s.mflops(), 267.0) << std::string(npb_name(b));
+    EXPECT_LE(s.flops_per_cycle(), 4.0) << std::string(npb_name(b));
+    EXPECT_LE(s.instructions_per_cycle(), 4.0) << std::string(npb_name(b));
+  }
+}
+
+}  // namespace
+}  // namespace p2sim::workload

@@ -1,0 +1,83 @@
+#include "src/workload/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/daily.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+// Shrink a preset so its campaign runs in test time.
+DriverConfig shrink(DriverConfig cfg, int nodes = 16) {
+  cfg.num_nodes = nodes;
+  cfg.jobs_per_day *= nodes / 144.0;
+  std::vector<int> nc;
+  std::vector<double> nw;
+  for (std::size_t i = 0; i < cfg.jobgen.node_choices.size(); ++i) {
+    if (cfg.jobgen.node_choices[i] <= nodes) {
+      nc.push_back(cfg.jobgen.node_choices[i]);
+      nw.push_back(cfg.jobgen.node_weights[i]);
+    }
+  }
+  cfg.jobgen.node_choices = nc;
+  cfg.jobgen.node_weights = nw;
+  cfg.sched.drain_threshold_nodes = nodes / 2;
+  return cfg;
+}
+
+double mean_mflops_per_node(const workload::CampaignResult& r) {
+  const auto days = analysis::daily_stats(r);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& d : days) {
+    if (d.utilization < 0.1) continue;
+    sum += d.per_node.mflops_all / std::max(d.utilization, 1e-9);
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+TEST(Presets, PaperCampaignIsTheDefault) {
+  const DriverConfig cfg = paper_campaign();
+  EXPECT_EQ(cfg.num_nodes, 144);
+  EXPECT_EQ(cfg.days, 270);
+  EXPECT_EQ(cfg.node.monitor.selection, hpm::CounterSelection::kNasDefault);
+}
+
+TEST(Presets, InstrumentedCampaignSelectsWaitStates) {
+  EXPECT_EQ(instrumented_campaign().node.monitor.selection,
+            hpm::CounterSelection::kWaitStates);
+}
+
+TEST(Presets, BenchmarkWeekRunsFarAboveProduction) {
+  const auto prod = run_campaign(shrink(paper_campaign(), 16));
+  auto bench_cfg = shrink(dedicated_benchmark_week(), 16);
+  bench_cfg.days = 7;
+  const auto bench = run_campaign(bench_cfg);
+  EXPECT_GT(mean_mflops_per_node(bench), 1.5 * mean_mflops_per_node(prod));
+}
+
+TEST(Presets, PagingStormShowsHeavySystemIntervention) {
+  auto calm_cfg = shrink(paper_campaign(), 16);
+  calm_cfg.days = 14;
+  calm_cfg.jobgen.narrow_paging_prob = 0.0;
+  calm_cfg.jobgen.paging_episode_start_prob = 0.0;
+  const auto calm = run_campaign(calm_cfg);
+  const auto storm = run_campaign(shrink(paging_storm_fortnight(), 16));
+
+  auto mean_ratio = [](const workload::CampaignResult& r) {
+    const auto days = analysis::daily_stats(r);
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& d : days) {
+      if (d.utilization < 0.1) continue;
+      sum += d.per_node.system_user_fxu_ratio;
+      ++n;
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  EXPECT_GT(mean_ratio(storm), 3.0 * mean_ratio(calm));
+}
+
+}  // namespace
+}  // namespace p2sim::workload

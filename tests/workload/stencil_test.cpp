@@ -1,0 +1,104 @@
+#include "src/workload/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/power2/signature.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+using power2::EventSignature;
+
+EventSignature sig_of(const power2::KernelDesc& k) {
+  power2::Power2Core core;
+  return power2::measure_signature(core, k);
+}
+
+double cache_ratio(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.dcache_miss / fxu : 0.0;
+}
+
+double tlb_ratio(const EventSignature& s) {
+  const double fxu = s.fxu0_inst + s.fxu1_inst;
+  return fxu > 0 ? s.tlb_miss / fxu : 0.0;
+}
+
+TEST(Stencil, RejectsDegenerateGeometry) {
+  StencilSpec s;
+  s.nx = 2;
+  EXPECT_THROW(make_stencil_kernel(s), std::invalid_argument);
+  s = StencilSpec{};
+  s.variables = 0;
+  EXPECT_THROW(make_stencil_kernel(s), std::invalid_argument);
+  s = StencilSpec{};
+  s.arm = 0;
+  EXPECT_THROW(make_stencil_kernel(s), std::invalid_argument);
+}
+
+TEST(Stencil, ArchetypeValidatesAndNamesItself) {
+  const power2::KernelDesc k = archetype_block_sweep();
+  EXPECT_TRUE(k.validate().empty());
+  EXPECT_NE(k.name.find("50x50x50"), std::string::npos);
+}
+
+TEST(Stencil, InstructionCountsFollowGeometry) {
+  StencilSpec spec;
+  spec.variables = 3;
+  spec.arm = 1;
+  const power2::KernelDesc k = make_stencil_kernel(spec);
+  // Per variable: 1 centre load + 1 mul + 6 leg loads + 6 fma + 1 store;
+  // plus 4 overhead ops and the branch.
+  EXPECT_EQ(k.memrefs_per_iter(), 3u * (1 + 6 + 1));
+  EXPECT_EQ(k.flops_per_iter(), 3u * (1 + 6 * 2));
+}
+
+TEST(Stencil, RegisterReuseReducesMemoryTraffic) {
+  StencilSpec untuned;
+  untuned.variables = 4;
+  StencilSpec tuned = untuned;
+  tuned.register_reuse = true;
+  const power2::KernelDesc ku = make_stencil_kernel(untuned);
+  const power2::KernelDesc kt = make_stencil_kernel(tuned);
+  EXPECT_LT(kt.memrefs_per_iter(), ku.memrefs_per_iter());
+  EXPECT_EQ(kt.flops_per_iter(), ku.flops_per_iter());
+  // And it shows up as performance, the section 6 tuning message.
+  EXPECT_GT(sig_of(kt).mflops(), sig_of(ku).mflops());
+}
+
+TEST(Stencil, ArchetypeLandsInTheWorkloadBand) {
+  // The 50^3 block sweep should behave like the paper's typical code:
+  // tens of Mflops, ~1% cache misses, small-but-present TLB pressure.
+  const EventSignature s = sig_of(archetype_block_sweep());
+  EXPECT_GT(s.mflops(), 10.0);
+  EXPECT_LT(s.mflops(), 80.0);
+  EXPECT_GT(cache_ratio(s), 0.003);
+  EXPECT_LT(cache_ratio(s), 0.06);
+  EXPECT_GT(tlb_ratio(s), 0.0001);
+}
+
+TEST(Stencil, BiggerGridsRaiseTlbPressure) {
+  StencilSpec small;
+  small.nx = small.ny = small.nz = 24;  // 110 kB field: cache-resident
+  StencilSpec large;
+  large.nx = large.ny = large.nz = 96;  // 7 MB field: beyond TLB reach
+  EXPECT_GT(tlb_ratio(sig_of(make_stencil_kernel(large))),
+            tlb_ratio(sig_of(make_stencil_kernel(small))));
+}
+
+TEST(Stencil, FmaDominatesTheFlops) {
+  const EventSignature s = sig_of(archetype_block_sweep());
+  const double fma_share =
+      2.0 * (s.fp_fma0 + s.fp_fma1) / s.flops_per_cycle();
+  EXPECT_GT(fma_share, 0.8);  // stencils are accumulation-only
+}
+
+TEST(Stencil, DeterministicForSpec) {
+  EXPECT_EQ(archetype_block_sweep().content_hash(),
+            archetype_block_sweep().content_hash());
+  EXPECT_NE(archetype_block_sweep(false).content_hash(),
+            archetype_block_sweep(true).content_hash());
+}
+
+}  // namespace
+}  // namespace p2sim::workload
