@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_paging.dir/bench_ablation_paging.cpp.o"
+  "CMakeFiles/bench_ablation_paging.dir/bench_ablation_paging.cpp.o.d"
+  "bench_ablation_paging"
+  "bench_ablation_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_iowait.dir/bench_ext_iowait.cpp.o"
+  "CMakeFiles/bench_ext_iowait.dir/bench_ext_iowait.cpp.o.d"
+  "bench_ext_iowait"
+  "bench_ext_iowait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_iowait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

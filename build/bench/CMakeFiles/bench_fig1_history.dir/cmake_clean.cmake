@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_history.dir/bench_fig1_history.cpp.o"
+  "CMakeFiles/bench_fig1_history.dir/bench_fig1_history.cpp.o.d"
+  "bench_fig1_history"
+  "bench_fig1_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

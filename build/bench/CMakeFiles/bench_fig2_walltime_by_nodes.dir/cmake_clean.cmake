@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_walltime_by_nodes.dir/bench_fig2_walltime_by_nodes.cpp.o"
+  "CMakeFiles/bench_fig2_walltime_by_nodes.dir/bench_fig2_walltime_by_nodes.cpp.o.d"
+  "bench_fig2_walltime_by_nodes"
+  "bench_fig2_walltime_by_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_walltime_by_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_system_intervention.dir/bench_fig5_system_intervention.cpp.o"
+  "CMakeFiles/bench_fig5_system_intervention.dir/bench_fig5_system_intervention.cpp.o.d"
+  "bench_fig5_system_intervention"
+  "bench_fig5_system_intervention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_system_intervention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

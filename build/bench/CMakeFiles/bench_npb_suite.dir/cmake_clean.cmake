@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_npb_suite.dir/bench_npb_suite.cpp.o"
+  "CMakeFiles/bench_npb_suite.dir/bench_npb_suite.cpp.o.d"
+  "bench_npb_suite"
+  "bench_npb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_npb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_bench_common.dir/common.cpp.o"
+  "CMakeFiles/p2sim_bench_common.dir/common.cpp.o.d"
+  "libp2sim_bench_common.a"
+  "libp2sim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

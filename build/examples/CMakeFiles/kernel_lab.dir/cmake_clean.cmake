@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_lab.dir/kernel_lab.cpp.o"
+  "CMakeFiles/kernel_lab.dir/kernel_lab.cpp.o.d"
+  "kernel_lab"
+  "kernel_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paging_study.dir/paging_study.cpp.o"
+  "CMakeFiles/paging_study.dir/paging_study.cpp.o.d"
+  "paging_study"
+  "paging_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paging_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp2_report.dir/sp2_report.cpp.o"
+  "CMakeFiles/sp2_report.dir/sp2_report.cpp.o.d"
+  "sp2_report"
+  "sp2_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp2_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_analysis.dir/daily.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/daily.cpp.o.d"
+  "CMakeFiles/p2sim_analysis.dir/figures.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/p2sim_analysis.dir/record_io.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/record_io.cpp.o.d"
+  "CMakeFiles/p2sim_analysis.dir/report.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/p2sim_analysis.dir/tables.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/tables.cpp.o.d"
+  "CMakeFiles/p2sim_analysis.dir/trends.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/trends.cpp.o.d"
+  "CMakeFiles/p2sim_analysis.dir/users.cpp.o"
+  "CMakeFiles/p2sim_analysis.dir/users.cpp.o.d"
+  "libp2sim_analysis.a"
+  "libp2sim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

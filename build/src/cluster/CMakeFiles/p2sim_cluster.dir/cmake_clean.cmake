@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_cluster.dir/dma.cpp.o"
+  "CMakeFiles/p2sim_cluster.dir/dma.cpp.o.d"
+  "CMakeFiles/p2sim_cluster.dir/node.cpp.o"
+  "CMakeFiles/p2sim_cluster.dir/node.cpp.o.d"
+  "libp2sim_cluster.a"
+  "libp2sim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp2sim_cluster.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_core.dir/simulation.cpp.o"
+  "CMakeFiles/p2sim_core.dir/simulation.cpp.o.d"
+  "libp2sim_core.a"
+  "libp2sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpm/events.cpp" "src/hpm/CMakeFiles/p2sim_hpm.dir/events.cpp.o" "gcc" "src/hpm/CMakeFiles/p2sim_hpm.dir/events.cpp.o.d"
+  "/root/repo/src/hpm/monitor.cpp" "src/hpm/CMakeFiles/p2sim_hpm.dir/monitor.cpp.o" "gcc" "src/hpm/CMakeFiles/p2sim_hpm.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power2/CMakeFiles/p2sim_power2.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2sim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

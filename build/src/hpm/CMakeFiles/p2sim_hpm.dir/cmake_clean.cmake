@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_hpm.dir/events.cpp.o"
+  "CMakeFiles/p2sim_hpm.dir/events.cpp.o.d"
+  "CMakeFiles/p2sim_hpm.dir/monitor.cpp.o"
+  "CMakeFiles/p2sim_hpm.dir/monitor.cpp.o.d"
+  "libp2sim_hpm.a"
+  "libp2sim_hpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

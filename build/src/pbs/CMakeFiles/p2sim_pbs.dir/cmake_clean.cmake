@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_pbs.dir/accounting.cpp.o"
+  "CMakeFiles/p2sim_pbs.dir/accounting.cpp.o.d"
+  "CMakeFiles/p2sim_pbs.dir/scheduler.cpp.o"
+  "CMakeFiles/p2sim_pbs.dir/scheduler.cpp.o.d"
+  "libp2sim_pbs.a"
+  "libp2sim_pbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_pbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

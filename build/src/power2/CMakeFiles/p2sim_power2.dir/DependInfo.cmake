@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power2/cache.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/cache.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/cache.cpp.o.d"
+  "/root/repo/src/power2/core.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/core.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/core.cpp.o.d"
+  "/root/repo/src/power2/event_counts.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/event_counts.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/event_counts.cpp.o.d"
+  "/root/repo/src/power2/isa.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/isa.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/isa.cpp.o.d"
+  "/root/repo/src/power2/kernel_desc.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/kernel_desc.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/kernel_desc.cpp.o.d"
+  "/root/repo/src/power2/mix_kernel.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/mix_kernel.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/mix_kernel.cpp.o.d"
+  "/root/repo/src/power2/signature.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/signature.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/signature.cpp.o.d"
+  "/root/repo/src/power2/tlb.cpp" "src/power2/CMakeFiles/p2sim_power2.dir/tlb.cpp.o" "gcc" "src/power2/CMakeFiles/p2sim_power2.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/p2sim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_power2.dir/cache.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/cache.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/core.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/core.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/event_counts.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/event_counts.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/isa.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/isa.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/kernel_desc.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/kernel_desc.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/mix_kernel.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/mix_kernel.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/signature.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/signature.cpp.o.d"
+  "CMakeFiles/p2sim_power2.dir/tlb.cpp.o"
+  "CMakeFiles/p2sim_power2.dir/tlb.cpp.o.d"
+  "libp2sim_power2.a"
+  "libp2sim_power2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_power2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p2sim_power2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs2hpm/daemon.cpp" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/daemon.cpp.o" "gcc" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/daemon.cpp.o.d"
+  "/root/repo/src/rs2hpm/derived.cpp" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/derived.cpp.o" "gcc" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/derived.cpp.o.d"
+  "/root/repo/src/rs2hpm/job_monitor.cpp" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/job_monitor.cpp.o" "gcc" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/job_monitor.cpp.o.d"
+  "/root/repo/src/rs2hpm/profiler.cpp" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/profiler.cpp.o" "gcc" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/profiler.cpp.o.d"
+  "/root/repo/src/rs2hpm/snapshot.cpp" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/snapshot.cpp.o" "gcc" "src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpm/CMakeFiles/p2sim_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2sim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power2/CMakeFiles/p2sim_power2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

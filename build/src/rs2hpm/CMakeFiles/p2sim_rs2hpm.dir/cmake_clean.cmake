@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_rs2hpm.dir/daemon.cpp.o"
+  "CMakeFiles/p2sim_rs2hpm.dir/daemon.cpp.o.d"
+  "CMakeFiles/p2sim_rs2hpm.dir/derived.cpp.o"
+  "CMakeFiles/p2sim_rs2hpm.dir/derived.cpp.o.d"
+  "CMakeFiles/p2sim_rs2hpm.dir/job_monitor.cpp.o"
+  "CMakeFiles/p2sim_rs2hpm.dir/job_monitor.cpp.o.d"
+  "CMakeFiles/p2sim_rs2hpm.dir/profiler.cpp.o"
+  "CMakeFiles/p2sim_rs2hpm.dir/profiler.cpp.o.d"
+  "CMakeFiles/p2sim_rs2hpm.dir/snapshot.cpp.o"
+  "CMakeFiles/p2sim_rs2hpm.dir/snapshot.cpp.o.d"
+  "libp2sim_rs2hpm.a"
+  "libp2sim_rs2hpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_rs2hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

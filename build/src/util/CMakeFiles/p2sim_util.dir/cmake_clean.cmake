@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/p2sim_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/p2sim_util.dir/csv.cpp.o"
+  "CMakeFiles/p2sim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/p2sim_util.dir/histogram.cpp.o"
+  "CMakeFiles/p2sim_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/p2sim_util.dir/rng.cpp.o"
+  "CMakeFiles/p2sim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/p2sim_util.dir/sim_time.cpp.o"
+  "CMakeFiles/p2sim_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/p2sim_util.dir/stats.cpp.o"
+  "CMakeFiles/p2sim_util.dir/stats.cpp.o.d"
+  "libp2sim_util.a"
+  "libp2sim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

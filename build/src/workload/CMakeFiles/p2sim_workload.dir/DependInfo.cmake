@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/driver.cpp" "src/workload/CMakeFiles/p2sim_workload.dir/driver.cpp.o" "gcc" "src/workload/CMakeFiles/p2sim_workload.dir/driver.cpp.o.d"
+  "/root/repo/src/workload/jobgen.cpp" "src/workload/CMakeFiles/p2sim_workload.dir/jobgen.cpp.o" "gcc" "src/workload/CMakeFiles/p2sim_workload.dir/jobgen.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/p2sim_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/p2sim_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/npb.cpp" "src/workload/CMakeFiles/p2sim_workload.dir/npb.cpp.o" "gcc" "src/workload/CMakeFiles/p2sim_workload.dir/npb.cpp.o.d"
+  "/root/repo/src/workload/presets.cpp" "src/workload/CMakeFiles/p2sim_workload.dir/presets.cpp.o" "gcc" "src/workload/CMakeFiles/p2sim_workload.dir/presets.cpp.o.d"
+  "/root/repo/src/workload/stencil.cpp" "src/workload/CMakeFiles/p2sim_workload.dir/stencil.cpp.o" "gcc" "src/workload/CMakeFiles/p2sim_workload.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pbs/CMakeFiles/p2sim_pbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/p2sim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power2/CMakeFiles/p2sim_power2.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2sim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpm/CMakeFiles/p2sim_hpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

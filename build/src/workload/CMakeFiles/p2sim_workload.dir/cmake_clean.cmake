@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2sim_workload.dir/driver.cpp.o"
+  "CMakeFiles/p2sim_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/p2sim_workload.dir/jobgen.cpp.o"
+  "CMakeFiles/p2sim_workload.dir/jobgen.cpp.o.d"
+  "CMakeFiles/p2sim_workload.dir/kernels.cpp.o"
+  "CMakeFiles/p2sim_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/p2sim_workload.dir/npb.cpp.o"
+  "CMakeFiles/p2sim_workload.dir/npb.cpp.o.d"
+  "CMakeFiles/p2sim_workload.dir/presets.cpp.o"
+  "CMakeFiles/p2sim_workload.dir/presets.cpp.o.d"
+  "CMakeFiles/p2sim_workload.dir/stencil.cpp.o"
+  "CMakeFiles/p2sim_workload.dir/stencil.cpp.o.d"
+  "libp2sim_workload.a"
+  "libp2sim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2sim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

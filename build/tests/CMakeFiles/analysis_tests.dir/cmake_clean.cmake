@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/daily_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/daily_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/figures_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/figures_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/record_io_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/record_io_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/tables_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/tables_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/trends_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/trends_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/users_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/users_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/comm_model_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/comm_model_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/comm_model_test.cpp.o.d"
+  "/root/repo/tests/cluster/dma_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/dma_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/dma_test.cpp.o.d"
+  "/root/repo/tests/cluster/nfs_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/nfs_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/nfs_test.cpp.o.d"
+  "/root/repo/tests/cluster/node_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/node_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/node_test.cpp.o.d"
+  "/root/repo/tests/cluster/paging_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/paging_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/paging_test.cpp.o.d"
+  "/root/repo/tests/cluster/switch_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/switch_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/switch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/p2sim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/p2sim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbs/CMakeFiles/p2sim_pbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/p2sim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs2hpm/CMakeFiles/p2sim_rs2hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpm/CMakeFiles/p2sim_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power2/CMakeFiles/p2sim_power2.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2sim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

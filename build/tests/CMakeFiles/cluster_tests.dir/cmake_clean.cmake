@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tests.dir/cluster/comm_model_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/comm_model_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/dma_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/dma_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/nfs_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/nfs_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/node_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/node_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/paging_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/paging_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/switch_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/switch_test.cpp.o.d"
+  "cluster_tests"
+  "cluster_tests.pdb"
+  "cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

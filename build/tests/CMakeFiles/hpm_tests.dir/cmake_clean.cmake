@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_tests.dir/hpm/monitor_test.cpp.o"
+  "CMakeFiles/hpm_tests.dir/hpm/monitor_test.cpp.o.d"
+  "CMakeFiles/hpm_tests.dir/hpm/selection_test.cpp.o"
+  "CMakeFiles/hpm_tests.dir/hpm/selection_test.cpp.o.d"
+  "hpm_tests"
+  "hpm_tests.pdb"
+  "hpm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

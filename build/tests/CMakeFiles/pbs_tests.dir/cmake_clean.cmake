@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbs_tests.dir/pbs/accounting_test.cpp.o"
+  "CMakeFiles/pbs_tests.dir/pbs/accounting_test.cpp.o.d"
+  "CMakeFiles/pbs_tests.dir/pbs/checkpoint_test.cpp.o"
+  "CMakeFiles/pbs_tests.dir/pbs/checkpoint_test.cpp.o.d"
+  "CMakeFiles/pbs_tests.dir/pbs/scheduler_test.cpp.o"
+  "CMakeFiles/pbs_tests.dir/pbs/scheduler_test.cpp.o.d"
+  "pbs_tests"
+  "pbs_tests.pdb"
+  "pbs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

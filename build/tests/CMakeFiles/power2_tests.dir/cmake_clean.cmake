@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power2_tests.dir/power2/cache_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/cache_test.cpp.o.d"
+  "CMakeFiles/power2_tests.dir/power2/core_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/core_test.cpp.o.d"
+  "CMakeFiles/power2_tests.dir/power2/kernel_desc_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/kernel_desc_test.cpp.o.d"
+  "CMakeFiles/power2_tests.dir/power2/mix_kernel_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/mix_kernel_test.cpp.o.d"
+  "CMakeFiles/power2_tests.dir/power2/signature_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/signature_test.cpp.o.d"
+  "CMakeFiles/power2_tests.dir/power2/tlb_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/tlb_test.cpp.o.d"
+  "CMakeFiles/power2_tests.dir/power2/trace_test.cpp.o"
+  "CMakeFiles/power2_tests.dir/power2/trace_test.cpp.o.d"
+  "power2_tests"
+  "power2_tests.pdb"
+  "power2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/daemon_test.cpp.o"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/daemon_test.cpp.o.d"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/derived_test.cpp.o"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/derived_test.cpp.o.d"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/job_monitor_test.cpp.o"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/job_monitor_test.cpp.o.d"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/profiler_test.cpp.o"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/profiler_test.cpp.o.d"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/snapshot_test.cpp.o"
+  "CMakeFiles/rs2hpm_tests.dir/rs2hpm/snapshot_test.cpp.o.d"
+  "rs2hpm_tests"
+  "rs2hpm_tests.pdb"
+  "rs2hpm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs2hpm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rs2hpm_tests.
+# This may be replaced when dependencies are built.

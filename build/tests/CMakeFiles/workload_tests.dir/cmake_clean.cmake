@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/driver_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/driver_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/jobgen_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/jobgen_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/kernels_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/kernels_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/npb_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/npb_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/presets_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/presets_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/stencil_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/stencil_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/user_codes_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/user_codes_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
