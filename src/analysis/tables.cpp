@@ -1,8 +1,10 @@
 #include "src/analysis/tables.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 
+#include "src/check/check.hpp"
 #include "src/power2/signature.hpp"
 #include "src/util/stats.hpp"
 #include "src/workload/kernels.hpp"
@@ -23,6 +25,9 @@ RateRow make_row(std::string section, std::string label,
   row.day = sample.empty() ? 0.0 : get(sample[rep]);
   row.avg = st.mean();
   row.stddev = st.stddev();
+  P2SIM_CHECK(std::isfinite(row.avg) && std::isfinite(row.stddev) &&
+                  row.stddev >= 0.0,
+              "table rates must be finite with non-negative spread");
   return row;
 }
 

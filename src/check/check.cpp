@@ -1,0 +1,25 @@
+#include "src/check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2sim::check {
+
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& context) {
+  std::fprintf(stderr, "p2sim: %s violated at %s:%d\n  expression: %s\n",
+               kind, file, line, expr);
+  if (!context.empty()) {
+    std::fprintf(stderr, "  context: %s\n", context.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool library_checks_enabled() noexcept {
+  // This TU is compiled with the library's flags, so its view of
+  // P2SIM_CHECKS_ENABLED is the one the in-library hooks were built with.
+  return P2SIM_CHECKS_ENABLED != 0;
+}
+
+}  // namespace p2sim::check

@@ -1,0 +1,73 @@
+// Abort-with-context checking macros — the enforcement half of the
+// correctness-verification subsystem (see src/check/invariants.hpp for the
+// counter identities themselves).
+//
+// The paper's credibility rests on 22 silently-wrapping 32-bit counters
+// whose cross-counter identities must hold exactly; a simulator bug that
+// breaks one of them produces plausible-looking but wrong tables.  These
+// macros make such breakage loud in Debug/CI builds and free in Release:
+//
+//   P2SIM_INVARIANT(cond)            // a modelled hardware identity
+//   P2SIM_INVARIANT(cond, context)   // ... with extra diagnostic detail
+//   P2SIM_CHECK(cond)                // an internal sanity condition
+//   P2SIM_CHECK(cond, context)
+//
+// `context` is any expression convertible to std::string; it is evaluated
+// only on failure.  Both macros compile to nothing when
+// P2SIM_CHECKS_ENABLED is 0 (the default whenever NDEBUG is defined, i.e.
+// Release and RelWithDebInfo), so hot paths pay nothing in production.
+// The build can force either state via -DP2SIM_CHECKS_ENABLED=0/1 (the
+// `P2SIM_CHECKS` CMake option; the debug/asan/tsan presets force it on).
+#pragma once
+
+#include <string>
+
+#if !defined(P2SIM_CHECKS_ENABLED)
+#if defined(NDEBUG)
+#define P2SIM_CHECKS_ENABLED 0
+#else
+#define P2SIM_CHECKS_ENABLED 1
+#endif
+#endif
+
+namespace p2sim::check {
+
+/// Prints a labelled "<kind> violated" report (expression, location,
+/// context) to stderr and aborts.  `kind` is "invariant" or "check".
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& context);
+
+/// True when the translation unit of the *caller of this header's macros*
+/// was built with checks compiled in.  Tests use it to assert the build
+/// mode they run under.
+constexpr bool checks_enabled() noexcept { return P2SIM_CHECKS_ENABLED != 0; }
+
+/// True when the p2sim *libraries* were built with checks compiled in.
+/// Distinct from checks_enabled(): a test TU can force its own macros on
+/// while linking against a Release library whose hooks compiled out.
+bool library_checks_enabled() noexcept;
+
+}  // namespace p2sim::check
+
+#if P2SIM_CHECKS_ENABLED
+
+#define P2SIM_CHECK_IMPL_(kind, cond, ...)                      \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::p2sim::check::fail(kind, #cond, __FILE__, __LINE__,     \
+                           ::std::string{__VA_ARGS__});         \
+    }                                                           \
+  } while (false)
+
+#define P2SIM_INVARIANT(cond, ...) \
+  P2SIM_CHECK_IMPL_("invariant", cond, __VA_ARGS__)
+#define P2SIM_CHECK(cond, ...) P2SIM_CHECK_IMPL_("check", cond, __VA_ARGS__)
+
+#else  // !P2SIM_CHECKS_ENABLED
+
+// The sizeof keeps the condition's operands "used" (no -Wunused noise)
+// without evaluating anything at runtime.
+#define P2SIM_INVARIANT(cond, ...) ((void)sizeof(!(cond)))
+#define P2SIM_CHECK(cond, ...) ((void)sizeof(!(cond)))
+
+#endif  // P2SIM_CHECKS_ENABLED

@@ -1,0 +1,242 @@
+#include "src/check/invariants.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace p2sim::check {
+namespace {
+
+using power2::EventCounts;
+
+/// Formats "lhs_name=<v> vs rhs_name=<v>" detail strings.
+std::string pair_detail(const char* a_name, std::uint64_t a,
+                        const char* b_name, std::uint64_t b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 " vs %s=%" PRIu64, a_name, a,
+                b_name, b);
+  return buf;
+}
+
+/// Rule helper: require a <= b.
+std::optional<std::string> require_le(const char* a_name, std::uint64_t a,
+                                      const char* b_name, std::uint64_t b) {
+  if (a <= b) return std::nullopt;
+  return pair_detail(a_name, a, b_name, b);
+}
+
+std::uint64_t at(const Totals64& t, hpm::HpmCounter c) {
+  return t[hpm::index_of(c)];
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor() {
+  using Ev = const EventCounts&;
+
+  // --- identities preserved by independent per-field rounding -----------
+
+  add_event_rule(
+      {"fma-add-half-folded",
+       "section 5: the fma add half lands in fpop.fp_add, so each unit's "
+       "add count dominates its fma count",
+       /*exact_only=*/false, [](Ev ev) -> std::optional<std::string> {
+         if (auto v = require_le("fp_fma0", ev.fp_fma0, "fp_add0", ev.fp_add0))
+           return v;
+         return require_le("fp_fma1", ev.fp_fma1, "fp_add1", ev.fp_add1);
+       }});
+
+  add_event_rule(
+      {"fma-counts-twice-as-flops",
+       "section 5 / Table 3: flops = add + mul + div + muladd, so every fma "
+       "contributes two flops",
+       /*exact_only=*/false, [](Ev ev) {
+         return require_le("2*fp_fma", 2 * ev.fp_fma(), "flops", ev.flops());
+       }});
+
+  add_event_rule(
+      {"quad-counts-once",
+       "section 5 / Table 2: a quad load/store is one FXU instruction "
+       "moving two words (quad ops are a subset of memory ops)",
+       /*exact_only=*/false, [](Ev ev) {
+         return require_le("quad_inst", ev.quad_inst, "memory_inst",
+                           ev.memory_inst);
+       }});
+
+  add_event_rule(
+      {"dcache-miss-bounded-by-references",
+       "Table 4: user.dcache_mis counts FPU+FXU requests not in the "
+       "D-cache, a subset of load/store traffic",
+       /*exact_only=*/false, [](Ev ev) {
+         return require_le("dcache_miss", ev.dcache_miss, "memory_inst",
+                           ev.memory_inst);
+       }});
+
+  add_event_rule(
+      {"tlb-miss-bounded-by-references",
+       "Table 4: TLB misses cannot exceed loads+stores",
+       /*exact_only=*/false, [](Ev ev) {
+         return require_le("tlb_miss", ev.tlb_miss, "memory_inst",
+                           ev.memory_inst);
+       }});
+
+  add_event_rule(
+      {"reload-requires-miss",
+       "section 2: a memory->D-cache transfer happens only on a miss "
+       "(write-allocate D-cache)",
+       /*exact_only=*/false, [](Ev ev) {
+         return require_le("dcache_reload", ev.dcache_reload, "dcache_miss",
+                           ev.dcache_miss);
+       }});
+
+  add_event_rule(
+      {"dirty-eviction-bound",
+       "section 2: user.dcache_store fires on a modified-victim eviction, "
+       "which only a reload can trigger (write-back D-cache)",
+       /*exact_only=*/false, [](Ev ev) {
+         return require_le("dcache_store", ev.dcache_store, "dcache_reload",
+                           ev.dcache_reload);
+       }});
+
+  // --- identities over field sums: exact core batches only --------------
+
+  add_event_rule(
+      {"fma-counts-once-per-instruction",
+       "section 5: each FPU op is one instruction; the fma multiply half is "
+       "the muladd count itself, so add+mul+div <= instructions per unit",
+       /*exact_only=*/true, [](Ev ev) -> std::optional<std::string> {
+         if (auto v = require_le("fp_add0+fp_mul0+fp_div0",
+                                 ev.fp_add0 + ev.fp_mul0 + ev.fp_div0,
+                                 "fpu0_inst", ev.fpu0_inst))
+           return v;
+         return require_le("fp_add1+fp_mul1+fp_div1",
+                           ev.fp_add1 + ev.fp_mul1 + ev.fp_div1, "fpu1_inst",
+                           ev.fpu1_inst);
+       }});
+
+  add_event_rule(
+      {"memory-ops-execute-on-fxu",
+       "section 2: loads and stores issue on the fixed-point units",
+       /*exact_only=*/true, [](Ev ev) {
+         return require_le("memory_inst", ev.memory_inst, "fxu_inst",
+                           ev.fxu_inst());
+       }});
+
+  add_event_rule(
+      {"dispatch-covers-completion",
+       "section 2: the in-order ICU dispatches every instruction that "
+       "completes (dispatched >= completed)",
+       /*exact_only=*/true, [](Ev ev) -> std::optional<std::string> {
+         if (ev.dispatched_inst == 0) return std::nullopt;  // not recorded
+         return require_le("instructions", ev.instructions(),
+                           "dispatched_inst", ev.dispatched_inst);
+       }});
+
+  add_event_rule(
+      {"stall-cycles-within-total",
+       "section 5: miss-halt and TLB-refill cycles are a portion of the "
+       "measured cycle count",
+       /*exact_only=*/true, [](Ev ev) -> std::optional<std::string> {
+         if (ev.cycles == 0) return std::nullopt;  // sub-batch, no timebase
+         return require_le("stall_dcache+stall_tlb",
+                           ev.stall_dcache + ev.stall_tlb, "cycles",
+                           ev.cycles);
+       }});
+
+  // --- identities over 64-bit extended totals (per privilege mode) ------
+
+  add_totals_rule({"totals-fma-add-half-folded",
+                   "section 5: fpop.fp_add >= fpop.fp_muladd per FPU",
+                   [](const Totals64& t) -> std::optional<std::string> {
+                     if (auto v = require_le(
+                             "fpop.fp_muladd[0]",
+                             at(t, hpm::HpmCounter::kFpMulAdd0),
+                             "fpop.fp_add[0]", at(t, hpm::HpmCounter::kFpAdd0)))
+                       return v;
+                     return require_le("fpop.fp_muladd[1]",
+                                       at(t, hpm::HpmCounter::kFpMulAdd1),
+                                       "fpop.fp_add[1]",
+                                       at(t, hpm::HpmCounter::kFpAdd1));
+                   }});
+
+  add_totals_rule({"totals-dirty-eviction-bound",
+                   "section 2: write-back evictions cannot outnumber reloads",
+                   [](const Totals64& t) {
+                     return require_le("user.dcache_store",
+                                       at(t, hpm::HpmCounter::kDcacheStore),
+                                       "user.dcache_reload",
+                                       at(t, hpm::HpmCounter::kDcacheReload));
+                   }});
+
+  add_totals_rule(
+      {"totals-tlb-miss-vs-fxu",
+       "Table 4: TLB misses are a subset of FXU load/store traffic",
+       [](const Totals64& t) {
+         return require_le("user.tlb_mis", at(t, hpm::HpmCounter::kUserTlbMiss),
+                           "user.fxu0+user.fxu1",
+                           at(t, hpm::HpmCounter::kUserFxu0) +
+                               at(t, hpm::HpmCounter::kUserFxu1));
+       }});
+
+  add_totals_rule(
+      {"totals-dcache-miss-vs-fxu",
+       "Table 4: D-cache misses are a subset of FXU load/store traffic",
+       [](const Totals64& t) {
+         return require_le(
+             "user.dcache_mis", at(t, hpm::HpmCounter::kUserDcacheMiss),
+             "user.fxu0+user.fxu1",
+             at(t, hpm::HpmCounter::kUserFxu0) +
+                 at(t, hpm::HpmCounter::kUserFxu1));
+       }});
+}
+
+void InvariantAuditor::add_event_rule(EventRule rule) {
+  event_rules_.push_back(std::move(rule));
+}
+
+void InvariantAuditor::add_totals_rule(TotalsRule rule) {
+  totals_rules_.push_back(std::move(rule));
+}
+
+std::vector<Violation> InvariantAuditor::audit_events(
+    const power2::EventCounts& ev, AuditScope scope) const {
+  std::vector<Violation> out;
+  for (const EventRule& r : event_rules_) {
+    if (r.exact_only && scope != AuditScope::kExact) continue;
+    if (auto detail = r.fn(ev)) {
+      out.push_back({r.name, *std::move(detail)});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantAuditor::audit_totals(
+    const Totals64& totals) const {
+  std::vector<Violation> out;
+  for (const TotalsRule& r : totals_rules_) {
+    if (auto detail = r.fn(totals)) {
+      out.push_back({r.name, *std::move(detail)});
+    }
+  }
+  return out;
+}
+
+const InvariantAuditor& InvariantAuditor::paper() {
+  static const InvariantAuditor auditor;
+  return auditor;
+}
+
+void enforce(const std::vector<Violation>& violations, const char* where) {
+  if (violations.empty()) return;
+  std::string context = where;
+  for (const Violation& v : violations) {
+    context += "\n    [";
+    context += v.identity;
+    context += "] ";
+    context += v.detail;
+  }
+  fail("invariant", "counter identities hold", "src/check/invariants.cpp", 0,
+       context);
+}
+
+}  // namespace p2sim::check

@@ -1,0 +1,124 @@
+// Cross-counter invariant audit — machine-checked versions of the counter
+// identities the paper's tables rely on.
+//
+// RS2HPM derived every reported rate (Tables 2-4) from the 22-counter
+// selection of Table 1, under accounting rules stated in sections 2 and 5:
+//   * an fma counts ONCE as an FPU instruction but TWICE as flops — its
+//     add half is folded into fpop.fp_add and its multiply half is the
+//     fpop.fp_muladd count itself (section 5, Table 3 footnote);
+//   * a quad load/store is ONE FXU instruction that moves two words (the
+//     Mops-vs-Mips gap of Table 2);
+//   * cache and TLB misses are a subset of the FXU's load/store traffic
+//     (Table 4's per-reference ratios assume this denominator);
+//   * user.dcache_store fires only on a modified-victim eviction, which
+//     only happens when a reload displaces a line (section 2's write-back
+//     D-cache description);
+//   * the in-order machine never completes more than it dispatched.
+// The InvariantAuditor holds these identities as named, registered rules
+// and audits EventCounts batches (from the cycle-level core or the
+// signature-scaled workload engine) and 64-bit counter totals (from the
+// RS2HPM extension layer) against them.
+//
+// Audit scope matters: EventSignature::scale rounds every field
+// independently, so identities that compare SUMS of fields can be off by
+// a count or two after scaling even though the underlying rates satisfy
+// them exactly.  Single-field comparisons survive rounding (llround is
+// monotone), so rules are tagged: `exact_only` rules run only on counts
+// produced directly by the core; the rest run everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/check/check.hpp"
+#include "src/hpm/events.hpp"
+#include "src/power2/event_counts.hpp"
+
+namespace p2sim::check {
+
+/// One detected identity violation.
+struct Violation {
+  std::string identity;  ///< registered rule name, e.g. "fma-add-half-folded"
+  std::string detail;    ///< the numbers that broke it
+};
+
+/// 64-bit totals for one privilege mode (layout-compatible with
+/// rs2hpm::CounterTotals, which lives above this layer).
+using Totals64 = std::array<std::uint64_t, hpm::kNumCounters>;
+
+/// Where the audited counts came from (see header comment).
+enum class AuditScope {
+  kExact,   ///< straight from the cycle-level core: all identities apply
+  kScaled,  ///< signature-scaled / externally assembled: rounding-safe only
+};
+
+class InvariantAuditor {
+ public:
+  /// A rule over one raw event batch.  Returns the violation detail, or
+  /// nullopt when the identity holds.
+  struct EventRule {
+    std::string name;
+    std::string paper_ref;  ///< which table/figure/section it encodes
+    bool exact_only = false;
+    std::function<std::optional<std::string>(const power2::EventCounts&)> fn;
+  };
+
+  /// A rule over one privilege mode's 64-bit counter totals.
+  struct TotalsRule {
+    std::string name;
+    std::string paper_ref;
+    std::function<std::optional<std::string>(const Totals64&)> fn;
+  };
+
+  /// Constructs an auditor preloaded with the paper's identity set.
+  InvariantAuditor();
+
+  /// Additional project-specific identities can be registered at runtime.
+  void add_event_rule(EventRule rule);
+  void add_totals_rule(TotalsRule rule);
+
+  std::vector<Violation> audit_events(const power2::EventCounts& ev,
+                                      AuditScope scope) const;
+  std::vector<Violation> audit_totals(const Totals64& totals) const;
+
+  const std::vector<EventRule>& event_rules() const { return event_rules_; }
+  const std::vector<TotalsRule>& totals_rules() const {
+    return totals_rules_;
+  }
+
+  /// Process-wide auditor with the paper's identities (what the audit
+  /// macros below use).
+  static const InvariantAuditor& paper();
+
+ private:
+  std::vector<EventRule> event_rules_;
+  std::vector<TotalsRule> totals_rules_;
+};
+
+/// Aborts via check::fail listing every violation; no-op on an empty list.
+/// `where` names the audit point (e.g. "power2::Power2Core::run").
+void enforce(const std::vector<Violation>& violations, const char* where);
+
+}  // namespace p2sim::check
+
+// Audit hooks for hot paths: expand to nothing in Release builds so the
+// audit (rule iteration, vector allocation) is never paid there.
+#if P2SIM_CHECKS_ENABLED
+#define P2SIM_AUDIT_EVENTS(ev, scope, where)                          \
+  ::p2sim::check::enforce(                                            \
+      ::p2sim::check::InvariantAuditor::paper().audit_events(         \
+          (ev), ::p2sim::check::AuditScope::scope),                   \
+      (where))
+#define P2SIM_AUDIT_TOTALS(totals, where)                             \
+  ::p2sim::check::enforce(                                            \
+      ::p2sim::check::InvariantAuditor::paper().audit_totals(totals), \
+      (where))
+#else
+#define P2SIM_AUDIT_EVENTS(ev, scope, where) ((void)0)
+#define P2SIM_AUDIT_TOTALS(totals, where) ((void)0)
+#endif

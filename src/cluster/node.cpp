@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/check/check.hpp"
+
 namespace p2sim::cluster {
 namespace {
 
@@ -51,6 +53,11 @@ void Node::apply_slice(double seconds, const power2::EventSignature* sig,
   if (sig != nullptr && profile.compute_fraction > 0.0) {
     const double cycles =
         seconds * cfg_.clock_hz * std::min(profile.compute_fraction, 1.0);
+    // The multipass-sampling contract: no slice may advance any counter by
+    // a full 2^32, or the wrap correction in ExtendedCounters under-counts
+    // (the paper's 15-minute-vs-64-second sampling rule).
+    P2SIM_INVARIANT(cycles < 4294967296.0,
+                    "slice cycles must stay below one counter wrap");
     power2::EventCounts ev = sig->scale(cycles);
     // Wait-state signals are slice-level, not per-compute-cycle: they count
     // the wall time the processor spent blocked.

@@ -1,5 +1,7 @@
 #include "src/core/simulation.hpp"
 
+#include "src/check/check.hpp"
+
 namespace p2sim::core {
 
 Sp2Config Sp2Config::small(std::int64_t days, int nodes) {
@@ -36,6 +38,9 @@ Sp2Simulation::Sp2Simulation(Sp2Config cfg) : cfg_(std::move(cfg)) {}
 const workload::CampaignResult& Sp2Simulation::campaign() {
   if (!result_.has_value()) {
     result_ = workload::run_campaign(cfg_.driver);
+    P2SIM_CHECK(result_->mean_utilization() >= 0.0 &&
+                    result_->mean_utilization() <= 1.000001,
+                "campaign utilization must be a fraction of node-time");
   }
   return *result_;
 }

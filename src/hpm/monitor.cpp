@@ -1,9 +1,14 @@
 #include "src/hpm/monitor.hpp"
 
+#include "src/check/invariants.hpp"
+
 namespace p2sim::hpm {
 
 void PerformanceMonitor::accumulate(const power2::EventCounts& ev,
                                     PrivilegeMode mode) {
+  // Gate at kScaled: batches arriving here may be signature-scaled (each
+  // field rounded independently), so only rounding-stable identities apply.
+  P2SIM_AUDIT_EVENTS(ev, kScaled, "hpm::PerformanceMonitor::accumulate");
   CounterBank& b = banks_[static_cast<std::size_t>(mode)];
   b.add(HpmCounter::kUserFxu0, ev.fxu0_inst);
   b.add(HpmCounter::kUserFxu1, ev.fxu1_inst);

@@ -1,6 +1,9 @@
 #include "src/pbs/accounting.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "src/check/check.hpp"
 
 namespace p2sim::pbs {
 
@@ -35,7 +38,10 @@ double JobDatabase::time_weighted_mflops_per_node(
   for (const JobRecord& r : records_) {
     const double w = r.walltime_s();
     if (w <= min_walltime_s) continue;
-    num += r.mflops_per_node() * w;
+    const double mfn = r.mflops_per_node();
+    P2SIM_CHECK(std::isfinite(mfn) && mfn >= 0.0,
+                "per-node Mflops must be finite and non-negative");
+    num += mfn * w;
     den += w;
   }
   return den > 0.0 ? num / den : 0.0;

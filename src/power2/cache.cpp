@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/check/check.hpp"
+
 namespace p2sim::power2 {
 
 bool CacheConfig::valid() const {
@@ -27,6 +29,7 @@ CacheAccess Cache::access(std::uint64_t addr, bool is_store) {
   const std::uint64_t tag = block >> std::countr_zero(set_mask_ + 1);
   Line* base = &lines_[set * cfg_.ways];
   ++tick_;
+  ++accesses_;
 
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
     Line& l = base[w];
@@ -34,6 +37,8 @@ CacheAccess Cache::access(std::uint64_t addr, bool is_store) {
       l.lru = tick_;
       l.dirty = l.dirty || is_store;
       ++hits_;
+      P2SIM_INVARIANT(hits_ + misses_ == accesses_,
+                      "every cache access is a hit or a miss");
       return {.hit = true, .reload = false, .dirty_evict = false};
     }
   }
@@ -64,6 +69,10 @@ CacheAccess Cache::access(std::uint64_t addr, bool is_store) {
   victim->lru = tick_;
   victim->dirty = is_store;
   out.reload = true;
+  P2SIM_INVARIANT(hits_ + misses_ == accesses_,
+                  "every cache access is a hit or a miss");
+  P2SIM_INVARIANT(!out.dirty_evict || out.reload,
+                  "a dirty eviction can only accompany a reload");
   return out;
 }
 

@@ -47,6 +47,9 @@ class Cache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t dirty_evictions() const { return dirty_evictions_; }
+  /// Lifetime access count; the audited identity accesses == hits + misses
+  /// survives flush() (statistics, unlike lines, are never dropped).
+  std::uint64_t accesses() const { return accesses_; }
 
  private:
   struct Line {
@@ -61,6 +64,7 @@ class Cache {
   std::uint32_t line_shift_;
   std::vector<Line> lines_;  // sets * ways, way-major within a set
   std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t dirty_evictions_ = 0;

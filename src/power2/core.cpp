@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/check/invariants.hpp"
+
 namespace p2sim::power2 {
 namespace {
 
@@ -84,6 +86,7 @@ std::uint64_t Power2Core::run_iteration(const KernelDesc& kernel,
   const std::size_t n = kernel.body.size();
   for (std::size_t i = 0; i < n; ++i) {
     const Instr& in = kernel.body[i];
+    if (counting) ev.dispatched_inst += 1;
 
     // Earliest issue: program order + dispatch slots + data dependencies.
     const std::uint64_t slot_earliest =
@@ -366,6 +369,14 @@ RunResult Power2Core::run(const KernelDesc& kernel,
     now = run_iteration(kernel, now, /*counting=*/true, ev);
   }
   ev.cycles = now - start;
+
+  // Retire-batch audit: the accumulated counts of a measured run must obey
+  // every cross-counter identity exactly (no scaling involved here).
+  P2SIM_AUDIT_EVENTS(ev, kExact, "power2::Power2Core::run");
+  P2SIM_INVARIANT(
+      ev.instructions() <=
+          (ev.cycles + 1) * static_cast<std::uint64_t>(cfg_.dispatch_width),
+      "ICU dispatch width bounds completed instructions per cycle");
 
   RunResult out;
   out.counts = ev;

@@ -29,6 +29,7 @@ EventCounts& EventCounts::operator+=(const EventCounts& o) {
   quad_inst += o.quad_inst;
   stall_dcache += o.stall_dcache;
   stall_tlb += o.stall_tlb;
+  dispatched_inst += o.dispatched_inst;
   comm_wait_cycles += o.comm_wait_cycles;
   io_wait_cycles += o.io_wait_cycles;
   return *this;

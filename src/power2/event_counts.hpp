@@ -49,6 +49,12 @@ struct EventCounts {
   std::uint64_t quad_inst = 0;     ///< quad loads/stores (each moves 2 words)
   std::uint64_t stall_dcache = 0;  ///< cycles lost to D-cache miss halts
   std::uint64_t stall_tlb = 0;     ///< cycles lost to TLB refills
+  /// Instructions handed to execution units by the ICU dispatcher.  The
+  /// in-order core dispatches each instruction exactly once, so this must
+  /// cover instructions(); the invariant auditor checks dispatched >=
+  /// completed.  Zero when the producer (e.g. signature scaling) does not
+  /// model dispatch.
+  std::uint64_t dispatched_inst = 0;
 
   // --- wait states (countable only under the kWaitStates selection) ---
   // The paper's closing recommendation: "other sites ... might consider

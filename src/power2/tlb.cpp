@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/check/check.hpp"
+
 namespace p2sim::power2 {
 
 bool TlbConfig::valid() const {
@@ -25,12 +27,15 @@ bool Tlb::access(std::uint64_t addr) {
   const std::uint64_t set = vpn & set_mask_;
   Entry* base = &entries_[set * cfg_.ways];
   ++tick_;
+  ++accesses_;
 
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
     Entry& e = base[w];
     if (e.valid && e.vpn == vpn) {
       e.lru = tick_;
       ++hits_;
+      P2SIM_INVARIANT(hits_ + misses_ == accesses_,
+                      "every TLB access is a hit or a miss");
       return true;
     }
   }
@@ -47,6 +52,8 @@ bool Tlb::access(std::uint64_t addr) {
   victim->valid = true;
   victim->vpn = vpn;
   victim->lru = tick_;
+  P2SIM_INVARIANT(hits_ + misses_ == accesses_,
+                  "every TLB access is a hit or a miss");
   return false;
 }
 

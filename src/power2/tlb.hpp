@@ -28,6 +28,8 @@ class Tlb {
   const TlbConfig& config() const { return cfg_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Lifetime access count (accesses == hits + misses, audited).
+  std::uint64_t accesses() const { return accesses_; }
 
  private:
   struct Entry {
@@ -41,6 +43,7 @@ class Tlb {
   std::uint32_t page_shift_;
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/check/check.hpp"
+
 namespace p2sim::rs2hpm {
 
 SamplingDaemon::SamplingDaemon(std::size_t num_nodes)
@@ -24,6 +26,8 @@ void SamplingDaemon::collect(std::int64_t interval,
   if (primed_) {
     for (std::size_t i = 0; i < prev_.size(); ++i) {
       rec.delta += node_totals[i].since(prev_[i]);
+      P2SIM_CHECK(node_quads[i] >= prev_quads_[i],
+                  "quad diagnostic must be monotone per node");
       rec.quad_surplus += node_quads[i] - prev_quads_[i];
     }
     records_.push_back(rec);

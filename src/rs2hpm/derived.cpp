@@ -1,11 +1,21 @@
 #include "src/rs2hpm/derived.hpp"
 
+#include <cmath>
+
+#include "src/check/invariants.hpp"
+
 namespace p2sim::rs2hpm {
 
 DerivedRates derive_rates(const ModeTotals& delta, double elapsed_s,
                           std::uint64_t quad_surplus,
                           hpm::CounterSelection selection) {
   using hpm::HpmCounter;
+  P2SIM_CHECK(std::isfinite(elapsed_s),
+              "derive_rates needs a finite elapsed time");
+  // The counter delta feeding a derivation must itself obey the Table 1
+  // identities — a wrap-accounting bug upstream shows up here first.
+  P2SIM_AUDIT_TOTALS(delta.user, "rs2hpm::derive_rates(user delta)");
+  P2SIM_AUDIT_TOTALS(delta.system, "rs2hpm::derive_rates(system delta)");
   DerivedRates r;
   r.elapsed_s = elapsed_s;
   if (elapsed_s <= 0.0) return r;

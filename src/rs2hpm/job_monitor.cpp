@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/check/check.hpp"
+
 namespace p2sim::rs2hpm {
 
 void JobMonitor::prologue(std::int64_t job_id, double start_s,
@@ -37,8 +39,12 @@ JobCounterReport JobMonitor::epilogue(
   rep.job_id = job_id;
   rep.nodes = static_cast<int>(o.totals.size());
   rep.elapsed_s = end_s - o.start_s;
+  P2SIM_CHECK(rep.elapsed_s >= 0.0,
+              "epilogue cannot precede the job's prologue");
   for (std::size_t i = 0; i < o.totals.size(); ++i) {
     rep.delta += node_totals[i].since(o.totals[i]);
+    P2SIM_CHECK(node_quads[i] >= o.quads[i],
+                "quad diagnostic must be monotone over the job window");
     rep.quad_surplus += node_quads[i] - o.quads[i];
   }
   open_.erase(it);

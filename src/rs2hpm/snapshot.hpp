@@ -64,11 +64,26 @@ class ExtendedCounters {
   void sample(const hpm::PerformanceMonitor& mon);
 
   const ModeTotals& totals() const { return totals_; }
-  void reset_totals() { totals_ = ModeTotals{}; }
+  void reset_totals() {
+    totals_ = ModeTotals{};
+    // Re-anchor the wrap-consistency baseline: totals restart from zero at
+    // the current raw counter values.
+    base_user_ = last_user_;
+    base_system_ = last_system_;
+  }
 
  private:
+  /// Debug-build audit: (baseline + extended total) mod 2^32 must equal
+  /// each raw 32-bit register — the wrap-consistency identity between
+  /// hpm::CounterBank and this extension layer.  Compiled out in Release.
+  void check_wrap_consistency(const hpm::PerformanceMonitor& mon) const;
+
   std::array<std::uint32_t, hpm::kNumCounters> last_user_{};
   std::array<std::uint32_t, hpm::kNumCounters> last_system_{};
+  // Raw values at attach (or last reset_totals): the anchor that makes the
+  // 64-bit totals and the wrapping registers mutually checkable.
+  std::array<std::uint32_t, hpm::kNumCounters> base_user_{};
+  std::array<std::uint32_t, hpm::kNumCounters> base_system_{};
   ModeTotals totals_;
   bool attached_ = false;
 };

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/check/check.hpp"
+
 namespace p2sim::util {
 
 void RunningStats::add(double x) noexcept {
+  P2SIM_CHECK(!std::isnan(x), "RunningStats input must not be NaN");
   if (n_ == 0) {
     min_ = max_ = x;
   } else {

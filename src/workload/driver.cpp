@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/check/invariants.hpp"
+
 namespace p2sim::workload {
 
 WorkloadDriver::WorkloadDriver(const DriverConfig& cfg) : cfg_(cfg) {
@@ -221,6 +223,17 @@ CampaignResult WorkloadDriver::run() {
   }
 
   result.intervals = daemon.records();
+#if P2SIM_CHECKS_ENABLED
+  // Campaign-level audit: every 15-minute record the daemon produced must
+  // obey the Table 1 identities in both privilege modes.
+  for (const rs2hpm::IntervalRecord& rec : result.intervals) {
+    P2SIM_AUDIT_TOTALS(rec.delta.user,
+                       "workload::WorkloadDriver::run(interval user delta)");
+    P2SIM_AUDIT_TOTALS(
+        rec.delta.system,
+        "workload::WorkloadDriver::run(interval system delta)");
+  }
+#endif
   return result;
 }
 

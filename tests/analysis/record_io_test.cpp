@@ -17,9 +17,14 @@ rs2hpm::IntervalRecord make_interval(std::int64_t i) {
   rec.nodes_sampled = 144;
   rec.busy_nodes = static_cast<int>(i % 145);
   rec.quad_surplus = 1000 + static_cast<std::uint64_t>(i);
+  // Distinct per-counter values that still satisfy the Table 1 identities
+  // (fp_add >= fp_muladd, dcache_reload >= dcache_store, misses <= FXU
+  // traffic): earlier Table 1 slots get the larger residue.
   for (std::size_t c = 0; c < hpm::kNumCounters; ++c) {
-    rec.delta.user[c] = static_cast<std::uint64_t>(i) * 100 + c;
-    rec.delta.system[c] = static_cast<std::uint64_t>(i) * 7 + c;
+    rec.delta.user[c] =
+        static_cast<std::uint64_t>(i) * 100 + (hpm::kNumCounters - c);
+    rec.delta.system[c] =
+        static_cast<std::uint64_t>(i) * 7 + (hpm::kNumCounters - c);
   }
   return rec;
 }
@@ -36,7 +41,8 @@ pbs::JobRecord make_job(std::int64_t id) {
   r.report.elapsed_s = 1234.5;
   r.report.quad_surplus = 77;
   for (std::size_t c = 0; c < hpm::kNumCounters; ++c) {
-    r.report.delta.user[c] = static_cast<std::uint64_t>(id) * 11 + c;
+    r.report.delta.user[c] =
+        static_cast<std::uint64_t>(id) * 11 + (hpm::kNumCounters - c);
   }
   return r;
 }

@@ -1,0 +1,308 @@
+// The invariant auditor: every registered Table 1 identity must stay
+// silent on counts the real model produces and fire loudly on corrupted
+// counts.  This test file is compiled with P2SIM_CHECKS_ENABLED=1
+// regardless of build type, so the death-test paths exist even in Release.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/check.hpp"
+#include "src/check/invariants.hpp"
+#include "src/hpm/monitor.hpp"
+#include "src/power2/core.hpp"
+#include "src/workload/kernels.hpp"
+
+namespace p2sim {
+namespace {
+
+using check::AuditScope;
+using check::InvariantAuditor;
+using check::Totals64;
+using check::Violation;
+using power2::EventCounts;
+
+bool fires(const std::vector<Violation>& vs, const std::string& identity) {
+  for (const Violation& v : vs) {
+    if (v.identity == identity) return true;
+  }
+  return false;
+}
+
+TEST(InvariantAuditor, ThisBinaryHasChecksCompiledIn) {
+  EXPECT_TRUE(check::checks_enabled());
+}
+
+TEST(InvariantAuditor, EveryRuleIsNamedAndCitesThePaper) {
+  const InvariantAuditor& a = InvariantAuditor::paper();
+  EXPECT_GE(a.event_rules().size(), 11u);
+  EXPECT_GE(a.totals_rules().size(), 4u);
+  std::set<std::string> names;
+  for (const auto& r : a.event_rules()) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.paper_ref.empty()) << r.name;
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate rule " << r.name;
+  }
+  for (const auto& r : a.totals_rules()) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.paper_ref.empty()) << r.name;
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate rule " << r.name;
+  }
+}
+
+// --- clean counts stay silent -------------------------------------------
+
+TEST(InvariantAuditor, CleanNpbRunPassesAllIdentities) {
+  power2::Power2Core core;
+  const power2::RunResult res = core.run(workload::npb_bt_like());
+  ASSERT_GT(res.counts.instructions(), 0u);
+  EXPECT_TRUE(InvariantAuditor::paper()
+                  .audit_events(res.counts, AuditScope::kExact)
+                  .empty());
+}
+
+TEST(InvariantAuditor, CleanSequentialSweepPassesAllIdentities) {
+  power2::Power2Core core;
+  const power2::RunResult res = core.run(workload::sequential_sweep());
+  EXPECT_TRUE(InvariantAuditor::paper()
+                  .audit_events(res.counts, AuditScope::kExact)
+                  .empty());
+}
+
+TEST(InvariantAuditor, ConsistentTotalsPassAllIdentities) {
+  Totals64 t{};
+  t[hpm::index_of(hpm::HpmCounter::kUserFxu0)] = 1000;
+  t[hpm::index_of(hpm::HpmCounter::kUserFxu1)] = 900;
+  t[hpm::index_of(hpm::HpmCounter::kUserDcacheMiss)] = 50;
+  t[hpm::index_of(hpm::HpmCounter::kUserTlbMiss)] = 3;
+  t[hpm::index_of(hpm::HpmCounter::kFpAdd0)] = 400;
+  t[hpm::index_of(hpm::HpmCounter::kFpMulAdd0)] = 300;
+  t[hpm::index_of(hpm::HpmCounter::kDcacheReload)] = 50;
+  t[hpm::index_of(hpm::HpmCounter::kDcacheStore)] = 20;
+  EXPECT_TRUE(InvariantAuditor::paper().audit_totals(t).empty());
+}
+
+// --- each identity fires on counts corrupted against it ------------------
+
+TEST(InvariantAuditor, FmaAddHalfFoldedFires) {
+  EventCounts ev;
+  ev.fp_fma0 = 5;
+  ev.fp_add0 = 1;  // fma adds must be folded into fp_add, so add >= fma
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "fma-add-half-folded"));
+}
+
+TEST(InvariantAuditor, FmaCountsTwiceAsFlopsFires) {
+  EventCounts ev;
+  ev.fp_fma0 = 3;  // flops() = 3 but 2*fma = 6: accounting broken
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "fma-counts-twice-as-flops"));
+}
+
+TEST(InvariantAuditor, QuadCountsOnceFires) {
+  EventCounts ev;
+  ev.quad_inst = 2;
+  ev.memory_inst = 1;
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "quad-counts-once"));
+}
+
+TEST(InvariantAuditor, DcacheMissBoundFires) {
+  EventCounts ev;
+  ev.dcache_miss = 4;
+  ev.memory_inst = 3;
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "dcache-miss-bounded-by-references"));
+}
+
+TEST(InvariantAuditor, TlbMissBoundFires) {
+  EventCounts ev;
+  ev.tlb_miss = 4;
+  ev.memory_inst = 3;
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "tlb-miss-bounded-by-references"));
+}
+
+TEST(InvariantAuditor, ReloadRequiresMissFires) {
+  EventCounts ev;
+  ev.dcache_reload = 2;
+  ev.dcache_miss = 1;
+  ev.memory_inst = 1;
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "reload-requires-miss"));
+}
+
+TEST(InvariantAuditor, DirtyEvictionBoundFires) {
+  EventCounts ev;
+  ev.dcache_store = 3;
+  ev.dcache_reload = 2;
+  ev.dcache_miss = 2;
+  ev.memory_inst = 2;
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "dirty-eviction-bound"));
+}
+
+TEST(InvariantAuditor, FmaOncePerInstructionFiresOnlyAtExactScope) {
+  EventCounts ev;
+  ev.fp_add0 = 2;
+  ev.fpu0_inst = 1;  // more add ops than FPU instructions: impossible
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kExact),
+      "fma-counts-once-per-instruction"));
+  // Scaled batches round each field independently; sum identities are
+  // deliberately not applied there.
+  EXPECT_FALSE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "fma-counts-once-per-instruction"));
+}
+
+TEST(InvariantAuditor, MemoryOpsOnFxuFiresOnlyAtExactScope) {
+  EventCounts ev;
+  ev.memory_inst = 3;  // loads/stores with no FXU instructions at all
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kExact),
+      "memory-ops-execute-on-fxu"));
+  EXPECT_FALSE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled),
+      "memory-ops-execute-on-fxu"));
+}
+
+TEST(InvariantAuditor, DispatchCoversCompletionFires) {
+  EventCounts ev;
+  ev.fxu0_inst = 5;
+  ev.dispatched_inst = 1;  // completed more than was dispatched
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kExact),
+      "dispatch-covers-completion"));
+  // Producers that do not model dispatch leave the field at zero; the
+  // rule must not fire on them.
+  ev.dispatched_inst = 0;
+  EXPECT_FALSE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kExact),
+      "dispatch-covers-completion"));
+}
+
+TEST(InvariantAuditor, StallCyclesWithinTotalFires) {
+  EventCounts ev;
+  ev.cycles = 10;
+  ev.stall_dcache = 20;
+  EXPECT_TRUE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kExact),
+      "stall-cycles-within-total"));
+  // A sub-batch with no timebase is exempt.
+  ev.cycles = 0;
+  EXPECT_FALSE(fires(
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kExact),
+      "stall-cycles-within-total"));
+}
+
+TEST(InvariantAuditor, TotalsFmaAddHalfFoldedFires) {
+  Totals64 t{};
+  t[hpm::index_of(hpm::HpmCounter::kFpMulAdd0)] = 5;
+  t[hpm::index_of(hpm::HpmCounter::kFpAdd0)] = 1;
+  EXPECT_TRUE(fires(InvariantAuditor::paper().audit_totals(t),
+                    "totals-fma-add-half-folded"));
+}
+
+TEST(InvariantAuditor, TotalsDirtyEvictionBoundFires) {
+  Totals64 t{};
+  t[hpm::index_of(hpm::HpmCounter::kDcacheStore)] = 5;
+  t[hpm::index_of(hpm::HpmCounter::kDcacheReload)] = 1;
+  EXPECT_TRUE(fires(InvariantAuditor::paper().audit_totals(t),
+                    "totals-dirty-eviction-bound"));
+}
+
+TEST(InvariantAuditor, TotalsTlbMissVsFxuFires) {
+  Totals64 t{};
+  t[hpm::index_of(hpm::HpmCounter::kUserTlbMiss)] = 5;
+  EXPECT_TRUE(fires(InvariantAuditor::paper().audit_totals(t),
+                    "totals-tlb-miss-vs-fxu"));
+}
+
+TEST(InvariantAuditor, TotalsDcacheMissVsFxuFires) {
+  Totals64 t{};
+  t[hpm::index_of(hpm::HpmCounter::kUserDcacheMiss)] = 5;
+  EXPECT_TRUE(fires(InvariantAuditor::paper().audit_totals(t),
+                    "totals-dcache-miss-vs-fxu"));
+}
+
+// --- custom rule registration -------------------------------------------
+
+TEST(InvariantAuditor, CustomRulesCanBeRegistered) {
+  InvariantAuditor a;
+  const std::size_t before = a.event_rules().size();
+  a.add_event_rule({"always-fires", "test-only rule", false,
+                    [](const EventCounts&) -> std::optional<std::string> {
+                      return "synthetic";
+                    }});
+  EXPECT_EQ(a.event_rules().size(), before + 1);
+  EventCounts ev;
+  EXPECT_TRUE(fires(a.audit_events(ev, AuditScope::kScaled), "always-fires"));
+}
+
+// --- enforcement aborts with a labelled report ---------------------------
+
+using InvariantDeathTest = ::testing::Test;
+
+TEST(InvariantDeathTest, EnforceAbortsNamingTheBrokenIdentity) {
+  EventCounts ev;
+  ev.fp_fma0 = 5;
+  ev.fp_add0 = 1;
+  const auto violations =
+      InvariantAuditor::paper().audit_events(ev, AuditScope::kScaled);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_DEATH(check::enforce(violations, "invariant_test-site"),
+               "invariant violated.*invariant_test-site.*"
+               "fma-add-half-folded");
+}
+
+TEST(InvariantDeathTest, EnforceIsSilentOnEmptyViolationList) {
+  check::enforce({}, "invariant_test-site");  // must not abort
+}
+
+TEST(InvariantDeathTest, InvariantMacroAbortsWithContext) {
+  EXPECT_DEATH(
+      P2SIM_INVARIANT(1 + 1 == 3, "arithmetic is broken"),
+      "invariant violated.*1 \\+ 1 == 3.*arithmetic is broken");
+}
+
+TEST(InvariantDeathTest, CheckMacroAbortsWithContext) {
+  EXPECT_DEATH(P2SIM_CHECK(false, "sanity context"),
+               "check violated.*sanity context");
+}
+
+// --- the monitor's own audit hook ---------------------------------------
+
+TEST(InvariantDeathTest, MonitorAccumulateRejectsCorruptBatch) {
+  if (!check::library_checks_enabled()) {
+    GTEST_SKIP() << "library built without checks (Release)";
+  }
+  hpm::PerformanceMonitor mon;
+  EventCounts bad;
+  bad.fp_fma0 = 5;
+  bad.fp_add0 = 1;
+  EXPECT_DEATH(mon.accumulate(bad, hpm::PrivilegeMode::kUser),
+               "fma-add-half-folded");
+}
+
+TEST(InvariantAuditor, MonitorAccumulateAcceptsCleanNpbCounts) {
+  power2::Power2Core core;
+  const power2::RunResult res = core.run(workload::npb_bt_like());
+  hpm::PerformanceMonitor mon;
+  mon.accumulate(res.counts, hpm::PrivilegeMode::kUser);  // must not abort
+  EXPECT_GT(
+      mon.bank(hpm::PrivilegeMode::kUser).read(hpm::HpmCounter::kUserCycles),
+      0u);
+}
+
+}  // namespace
+}  // namespace p2sim

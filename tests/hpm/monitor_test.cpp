@@ -70,6 +70,7 @@ power2::EventCounts sample_events() {
   ev.fxu1_inst = 20;
   ev.dcache_miss = 3;
   ev.tlb_miss = 1;
+  ev.memory_inst = 12;  // misses are a subset of load/store traffic
   ev.fpu0_inst = 7;
   ev.fpu1_inst = 5;
   ev.fp_add0 = 4;

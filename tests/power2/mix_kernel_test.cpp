@@ -101,7 +101,9 @@ TEST(MixKernel, FullDepProbChainsEveryFpOp) {
   int fp_seen = 0;
   for (const Instr& in : k.body) {
     if (!is_floating_point(in.op)) continue;
-    if (fp_seen > 0) EXPECT_NE(in.dep, kNoDep);
+    if (fp_seen > 0) {
+      EXPECT_NE(in.dep, kNoDep);
+    }
     ++fp_seen;
   }
 }
@@ -113,7 +115,9 @@ TEST(MixKernel, QuadFractionZeroAndOne) {
   s.quad_frac = 1.0;
   s.seed = 5;
   for (const Instr& in : make_mix_kernel(s).body) {
-    if (is_memory(in.op)) EXPECT_TRUE(in.quad);
+    if (is_memory(in.op)) {
+      EXPECT_TRUE(in.quad);
+    }
   }
 }
 

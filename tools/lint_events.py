@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the HPM counter plumbing.
+
+The POWER2 monitor model threads each of the 22 Table 1 counters through
+three layers that the compiler cannot check against each other:
+
+  1. the ``HpmCounter`` enum (src/hpm/events.hpp),
+  2. the Table 1 metadata array ``kTable`` (src/hpm/events.cpp),
+  3. the emit sites in ``PerformanceMonitor::accumulate``
+     (src/hpm/monitor.cpp).
+
+A counter that exists in the enum but is never emitted silently reads as
+zero for a whole campaign -- exactly the class of bug behind the paper's
+divide-counter pathology.  This lint enforces:
+
+  * every enum member has a ``kTable`` entry and an emit site;
+  * ``kTable`` carries exactly ``kNumCounters`` entries;
+  * raw 32-bit register access (``.raw()`` / ``wrap_delta``) stays inside
+    the wrap-handling module (src/rs2hpm/snapshot.*) -- anywhere else,
+    arithmetic on wrapped registers is a latent mod-2^32 bug;
+  * every data member of the counter-carrying structs has an in-class
+    initializer, so a partially filled struct can never leak
+    indeterminate counts into the accounting identities.
+
+Run from the repo root:  python3 tools/lint_events.py
+Self-check the linter:   python3 tools/lint_events.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+EVENTS_HPP = "src/hpm/events.hpp"
+EVENTS_CPP = "src/hpm/events.cpp"
+MONITOR_CPP = "src/hpm/monitor.cpp"
+
+# Wrap correction is this module's whole job; raw register access is legal
+# only here.
+RAW_ACCESS_ALLOWLIST = (
+    "src/rs2hpm/snapshot.hpp",
+    "src/rs2hpm/snapshot.cpp",
+)
+
+# Structs whose members travel through counter arithmetic; every field must
+# be value-initialized in-class.
+INIT_CHECKED_HEADERS = (
+    "src/power2/event_counts.hpp",
+    "src/power2/signature.hpp",
+    "src/hpm/monitor.hpp",
+    "src/rs2hpm/snapshot.hpp",
+    "src/rs2hpm/derived.hpp",
+    "src/rs2hpm/daemon.hpp",
+    "src/rs2hpm/job_monitor.hpp",
+)
+
+# Only these member types are indeterminate without an initializer; class
+# types (vectors, maps, mutexes) default-construct to a defined state.
+_ARITHMETIC_TYPE_RE = re.compile(
+    r"\b(u?int\d*_t|std::u?int\d+_t|size_t|std::size_t|double|float|bool|"
+    r"char|long|short|unsigned|signed)\b|std::array<"
+)
+
+
+def parse_enum_members(text: str) -> list[str]:
+    """Members of ``enum class HpmCounter`` in declaration order."""
+    m = re.search(r"enum class HpmCounter[^{]*\{(.*?)\};", text, re.DOTALL)
+    if not m:
+        return []
+    members = []
+    for line in m.group(1).splitlines():
+        line = line.split("//")[0].strip()
+        mm = re.match(r"(k[A-Za-z0-9]+)\s*(?:=\s*\d+)?\s*,?", line)
+        if mm:
+            members.append(mm.group(1))
+    return members
+
+
+def parse_num_counters(text: str) -> int | None:
+    m = re.search(r"kNumCounters\s*=\s*(\d+)", text)
+    return int(m.group(1)) if m else None
+
+
+def strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def check_enum_coverage(root: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    hpp = (root / EVENTS_HPP).read_text()
+    cpp = strip_comments((root / EVENTS_CPP).read_text())
+    mon = strip_comments((root / MONITOR_CPP).read_text())
+
+    members = parse_enum_members(hpp)
+    if not members:
+        return [f"{EVENTS_HPP}: could not parse HpmCounter enum"]
+
+    declared = parse_num_counters(hpp)
+    if declared is not None and declared != len(members):
+        problems.append(
+            f"{EVENTS_HPP}: kNumCounters = {declared} but the HpmCounter "
+            f"enum has {len(members)} members"
+        )
+
+    table_refs = re.findall(r"HpmCounter::(k[A-Za-z0-9]+)", cpp)
+    if declared is not None and len(table_refs) != declared:
+        problems.append(
+            f"{EVENTS_CPP}: kTable lists {len(table_refs)} counters, "
+            f"expected kNumCounters = {declared}"
+        )
+    # Aliases (kCommWaitSlot / kIoWaitSlot) resolve to enum members, so an
+    # emit through an alias still covers the underlying counter.
+    aliases = dict(
+        re.findall(
+            r"HpmCounter\s+(k[A-Za-z0-9]+)\s*=\s*HpmCounter::(k[A-Za-z0-9]+)",
+            strip_comments(hpp),
+        )
+    )
+    emitted = set(re.findall(r"HpmCounter::(k[A-Za-z0-9]+)", mon))
+    for alias_name, target in aliases.items():
+        if re.search(rf"\b{alias_name}\b", mon):
+            emitted.add(target)
+
+    for member in members:
+        if member not in table_refs:
+            problems.append(
+                f"{EVENTS_CPP}: HpmCounter::{member} has no kTable entry "
+                f"(no Table 1 label/slot metadata)"
+            )
+        if member not in emitted:
+            problems.append(
+                f"{MONITOR_CPP}: HpmCounter::{member} is never emitted in "
+                f"PerformanceMonitor::accumulate -- it would read zero for "
+                f"a whole campaign"
+            )
+    return problems
+
+
+def check_raw_access(root: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if rel in RAW_ACCESS_ALLOWLIST:
+            continue
+        text = strip_comments(path.read_text())
+        for i, line in enumerate(text.splitlines(), start=1):
+            if re.search(r"\.raw\(\)", line) or "wrap_delta(" in line:
+                problems.append(
+                    f"{rel}:{i}: raw 32-bit counter register access outside "
+                    f"the wrap-handling module (rs2hpm/snapshot); use "
+                    f"ExtendedCounters totals instead"
+                )
+    return problems
+
+
+# A data-member declaration: type tokens then one or more identifiers,
+# terminated by ';'.  Lines with parentheses and no initializer are taken
+# to be function declarations.
+_MEMBER_RE = re.compile(
+    r"^(?:const\s+)?[A-Za-z_][\w:<>,\s\*&]*?[\s&\*]"
+    r"([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*;\s*$"
+)
+_SKIP_RE = re.compile(
+    r"^\s*(using|typedef|friend|static|enum|struct|class|public|private|"
+    r"protected|template|explicit|return|#)"
+)
+
+
+def check_member_init(root: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    for rel in INIT_CHECKED_HEADERS:
+        path = root / rel
+        if not path.exists():
+            problems.append(f"{rel}: listed for member-init lint but missing")
+            continue
+        text = strip_comments(path.read_text())
+        struct_name = None
+        depth_at_struct = None
+        depth = 0
+        for i, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.strip()
+            m = re.match(r"(?:struct|class)\s+([A-Za-z_]\w*)[^;]*\{", line)
+            if m and struct_name is None:
+                struct_name = m.group(1)
+                depth_at_struct = depth
+            depth += raw_line.count("{") - raw_line.count("}")
+            if struct_name is not None and depth <= depth_at_struct:
+                struct_name = None
+                continue
+            if struct_name is None or _SKIP_RE.match(line):
+                continue
+            # Only flat member declarations: inside the struct body proper,
+            # not nested inside a member function.
+            if depth != depth_at_struct + 1:
+                continue
+            if "=" in line or re.search(r"\{.*\}\s*;", line):
+                continue  # has an initializer
+            if "(" in line:
+                continue  # function declaration / constructor
+            # Containers (vector/map/...) default-construct to a defined
+            # state even when their element type is arithmetic; only bare
+            # arithmetic members and std::array are indeterminate.
+            if "<" in line and not re.match(
+                    r"^(?:mutable\s+|const\s+)*std::array<", line):
+                continue
+            if not _ARITHMETIC_TYPE_RE.search(line):
+                continue  # class-type member: default-constructed, defined
+            m = _MEMBER_RE.match(line)
+            if m:
+                names = m.group(1)
+                problems.append(
+                    f"{rel}:{i}: member '{names}' of {struct_name} has no "
+                    f"in-class initializer; indeterminate counts would "
+                    f"poison the accounting identities"
+                )
+    return problems
+
+
+def run_lint(root: pathlib.Path) -> int:
+    if not (root / EVENTS_HPP).is_file():
+        print(
+            f"lint_events: {root} does not look like the p2sim source tree "
+            f"(missing {EVENTS_HPP})",
+            file=sys.stderr,
+        )
+        return 2
+    problems = (
+        check_enum_coverage(root)
+        + check_raw_access(root)
+        + check_member_init(root)
+    )
+    for p in problems:
+        print(f"lint_events: {p}", file=sys.stderr)
+    if problems:
+        print(f"lint_events: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("lint_events: OK")
+    return 0
+
+
+def self_test() -> int:
+    """Prove the linter detects the defect classes it exists to catch."""
+    import tempfile
+
+    failures = []
+
+    def scenario(name, mutate, expect_substr):
+        with tempfile.TemporaryDirectory() as td:
+            tmp = pathlib.Path(td)
+            for rel in (EVENTS_HPP, EVENTS_CPP, MONITOR_CPP):
+                dest = tmp / rel
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                dest.write_text((REPO / rel).read_text())
+            for rel in INIT_CHECKED_HEADERS + RAW_ACCESS_ALLOWLIST:
+                src = REPO / rel
+                if src.exists():
+                    dest = tmp / rel
+                    dest.parent.mkdir(parents=True, exist_ok=True)
+                    dest.write_text(src.read_text())
+            mutate(tmp)
+            problems = (
+                check_enum_coverage(tmp)
+                + check_raw_access(tmp)
+                + check_member_init(tmp)
+            )
+            if not any(expect_substr in p for p in problems):
+                failures.append(
+                    f"{name}: expected a problem containing "
+                    f"{expect_substr!r}, got {problems!r}"
+                )
+
+    def drop_table_entry(tmp):
+        p = tmp / EVENTS_CPP
+        text = re.sub(r"\{HpmCounter::kDmaWrite.*?\},\n", "",
+                      p.read_text(), flags=re.DOTALL)
+        p.write_text(text)
+
+    def drop_emit_site(tmp):
+        p = tmp / MONITOR_CPP
+        text = p.read_text()
+        p.write_text(
+            text.replace("b.add(HpmCounter::kDcacheStore, ev.dcache_store);", "")
+        )
+
+    def add_raw_access(tmp):
+        p = tmp / "src/hpm/monitor.cpp"
+        p.write_text(
+            p.read_text()
+            + "\n// bad: std::uint64_t x = b.raw()[0] + 1;\n"
+            + "inline int bad(p2sim::hpm::CounterBank& b)"
+            + " { return int(b.raw()[0]); }\n"
+        )
+
+    def drop_initializer(tmp):
+        p = tmp / "src/power2/event_counts.hpp"
+        p.write_text(
+            p.read_text().replace(
+                "std::uint64_t cycles = 0;", "std::uint64_t cycles;", 1
+            )
+        )
+
+    scenario("missing kTable entry", drop_table_entry, "no kTable entry")
+    scenario("missing emit site", drop_emit_site, "never emitted")
+    scenario("raw access outside snapshot", add_raw_access, "raw 32-bit")
+    scenario("missing member init", drop_initializer, "in-class initializer")
+
+    # The pristine tree must be clean, or the lint gate is vacuous.
+    rc = run_lint(REPO)
+    if rc != 0:
+        failures.append("pristine tree failed the lint")
+
+    for f in failures:
+        print(f"self-test FAILED: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print("lint_events: self-test OK")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter catches seeded defects")
+    ap.add_argument("--root", type=pathlib.Path, default=REPO,
+                    help="repo root to lint (default: this repo)")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_lint(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
