@@ -17,6 +17,9 @@ std::vector<DayStats> daily_stats(const workload::CampaignResult& result) {
   std::vector<std::uint64_t> day_quads(static_cast<std::size_t>(result.days),
                                        0);
   std::vector<double> day_busy(static_cast<std::size_t>(result.days), 0.0);
+  std::vector<double> day_covered_ns(static_cast<std::size_t>(result.days),
+                                     0.0);
+  std::vector<int> day_records(static_cast<std::size_t>(result.days), 0);
 
   for (const rs2hpm::IntervalRecord& rec : result.intervals) {
     if (rec.interval < 0) continue;
@@ -26,31 +29,46 @@ std::vector<DayStats> daily_stats(const workload::CampaignResult& result) {
     day_quads[static_cast<std::size_t>(d)] += rec.quad_surplus;
     day_busy[static_cast<std::size_t>(d)] +=
         static_cast<double>(rec.busy_nodes);
+    // Covered node-seconds: each interval contributes 900 s per node that
+    // actually delivered a clean delta.  On a fault-free day this sums to
+    // exactly 86400 x num_nodes (900*144 = 129600 is exactly representable
+    // and 96 equal additions stay exact), so full-coverage rates are
+    // bit-identical to the elapsed-time denominator.
+    day_covered_ns[static_cast<std::size_t>(d)] +=
+        static_cast<double>(rec.nodes_sampled) *
+        static_cast<double>(util::kIntervalSeconds);
+    ++day_records[static_cast<std::size_t>(d)];
   }
 
   for (std::int64_t d = 0; d < result.days; ++d) {
+    const auto di = static_cast<std::size_t>(d);
     DayStats s;
     s.day = d;
-    // Per-node rates: divide the summed counters across the whole machine
-    // by (seconds in a day x nodes).
-    s.per_node = rs2hpm::derive_rates(
-        day_delta[static_cast<std::size_t>(d)],
-        day_elapsed_per_node * result.num_nodes,
-        day_quads[static_cast<std::size_t>(d)], result.selection);
+    const double full_ns = day_elapsed_per_node * result.num_nodes;
+    // Per-node rates over covered node-seconds; an entirely unmeasured day
+    // keeps the full denominator (its deltas are zero either way).
+    const double denom = day_covered_ns[di] > 0.0 ? day_covered_ns[di]
+                                                  : full_ns;
+    s.per_node = rs2hpm::derive_rates(day_delta[di], denom, day_quads[di],
+                                      result.selection);
     s.gflops = s.per_node.mflops_all * result.num_nodes / 1000.0;
-    s.utilization = day_busy[static_cast<std::size_t>(d)] /
-                    (static_cast<double>(util::kIntervalsPerDay) *
-                     result.num_nodes);
-    days[static_cast<std::size_t>(d)] = s;
+    s.utilization =
+        day_records[di] > 0
+            ? day_busy[di] / (static_cast<double>(day_records[di]) *
+                              result.num_nodes)
+            : 0.0;
+    s.coverage = day_covered_ns[di] / full_ns;
+    s.intervals_recorded = day_records[di];
+    days[di] = s;
   }
   return days;
 }
 
 std::vector<DayStats> filter_days(const std::vector<DayStats>& days,
-                                  double min_gflops) {
+                                  double min_gflops, double min_coverage) {
   std::vector<DayStats> out;
   for (const DayStats& d : days) {
-    if (d.gflops > min_gflops) out.push_back(d);
+    if (d.gflops > min_gflops && d.coverage >= min_coverage) out.push_back(d);
   }
   return out;
 }

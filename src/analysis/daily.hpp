@@ -23,14 +23,26 @@ struct DayStats {
   double utilization = 0.0;
   /// Per-node rates over elapsed time (Table 2/3 units).
   rs2hpm::DerivedRates per_node;
+  /// Fraction of the day's node-samples the daemon actually delivered
+  /// (1.0 on a fault-free day; missed intervals, unreachable nodes and
+  /// re-primed baselines all reduce it).
+  double coverage = 1.0;
+  /// 15-minute records present for this day (96 when none were missed).
+  int intervals_recorded = 0;
 };
 
-/// Collapses interval records into per-day statistics.
+/// Collapses interval records into per-day statistics.  Rates are formed
+/// over *covered* node-seconds, so partially measured days estimate the
+/// same per-node quantity instead of being biased low; on a fully covered
+/// day the denominator is bit-identical to elapsed-time accounting.
 std::vector<DayStats> daily_stats(const workload::CampaignResult& result);
 
 /// The paper's filter: days with system performance above the threshold.
+/// `min_coverage` additionally drops days too lossy to trust (the paper
+/// analyzed only 30 of 270 days, partly for this reason).
 std::vector<DayStats> filter_days(const std::vector<DayStats>& days,
-                                  double min_gflops = 2.0);
+                                  double min_gflops = 2.0,
+                                  double min_coverage = 0.0);
 
 /// Index of the day whose Mflops is the median of the filtered sample —
 /// used as the "representative single day" column of Tables 2 and 3.

@@ -1,6 +1,7 @@
 #include "src/analysis/record_io.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -9,12 +10,19 @@
 namespace p2sim::analysis {
 namespace {
 
-constexpr const char* kIntervalHeader = "p2sim-intervals v1";
-constexpr const char* kJobHeader = "p2sim-jobs v1";
+constexpr const char* kIntervalTag = "p2sim-intervals";
+constexpr const char* kJobTag = "p2sim-jobs";
 
 void write_totals(std::ostream& out, const rs2hpm::ModeTotals& t) {
   for (std::uint64_t v : t.user) out << ',' << v;
   for (std::uint64_t v : t.system) out << ',' << v;
+}
+
+/// Appends ",<crc>" to the line body and writes it out.
+void write_checked_line(std::ostream& out, const std::string& body) {
+  char hex[9];
+  std::snprintf(hex, sizeof hex, "%08x", fnv1a32(body));
+  out << body << ',' << hex << '\n';
 }
 
 /// Splits a line on commas; no quoting (the format is purely numeric
@@ -56,7 +64,7 @@ double parse_double(std::string_view s, const char* what) {
 }
 
 rs2hpm::ModeTotals parse_totals(const std::vector<std::string_view>& f,
-                        std::size_t first) {
+                                std::size_t first) {
   if (f.size() < first + 2 * hpm::kNumCounters) {
     throw std::runtime_error("record_io: truncated counter fields");
   }
@@ -71,7 +79,8 @@ rs2hpm::ModeTotals parse_totals(const std::vector<std::string_view>& f,
   return t;
 }
 
-void check_header(std::istream& in, const char* expected) {
+/// Reads the header line; returns the format version (1 or 2).
+int check_header(std::istream& in, const char* expected_tag) {
   std::string line;
   if (!std::getline(in, line)) {
     throw std::runtime_error("record_io: empty input");
@@ -80,68 +89,137 @@ void check_header(std::istream& in, const char* expected) {
   std::string tag, version;
   std::size_t counters = 0;
   hs >> tag >> version >> counters;
-  const std::string want(expected);
-  if (want.find(tag) != 0 || want.substr(want.find(' ') + 1) != version) {
+  if (tag != expected_tag || (version != "v1" && version != "v2")) {
     throw std::runtime_error("record_io: bad header '" + line + "'");
   }
   if (counters != hpm::kNumCounters) {
     throw std::runtime_error("record_io: counter-count mismatch");
   }
+  return version == "v1" ? 1 : 2;
+}
+
+/// v2 line validation: the final field must be the 8-hex FNV-1a of
+/// everything before it.  Throws on mismatch; returns the fields with the
+/// checksum removed so record parsing is version-agnostic afterwards.
+std::vector<std::string_view> strip_checksum(std::string_view line,
+                                             std::vector<std::string_view> f) {
+  if (f.size() < 2 || f.back().size() != 8) {
+    throw std::runtime_error("record_io: missing checksum field");
+  }
+  std::uint32_t stored = 0;
+  const std::string_view cs = f.back();
+  const auto [ptr, ec] =
+      std::from_chars(cs.data(), cs.data() + cs.size(), stored, 16);
+  if (ec != std::errc{} || ptr != cs.data() + cs.size()) {
+    throw std::runtime_error("record_io: missing checksum field");
+  }
+  const std::string_view body = line.substr(0, line.size() - 9);
+  if (fnv1a32(body) != stored) {
+    throw std::runtime_error("record_io: checksum mismatch");
+  }
+  f.pop_back();
+  return f;
+}
+
+/// Line-by-line driver shared by both loaders: strict mode re-throws the
+/// first parse error, recovering mode records it and moves on.
+template <typename ParseLine>
+void for_each_line(std::istream& in, ParseReport* report,
+                   ParseLine&& parse_line) {
+  std::string line;
+  std::int64_t line_no = 1;  // the header was line 1
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (report != nullptr) ++report->lines_total;
+    try {
+      parse_line(line);
+      if (report != nullptr) ++report->lines_loaded;
+    } catch (const std::runtime_error& e) {
+      if (report == nullptr) throw;
+      ++report->lines_skipped;
+      report->issues.push_back({line_no, e.what()});
+    }
+  }
 }
 
 }  // namespace
 
+std::uint32_t fnv1a32(std::string_view data) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
 void save_intervals(std::ostream& out,
                     const std::vector<rs2hpm::IntervalRecord>& records) {
-  out << kIntervalHeader << ' ' << hpm::kNumCounters << '\n';
+  out << kIntervalTag << " v2 " << hpm::kNumCounters << '\n';
   for (const rs2hpm::IntervalRecord& r : records) {
-    out << "I," << r.interval << ',' << r.nodes_sampled << ','
-        << r.busy_nodes << ',' << r.quad_surplus;
-    write_totals(out, r.delta);
-    out << '\n';
+    std::ostringstream body;
+    body << "I," << r.interval << ',' << r.nodes_sampled << ','
+         << r.nodes_expected << ',' << r.nodes_reprimed << ','
+         << r.busy_nodes << ',' << r.quad_surplus;
+    write_totals(body, r.delta);
+    write_checked_line(out, body.str());
   }
 }
 
-std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in) {
-  check_header(in, kIntervalHeader);
+std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in,
+                                                   ParseReport* report) {
+  const int version = check_header(in, kIntervalTag);
   std::vector<rs2hpm::IntervalRecord> out;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const auto f = split(line);
-    if (f[0] != "I" || f.size() != 5 + 2 * hpm::kNumCounters) {
+  for_each_line(in, report, [&](const std::string& line) {
+    auto f = split(line);
+    if (version == 2) f = strip_checksum(line, std::move(f));
+    const std::size_t fixed = version == 1 ? 5 : 7;
+    if (f[0] != "I" || f.size() != fixed + 2 * hpm::kNumCounters) {
       throw std::runtime_error("record_io: malformed interval line");
     }
     rs2hpm::IntervalRecord rec;
     rec.interval = parse_num<std::int64_t>(f[1], "interval");
     rec.nodes_sampled = parse_num<int>(f[2], "nodes_sampled");
-    rec.busy_nodes = parse_num<int>(f[3], "busy_nodes");
-    rec.quad_surplus = parse_num<std::uint64_t>(f[4], "quad_surplus");
-    rec.delta = parse_totals(f, 5);
+    if (version == 1) {
+      // v1 predates lossy collection: every sampled fleet was the whole
+      // fleet and no baselines were ever re-established.
+      rec.nodes_expected = rec.nodes_sampled;
+      rec.busy_nodes = parse_num<int>(f[3], "busy_nodes");
+      rec.quad_surplus = parse_num<std::uint64_t>(f[4], "quad_surplus");
+    } else {
+      rec.nodes_expected = parse_num<int>(f[3], "nodes_expected");
+      rec.nodes_reprimed = parse_num<int>(f[4], "nodes_reprimed");
+      rec.busy_nodes = parse_num<int>(f[5], "busy_nodes");
+      rec.quad_surplus = parse_num<std::uint64_t>(f[6], "quad_surplus");
+    }
+    rec.delta = parse_totals(f, fixed);
     out.push_back(rec);
-  }
+  });
   return out;
 }
 
 void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs) {
-  out << kJobHeader << ' ' << hpm::kNumCounters << '\n';
+  out << kJobTag << " v2 " << hpm::kNumCounters << '\n';
   for (const pbs::JobRecord& r : jobs.all()) {
-    out << "J," << r.spec.job_id << ',' << r.spec.nodes_requested << ','
-        << r.spec.submit_time_s << ',' << r.start_time_s << ','
-        << r.end_time_s << ',' << r.report.quad_surplus;
-    write_totals(out, r.report.delta);
-    out << '\n';
+    std::ostringstream body;
+    body << "J," << r.spec.job_id << ',' << r.spec.nodes_requested << ','
+         << r.spec.submit_time_s << ',' << r.start_time_s << ','
+         << r.end_time_s << ',' << (r.report.complete ? 1 : 0) << ','
+         << r.report.quad_surplus;
+    write_totals(body, r.report.delta);
+    write_checked_line(out, body.str());
   }
 }
 
-pbs::JobDatabase load_jobs(std::istream& in) {
-  check_header(in, kJobHeader);
+pbs::JobDatabase load_jobs(std::istream& in, ParseReport* report) {
+  const int version = check_header(in, kJobTag);
   pbs::JobDatabase db;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const auto f = split(line);
-    if (f[0] != "J" || f.size() != 7 + 2 * hpm::kNumCounters) {
+  for_each_line(in, report, [&](const std::string& line) {
+    auto f = split(line);
+    if (version == 2) f = strip_checksum(line, std::move(f));
+    const std::size_t fixed = version == 1 ? 7 : 8;
+    if (f[0] != "J" || f.size() != fixed + 2 * hpm::kNumCounters) {
       throw std::runtime_error("record_io: malformed job line");
     }
     pbs::JobRecord rec;
@@ -153,11 +231,27 @@ pbs::JobDatabase load_jobs(std::istream& in) {
     rec.report.job_id = rec.spec.job_id;
     rec.report.nodes = rec.spec.nodes_requested;
     rec.report.elapsed_s = rec.end_time_s - rec.start_time_s;
-    rec.report.quad_surplus = parse_num<std::uint64_t>(f[6], "quad");
-    rec.report.delta = parse_totals(f, 7);
+    std::size_t quad_at = 6;
+    if (version == 2) {
+      rec.report.complete = parse_num<int>(f[6], "complete") != 0;
+      quad_at = 7;
+    }
+    rec.report.quad_surplus =
+        parse_num<std::uint64_t>(f[quad_at], "quad");
+    rec.report.delta = parse_totals(f, fixed);
     db.add(std::move(rec));
-  }
+  });
   return db;
+}
+
+std::string format_parse_report(const ParseReport& report) {
+  std::ostringstream os;
+  os << "loaded " << report.lines_loaded << "/" << report.lines_total
+     << " lines";
+  for (const ParseReport::Issue& issue : report.issues) {
+    os << "; line " << issue.line << ": " << issue.what;
+  }
+  return os.str();
 }
 
 }  // namespace p2sim::analysis

@@ -7,16 +7,30 @@
 // for interval records and job reports, so a campaign can be collected
 // once and analyzed many times (or inspected with standard Unix tools).
 //
-// Format (one record per line, fields comma-separated):
-//   p2sim-intervals v1 <num_counters>
-//   I,<interval>,<nodes_sampled>,<busy_nodes>,<quad>,<22 user>,<22 system>
-// and for jobs:
-//   p2sim-jobs v1 <num_counters>
-//   J,<job_id>,<nodes>,<submit>,<start>,<end>,<quad>,<22 user>,<22 system>
+// Format v2 (one record per line, fields comma-separated, each line closed
+// by an FNV-1a 32-bit checksum of everything before its final comma):
+//   p2sim-intervals v2 <num_counters>
+//   I,<interval>,<sampled>,<expected>,<reprimed>,<busy>,<quad>,
+//     <22 user>,<22 system>,<crc 8 hex>
+//   p2sim-jobs v2 <num_counters>
+//   J,<job_id>,<nodes>,<submit>,<start>,<end>,<complete>,<quad>,
+//     <22 user>,<22 system>,<crc 8 hex>
+// The v1 format (no checksum, no coverage fields, no completeness flag)
+// still loads; v1 lines are assumed fully covered and complete.
+//
+// Nine months of production files rot: lines get truncated, fields turn to
+// garbage, delimiters vanish.  Every load function therefore has two
+// modes.  Given only a stream it is strict — the first malformed line
+// throws, so tests and pipelines that expect clean data fail loudly.
+// Given a ParseReport it recovers: malformed or checksum-failing lines are
+// skipped and reported with their line numbers, and every well-formed
+// record around them survives.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/pbs/accounting.hpp"
@@ -24,18 +38,41 @@
 
 namespace p2sim::analysis {
 
-/// Serializes interval records (daemon output) to a stream.
+/// What a recovering load found wrong, line by line.
+struct ParseReport {
+  struct Issue {
+    std::int64_t line = 0;  ///< 1-based line number in the stream
+    std::string what;       ///< e.g. "checksum mismatch", "bad counter '#'"
+  };
+  std::int64_t lines_total = 0;    ///< payload lines seen (blank excluded)
+  std::int64_t lines_loaded = 0;
+  std::int64_t lines_skipped = 0;  ///< == issues.size()
+  std::vector<Issue> issues;
+
+  bool clean() const { return lines_skipped == 0; }
+};
+
+/// FNV-1a 32-bit — the per-line checksum of format v2.
+std::uint32_t fnv1a32(std::string_view data);
+
+/// Serializes interval records (daemon output) in format v2.
 void save_intervals(std::ostream& out,
                     const std::vector<rs2hpm::IntervalRecord>& records);
 
-/// Parses interval records; throws std::runtime_error on malformed input
-/// (bad header, wrong field count, non-numeric fields).
-std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in);
+/// Parses interval records (v1 or v2).  With report == nullptr, throws
+/// std::runtime_error at the first malformed line; otherwise skips bad
+/// lines and fills in the report.
+std::vector<rs2hpm::IntervalRecord> load_intervals(
+    std::istream& in, ParseReport* report = nullptr);
 
-/// Serializes the job accounting database.
+/// Serializes the job accounting database in format v2.
 void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs);
 
-/// Parses a job database; throws std::runtime_error on malformed input.
-pbs::JobDatabase load_jobs(std::istream& in);
+/// Parses a job database (v1 or v2); modes as load_intervals.
+pbs::JobDatabase load_jobs(std::istream& in, ParseReport* report = nullptr);
+
+/// Renders a parse report ("loaded 95/96 lines; line 17: checksum
+/// mismatch; ...") for logs and the measurement-loss report.
+std::string format_parse_report(const ParseReport& report);
 
 }  // namespace p2sim::analysis

@@ -53,8 +53,9 @@ std::string format_rows(const std::vector<RateRow>& rows,
 
 }  // namespace
 
-Table2 make_table2(const std::vector<DayStats>& all_days, double min_gflops) {
-  std::vector<DayStats> sample = filter_days(all_days, min_gflops);
+Table2 make_table2(const std::vector<DayStats>& all_days, double min_gflops,
+                   double min_coverage) {
+  std::vector<DayStats> sample = filter_days(all_days, min_gflops, min_coverage);
   Table2 t;
   if (sample.empty()) {
     // Short or idle campaigns can have no day above the paper's filter;
@@ -86,8 +87,9 @@ Table2 make_table2(const std::vector<DayStats>& all_days, double min_gflops) {
   return t;
 }
 
-Table3 make_table3(const std::vector<DayStats>& all_days, double min_gflops) {
-  std::vector<DayStats> sample = filter_days(all_days, min_gflops);
+Table3 make_table3(const std::vector<DayStats>& all_days, double min_gflops,
+                   double min_coverage) {
+  std::vector<DayStats> sample = filter_days(all_days, min_gflops, min_coverage);
   Table3 t;
   if (sample.empty()) {
     sample = all_days;
@@ -135,9 +137,10 @@ Table3 make_table3(const std::vector<DayStats>& all_days, double min_gflops) {
 }
 
 Table4 make_table4(const std::vector<DayStats>& all_days,
-                   const power2::CoreConfig& core_cfg, double min_gflops) {
+                   const power2::CoreConfig& core_cfg, double min_gflops,
+                   double min_coverage) {
   Table4 t;
-  std::vector<DayStats> sample = filter_days(all_days, min_gflops);
+  std::vector<DayStats> sample = filter_days(all_days, min_gflops, min_coverage);
   if (sample.empty()) sample = all_days;
   util::RunningStats cm, tm, mf;
   for (const DayStats& d : sample) {

@@ -36,7 +36,7 @@ struct Table2 {
 };
 
 Table2 make_table2(const std::vector<DayStats>& all_days,
-                   double min_gflops = 2.0);
+                   double min_gflops = 2.0, double min_coverage = 0.0);
 
 struct Table3 {
   std::vector<RateRow> rows;
@@ -46,7 +46,7 @@ struct Table3 {
 };
 
 Table3 make_table3(const std::vector<DayStats>& all_days,
-                   double min_gflops = 2.0);
+                   double min_gflops = 2.0, double min_coverage = 0.0);
 
 struct Table4Column {
   std::string name;
@@ -65,7 +65,8 @@ struct Table4 {
 /// columns are measured by running those kernels on the given core model
 /// (BT's delivered Mflops/CPU includes its communication share on 49 CPUs).
 Table4 make_table4(const std::vector<DayStats>& all_days,
-                   const power2::CoreConfig& core, double min_gflops = 2.0);
+                   const power2::CoreConfig& core, double min_gflops = 2.0,
+                   double min_coverage = 0.0);
 
 std::string format_table2(const Table2& t);
 std::string format_table3(const Table3& t);

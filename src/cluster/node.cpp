@@ -28,8 +28,26 @@ Node::Node(int id, const NodeConfig& cfg)
   ext_.attach(monitor_);
 }
 
+void Node::crash() {
+  up_ = false;
+  // Everything volatile dies with the OS: raw 32-bit banks, the daemon's
+  // 64-bit extension (its process is gone), the DMA engine's residuals and
+  // the quad diagnostic.  busy_seconds_ survives — it is the simulator's
+  // own lifetime statistic, not node state.
+  monitor_.clear();
+  ext_ = rs2hpm::ExtendedCounters{};
+  ext_.attach(monitor_);
+  dma_ = DmaEngine(cfg_.dma);
+  quad_total_ = 0;
+  resid_fault_fxu_ = resid_fault_icu_ = resid_fault_cycles_ = 0.0;
+  resid_noise_fxu_ = resid_noise_icu_ = 0.0;
+}
+
+void Node::reboot() { up_ = true; }
+
 void Node::advance(double seconds, const power2::EventSignature* sig,
                    const ActivityProfile& profile) {
+  if (!up_) return;  // a down node executes nothing and counts nothing
   if (seconds <= 0.0) return;
   double left = seconds;
   while (left > 0.0) {

@@ -70,6 +70,16 @@ class Node {
   /// Idle slice: only daemon-level OS noise accrues.
   void advance_idle(double seconds);
 
+  /// Power failure: the node drops out of service instantly.  Monitor
+  /// state does not survive — the 32-bit banks, the RS2HPM 64-bit
+  /// extension and the quad diagnostic all restart from zero, which is
+  /// exactly the non-monotonicity downstream consumers must tolerate.
+  /// advance()/advance_idle() are no-ops while the node is down.
+  void crash();
+  /// Returns the node to service (counters stay zeroed from the crash).
+  void reboot();
+  bool is_up() const { return up_; }
+
   int id() const { return id_; }
   const NodeConfig& config() const { return cfg_; }
 
@@ -93,6 +103,7 @@ class Node {
   DmaEngine dma_;
   std::uint64_t quad_total_ = 0;
   double busy_seconds_ = 0.0;
+  bool up_ = true;
   // Residual accumulators so sub-event rates survive chunking.
   double resid_fault_fxu_ = 0.0;
   double resid_fault_icu_ = 0.0;

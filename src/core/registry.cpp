@@ -1,0 +1,123 @@
+#include "src/core/registry.hpp"
+
+#include <sstream>
+
+#include "src/analysis/report.hpp"
+
+namespace p2sim::core {
+namespace {
+
+std::string run_fig1(Sp2Simulation& sim) {
+  const analysis::Fig1Series f = sim.fig1();
+  std::ostringstream os;
+  os << "Figure 1 (system performance history): " << f.day.size()
+     << " days, mean " << f.mean_gflops << " Gflops, peak "
+     << f.max_daily_gflops << " Gflops, mean utilization "
+     << f.mean_utilization << ", trend slope " << f.trend_slope
+     << " Gflops/day\n";
+  return os.str();
+}
+
+std::string run_fig2(Sp2Simulation& sim) {
+  const analysis::Fig2Series f = sim.fig2();
+  std::ostringstream os;
+  os << "Figure 2 (walltime by node count): most popular request "
+     << f.most_popular_nodes << " nodes; fraction of walltime beyond 64 "
+     << f.walltime_beyond_64_fraction << "\n";
+  for (const analysis::Fig2Bin& b : f.bins) {
+    os << "  " << b.nodes << " nodes: " << b.jobs << " jobs, "
+       << b.total_walltime_s << " s\n";
+  }
+  return os.str();
+}
+
+std::string run_fig3(Sp2Simulation& sim) {
+  const analysis::Fig3Series f = sim.fig3();
+  std::ostringstream os;
+  os << "Figure 3 (Mflops/node by node count): mean <=64 nodes "
+     << f.mean_upto_64 << ", beyond 64 " << f.mean_beyond_64 << "\n";
+  return os.str();
+}
+
+std::string run_fig4(Sp2Simulation& sim) {
+  const analysis::Fig4Series f = sim.fig4();
+  std::ostringstream os;
+  os << "Figure 4 (" << f.node_count << "-node job history): "
+     << f.job_seq.size() << " jobs, mean " << f.mean << " Mflops, stddev "
+     << f.stddev << ", trend slope " << f.trend_slope << "\n";
+  return os.str();
+}
+
+std::string run_fig5(Sp2Simulation& sim) {
+  const analysis::Fig5Series f = sim.fig5();
+  std::ostringstream os;
+  os << "Figure 5 (paging diagnostic): " << f.mflops_per_node.size()
+     << " days, correlation " << f.correlation << "\n";
+  return os.str();
+}
+
+std::string run_fault_campaign(Sp2Simulation& sim) {
+  // Re-run the caller's campaign with the reference outage profile and
+  // show what the degradation-tolerant pipeline recovers.
+  Sp2Config faulted_cfg = sim.config();
+  faulted_cfg.faults() = fault::FaultConfig::reference();
+  Sp2Simulation faulted(faulted_cfg);
+  std::ostringstream os;
+  os << "=== Fault-free Table 2 ===\n"
+     << analysis::format_table2(sim.table2()) << '\n'
+     << "=== Faulted Table 2 (reference outage profile) ===\n"
+     << analysis::format_table2(faulted.table2()) << '\n'
+     << analysis::format_measurement_loss(faulted.measurement_loss());
+  return os.str();
+}
+
+std::vector<Experiment> build_registry() {
+  std::vector<Experiment> out;
+  out.push_back({"table2", "sustained system rates (Mips/Mops/Mflops)",
+                 [](Sp2Simulation& s) {
+                   return analysis::format_table2(s.table2());
+                 }});
+  out.push_back({"table3", "detailed per-node rate breakdown",
+                 [](Sp2Simulation& s) {
+                   return analysis::format_table3(s.table3());
+                 }});
+  out.push_back({"table4", "memory-hierarchy ratios vs reference kernels",
+                 [](Sp2Simulation& s) {
+                   return analysis::format_table4(s.table4());
+                 }});
+  out.push_back({"fig1", "daily Gflops / utilization history", run_fig1});
+  out.push_back({"fig2", "batch walltime by node count", run_fig2});
+  out.push_back({"fig3", "Mflops per node by node count", run_fig3});
+  out.push_back({"fig4", "16-node job performance history", run_fig4});
+  out.push_back({"fig5", "system/user FXU paging diagnostic", run_fig5});
+  out.push_back({"report", "the full formatted measurement report",
+                 [](Sp2Simulation& s) {
+                   return analysis::format_report(analysis::build_report(
+                       s.campaign(), s.config().table_min_gflops));
+                 }});
+  out.push_back({"loss", "measurement-loss audit of the campaign",
+                 [](Sp2Simulation& s) {
+                   return analysis::format_measurement_loss(
+                       s.measurement_loss());
+                 }});
+  out.push_back({"fault_campaign",
+                 "reference fault campaign: faulted Table 2 + loss report",
+                 run_fault_campaign});
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Experiment>& experiments() {
+  static const std::vector<Experiment> registry = build_registry();
+  return registry;
+}
+
+const Experiment* find_experiment(std::string_view name) {
+  for (const Experiment& e : experiments()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace p2sim::core

@@ -1,0 +1,36 @@
+// The experiment registry: every reproduction this repository can run,
+// addressable by name.
+//
+// Each paper artifact (a table, a figure, the loss audit, the fault
+// campaign) is registered as a named Experiment that renders its result
+// from a caller-supplied Sp2Simulation.  Tools iterate experiments() to
+// enumerate what exists; examples/run_experiment resolves a name from the
+// command line.  Experiments share the caller's simulation, so running
+// several reuses one campaign.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/simulation.hpp"
+
+namespace p2sim::core {
+
+struct Experiment {
+  std::string name;         ///< command-line handle, e.g. "table2"
+  std::string description;  ///< one line, shown by list output
+  /// Renders the experiment's formatted result.  May run the campaign
+  /// (lazily, via the simulation) or derive a second campaign from the
+  /// simulation's config (the fault campaign does).
+  std::function<std::string(Sp2Simulation&)> run;
+};
+
+/// All registered experiments, in presentation order.
+const std::vector<Experiment>& experiments();
+
+/// Finds an experiment by name; nullptr when unknown.
+const Experiment* find_experiment(std::string_view name);
+
+}  // namespace p2sim::core

@@ -53,16 +53,19 @@ const std::vector<analysis::DayStats>& Sp2Simulation::days() {
 }
 
 analysis::Table2 Sp2Simulation::table2() {
-  return analysis::make_table2(days(), cfg_.table_min_gflops);
+  return analysis::make_table2(days(), cfg_.table_min_gflops,
+                               cfg_.table_min_coverage);
 }
 
 analysis::Table3 Sp2Simulation::table3() {
-  return analysis::make_table3(days(), cfg_.table_min_gflops);
+  return analysis::make_table3(days(), cfg_.table_min_gflops,
+                               cfg_.table_min_coverage);
 }
 
 analysis::Table4 Sp2Simulation::table4() {
   return analysis::make_table4(days(), cfg_.driver.core,
-                               cfg_.table_min_gflops);
+                               cfg_.table_min_gflops,
+                               cfg_.table_min_coverage);
 }
 
 analysis::Fig1Series Sp2Simulation::fig1(std::size_t ma_window) {
@@ -83,6 +86,10 @@ analysis::Fig4Series Sp2Simulation::fig4(int node_count) {
 
 analysis::Fig5Series Sp2Simulation::fig5() {
   return analysis::make_fig5(days());
+}
+
+analysis::MeasurementLoss Sp2Simulation::measurement_loss() {
+  return analysis::measure_loss(campaign(), cfg_.table_min_coverage);
 }
 
 power2::RunResult Sp2Simulation::run_kernel(

@@ -17,6 +17,7 @@
 
 #include "src/analysis/daily.hpp"
 #include "src/analysis/figures.hpp"
+#include "src/analysis/loss.hpp"
 #include "src/analysis/tables.hpp"
 #include "src/power2/core.hpp"
 #include "src/workload/driver.hpp"
@@ -29,6 +30,13 @@ struct Sp2Config {
   workload::DriverConfig driver{};
   /// Day filter threshold for Tables 2-4 (the paper's 2.0 Gflops).
   double table_min_gflops = 2.0;
+  /// Days measured below this coverage are dropped from the table sample
+  /// (moot on fault-free campaigns, where every day is fully covered).
+  double table_min_coverage = 0.9;
+
+  /// The fault-injection knob (defaults to disabled).
+  fault::FaultConfig& faults() { return driver.faults; }
+  const fault::FaultConfig& faults() const { return driver.faults; }
 
   /// A scaled-down campaign for tests and quick demos: fewer days, fewer
   /// nodes, same physics.
@@ -52,6 +60,9 @@ class Sp2Simulation {
   analysis::Fig3Series fig3();
   analysis::Fig4Series fig4(int node_count = 16);
   analysis::Fig5Series fig5();
+  /// How much of the campaign was measured and where the rest went
+  /// (trivially all-zero-loss on a fault-free campaign).
+  analysis::MeasurementLoss measurement_loss();
 
   /// Runs one kernel on a fresh core with the campaign's core config —
   /// the paper's single-processor calibration measurements.

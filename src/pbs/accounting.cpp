@@ -11,7 +11,9 @@ std::vector<const JobRecord*> JobDatabase::analyzed(
     double min_walltime_s) const {
   std::vector<const JobRecord*> out;
   for (const JobRecord& r : records_) {
-    if (r.walltime_s() > min_walltime_s) out.push_back(&r);
+    if (r.report.complete && r.walltime_s() > min_walltime_s) {
+      out.push_back(&r);
+    }
   }
   return out;
 }
@@ -20,7 +22,8 @@ std::vector<const JobRecord*> JobDatabase::by_nodes(
     int nodes, double min_walltime_s) const {
   std::vector<const JobRecord*> out;
   for (const JobRecord& r : records_) {
-    if (r.spec.nodes_requested == nodes && r.walltime_s() > min_walltime_s) {
+    if (r.report.complete && r.spec.nodes_requested == nodes &&
+        r.walltime_s() > min_walltime_s) {
       out.push_back(&r);
     }
   }
@@ -36,6 +39,7 @@ double JobDatabase::time_weighted_mflops_per_node(
   double num = 0.0;
   double den = 0.0;
   for (const JobRecord& r : records_) {
+    if (!r.report.complete) continue;  // broken window: no trustworthy rate
     const double w = r.walltime_s();
     if (w <= min_walltime_s) continue;
     const double mfn = r.mflops_per_node();
@@ -45,6 +49,14 @@ double JobDatabase::time_weighted_mflops_per_node(
     den += w;
   }
   return den > 0.0 ? num / den : 0.0;
+}
+
+std::size_t JobDatabase::incomplete_count() const {
+  std::size_t n = 0;
+  for (const JobRecord& r : records_) {
+    if (!r.report.complete) ++n;
+  }
+  return n;
 }
 
 }  // namespace p2sim::pbs

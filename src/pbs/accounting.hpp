@@ -25,6 +25,9 @@ struct JobRecord {
   double walltime_s() const { return end_time_s - start_time_s; }
   double mflops_per_node() const { return report.mflops_per_node(); }
   double job_mflops() const { return report.job_mflops(); }
+  /// A record is analyzable only when its measurement window held: both
+  /// snapshots fired and no counter reset mid-job.
+  bool complete() const { return report.complete; }
 };
 
 /// The paper's analysis threshold for batch jobs.
@@ -37,7 +40,12 @@ class JobDatabase {
   const std::vector<JobRecord>& all() const { return records_; }
   std::size_t size() const { return records_.size(); }
 
-  /// Jobs exceeding the wall-clock threshold (default: the paper's 600 s).
+  /// Records whose measurement window broke (lost prologue/epilogue,
+  /// killed job, mid-job counter reset); excluded from all analysis.
+  std::size_t incomplete_count() const;
+
+  /// Complete jobs exceeding the wall-clock threshold (default: the
+  /// paper's 600 s).  Incomplete records are never analyzed.
   std::vector<const JobRecord*> analyzed(
       double min_walltime_s = kMinAnalyzedWalltimeS) const;
 

@@ -8,6 +8,7 @@ namespace p2sim::pbs {
 Scheduler::Scheduler(const SchedulerConfig& cfg)
     : cfg_(cfg),
       node_busy_(static_cast<std::size_t>(cfg.total_nodes), false),
+      node_offline_(static_cast<std::size_t>(cfg.total_nodes), false),
       free_count_(cfg.total_nodes) {
   if (cfg_.total_nodes <= 0) {
     throw std::invalid_argument("scheduler needs >= 1 node");
@@ -27,7 +28,8 @@ std::vector<int> Scheduler::allocate(int n) {
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < cfg_.total_nodes && static_cast<int>(out.size()) < n;
        ++i) {
-    if (!node_busy_[static_cast<std::size_t>(i)]) {
+    if (!node_busy_[static_cast<std::size_t>(i)] &&
+        !node_offline_[static_cast<std::size_t>(i)]) {
       node_busy_[static_cast<std::size_t>(i)] = true;
       out.push_back(i);
     }
@@ -106,6 +108,43 @@ void Scheduler::release(std::int64_t job_id) {
   }
   free_count_ += static_cast<int>(it->second.size());
   running_.erase(it);
+}
+
+std::vector<std::int64_t> Scheduler::fail_node(int node) {
+  if (node < 0 || node >= cfg_.total_nodes) {
+    throw std::invalid_argument("fail_node: node id out of range");
+  }
+  const auto n = static_cast<std::size_t>(node);
+  if (node_offline_[n]) return {};
+  // Kill every job holding the node; release() frees all their nodes.
+  std::vector<std::int64_t> killed;
+  for (const auto& [id, held] : running_) {
+    if (std::find(held.begin(), held.end(), node) != held.end()) {
+      killed.push_back(id);
+    }
+  }
+  for (std::int64_t id : killed) release(id);
+  // The node itself leaves the pool (release marked it free again).
+  node_offline_[n] = true;
+  --free_count_;
+  ++offline_count_;
+  return killed;
+}
+
+void Scheduler::restore_node(int node) {
+  if (node < 0 || node >= cfg_.total_nodes) {
+    throw std::invalid_argument("restore_node: node id out of range");
+  }
+  const auto n = static_cast<std::size_t>(node);
+  if (!node_offline_[n]) return;
+  node_offline_[n] = false;
+  ++free_count_;
+  --offline_count_;
+}
+
+bool Scheduler::node_offline(int node) const {
+  return node >= 0 && node < cfg_.total_nodes &&
+         node_offline_[static_cast<std::size_t>(node)];
 }
 
 std::vector<std::int64_t> Scheduler::take_preempted() {

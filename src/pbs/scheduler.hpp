@@ -58,8 +58,21 @@ class Scheduler {
   /// already released).  Clears the list.
   std::vector<std::int64_t> take_preempted();
 
+  /// Node crash: takes the node out of service until restore_node().  Any
+  /// job holding it is killed — its other nodes are freed and its id
+  /// returned so the caller can account the loss (the PBS epilogue never
+  /// fires for killed jobs) and requeue if desired.  No-op on an
+  /// already-offline node.
+  std::vector<std::int64_t> fail_node(int node);
+  /// Returns a failed node to the free pool.
+  void restore_node(int node);
+  bool node_offline(int node) const;
+  int offline_nodes() const { return offline_count_; }
+
   int free_nodes() const { return free_count_; }
-  int busy_nodes() const { return cfg_.total_nodes - free_count_; }
+  int busy_nodes() const {
+    return cfg_.total_nodes - free_count_ - offline_count_;
+  }
   std::size_t queued_jobs() const { return queue_.size(); }
   std::size_t running_jobs() const { return running_.size(); }
   bool draining() const { return draining_; }
@@ -75,7 +88,9 @@ class Scheduler {
   std::deque<JobSpec> queue_;
   std::map<std::int64_t, std::vector<int>> running_;
   std::vector<bool> node_busy_;
+  std::vector<bool> node_offline_;
   int free_count_;
+  int offline_count_ = 0;
   bool draining_ = false;
   std::vector<std::int64_t> preempted_;
 };

@@ -7,7 +7,7 @@
 namespace p2sim::rs2hpm {
 
 SamplingDaemon::SamplingDaemon(std::size_t num_nodes)
-    : prev_(num_nodes), prev_quads_(num_nodes, 0) {
+    : prev_(num_nodes), prev_quads_(num_nodes, 0), primed_(num_nodes, 0) {
   if (num_nodes == 0) throw std::invalid_argument("daemon needs >= 1 node");
 }
 
@@ -15,28 +15,74 @@ void SamplingDaemon::collect(std::int64_t interval,
                              std::span<const ModeTotals> node_totals,
                              std::span<const std::uint64_t> node_quads,
                              int busy_nodes) {
+  const std::vector<std::uint8_t> all(prev_.size(), 1);
+  collect(interval, node_totals, node_quads, all, busy_nodes);
+}
+
+void SamplingDaemon::collect(std::int64_t interval,
+                             std::span<const ModeTotals> node_totals,
+                             std::span<const std::uint64_t> node_quads,
+                             std::span<const std::uint8_t> reachable,
+                             int busy_nodes) {
   if (node_totals.size() != prev_.size() ||
-      node_quads.size() != prev_.size()) {
+      node_quads.size() != prev_.size() ||
+      reachable.size() != prev_.size()) {
     throw std::invalid_argument("collect: span size != node count");
   }
+  // A record only makes sense once at least one baseline exists; the very
+  // first collect of a campaign primes the fleet and emits nothing.
+  bool any_primed = false;
+  for (std::uint8_t p : primed_) {
+    if (p) {
+      any_primed = true;
+      break;
+    }
+  }
+
   IntervalRecord rec;
   rec.interval = interval;
-  rec.nodes_sampled = static_cast<int>(prev_.size());
+  rec.nodes_expected = static_cast<int>(prev_.size());
   rec.busy_nodes = busy_nodes;
-  if (primed_) {
-    for (std::size_t i = 0; i < prev_.size(); ++i) {
-      rec.delta += node_totals[i].since(prev_[i]);
-      P2SIM_CHECK(node_quads[i] >= prev_quads_[i],
-                  "quad diagnostic must be monotone per node");
-      rec.quad_surplus += node_quads[i] - prev_quads_[i];
-    }
-    records_.push_back(rec);
-  }
+  int newly_primed = 0;
+  int unreachable = 0;
   for (std::size_t i = 0; i < prev_.size(); ++i) {
+    if (!reachable[i]) {
+      // The baseline stays: when the node reappears, its delta covers the
+      // gap (nothing is lost unless it also rebooted, which the monotone
+      // guard below catches).
+      ++unreachable;
+      ++total_unreachable_;
+      continue;
+    }
+    // The guard is unconditional in every build: subtracting a baseline
+    // from reset counters would wrap the uint64 deltas into astronomical
+    // garbage that no downstream check could attribute.  (Before this
+    // guard existed, Release builds silently underflowed here.)
+    const bool monotone = primed_[i] && node_totals[i].covers(prev_[i]) &&
+                          node_quads[i] >= prev_quads_[i];
+    if (monotone) {
+      rec.delta += node_totals[i].since(prev_[i]);
+      rec.quad_surplus += node_quads[i] - prev_quads_[i];
+      ++rec.nodes_sampled;
+    } else if (primed_[i]) {
+      // Counter reset (node reboot) between samples: drop this node's
+      // interval contribution and re-establish the baseline.
+      ++rec.nodes_reprimed;
+      ++total_reprimes_;
+    } else {
+      ++newly_primed;
+    }
     prev_[i] = node_totals[i];
     prev_quads_[i] = node_quads[i];
+    primed_[i] = 1;
   }
-  primed_ = true;
+  // Debug-only bookkeeping diagnostic: every expected node must be
+  // accounted for as sampled, re-primed, newly primed or unreachable.
+  P2SIM_CHECK(rec.nodes_sampled + rec.nodes_reprimed + newly_primed +
+                      unreachable ==
+                  rec.nodes_expected,
+              "daemon coverage accounting must partition the fleet");
+  if (any_primed) records_.push_back(rec);
 }
 
 }  // namespace p2sim::rs2hpm

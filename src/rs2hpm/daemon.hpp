@@ -7,6 +7,13 @@
 // interval, forms wrap-free deltas per node, and stores one aggregated
 // record per interval.  The daemon samples whether or not user processes
 // are executing — idle nodes simply contribute near-zero deltas.
+//
+// Production hardening: over nine months the collection is lossy.  Nodes
+// reboot (their counters restart from zero) and single-node fetches time
+// out.  The daemon therefore primes each node independently, detects
+// non-monotone totals and *re-primes* that node rather than forming a
+// wrapped uint64 delta, and records per-interval coverage (nodes_sampled
+// vs nodes_expected) so the analysis can weight or discard thin samples.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +27,19 @@ namespace p2sim::rs2hpm {
 /// One 15-minute system-wide sample.
 struct IntervalRecord {
   std::int64_t interval = 0;     ///< global 15-minute interval index
-  ModeTotals delta;              ///< counter deltas summed over all nodes
+  ModeTotals delta;              ///< counter deltas summed over sampled nodes
   std::uint64_t quad_surplus = 0;///< diagnostic: quad memory instructions
-  int nodes_sampled = 0;
+  int nodes_sampled = 0;         ///< nodes that contributed a clean delta
+  int nodes_expected = 0;        ///< nodes the daemon should have reached
+  int nodes_reprimed = 0;        ///< counter reset detected; baseline redone
   int busy_nodes = 0;            ///< nodes servicing PBS jobs (utilization)
+
+  /// Fraction of the expected node-samples actually collected.
+  double coverage() const {
+    return nodes_expected > 0
+               ? static_cast<double>(nodes_sampled) / nodes_expected
+               : 1.0;
+  }
 };
 
 class SamplingDaemon {
@@ -33,19 +49,36 @@ class SamplingDaemon {
   /// Ingests one interval: `node_totals[i]` is node i's monotone 64-bit
   /// extended totals at the end of the interval, `node_quads[i]` its
   /// cumulative quad-instruction diagnostic.  `busy_nodes` comes from the
-  /// batch system.  Spans must cover all nodes.
+  /// batch system.  Spans must cover all nodes.  Equivalent to the lossy
+  /// overload with every node reachable.
   void collect(std::int64_t interval,
                std::span<const ModeTotals> node_totals,
                std::span<const std::uint64_t> node_quads, int busy_nodes);
 
+  /// Lossy collection: `reachable[i] == 0` means node i could not be
+  /// sampled this interval (down, or the fetch was dropped).  Unreachable
+  /// nodes keep their previous baseline — their next clean delta simply
+  /// spans the gap.  A node whose totals went backwards (counter reset)
+  /// is re-primed at the new values and contributes nothing this interval.
+  void collect(std::int64_t interval,
+               std::span<const ModeTotals> node_totals,
+               std::span<const std::uint64_t> node_quads,
+               std::span<const std::uint8_t> reachable, int busy_nodes);
+
   const std::vector<IntervalRecord>& records() const { return records_; }
   std::size_t num_nodes() const { return prev_.size(); }
+
+  /// Lifetime counts of the degradations the daemon absorbed.
+  std::int64_t total_reprimes() const { return total_reprimes_; }
+  std::int64_t total_unreachable() const { return total_unreachable_; }
 
  private:
   std::vector<ModeTotals> prev_;
   std::vector<std::uint64_t> prev_quads_;
+  std::vector<std::uint8_t> primed_;
   std::vector<IntervalRecord> records_;
-  bool primed_ = false;
+  std::int64_t total_reprimes_ = 0;
+  std::int64_t total_unreachable_ = 0;
 };
 
 }  // namespace p2sim::rs2hpm

@@ -6,6 +6,16 @@
 
 namespace p2sim::rs2hpm {
 
+JobCounterReport JobCounterReport::incomplete(std::int64_t job_id, int nodes,
+                                              double elapsed_s) {
+  JobCounterReport rep;
+  rep.job_id = job_id;
+  rep.nodes = nodes;
+  rep.elapsed_s = elapsed_s;
+  rep.complete = false;
+  return rep;
+}
+
 void JobMonitor::prologue(std::int64_t job_id, double start_s,
                           std::span<const ModeTotals> node_totals,
                           std::span<const std::uint64_t> node_quads) {
@@ -42,11 +52,29 @@ JobCounterReport JobMonitor::epilogue(
   P2SIM_CHECK(rep.elapsed_s >= 0.0,
               "epilogue cannot precede the job's prologue");
   for (std::size_t i = 0; i < o.totals.size(); ++i) {
+    // Unconditional monotone guard: a node that rebooted mid-job restarts
+    // its counters from zero, and subtracting the prologue baseline would
+    // wrap the uint64 deltas.  Drop the node, mark the report incomplete.
+    if (!node_totals[i].covers(o.totals[i]) || node_quads[i] < o.quads[i]) {
+      ++rep.nodes_reset;
+      rep.complete = false;
+      continue;
+    }
     rep.delta += node_totals[i].since(o.totals[i]);
-    P2SIM_CHECK(node_quads[i] >= o.quads[i],
-                "quad diagnostic must be monotone over the job window");
     rep.quad_surplus += node_quads[i] - o.quads[i];
   }
+  open_.erase(it);
+  return rep;
+}
+
+JobCounterReport JobMonitor::abandon(std::int64_t job_id, double end_s) {
+  auto it = open_.find(job_id);
+  if (it == open_.end()) {
+    throw std::invalid_argument("abandon: no prologue for job");
+  }
+  JobCounterReport rep = JobCounterReport::incomplete(
+      job_id, static_cast<int>(it->second.totals.size()),
+      end_s - it->second.start_s);
   open_.erase(it);
   return rep;
 }

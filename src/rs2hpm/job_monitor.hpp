@@ -4,6 +4,13 @@
 // scripts know which nodes the job holds and snapshot their counters at both
 // ends.  The difference, divided by the job's wall time, is the job's
 // counter report — the database behind Figures 2, 3 and 4.
+//
+// In production both scripts can fail: the prologue rsh times out, a node
+// crashes mid-job (its counters restart from zero), or the job is killed
+// and its epilogue never fires.  Every such path produces an explicitly
+// *incomplete* report (complete == false, deltas only over the nodes whose
+// counters stayed monotone) instead of aborting or wrapping uint64 deltas;
+// the accounting layer excludes incomplete reports from analysis.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +28,17 @@ struct JobCounterReport {
   std::int64_t job_id = 0;
   int nodes = 0;
   double elapsed_s = 0.0;
-  ModeTotals delta;               ///< summed over the job's nodes
+  ModeTotals delta;               ///< summed over the job's monotone nodes
   std::uint64_t quad_surplus = 0;
+
+  /// False when the measurement window is broken: lost prologue/epilogue,
+  /// or a counter reset on >= 1 node mid-job.  Incomplete reports carry
+  /// whatever facts survive (id, nodes, elapsed time, partial deltas) but
+  /// are excluded from rate analysis.
+  bool complete = true;
+  /// Nodes whose counters went backwards over the job window (rebooted);
+  /// their contribution is dropped, never wrapped.
+  int nodes_reset = 0;
 
   /// Whole-job rates (per node: divide by `nodes`).
   DerivedRates rates() const {
@@ -34,6 +50,11 @@ struct JobCounterReport {
   double mflops_per_node() const {
     return nodes > 0 ? job_mflops() / nodes : 0.0;
   }
+
+  /// A report for a job whose measurement never happened (lost prologue,
+  /// or killed before any snapshot): zero deltas, complete == false.
+  static JobCounterReport incomplete(std::int64_t job_id, int nodes,
+                                     double elapsed_s);
 };
 
 class JobMonitor {
@@ -45,9 +66,15 @@ class JobMonitor {
 
   /// Epilogue: forms the per-node deltas and returns the report.  The job
   /// must have an outstanding prologue; spans must match its node count.
+  /// Nodes whose counters are non-monotone over the window (reset by a
+  /// reboot) are dropped from the delta and the report marked incomplete.
   JobCounterReport epilogue(std::int64_t job_id, double end_s,
                             std::span<const ModeTotals> node_totals,
                             std::span<const std::uint64_t> node_quads);
+
+  /// The epilogue never ran (job killed, script lost): closes the open
+  /// prologue and returns an explicitly incomplete report with no deltas.
+  JobCounterReport abandon(std::int64_t job_id, double end_s);
 
   bool pending(std::int64_t job_id) const {
     return open_.contains(job_id);

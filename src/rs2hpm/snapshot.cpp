@@ -35,6 +35,15 @@ ModeTotals ModeTotals::since(const ModeTotals& earlier) const {
   return d;
 }
 
+bool ModeTotals::covers(const ModeTotals& earlier) const {
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    if (user[i] < earlier.user[i] || system[i] < earlier.system[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void ExtendedCounters::attach(const hpm::PerformanceMonitor& mon) {
   last_user_ = mon.bank(hpm::PrivilegeMode::kUser).raw();
   last_system_ = mon.bank(hpm::PrivilegeMode::kSystem).raw();

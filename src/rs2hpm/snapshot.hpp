@@ -31,6 +31,12 @@ struct ModeTotals {
   /// Per-counter difference (this - earlier); requires monotone inputs.
   ModeTotals since(const ModeTotals& earlier) const;
 
+  /// True when every counter in both modes is >= its value in `earlier` —
+  /// the monotonicity precondition of since().  A false return means the
+  /// source counters were reset between the snapshots (node reboot): the
+  /// consumer must re-prime its baseline, never subtract.
+  bool covers(const ModeTotals& earlier) const;
+
   std::uint64_t user_at(hpm::HpmCounter c) const {
     return user[hpm::index_of(c)];
   }

@@ -87,6 +87,15 @@ CampaignResult WorkloadDriver::run() {
   int slump_days_left = 0;
   double slump_depth = 1.0;
 
+  fault::FaultInjector inject(cfg_.faults);
+  // Interval at which each crashed node reboots (node is down while
+  // t < down_until[n]; a node that never crashed has 0 and is up).
+  std::vector<std::int64_t> down_until(
+      static_cast<std::size_t>(cfg_.num_nodes), 0);
+  // Requeue counts per job id: the attempt number varies the fault
+  // schedule's prologue/epilogue draws across reruns of the same job.
+  std::map<std::int64_t, int> attempts;
+
   std::map<std::int64_t, Running> running;            // by job id
   std::vector<const Running*> node_job(
       static_cast<std::size_t>(cfg_.num_nodes), nullptr);
@@ -126,6 +135,48 @@ CampaignResult WorkloadDriver::run() {
     const double now = static_cast<double>(t) * interval_s;
     const std::int64_t day = t / util::kIntervalsPerDay;
 
+    // --- fault processing: reboots, then fresh crashes ---
+    if (inject.enabled()) {
+      for (int n = 0; n < cfg_.num_nodes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        if (!nodes[ni].is_up() && t >= down_until[ni]) {
+          nodes[ni].reboot();  // counters stay zeroed: non-monotone on purpose
+          sched.restore_node(n);
+        }
+        if (nodes[ni].is_up() && inject.crash_now(n, t)) {
+          nodes[ni].crash();
+          down_until[ni] = t + cfg_.faults.reboot_downtime_intervals;
+          // Every job holding the node dies; its epilogue never fires.
+          for (std::int64_t id : sched.fail_node(n)) {
+            Running& r = running.at(id);
+            inject.note_job_killed(r.has_prologue);
+            pbs::JobRecord rec;
+            rec.spec = r.spec;
+            rec.start_time_s = r.start_s;
+            rec.end_time_s = now;
+            rec.report = r.has_prologue
+                             ? jobmon.abandon(id, now)
+                             : rs2hpm::JobCounterReport::incomplete(
+                                   id, static_cast<int>(r.nodes.size()),
+                                   now - r.start_s);
+            result.jobs.add(std::move(rec));
+            for (int held : r.nodes) {
+              node_job[static_cast<std::size_t>(held)] = nullptr;
+            }
+            if (cfg_.requeue_killed_jobs) {
+              pbs::JobSpec respec = r.spec;
+              respec.submit_time_s = now;
+              ++attempts[id];
+              sched.submit(respec);
+              inject.note_job_requeued();
+            }
+            running.erase(id);
+          }
+        }
+        if (!nodes[ni].is_up()) inject.note_node_down();
+      }
+    }
+
     // Demand process updates at day boundaries.
     if (t % util::kIntervalsPerDay == 0) {
       demand_level = std::clamp(
@@ -159,8 +210,16 @@ CampaignResult WorkloadDriver::run() {
       r.nodes = std::move(ev.nodes);
       r.start_s = now;
       r.end_s = now + ev.spec.runtime_s;
-      auto [jt, jq] = job_spans(r.nodes);
-      jobmon.prologue(r.spec.job_id, now, jt, jq);
+      if (auto att = attempts.find(r.spec.job_id); att != attempts.end()) {
+        r.attempt = att->second;
+      }
+      if (inject.enabled() &&
+          inject.lose_prologue(r.spec.job_id, r.attempt)) {
+        r.has_prologue = false;  // the rsh timed out; no baseline snapshot
+      } else {
+        auto [jt, jq] = job_spans(r.nodes);
+        jobmon.prologue(r.spec.job_id, now, jt, jq);
+      }
       auto [it, inserted] = running.emplace(r.spec.job_id, std::move(r));
       for (int n : it->second.nodes) {
         node_job[static_cast<std::size_t>(n)] = &it->second;
@@ -203,12 +262,19 @@ CampaignResult WorkloadDriver::run() {
     }
     for (std::int64_t id : done) {
       Running& r = running.at(id);
-      auto [jt, jq] = job_spans(r.nodes);
       pbs::JobRecord rec;
       rec.spec = r.spec;
       rec.start_time_s = r.start_s;
       rec.end_time_s = r.end_s;
-      rec.report = jobmon.epilogue(id, r.end_s, jt, jq);
+      if (!r.has_prologue) {
+        rec.report = rs2hpm::JobCounterReport::incomplete(
+            id, static_cast<int>(r.nodes.size()), r.end_s - r.start_s);
+      } else if (inject.enabled() && inject.lose_epilogue(id, r.attempt)) {
+        rec.report = jobmon.abandon(id, r.end_s);
+      } else {
+        auto [jt, jq] = job_spans(r.nodes);
+        rec.report = jobmon.epilogue(id, r.end_s, jt, jq);
+      }
       result.jobs.add(std::move(rec));
       for (int n : r.nodes) node_job[static_cast<std::size_t>(n)] = nullptr;
       sched.release(id);
@@ -217,12 +283,37 @@ CampaignResult WorkloadDriver::run() {
 
     // --- 15-minute daemon sample ---
     refresh_scratch();
-    daemon.collect(t, totals_scratch, quads_scratch,
-                   static_cast<int>(std::lround(busy_node_seconds /
-                                                interval_s)));
+    const int busy_now =
+        static_cast<int>(std::lround(busy_node_seconds / interval_s));
+    if (!inject.enabled()) {
+      daemon.collect(t, totals_scratch, quads_scratch, busy_now);
+    } else if (!inject.miss_interval(t)) {
+      // Per-node reachability: down nodes cannot answer, and an up node's
+      // sample can still be lost in flight.  Unreachable nodes keep their
+      // baseline; the next successful sample covers the gap.
+      std::vector<std::uint8_t> reachable(
+          static_cast<std::size_t>(cfg_.num_nodes), 1);
+      for (int n = 0; n < cfg_.num_nodes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        if (!nodes[ni].is_up()) {
+          reachable[ni] = 0;
+          inject.note_node_unreachable();
+        } else if (inject.lose_node_sample(n, t)) {
+          reachable[ni] = 0;
+        }
+      }
+      daemon.collect(t, totals_scratch, quads_scratch, reachable, busy_now);
+    }
   }
 
   result.intervals = daemon.records();
+  result.intervals_expected = total_intervals;
+  result.jobs_open_at_end =
+      static_cast<std::int64_t>(running.size() + sched.queued_jobs());
+  for (const auto& [id, r] : running) {
+    if (!r.has_prologue) ++result.jobs_open_sans_prologue;
+  }
+  result.faults = inject.log();
 #if P2SIM_CHECKS_ENABLED
   // Campaign-level audit: every 15-minute record the daemon produced must
   // obey the Table 1 identities in both privilege modes.

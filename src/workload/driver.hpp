@@ -17,6 +17,7 @@
 #include "src/cluster/node.hpp"
 #include "src/cluster/paging.hpp"
 #include "src/cluster/switch.hpp"
+#include "src/fault/fault.hpp"
 #include "src/pbs/accounting.hpp"
 #include "src/pbs/scheduler.hpp"
 #include "src/power2/signature.hpp"
@@ -48,6 +49,14 @@ struct DriverConfig {
 
   std::uint64_t seed = 0xC0FFEE42ULL;
 
+  /// Fault injection (disabled by default; a disabled-fault campaign is
+  /// bit-identical to one run before the fault subsystem existed, because
+  /// the schedule never touches the driver's RNG streams).
+  fault::FaultConfig faults{};
+  /// Resubmit jobs killed by a node crash (PBS requeue semantics); the
+  /// killed run still produces an incomplete accounting record.
+  bool requeue_killed_jobs = true;
+
   pbs::SchedulerConfig sched{};
   cluster::NodeConfig node{};
   cluster::PagingConfig paging{};
@@ -66,6 +75,17 @@ struct CampaignResult {
   std::vector<rs2hpm::IntervalRecord> intervals;
   pbs::JobDatabase jobs;
   double total_busy_node_seconds = 0.0;
+  /// How many 15-minute samples the daemon *should* have produced; with
+  /// `intervals.size()` this gives the whole-sample loss rate.
+  std::int64_t intervals_expected = 0;
+  /// Jobs still running or queued when the campaign window closed (they
+  /// produced no accounting record), and how many of the running ones had
+  /// already lost their prologue — the loss report needs both to
+  /// reconcile record counts against injected faults.
+  std::int64_t jobs_open_at_end = 0;
+  std::int64_t jobs_open_sans_prologue = 0;
+  /// Ground truth of every fault injected into this campaign.
+  fault::FaultLog faults;
 
   /// Machine utilization over the whole campaign (fraction of node-time
   /// servicing PBS jobs — the paper's 64%).
@@ -91,6 +111,12 @@ class WorkloadDriver {
     std::vector<int> nodes;
     double start_s = 0.0;
     double end_s = 0.0;
+    /// False when the prologue script was lost: the epilogue then has no
+    /// baseline and the job's record is explicitly incomplete.
+    bool has_prologue = true;
+    /// Which run of this job id this is (requeues bump it so the fault
+    /// schedule draws fresh prologue/epilogue outcomes per attempt).
+    int attempt = 0;
   };
 
   cluster::ActivityProfile activity_for(const Running& r,

@@ -171,6 +171,119 @@ TEST(RecordIo, CollectOnceAnalyzeManyOnARealCampaign) {
                    fb.walltime_beyond_64_fraction);
 }
 
+TEST(RecordIo, RoundTripPreservesCoverageAndCompleteness) {
+  rs2hpm::IntervalRecord rec = make_interval(5);
+  rec.nodes_sampled = 140;
+  rec.nodes_expected = 144;
+  rec.nodes_reprimed = 2;
+  std::stringstream ss;
+  save_intervals(ss, {rec});
+  const auto out = load_intervals(ss);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].nodes_sampled, 140);
+  EXPECT_EQ(out[0].nodes_expected, 144);
+  EXPECT_EQ(out[0].nodes_reprimed, 2);
+  EXPECT_DOUBLE_EQ(out[0].coverage(), 140.0 / 144.0);
+
+  pbs::JobRecord job = make_job(1);
+  job.report.complete = false;
+  pbs::JobDatabase db;
+  db.add(job);
+  db.add(make_job(2));  // complete
+  std::stringstream js;
+  save_jobs(js, db);
+  const pbs::JobDatabase jout = load_jobs(js);
+  ASSERT_EQ(jout.size(), 2u);
+  EXPECT_FALSE(jout.all()[0].report.complete);
+  EXPECT_TRUE(jout.all()[1].report.complete);
+  EXPECT_EQ(jout.incomplete_count(), 1u);
+}
+
+TEST(RecordIo, LoadsLegacyV1Intervals) {
+  // Files written before the coverage fields existed still load; every
+  // sampled fleet is assumed complete and never re-primed.
+  std::ostringstream ss;
+  ss << "p2sim-intervals v1 " << hpm::kNumCounters << "\n";
+  ss << "I,7,144,100,555";
+  for (std::size_t c = 0; c < 2 * hpm::kNumCounters; ++c) ss << ',' << c;
+  ss << "\n";
+  std::istringstream in(ss.str());
+  const auto out = load_intervals(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].interval, 7);
+  EXPECT_EQ(out[0].nodes_sampled, 144);
+  EXPECT_EQ(out[0].nodes_expected, 144);
+  EXPECT_EQ(out[0].nodes_reprimed, 0);
+  EXPECT_EQ(out[0].busy_nodes, 100);
+  EXPECT_EQ(out[0].quad_surplus, 555u);
+  EXPECT_EQ(out[0].delta.user[3], 3u);
+  EXPECT_EQ(out[0].delta.system[0], hpm::kNumCounters);
+  EXPECT_DOUBLE_EQ(out[0].coverage(), 1.0);
+}
+
+TEST(RecordIo, LoadsLegacyV1Jobs) {
+  std::ostringstream ss;
+  ss << "p2sim-jobs v1 " << hpm::kNumCounters << "\n";
+  ss << "J,9,16,100,150,1384.5,77";
+  for (std::size_t c = 0; c < 2 * hpm::kNumCounters; ++c) ss << ',' << c;
+  ss << "\n";
+  std::istringstream in(ss.str());
+  const pbs::JobDatabase out = load_jobs(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.all()[0].spec.job_id, 9);
+  EXPECT_TRUE(out.all()[0].report.complete);  // v1 had no incomplete jobs
+  EXPECT_EQ(out.all()[0].report.quad_surplus, 77u);
+}
+
+TEST(RecordIo, StrictModeThrowsOnChecksumMismatch) {
+  std::stringstream ss;
+  save_intervals(ss, {make_interval(0)});
+  std::string text = ss.str();
+  // Flip one payload digit: the line still parses as numbers but no
+  // longer matches its checksum.
+  const auto pos = text.find("I,0,144,");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 4] = '9';  // 144 -> 944
+  std::stringstream bad(text);
+  EXPECT_THROW(load_intervals(bad), std::runtime_error);
+}
+
+TEST(RecordIo, RecoveryModeReportsLineNumbersAndKeepsTheRest) {
+  std::vector<rs2hpm::IntervalRecord> in;
+  for (std::int64_t i = 0; i < 4; ++i) in.push_back(make_interval(i));
+  std::stringstream ss;
+  save_intervals(ss, in);
+  std::string text = ss.str();
+  // Corrupt the second record (file line 3: header is line 1).
+  const auto pos = text.find("I,1,");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 2] = '8';
+  std::stringstream damaged(text);
+  ParseReport report;
+  const auto out = load_intervals(damaged, &report);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].interval, 0);
+  EXPECT_EQ(out[1].interval, 2);
+  EXPECT_EQ(report.lines_total, 4);
+  EXPECT_EQ(report.lines_loaded, 3);
+  EXPECT_EQ(report.lines_skipped, 1);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].line, 3);
+  EXPECT_FALSE(report.clean());
+  const std::string pretty = format_parse_report(report);
+  EXPECT_NE(pretty.find("line 3"), std::string::npos);
+  EXPECT_NE(pretty.find("3/4"), std::string::npos);
+}
+
+TEST(RecordIo, RecoveryModeCleanOnIntactFile) {
+  std::stringstream ss;
+  save_intervals(ss, {make_interval(0), make_interval(1)});
+  ParseReport report;
+  EXPECT_EQ(load_intervals(ss, &report).size(), 2u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.lines_skipped, 0);
+}
+
 TEST(RecordIo, SkipsBlankLines) {
   std::vector<rs2hpm::IntervalRecord> in = {make_interval(3)};
   std::stringstream ss;

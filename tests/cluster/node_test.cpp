@@ -161,6 +161,46 @@ TEST(Node, QuadDiagnosticTracked) {
               0.04 * 10.0 * n.config().clock_hz, 1e4);
 }
 
+TEST(Node, CrashZeroesCountersAndStopsAccrual) {
+  Node n(12);
+  const power2::EventSignature sig = flat_signature();
+  ActivityProfile act;
+  n.advance(100.0, &sig, act);
+  ASSERT_NE(n.totals(), rs2hpm::ModeTotals{});
+  ASSERT_GT(n.quad_total(), 0u);
+
+  n.crash();
+  EXPECT_FALSE(n.is_up());
+  EXPECT_EQ(n.totals(), rs2hpm::ModeTotals{});
+  EXPECT_EQ(n.quad_total(), 0u);
+
+  // A down node accrues nothing — not even idle OS noise.
+  n.advance(100.0, &sig, act);
+  n.advance_idle(900.0);
+  EXPECT_EQ(n.totals(), rs2hpm::ModeTotals{});
+}
+
+TEST(Node, RebootResumesFromZero) {
+  // The deliberate non-monotonicity downstream layers must survive: totals
+  // after the reboot are smaller than totals before the crash.
+  Node n(13);
+  const power2::EventSignature sig = flat_signature();
+  ActivityProfile act;
+  n.advance(200.0, &sig, act);
+  const std::uint64_t before =
+      n.totals().user_at(HpmCounter::kUserCycles);
+
+  n.crash();
+  n.reboot();
+  EXPECT_TRUE(n.is_up());
+  EXPECT_EQ(n.totals(), rs2hpm::ModeTotals{});
+
+  n.advance(10.0, &sig, act);
+  const std::uint64_t after = n.totals().user_at(HpmCounter::kUserCycles);
+  EXPECT_GT(after, 0u);
+  EXPECT_LT(after, before);
+}
+
 TEST(Node, ZeroSecondsIsNoOp) {
   Node n(11);
   const power2::EventSignature sig = flat_signature();

@@ -76,5 +76,33 @@ TEST(JobDatabase, CustomThreshold) {
   EXPECT_TRUE(db.analyzed(100.0).empty());
 }
 
+TEST(JobDatabase, IncompleteRecordsExcludedFromAnalysis) {
+  JobDatabase db;
+  JobRecord lost = record(1, 4, 0.0, 5000.0, 9e12);  // huge but untrusted
+  lost.report.complete = false;
+  db.add(lost);
+  db.add(record(2, 4, 0.0, 5000.0, 1e9));
+  db.add(record(3, 16, 0.0, 5000.0, 1e9));
+
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.incomplete_count(), 1u);
+  const auto a = db.analyzed();
+  ASSERT_EQ(a.size(), 2u);
+  for (const JobRecord* r : a) EXPECT_NE(r->spec.job_id, 1);
+  // by_nodes applies the same completeness filter.
+  EXPECT_TRUE(db.by_nodes(4).size() == 1u);
+  // The poisoned 9e12-add record must not inflate the campaign average.
+  const double avg = db.time_weighted_mflops_per_node();
+  EXPECT_LT(avg, 1.0);
+  EXPECT_GT(avg, 0.0);
+}
+
+TEST(JobDatabase, CompleteHelperReflectsReportFlag) {
+  JobRecord r = record(1, 2, 0.0, 100.0, 1.0);
+  EXPECT_TRUE(r.complete());
+  r.report.complete = false;
+  EXPECT_FALSE(r.complete());
+}
+
 }  // namespace
 }  // namespace p2sim::pbs

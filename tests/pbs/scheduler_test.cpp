@@ -162,5 +162,84 @@ TEST(Scheduler, MultipleStartsPerPass) {
   EXPECT_EQ(s.schedule(0.0).size(), 4u);
 }
 
+TEST(Scheduler, FailNodeKillsHoldingJobAndReportsIt) {
+  Scheduler s(SchedulerConfig{.total_nodes = 8});
+  s.submit(job(1, 3));
+  s.submit(job(2, 2));
+  const auto started = s.schedule(0.0);
+  ASSERT_EQ(started.size(), 2u);
+  const int victim = started[0].nodes[1];  // a node held by job 1
+
+  const auto killed = s.fail_node(victim);
+  ASSERT_EQ(killed.size(), 1u);
+  EXPECT_EQ(killed[0], 1);
+  EXPECT_EQ(s.running_jobs(), 1u);
+  EXPECT_TRUE(s.nodes_of(1).empty());
+  // Job 1's other two nodes return to the pool; the failed node does not.
+  EXPECT_EQ(s.free_nodes(), 8 - 2 - 1);
+  EXPECT_EQ(s.busy_nodes(), 2);
+  EXPECT_EQ(s.offline_nodes(), 1);
+  EXPECT_TRUE(s.node_offline(victim));
+}
+
+TEST(Scheduler, FailIdleNodeShrinksPoolWithoutKills) {
+  Scheduler s(SchedulerConfig{.total_nodes = 4});
+  EXPECT_TRUE(s.fail_node(2).empty());
+  EXPECT_EQ(s.free_nodes(), 3);
+  EXPECT_EQ(s.offline_nodes(), 1);
+  // A second failure of the same node is a no-op.
+  EXPECT_TRUE(s.fail_node(2).empty());
+  EXPECT_EQ(s.offline_nodes(), 1);
+}
+
+TEST(Scheduler, OfflineNodeNeverAllocated) {
+  Scheduler s(SchedulerConfig{.total_nodes = 4});
+  s.fail_node(1);
+  s.submit(job(1, 3));
+  const auto started = s.schedule(0.0);
+  ASSERT_EQ(started.size(), 1u);
+  for (int n : started[0].nodes) EXPECT_NE(n, 1);
+  // A job wanting all 4 nodes cannot start while one is down.
+  s.submit(job(2, 4));
+  EXPECT_TRUE(s.schedule(1.0).empty());
+  s.release(1);
+  s.restore_node(1);
+  EXPECT_EQ(s.schedule(2.0).size(), 1u);
+}
+
+TEST(Scheduler, RestoreNodeReturnsItToThePool) {
+  Scheduler s(SchedulerConfig{.total_nodes = 4});
+  s.fail_node(0);
+  EXPECT_EQ(s.free_nodes(), 3);
+  s.restore_node(0);
+  EXPECT_EQ(s.free_nodes(), 4);
+  EXPECT_EQ(s.offline_nodes(), 0);
+  EXPECT_FALSE(s.node_offline(0));
+  // Restoring an online node is a no-op.
+  s.restore_node(0);
+  EXPECT_EQ(s.free_nodes(), 4);
+}
+
+TEST(Scheduler, FailNodeRangeChecked) {
+  Scheduler s(SchedulerConfig{.total_nodes = 4});
+  EXPECT_THROW(s.fail_node(-1), std::invalid_argument);
+  EXPECT_THROW(s.fail_node(4), std::invalid_argument);
+  EXPECT_THROW(s.restore_node(4), std::invalid_argument);
+}
+
+TEST(Scheduler, KilledJobCanBeResubmitted) {
+  Scheduler s(SchedulerConfig{.total_nodes = 4});
+  s.submit(job(1, 4));
+  s.schedule(0.0);
+  const auto killed = s.fail_node(0);
+  ASSERT_EQ(killed.size(), 1u);
+  // Requeue under the same id; it restarts once capacity allows.
+  s.submit(job(1, 3, /*submit=*/10.0));
+  const auto started = s.schedule(10.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].spec.job_id, 1);
+  for (int n : started[0].nodes) EXPECT_NE(n, 0);
+}
+
 }  // namespace
 }  // namespace p2sim::pbs

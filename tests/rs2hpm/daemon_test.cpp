@@ -75,5 +75,97 @@ TEST(Daemon, RejectsWrongSpanSizes) {
   EXPECT_THROW(d.collect(0, t, q, 0), std::invalid_argument);
 }
 
+TEST(Daemon, CounterResetReprimesInsteadOfUnderflowing) {
+  // The Release-mode failure this guard exists for: a node reboots, its
+  // totals restart below the baseline, and baseline subtraction would wrap
+  // uint64.  The daemon must drop the node's interval and re-prime.
+  SamplingDaemon d(2);
+  std::vector<ModeTotals> t = {totals_with_user0(1000),
+                               totals_with_user0(2000)};
+  std::vector<std::uint64_t> q = {10, 20};
+  d.collect(0, t, q, 2);
+  t[0].user[0] = 5;  // node 0 rebooted: counters restarted from ~zero
+  q[0] = 0;
+  t[1].user[0] = 2500;  // node 1 progressed normally
+  q[1] = 26;
+  d.collect(1, t, q, 2);
+  ASSERT_EQ(d.records().size(), 1u);
+  const IntervalRecord& rec = d.records()[0];
+  EXPECT_EQ(rec.delta.user[0], 500u);  // only node 1's clean delta
+  EXPECT_EQ(rec.quad_surplus, 6u);
+  EXPECT_EQ(rec.nodes_sampled, 1);
+  EXPECT_EQ(rec.nodes_reprimed, 1);
+  EXPECT_EQ(rec.nodes_expected, 2);
+  EXPECT_EQ(d.total_reprimes(), 1);
+
+  // The re-established baseline works: next interval node 0 contributes.
+  t[0].user[0] = 105;
+  q[0] = 3;
+  d.collect(2, t, q, 2);
+  EXPECT_EQ(d.records()[1].delta.user[0], 100u + 0u);
+  EXPECT_EQ(d.records()[1].nodes_sampled, 2);
+  EXPECT_EQ(d.records()[1].nodes_reprimed, 0);
+}
+
+TEST(Daemon, QuadRegressionAloneAlsoReprimes) {
+  SamplingDaemon d(1);
+  std::vector<ModeTotals> t = {totals_with_user0(10)};
+  std::vector<std::uint64_t> q = {100};
+  d.collect(0, t, q, 1);
+  t[0].user[0] = 20;
+  q[0] = 50;  // diagnostic went backwards: treat as reset
+  d.collect(1, t, q, 1);
+  EXPECT_EQ(d.records()[0].nodes_sampled, 0);
+  EXPECT_EQ(d.records()[0].nodes_reprimed, 1);
+  EXPECT_EQ(d.records()[0].delta.user[0], 0u);
+}
+
+TEST(Daemon, UnreachableNodeKeepsBaselineAndCoversGapLater) {
+  SamplingDaemon d(2);
+  std::vector<ModeTotals> t = {totals_with_user0(100),
+                               totals_with_user0(100)};
+  std::vector<std::uint64_t> q = {0, 0};
+  d.collect(0, t, q, 2);
+
+  // Node 1 unreachable this interval; its counters still advance.
+  t[0].user[0] = 150;
+  t[1].user[0] = 160;
+  std::vector<std::uint8_t> reach = {1, 0};
+  d.collect(1, t, q, reach, 2);
+  ASSERT_EQ(d.records().size(), 1u);
+  EXPECT_EQ(d.records()[0].delta.user[0], 50u);
+  EXPECT_EQ(d.records()[0].nodes_sampled, 1);
+  EXPECT_EQ(d.records()[0].nodes_reprimed, 0);
+  EXPECT_EQ(d.total_unreachable(), 1);
+
+  // Node 1 reappears: its delta covers both intervals (nothing lost).
+  t[0].user[0] = 175;
+  t[1].user[0] = 200;
+  d.collect(2, t, q, 2);
+  EXPECT_EQ(d.records()[1].delta.user[0], 25u + 100u);
+  EXPECT_EQ(d.records()[1].nodes_sampled, 2);
+}
+
+TEST(Daemon, CoverageFractionReflectsSampledNodes) {
+  SamplingDaemon d(4);
+  std::vector<ModeTotals> t(4, totals_with_user0(10));
+  std::vector<std::uint64_t> q(4, 0);
+  d.collect(0, t, q, 0);
+  for (auto& x : t) x.user[0] = 20;
+  std::vector<std::uint8_t> reach = {1, 1, 0, 0};
+  d.collect(1, t, q, reach, 0);
+  EXPECT_DOUBLE_EQ(d.records()[0].coverage(), 0.5);
+  d.collect(2, t, q, 0);
+  EXPECT_DOUBLE_EQ(d.records()[1].coverage(), 1.0);
+}
+
+TEST(Daemon, RejectsWrongReachableMaskSize) {
+  SamplingDaemon d(2);
+  std::vector<ModeTotals> t(2);
+  std::vector<std::uint64_t> q(2, 0);
+  std::vector<std::uint8_t> reach = {1};
+  EXPECT_THROW(d.collect(0, t, q, reach, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace p2sim::rs2hpm

@@ -90,6 +90,66 @@ TEST(JobMonitor, EmptyNodeSpanRejected) {
   EXPECT_THROW(jm.prologue(5, 0.0, t, q), std::invalid_argument);
 }
 
+TEST(JobMonitor, NonMonotoneNodeDroppedAndReportIncomplete) {
+  // A node rebooted mid-job: its epilogue totals are below the prologue
+  // baseline.  The delta must come from the surviving node only — never
+  // from wrapped uint64 subtraction — and the report must say so.
+  JobMonitor jm;
+  std::vector<ModeTotals> start = {with_flops(1000, 0), with_flops(1000, 0)};
+  std::vector<std::uint64_t> q0 = {10, 10};
+  jm.prologue(20, 0.0, start, q0);
+  std::vector<ModeTotals> end = {with_flops(5, 0),  // reset: 5 < 1000
+                                 with_flops(4000, 0)};
+  std::vector<std::uint64_t> q1 = {0, 25};
+  const JobCounterReport rep = jm.epilogue(20, 100.0, end, q1);
+  EXPECT_FALSE(rep.complete);
+  EXPECT_EQ(rep.nodes_reset, 1);
+  EXPECT_EQ(rep.nodes, 2);
+  EXPECT_EQ(rep.delta.user_at(HpmCounter::kFpAdd0), 3000u);
+  EXPECT_EQ(rep.quad_surplus, 15u);
+}
+
+TEST(JobMonitor, QuadRegressionAloneMarksIncomplete) {
+  JobMonitor jm;
+  std::vector<ModeTotals> start = {with_flops(10, 0)};
+  std::vector<std::uint64_t> q0 = {100};
+  jm.prologue(21, 0.0, start, q0);
+  std::vector<ModeTotals> end = {with_flops(20, 0)};
+  std::vector<std::uint64_t> q1 = {50};
+  const JobCounterReport rep = jm.epilogue(21, 1.0, end, q1);
+  EXPECT_FALSE(rep.complete);
+  EXPECT_EQ(rep.nodes_reset, 1);
+  EXPECT_EQ(rep.delta.user_at(HpmCounter::kFpAdd0), 0u);
+}
+
+TEST(JobMonitor, AbandonClosesPrologueWithIncompleteReport) {
+  JobMonitor jm;
+  std::vector<ModeTotals> start(3);
+  std::vector<std::uint64_t> q(3, 0);
+  jm.prologue(30, 100.0, start, q);
+  const JobCounterReport rep = jm.abandon(30, 700.0);
+  EXPECT_FALSE(jm.pending(30));
+  EXPECT_FALSE(rep.complete);
+  EXPECT_EQ(rep.job_id, 30);
+  EXPECT_EQ(rep.nodes, 3);
+  EXPECT_DOUBLE_EQ(rep.elapsed_s, 600.0);
+  EXPECT_EQ(rep.job_mflops(), 0.0);
+}
+
+TEST(JobMonitor, AbandonWithoutPrologueRejected) {
+  JobMonitor jm;
+  EXPECT_THROW(jm.abandon(31, 0.0), std::invalid_argument);
+}
+
+TEST(JobMonitor, IncompleteFactoryCarriesFacts) {
+  const JobCounterReport rep = JobCounterReport::incomplete(42, 8, 1234.5);
+  EXPECT_FALSE(rep.complete);
+  EXPECT_EQ(rep.job_id, 42);
+  EXPECT_EQ(rep.nodes, 8);
+  EXPECT_DOUBLE_EQ(rep.elapsed_s, 1234.5);
+  EXPECT_EQ(rep.quad_surplus, 0u);
+}
+
 TEST(JobMonitor, ConcurrentJobsIndependent) {
   JobMonitor jm;
   std::vector<ModeTotals> t = {ModeTotals{}};

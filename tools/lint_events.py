@@ -56,6 +56,11 @@ INIT_CHECKED_HEADERS = (
     "src/rs2hpm/derived.hpp",
     "src/rs2hpm/daemon.hpp",
     "src/rs2hpm/job_monitor.hpp",
+    # Fault-injection rates and the loss-reconciliation tallies: an
+    # indeterminate probability or counter here silently breaks the
+    # "every injected fault accounted for" identity.
+    "src/fault/fault.hpp",
+    "src/analysis/loss.hpp",
 )
 
 # Only these member types are indeterminate without an initializer; class
@@ -304,10 +309,31 @@ def self_test() -> int:
             )
         )
 
+    def drop_fault_rate_initializer(tmp):
+        p = tmp / "src/fault/fault.hpp"
+        p.write_text(
+            p.read_text().replace(
+                "std::int64_t node_crashes = 0;",
+                "std::int64_t node_crashes;", 1
+            )
+        )
+
+    def drop_loss_tally_initializer(tmp):
+        p = tmp / "src/analysis/loss.hpp"
+        p.write_text(
+            p.read_text().replace(
+                "double mean_coverage = 0.0;", "double mean_coverage;", 1
+            )
+        )
+
     scenario("missing kTable entry", drop_table_entry, "no kTable entry")
     scenario("missing emit site", drop_emit_site, "never emitted")
     scenario("raw access outside snapshot", add_raw_access, "raw 32-bit")
     scenario("missing member init", drop_initializer, "in-class initializer")
+    scenario("missing fault-log init", drop_fault_rate_initializer,
+             "in-class initializer")
+    scenario("missing loss-tally init", drop_loss_tally_initializer,
+             "in-class initializer")
 
     # The pristine tree must be clean, or the lint gate is vacuous.
     rc = run_lint(REPO)
