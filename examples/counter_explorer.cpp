@@ -18,6 +18,7 @@
 #include "src/rs2hpm/derived.hpp"
 #include "src/rs2hpm/job_monitor.hpp"
 #include "src/rs2hpm/snapshot.hpp"
+#include "src/telemetry/clock.hpp"
 
 int main() {
   using namespace p2sim;
@@ -28,7 +29,8 @@ int main() {
   std::printf("1. The physical counters are 32-bit and wrap silently\n");
   hpm::PerformanceMonitor mon;
   power2::EventCounts sixty_four_seconds;
-  sixty_four_seconds.cycles = static_cast<std::uint64_t>(64.4 * 66.7e6);
+  sixty_four_seconds.cycles =
+      static_cast<std::uint64_t>(telemetry::cycles_from_seconds(64.4));
   mon.accumulate(sixty_four_seconds, PrivilegeMode::kUser);
   std::printf("   after 64.4 s of cycles the counter reads %u (wrapped!)\n",
               mon.bank(PrivilegeMode::kUser).read(HpmCounter::kUserCycles));
@@ -39,7 +41,8 @@ int main() {
   rs2hpm::ExtendedCounters ext;
   ext.attach(mon2);
   power2::EventCounts thirty_seconds;
-  thirty_seconds.cycles = static_cast<std::uint64_t>(30.0 * 66.7e6);
+  thirty_seconds.cycles =
+      static_cast<std::uint64_t>(telemetry::cycles_from_seconds(30.0));
   for (int i = 0; i < 30; ++i) {  // 15 minutes in 30-second passes
     mon2.accumulate(thirty_seconds, PrivilegeMode::kUser);
     ext.sample(mon2);
@@ -47,7 +50,7 @@ int main() {
   std::printf("   900 s of cycles recovered: %llu (expected %.0f)\n",
               static_cast<unsigned long long>(
                   ext.totals().user_at(HpmCounter::kUserCycles)),
-              900.0 * 66.7e6);
+              telemetry::cycles_from_seconds(900.0));
 
   std::printf("   ...but a missed wrap is unrecoverable:\n");
   hpm::PerformanceMonitor mon3;

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/telemetry/session.hpp"
+
 namespace p2sim::analysis {
 namespace {
 
@@ -138,7 +140,16 @@ void for_each_line(std::istream& in, ParseReport* report,
     } catch (const std::runtime_error& e) {
       if (report == nullptr) throw;
       ++report->lines_skipped;
-      report->issues.push_back({line_no, e.what()});
+      if (static_cast<std::int64_t>(report->issues.size()) <
+          report->max_issues) {
+        report->issues.push_back({line_no, e.what()});
+      }
+      if (auto* tel = telemetry::current()) {
+        tel->registry
+            .counter("p2sim_recordio_lines_skipped_total",
+                     "Stored record lines skipped by recovering loads")
+            .inc();
+      }
     }
   }
 }
@@ -251,6 +262,9 @@ std::string format_parse_report(const ParseReport& report) {
   for (const ParseReport::Issue& issue : report.issues) {
     os << "; line " << issue.line << ": " << issue.what;
   }
+  const std::int64_t more =
+      report.lines_skipped - static_cast<std::int64_t>(report.issues.size());
+  if (more > 0) os << "; ... and " << more << " more";
   return os.str();
 }
 

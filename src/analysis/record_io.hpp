@@ -44,9 +44,14 @@ struct ParseReport {
     std::int64_t line = 0;  ///< 1-based line number in the stream
     std::string what;       ///< e.g. "checksum mismatch", "bad counter '#'"
   };
+  /// How many offending lines to attach to `issues` with their line number
+  /// and reason (set before the load; <= 0 keeps none).  `lines_skipped`
+  /// always counts every bad line — a nine-month file can rot in thousands
+  /// of places, and a report that grows with the rot is its own leak.
+  std::int64_t max_issues = 5;
   std::int64_t lines_total = 0;    ///< payload lines seen (blank excluded)
   std::int64_t lines_loaded = 0;
-  std::int64_t lines_skipped = 0;  ///< == issues.size()
+  std::int64_t lines_skipped = 0;  ///< >= issues.size(); capped by max_issues
   std::vector<Issue> issues;
 
   bool clean() const { return lines_skipped == 0; }

@@ -2,9 +2,22 @@
 
 #include <stdexcept>
 
+#include "src/telemetry/session.hpp"
 #include "src/util/sim_time.hpp"
 
 namespace p2sim::fault {
+namespace {
+
+/// Telemetry hook: per-domain injected-fault counters.  These count the
+/// same events as FaultLog, so a live dashboard's fault totals reconcile
+/// exactly with the campaign's ground-truth log.
+void count_fault(const char* name, const char* help) {
+  if (auto* tel = telemetry::current()) {
+    tel->registry.counter(name, help).inc();
+  }
+}
+
+}  // namespace
 
 // Domain tags passed to draw() keep the per-fault-class substreams
 // independent even when their coordinates collide (e.g. node 3 / interval 7
@@ -101,30 +114,40 @@ bool FaultSchedule::record_corrupted(std::int64_t line_index) const {
 bool FaultInjector::crash_now(int node, std::int64_t interval) {
   if (!sched_.node_crashes(node, interval)) return false;
   ++log_.node_crashes;
+  count_fault("p2sim_fault_node_crashes_total",
+              "Node crashes injected (counters zeroed on reboot)");
   return true;
 }
 
 bool FaultInjector::miss_interval(std::int64_t interval) {
   if (!sched_.interval_missed(interval)) return false;
   ++log_.intervals_missed;
+  count_fault("p2sim_fault_intervals_missed_total",
+              "Whole 15-minute daemon samples that never happened");
   return true;
 }
 
 bool FaultInjector::lose_node_sample(int node, std::int64_t interval) {
   if (!sched_.node_sample_lost(node, interval)) return false;
   ++log_.node_samples_lost;
+  count_fault("p2sim_fault_node_samples_lost_total",
+              "Per-node daemon samples dropped in flight");
   return true;
 }
 
 bool FaultInjector::lose_prologue(std::int64_t job_id, int attempt) {
   if (!sched_.prologue_lost(job_id, attempt)) return false;
   ++log_.prologues_lost;
+  count_fault("p2sim_fault_prologues_lost_total",
+              "PBS prologue scripts that failed to fire");
   return true;
 }
 
 bool FaultInjector::lose_epilogue(std::int64_t job_id, int attempt) {
   if (!sched_.epilogue_lost(job_id, attempt)) return false;
   ++log_.epilogues_lost;
+  count_fault("p2sim_fault_epilogues_lost_total",
+              "PBS epilogue scripts that failed to fire");
   return true;
 }
 
@@ -163,6 +186,8 @@ std::int64_t corrupt_records(std::string& file_contents,
         }
       }
       ++corrupted;
+      count_fault("p2sim_fault_records_corrupted_total",
+                  "Stored record lines mangled by storage rot");
     }
     out += line;
     if (nl < file_contents.size()) out += '\n';

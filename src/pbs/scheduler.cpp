@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/telemetry/session.hpp"
+
 namespace p2sim::pbs {
 
 Scheduler::Scheduler(const SchedulerConfig& cfg)
@@ -94,6 +96,23 @@ std::vector<StartEvent> Scheduler::schedule(double now) {
       draining_ = false;
       break;
     }
+  }
+  // Telemetry: machine-state gauges after every scheduling pass.
+  if (auto* tel = telemetry::current()) {
+    tel->registry
+        .gauge("p2sim_sched_queue_depth", "Jobs waiting in the PBS queue")
+        .set(static_cast<double>(queue_.size()));
+    tel->registry
+        .gauge("p2sim_sched_busy_nodes", "Nodes currently running a job")
+        .set(static_cast<double>(cfg_.total_nodes - free_count_ -
+                                 offline_count_));
+    tel->registry
+        .gauge("p2sim_sched_offline_nodes",
+               "Nodes out of the pool (crashed, awaiting reboot)")
+        .set(static_cast<double>(offline_count_));
+    tel->registry
+        .gauge("p2sim_sched_free_nodes", "Nodes idle and allocatable")
+        .set(static_cast<double>(free_count_));
   }
   return started;
 }

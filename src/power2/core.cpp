@@ -1,10 +1,13 @@
 #include "src/power2/core.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
 #include "src/check/invariants.hpp"
+#include "src/telemetry/clock.hpp"
+#include "src/telemetry/session.hpp"
 
 namespace p2sim::power2 {
 namespace {
@@ -342,6 +345,7 @@ RunResult Power2Core::run(const KernelDesc& kernel) {
 
 RunResult Power2Core::run(const KernelDesc& kernel,
                           std::uint64_t measure_iters) {
+  const auto wall_begin = std::chrono::steady_clock::now();
   bind(kernel);
 
   EventCounts scratch;
@@ -381,6 +385,38 @@ RunResult Power2Core::run(const KernelDesc& kernel,
   RunResult out;
   out.counts = ev;
   out.iterations = measure_iters;
+
+  // Telemetry: kernel runs are not on the campaign clock, so their spans
+  // advance the session's dedicated engine timeline by each run's simulated
+  // duration.  The cycle histogram is deterministic; the throughput
+  // histogram is wall-clock-fed and flagged as such.
+  if (auto* tel = telemetry::current()) {
+    const double sim_s = telemetry::seconds_from_cycles(ev.cycles);
+    auto span =
+        telemetry::span("power2", "kernel_run", tel->engine_clock_s);
+    span.arg("iterations", static_cast<double>(measure_iters));
+    span.arg("cycles", static_cast<double>(ev.cycles));
+    tel->engine_clock_s += sim_s;
+    span.close(tel->engine_clock_s);
+    tel->registry
+        .histogram("p2sim_core_run_cycles",
+                   "Simulated cycles per measured kernel run",
+                   telemetry::exponential_buckets(1e3, 10.0, 7))
+        .observe(static_cast<double>(ev.cycles));
+    const auto wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+    if (wall_us > 0) {
+      tel->registry
+          .histogram("p2sim_core_cycles_per_wall_second",
+                     "Engine throughput: simulated cycles per wall second",
+                     telemetry::exponential_buckets(1e6, 10.0, 7),
+                     /*wall_clock=*/true)
+          .observe(static_cast<double>(ev.cycles) * 1e6 /
+                   static_cast<double>(wall_us));
+    }
+  }
   return out;
 }
 

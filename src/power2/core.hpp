@@ -22,6 +22,7 @@
 #include "src/power2/event_counts.hpp"
 #include "src/power2/kernel_desc.hpp"
 #include "src/power2/tlb.hpp"
+#include "src/telemetry/clock.hpp"
 #include "src/util/rng.hpp"
 
 namespace p2sim::power2 {
@@ -94,7 +95,7 @@ struct RunResult {
                       : 0.0;
   }
   /// Achieved Mflops at the given clock (defaults to the SP2's 66.7 MHz).
-  double mflops(double clock_hz = 66.7e6) const;
+  double mflops(double clock_hz = telemetry::kClockHz) const;
 };
 
 class Power2Core {

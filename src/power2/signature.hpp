@@ -43,7 +43,7 @@ struct EventSignature {
     return fxu0_inst + fxu1_inst + fpu0_inst + fpu1_inst + icu_type1 +
            icu_type2;
   }
-  double mflops(double clock_hz = 66.7e6) const {
+  double mflops(double clock_hz = telemetry::kClockHz) const {
     return flops_per_cycle() * clock_hz / 1e6;
   }
 

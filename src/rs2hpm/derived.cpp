@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/check/invariants.hpp"
+#include "src/telemetry/clock.hpp"
 
 namespace p2sim::rs2hpm {
 
@@ -27,7 +28,7 @@ DerivedRates derive_rates(const ModeTotals& delta, double elapsed_s,
   const bool wait_states = selection == hpm::CounterSelection::kWaitStates;
   if (wait_states) {
     // Under the recommended selection the divide slots carry wait cycles.
-    const double node_cycles = elapsed_s * 66.7e6;
+    const double node_cycles = telemetry::cycles_from_seconds(elapsed_s);
     r.comm_wait_fraction = u(hpm::kCommWaitSlot) / node_cycles;
     r.io_wait_fraction = u(hpm::kIoWaitSlot) / node_cycles;
   }

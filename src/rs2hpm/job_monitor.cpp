@@ -3,8 +3,20 @@
 #include <stdexcept>
 
 #include "src/check/check.hpp"
+#include "src/telemetry/session.hpp"
 
 namespace p2sim::rs2hpm {
+namespace {
+
+/// Zero-duration marker span on the campaign timeline (prologue/epilogue
+/// script firings are instantaneous at interval resolution).
+void mark(const char* name, double sim_s, std::int64_t job_id) {
+  auto span = telemetry::span("rs2hpm", name, sim_s);
+  span.arg("job_id", static_cast<double>(job_id));
+  span.close(sim_s);
+}
+
+}  // namespace
 
 JobCounterReport JobCounterReport::incomplete(std::int64_t job_id, int nodes,
                                               double elapsed_s) {
@@ -30,6 +42,7 @@ void JobMonitor::prologue(std::int64_t job_id, double start_s,
   o.totals.assign(node_totals.begin(), node_totals.end());
   o.quads.assign(node_quads.begin(), node_quads.end());
   open_.emplace(job_id, std::move(o));
+  mark("job_prologue", start_s, job_id);
 }
 
 JobCounterReport JobMonitor::epilogue(
@@ -64,6 +77,15 @@ JobCounterReport JobMonitor::epilogue(
     rep.quad_surplus += node_quads[i] - o.quads[i];
   }
   open_.erase(it);
+  mark("job_epilogue", end_s, job_id);
+  if (!rep.complete) {
+    if (auto* tel = telemetry::current()) {
+      tel->registry
+          .counter("p2sim_jobmon_reports_incomplete_total",
+                   "Epilogue reports degraded by a mid-job counter reset")
+          .inc();
+    }
+  }
   return rep;
 }
 
@@ -76,6 +98,13 @@ JobCounterReport JobMonitor::abandon(std::int64_t job_id, double end_s) {
       job_id, static_cast<int>(it->second.totals.size()),
       end_s - it->second.start_s);
   open_.erase(it);
+  mark("job_abandoned", end_s, job_id);
+  if (auto* tel = telemetry::current()) {
+    tel->registry
+        .counter("p2sim_jobmon_jobs_abandoned_total",
+                 "Open jobs abandoned without a usable epilogue")
+        .inc();
+  }
   return rep;
 }
 

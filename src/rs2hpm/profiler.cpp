@@ -2,15 +2,13 @@
 
 #include <cstdio>
 
-#include "src/util/sim_time.hpp"
+#include "src/telemetry/clock.hpp"
 
 namespace p2sim::rs2hpm {
 
 ProgramProfiler::ProgramProfiler(const power2::CoreConfig& core_cfg,
                                  const hpm::MonitorConfig& mon_cfg)
-    : core_(core_cfg),
-      monitor_(mon_cfg),
-      clock_hz_(util::MachineClock::kHz) {
+    : core_(core_cfg), monitor_(mon_cfg) {
   ext_.attach(monitor_);
 }
 
@@ -85,7 +83,7 @@ const SectionReport& ProgramProfiler::run_section(
   rep.name = std::move(name);
   rep.counts = r.counts;
   rep.delta = ext_.totals().since(before);
-  rep.seconds = static_cast<double>(r.counts.cycles) / clock_hz_;
+  rep.seconds = telemetry::seconds_from_cycles(r.counts.cycles);
   rep.rates = derive_rates(rep.delta, rep.seconds, r.counts.quad_inst,
                            monitor_.config().selection);
   sections_.push_back(std::move(rep));

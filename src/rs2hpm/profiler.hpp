@@ -58,7 +58,6 @@ class ProgramProfiler {
   power2::Power2Core core_;
   hpm::PerformanceMonitor monitor_;
   ExtendedCounters ext_;
-  double clock_hz_;
   std::vector<SectionReport> sections_;
 };
 

@@ -1,0 +1,30 @@
+// The one place the POWER2 clock frequency lives.
+//
+// The paper quotes rates at the SP2's 66.7 MHz clock, and before this
+// header existed the literal 66.7e6 was re-derived inline wherever cycles
+// had to become seconds (derived-rate computation, kernel Mflops, profiler
+// section reports).  Every cycles<->seconds conversion now goes through
+// these helpers; the constant itself is util::MachineClock::kHz, re-exported
+// so call sites name the telemetry clock rather than a magic number.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/sim_time.hpp"
+
+namespace p2sim::telemetry {
+
+/// The POWER2 clock in Hz (66.7 MHz) — the campaign's only CPU clock.
+inline constexpr double kClockHz = util::MachineClock::kHz;
+
+/// Elapsed simulated seconds for a cycle count at the POWER2 clock.
+constexpr double seconds_from_cycles(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / kClockHz;
+}
+
+/// Cycles elapsed in `seconds` of simulated time at the POWER2 clock.
+constexpr double cycles_from_seconds(double seconds) {
+  return seconds * kClockHz;
+}
+
+}  // namespace p2sim::telemetry

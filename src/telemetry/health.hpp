@@ -1,0 +1,59 @@
+// Pipeline-health observation: what the campaign driver tells a live
+// dashboard at every 15-minute tick.
+//
+// The HealthSample is plain data (no rs2hpm/pbs types) so the telemetry
+// layer stays below every instrumented module; the driver fills it from
+// the daemon record, the scheduler and the fault injector.  Observers are
+// orthogonal to the metrics session: installing one never perturbs the
+// campaign (pure read-side), and a null observer costs one branch.
+#pragma once
+
+#include <cstdint>
+
+namespace p2sim::telemetry {
+
+/// One interval's health facts.  Cumulative fields count from campaign
+/// start so a sink can difference or ratio them without history.
+struct HealthSample {
+  std::int64_t interval = 0;
+  std::int64_t day = 0;
+  /// Simulated seconds at the *end* of the interval.
+  double sim_seconds = 0.0;
+
+  /// False when the daemon missed this entire 15-minute sample — the
+  /// node_* fields below are then zero.
+  bool interval_recorded = false;
+  int nodes_sampled = 0;
+  int nodes_expected = 0;
+  int nodes_reprimed = 0;
+
+  int busy_nodes = 0;
+  int offline_nodes = 0;
+  std::int64_t queue_depth = 0;
+
+  /// Live system Mflops over this interval (summed over sampled nodes).
+  double mflops = 0.0;
+
+  // Cumulative campaign counts.
+  std::int64_t jobs_dispatched = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_requeued = 0;
+  /// FaultLog::total_faults() so far (0 on fault-free campaigns).
+  std::int64_t faults_injected = 0;
+
+  /// Fraction of expected node-samples delivered this interval.
+  double coverage() const {
+    return nodes_expected > 0
+               ? static_cast<double>(nodes_sampled) / nodes_expected
+               : 0.0;
+  }
+};
+
+/// Interface the driver calls once per interval (after the daemon sample).
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+  virtual void on_interval(const HealthSample& sample) = 0;
+};
+
+}  // namespace p2sim::telemetry

@@ -1,0 +1,199 @@
+#include "src/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2sim::telemetry {
+namespace {
+
+// Not atomic: the simulator is single-threaded by design and the counter
+// only feeds the overhead-guard test.
+std::uint64_t g_metrics_created = 0;
+
+/// Round-trip double formatting: integers print bare, everything else with
+/// enough digits to reconstruct the bits (so exports are reproducible).
+std::string format_number(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+/// JSON has no Inf literal; histogram bounds export as a string there.
+std::string json_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "\"+Inf\"" : "\"-Inf\"";
+  return format_number(v);
+}
+
+}  // namespace
+
+std::uint64_t metrics_created() { return g_metrics_created; }
+
+bool valid_metric_name(std::string_view name) {
+  if (name.size() < 7 || name.substr(0, 6) != "p2sim_") return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+  });
+}
+
+Counter::Counter() { ++g_metrics_created; }
+
+Gauge::Gauge() { ++g_metrics_created; }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  ++g_metrics_created;
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram needs >= 1 bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, int n) {
+  if (start <= 0.0 || factor <= 1.0 || n < 1) {
+    throw std::invalid_argument("exponential_buckets: bad parameters");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+Registry::Entry& Registry::entry_for(std::string_view name,
+                                     std::string_view help, Kind kind,
+                                     bool wall_clock) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("metric name '" + std::string(name) +
+                                "' does not match ^p2sim_[a-z0-9_]+$");
+  }
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.help = std::string(help);
+  e.wall_clock = wall_clock;
+  return entries_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           bool wall_clock) {
+  Entry& e = entry_for(name, help, Kind::kCounter, wall_clock);
+  if (!e.c) e.c = std::make_unique<Counter>();
+  return *e.c;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       bool wall_clock) {
+  Entry& e = entry_for(name, help, Kind::kGauge, wall_clock);
+  if (!e.g) e.g = std::make_unique<Gauge>();
+  return *e.g;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> upper_bounds,
+                               bool wall_clock) {
+  Entry& e = entry_for(name, help, Kind::kHistogram, wall_clock);
+  if (!e.h) e.h = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *e.h;
+}
+
+bool Registry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::string Registry::prometheus_text() const {
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    os << "# HELP " << name << ' ' << e.help << '\n';
+    os << "# TYPE " << name << ' ';
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "counter\n" << name << ' ' << e.c->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "gauge\n" << name << ' ' << format_number(e.g->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        os << "histogram\n";
+        std::uint64_t cum = 0;
+        const auto& bounds = e.h->upper_bounds();
+        const auto& counts = e.h->bucket_counts();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cum += counts[i];
+          os << name << "_bucket{le=\"" << format_number(bounds[i]) << "\"} "
+             << cum << '\n';
+        }
+        cum += counts[bounds.size()];
+        os << name << "_bucket{le=\"+Inf\"} " << cum << '\n';
+        os << name << "_sum " << format_number(e.h->sum()) << '\n';
+        os << name << "_count " << e.h->count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string Registry::jsonl(bool include_wall_clock) const {
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    if (e.wall_clock && !include_wall_clock) continue;
+    os << "{\"metric\":\"" << name << "\",";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << e.c->value();
+        break;
+      case Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << json_number(e.g->value());
+        break;
+      case Kind::kHistogram: {
+        os << "\"type\":\"histogram\",\"buckets\":[";
+        const auto& bounds = e.h->upper_bounds();
+        const auto& counts = e.h->bucket_counts();
+        for (std::size_t i = 0; i <= bounds.size(); ++i) {
+          if (i > 0) os << ',';
+          const std::string le =
+              i < bounds.size() ? json_number(bounds[i]) : "\"+Inf\"";
+          os << "{\"le\":" << le << ",\"count\":" << counts[i] << '}';
+        }
+        os << "],\"sum\":" << json_number(e.h->sum())
+           << ",\"count\":" << e.h->count();
+        break;
+      }
+    }
+    if (e.wall_clock) os << ",\"wall_clock\":true";
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace p2sim::telemetry

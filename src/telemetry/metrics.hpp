@@ -1,0 +1,131 @@
+// Metrics registry: the measurement pipeline's own counters.
+//
+// Bergeron could only discover after the fact that 240 of 270 days had been
+// lost to the collection stack; a self-observing pipeline counts its own
+// work as it runs.  This registry holds three metric kinds — monotone
+// counters, gauges and fixed-bucket histograms — keyed by Prometheus-style
+// names (`^p2sim_[a-z0-9_]+$`, enforced at registration and by
+// tools/lint_events.py), and exports them as Prometheus text format and as
+// JSONL.
+//
+// Determinism contract: metrics derived from simulated quantities are
+// bit-stable across identical campaigns.  Metrics fed from wall-clock
+// measurements must be registered with `wall_clock = true`; the JSONL
+// export excludes them by default so a telemetry dump of simulated-time
+// metrics is byte-identical between identical runs.
+//
+// Registration is idempotent: calling `counter(name, ...)` again returns
+// the existing instance (the source-level lint additionally requires each
+// metric name literal to appear at exactly one registration site, so a
+// name cannot drift between meanings).  Registering the same name as a
+// different kind throws.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2sim::telemetry {
+
+/// Process-wide count of metric objects ever constructed.  The overhead
+/// guard test asserts this stays flat across a telemetry-disabled campaign:
+/// disabled means *no registry allocations*, not merely unread ones.
+std::uint64_t metrics_created();
+
+/// True when `name` matches `^p2sim_[a-z0-9_]+$`.
+bool valid_metric_name(std::string_view name);
+
+/// Monotonically increasing event count.  No decrement exists by design.
+class Counter {
+ public:
+  Counter();
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A value that goes up and down (queue depth, coverage fraction).
+class Gauge {
+ public:
+  Gauge();
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with Prometheus semantics: `upper_bounds` are
+/// inclusive bucket upper bounds, and an implicit +Inf bucket catches the
+/// rest.  Bounds are fixed at registration — no re-bucketing mid-campaign.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// `n` exponential bucket bounds: start, start*factor, start*factor^2, ...
+std::vector<double> exponential_buckets(double start, double factor, int n);
+
+class Registry {
+ public:
+  /// Registers (or finds) a metric.  Throws std::invalid_argument on a
+  /// malformed name or a kind clash with an existing registration.
+  Counter& counter(std::string_view name, std::string_view help,
+                   bool wall_clock = false);
+  Gauge& gauge(std::string_view name, std::string_view help,
+               bool wall_clock = false);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> upper_bounds,
+                       bool wall_clock = false);
+
+  std::size_t size() const { return entries_.size(); }
+  bool contains(std::string_view name) const;
+
+  /// Prometheus text exposition format, metrics in name order.
+  std::string prometheus_text() const;
+
+  /// One JSON object per metric per line, in name order.  Wall-clock
+  /// metrics are excluded unless asked for, so the default export is
+  /// bit-stable across identical simulated campaigns.
+  std::string jsonl(bool include_wall_clock = false) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    bool wall_clock = false;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Entry& entry_for(std::string_view name, std::string_view help, Kind kind,
+                   bool wall_clock);
+
+  // std::map keeps exports in deterministic (sorted) name order.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace p2sim::telemetry

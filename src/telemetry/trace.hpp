@@ -1,0 +1,98 @@
+// Tracing spans: where the pipeline's time goes, on both clocks.
+//
+// Every span carries two timelines: *simulated* time (the campaign clock —
+// bit-stable across identical runs) and *wall* time (how long the simulator
+// itself took — inherently nondeterministic).  The Chrome trace_event
+// export places spans on the simulated timeline (`ts`/`dur`), so a trace
+// loads into chrome://tracing or Perfetto as a picture of the campaign;
+// wall-clock figures ride along under clearly segregated `wall_*` args and
+// can be omitted entirely for byte-identical exports.
+//
+// Spans are RAII (`Span`) and nest; category/name must be string literals
+// (the tracer stores the pointers).  A span on a null tracer costs one
+// branch and touches nothing — that is the disabled path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2sim::telemetry {
+
+struct TraceEvent {
+  const char* category = "";
+  const char* name = "";
+  /// Simulated-time window (seconds on the campaign clock).
+  double sim_begin_s = 0.0;
+  double sim_end_s = 0.0;
+  /// Wall-clock window (microseconds on std::chrono::steady_clock) —
+  /// segregated from the simulated fields and never mixed into them.
+  std::int64_t wall_begin_us = 0;
+  std::int64_t wall_end_us = 0;
+  /// Nesting depth at open (1 = top level).
+  int depth = 0;
+
+  struct Arg {
+    const char* key = "";
+    double value = 0.0;
+  };
+  std::vector<Arg> args;
+};
+
+class Tracer {
+ public:
+  /// `max_events` bounds memory on long campaigns; spans beyond the cap
+  /// are counted in dropped() instead of silently vanishing.
+  explicit Tracer(std::size_t max_events = 1u << 20);
+
+  /// Opens a span; returns a handle (0 when dropped by the cap — still a
+  /// valid argument to end()/arg(), which then no-op).
+  std::size_t begin(const char* category, const char* name,
+                    double sim_begin_s);
+  void end(std::size_t handle, double sim_end_s);
+  void arg(std::size_t handle, const char* key, double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  int open_depth() const { return depth_; }
+
+  /// Chrome trace_event JSON ("X" complete events on the simulated
+  /// timeline, ts/dur in microseconds).  With include_wall false the
+  /// wall-clock args are omitted and the export is bit-stable across
+  /// identical campaigns.
+  std::string chrome_trace_json(bool include_wall = true) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
+  int depth_ = 0;
+};
+
+/// RAII span.  Default-constructed (or on a null tracer) it is inert.
+/// Close with the simulated end time; a span destroyed while open closes
+/// with zero simulated duration (wall duration is still recorded).
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, const char* category, const char* name,
+       double sim_begin_s);
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void arg(const char* key, double value);
+  void close(double sim_end_s);
+  bool open() const { return open_; }
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::size_t handle_ = 0;
+  double sim_begin_s_ = 0.0;
+  bool open_ = false;
+};
+
+}  // namespace p2sim::telemetry

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "src/check/invariants.hpp"
+#include "src/rs2hpm/derived.hpp"
+#include "src/telemetry/session.hpp"
 
 namespace p2sim::workload {
 
@@ -131,9 +133,22 @@ CampaignResult WorkloadDriver::run() {
   refresh_scratch();
   daemon.collect(-1, totals_scratch, quads_scratch, 0);
 
+  // Cumulative job-flow tallies: fed to the health observer every interval
+  // and mirrored into telemetry counters at the events themselves.
+  std::int64_t jobs_dispatched = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_requeued = 0;
+  telemetry::Span day_span;
+
   for (std::int64_t t = 0; t < total_intervals; ++t) {
     const double now = static_cast<double>(t) * interval_s;
     const std::int64_t day = t / util::kIntervalsPerDay;
+
+    if (t % util::kIntervalsPerDay == 0) {
+      if (day_span.open()) day_span.close(now);
+      day_span = telemetry::span("workload", "campaign_day", now);
+      day_span.arg("day", static_cast<double>(day));
+    }
 
     // --- fault processing: reboots, then fresh crashes ---
     if (inject.enabled()) {
@@ -169,6 +184,13 @@ CampaignResult WorkloadDriver::run() {
               ++attempts[id];
               sched.submit(respec);
               inject.note_job_requeued();
+              ++jobs_requeued;
+              if (auto* tel = telemetry::current()) {
+                tel->registry
+                    .counter("p2sim_driver_jobs_requeued_total",
+                             "Crash-killed jobs resubmitted by PBS")
+                    .inc();
+              }
             }
             running.erase(id);
           }
@@ -225,6 +247,13 @@ CampaignResult WorkloadDriver::run() {
         node_job[static_cast<std::size_t>(n)] = &it->second;
       }
       (void)inserted;
+      ++jobs_dispatched;
+      if (auto* tel = telemetry::current()) {
+        tel->registry
+            .counter("p2sim_driver_jobs_dispatched_total",
+                     "Jobs started on allocated nodes")
+            .inc();
+      }
     }
 
     // --- cluster-wide NFS throttle for this interval ---
@@ -279,10 +308,18 @@ CampaignResult WorkloadDriver::run() {
       for (int n : r.nodes) node_job[static_cast<std::size_t>(n)] = nullptr;
       sched.release(id);
       running.erase(id);
+      ++jobs_completed;
+      if (auto* tel = telemetry::current()) {
+        tel->registry
+            .counter("p2sim_driver_jobs_completed_total",
+                     "Jobs that ran to their scheduled end")
+            .inc();
+      }
     }
 
     // --- 15-minute daemon sample ---
     refresh_scratch();
+    const std::size_t records_before = daemon.records().size();
     const int busy_now =
         static_cast<int>(std::lround(busy_node_seconds / interval_s));
     if (!inject.enabled()) {
@@ -304,6 +341,38 @@ CampaignResult WorkloadDriver::run() {
       }
       daemon.collect(t, totals_scratch, quads_scratch, reachable, busy_now);
     }
+
+    // --- pipeline-health observation (pure read-side) ---
+    if (cfg_.observer != nullptr) {
+      telemetry::HealthSample hs;
+      hs.interval = t;
+      hs.day = day;
+      hs.sim_seconds = now + interval_s;
+      hs.interval_recorded = daemon.records().size() > records_before;
+      if (hs.interval_recorded) {
+        const rs2hpm::IntervalRecord& rec = daemon.records().back();
+        hs.nodes_sampled = rec.nodes_sampled;
+        hs.nodes_expected = rec.nodes_expected;
+        hs.nodes_reprimed = rec.nodes_reprimed;
+        hs.mflops = rs2hpm::derive_rates(rec.delta, interval_s,
+                                         rec.quad_surplus,
+                                         node_cfg.monitor.selection)
+                        .mflops_all;
+      }
+      hs.busy_nodes = busy_now;
+      for (const cluster::Node& node : nodes) {
+        if (!node.is_up()) ++hs.offline_nodes;
+      }
+      hs.queue_depth = static_cast<std::int64_t>(sched.queued_jobs());
+      hs.jobs_dispatched = jobs_dispatched;
+      hs.jobs_completed = jobs_completed;
+      hs.jobs_requeued = jobs_requeued;
+      hs.faults_injected = inject.log().total_faults();
+      cfg_.observer->on_interval(hs);
+    }
+  }
+  if (day_span.open()) {
+    day_span.close(static_cast<double>(total_intervals) * interval_s);
   }
 
   result.intervals = daemon.records();

@@ -23,6 +23,7 @@
 #include "src/power2/signature.hpp"
 #include "src/rs2hpm/daemon.hpp"
 #include "src/rs2hpm/job_monitor.hpp"
+#include "src/telemetry/health.hpp"
 #include "src/util/sim_time.hpp"
 #include "src/workload/jobgen.hpp"
 
@@ -56,6 +57,11 @@ struct DriverConfig {
   /// Resubmit jobs killed by a node crash (PBS requeue semantics); the
   /// killed run still produces an incomplete accounting record.
   bool requeue_killed_jobs = true;
+
+  /// Live pipeline-health sink, called once per interval after the daemon
+  /// sample.  Pure read-side: installing one never perturbs the campaign
+  /// (no RNG stream is touched), and nullptr costs one branch.  Not owned.
+  telemetry::CampaignObserver* observer = nullptr;
 
   pbs::SchedulerConfig sched{};
   cluster::NodeConfig node{};

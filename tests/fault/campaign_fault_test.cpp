@@ -2,6 +2,7 @@
 // every injected fault, and leave faults-disabled campaigns untouched.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/analysis/loss.hpp"
@@ -139,7 +140,20 @@ TEST(FaultCampaign, RecordsSurviveStorageCorruption) {
   EXPECT_EQ(recovered.size(),
             sim.campaign().intervals.size() -
                 static_cast<std::size_t>(corrupted));
-  EXPECT_EQ(report.issues.size(), static_cast<std::size_t>(corrupted));
+  // The report attaches only the first max_issues offending lines (the
+  // skip count above still covers every one); raising the cap recovers
+  // the full listing.
+  EXPECT_EQ(static_cast<std::int64_t>(report.issues.size()),
+            std::min<std::int64_t>(report.max_issues, corrupted));
+  std::istringstream reload(text);
+  analysis::ParseReport full;
+  full.max_issues = corrupted;
+  (void)analysis::load_intervals(reload, &full);
+  EXPECT_EQ(full.issues.size(), static_cast<std::size_t>(corrupted));
+  const std::string rendered = analysis::format_parse_report(report);
+  if (corrupted > report.max_issues) {
+    EXPECT_NE(rendered.find("and"), std::string::npos);
+  }
 }
 
 TEST(FaultCampaign, RegistryExposesFaultExperiment) {

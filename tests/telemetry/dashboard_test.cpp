@@ -1,0 +1,114 @@
+// Dashboard smoke test: a faulted campaign observed live through a
+// HealthReporter must agree with the post-hoc measurement-loss report to
+// the last node-sample, and the rendered dashboard must carry the daily
+// charts.  This is the "live view equals batch view" contract the
+// campaign_dashboard example stakes its reconciliation check on.
+#include "src/telemetry/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/analysis/loss.hpp"
+#include "src/core/simulation.hpp"
+#include "src/telemetry/session.hpp"
+#include "src/workload/driver.hpp"
+
+namespace p2sim {
+namespace {
+
+struct ObservedCampaign {
+  workload::CampaignResult result;
+  telemetry::HealthReporter reporter;
+};
+
+ObservedCampaign run_observed(std::int64_t days, int nodes,
+                              std::ostream* out = nullptr) {
+  core::Sp2Config cfg = core::Sp2Config::small(days, nodes);
+  cfg.faults() = fault::FaultConfig::reference();
+  telemetry::ReporterConfig rep_cfg;
+  rep_cfg.out = out;
+  ObservedCampaign obs{{}, telemetry::HealthReporter(rep_cfg)};
+  cfg.driver.observer = &obs.reporter;
+  telemetry::Session session;
+  telemetry::ScopedSession scoped(session);
+  obs.result = workload::run_campaign(cfg.driver);
+  return obs;
+}
+
+TEST(Dashboard, SnapshotMatchesMeasurementLossExactly) {
+  ObservedCampaign obs = run_observed(/*days=*/30, /*nodes=*/32);
+  const telemetry::HealthSnapshot& snap = obs.reporter.snapshot();
+  const analysis::MeasurementLoss loss = analysis::measure_loss(obs.result);
+
+  ASSERT_TRUE(loss.reconciled());
+  ASSERT_GT(loss.injected.total_faults(), 0);
+
+  EXPECT_EQ(snap.intervals_seen, loss.intervals_expected);
+  EXPECT_EQ(snap.intervals_recorded, loss.intervals_recorded);
+  EXPECT_EQ(snap.node_samples_expected, loss.node_samples_expected);
+  EXPECT_EQ(snap.node_samples_clean, loss.node_samples_clean);
+  EXPECT_EQ(snap.node_samples_reprimed, loss.node_samples_reprimed);
+  EXPECT_EQ(snap.faults_injected, loss.injected.total_faults());
+  EXPECT_EQ(snap.jobs_requeued, loss.injected.jobs_requeued);
+  EXPECT_DOUBLE_EQ(snap.coverage(),
+                   static_cast<double>(loss.node_samples_clean) /
+                       static_cast<double>(loss.node_samples_expected));
+}
+
+TEST(Dashboard, JobTalliesMatchTheCampaign) {
+  ObservedCampaign obs = run_observed(/*days=*/10, /*nodes=*/16);
+  const telemetry::HealthSnapshot& snap = obs.reporter.snapshot();
+  // Every dispatched run either ran to completion, was crash-killed, or was
+  // still on nodes when the window closed; the still-running count is
+  // bounded by jobs_open_at_end (which additionally counts the queue).
+  EXPECT_GT(snap.jobs_dispatched, 0);
+  const std::int64_t still_running = snap.jobs_dispatched -
+                                     snap.jobs_completed -
+                                     obs.result.faults.jobs_killed;
+  EXPECT_GE(still_running, 0);
+  EXPECT_LE(still_running, obs.result.jobs_open_at_end);
+}
+
+TEST(Dashboard, StreamsOneLinePerStride) {
+  std::ostringstream stream;
+  core::Sp2Config cfg = core::Sp2Config::small(/*days=*/3, /*nodes=*/8);
+  telemetry::ReporterConfig rep_cfg;
+  rep_cfg.stride = 96;  // daily
+  rep_cfg.out = &stream;
+  telemetry::HealthReporter reporter(rep_cfg);
+  cfg.driver.observer = &reporter;
+  (void)workload::run_campaign(cfg.driver);
+
+  const std::string lines = stream.str();
+  std::int64_t count = 0;
+  for (char c : lines) count += (c == '\n');
+  EXPECT_EQ(count, 3);  // one per simulated day
+}
+
+TEST(Dashboard, RenderCarriesChartsAndHealthBlock) {
+  ObservedCampaign obs = run_observed(/*days=*/6, /*nodes=*/8);
+  const std::string dash = obs.reporter.render_dashboard();
+  EXPECT_NE(dash.find("coverage"), std::string::npos);
+  EXPECT_NE(dash.find("Gflops"), std::string::npos);
+  EXPECT_EQ(obs.reporter.daily_gflops().size(), 6u);
+  EXPECT_EQ(obs.reporter.daily_coverage().size(), 6u);
+}
+
+TEST(Dashboard, FaultFreeCampaignHasFullCoverage) {
+  core::Sp2Config cfg = core::Sp2Config::small(/*days=*/4, /*nodes=*/8);
+  telemetry::HealthReporter reporter;
+  cfg.driver.observer = &reporter;
+  const workload::CampaignResult result = workload::run_campaign(cfg.driver);
+  const telemetry::HealthSnapshot& snap = reporter.snapshot();
+  EXPECT_EQ(snap.intervals_seen, result.intervals_expected);
+  EXPECT_EQ(snap.intervals_recorded, snap.intervals_seen);
+  EXPECT_EQ(snap.node_samples_clean, snap.node_samples_expected);
+  EXPECT_EQ(snap.faults_injected, 0);
+  EXPECT_DOUBLE_EQ(snap.coverage(), 1.0);
+  EXPECT_GT(snap.mean_mflops(), 0.0);
+}
+
+}  // namespace
+}  // namespace p2sim

@@ -1,0 +1,145 @@
+// Tracer and Span semantics: nesting, the event cap, and the Chrome
+// trace_event JSON export (syntactic well-formedness + wall-clock
+// segregation).
+#include "src/telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace p2sim::telemetry {
+namespace {
+
+/// Minimal JSON syntax check: brackets/braces balance outside strings and
+/// the document is one value.  Enough to guarantee chrome://tracing and
+/// Perfetto can parse the export without pulling in a JSON library.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Trace, SpansNestAndRecordDepth) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "test", "outer", 0.0);
+    EXPECT_EQ(tracer.open_depth(), 1);
+    {
+      Span inner(&tracer, "test", "inner", 1.0);
+      EXPECT_EQ(tracer.open_depth(), 2);
+      inner.close(2.0);
+    }
+    EXPECT_EQ(tracer.open_depth(), 1);
+    outer.close(3.0);
+  }
+  EXPECT_EQ(tracer.open_depth(), 0);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].depth, 1);
+  EXPECT_STREQ(tracer.events()[0].name, "outer");
+  EXPECT_EQ(tracer.events()[1].depth, 2);
+  EXPECT_DOUBLE_EQ(tracer.events()[1].sim_begin_s, 1.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[1].sim_end_s, 2.0);
+}
+
+TEST(Trace, NullTracerSpanIsInert) {
+  Span s(nullptr, "test", "noop", 0.0);
+  EXPECT_FALSE(static_cast<bool>(s));
+  s.arg("k", 1.0);
+  s.close(1.0);  // must not crash
+}
+
+TEST(Trace, OpenSpanClosesWithZeroSimDurationOnDestruction) {
+  Tracer tracer;
+  { Span s(&tracer, "test", "leaky", 5.0); }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].sim_begin_s, 5.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].sim_end_s, 5.0);
+}
+
+TEST(Trace, EventCapCountsDrops) {
+  Tracer tracer(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Span s(&tracer, "test", "s", static_cast<double>(i));
+    s.close(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(tracer.open_depth(), 0);  // dropped spans still balance depth
+}
+
+TEST(Trace, ChromeTraceJsonWellFormed) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "cat", "with \"args\"", 0.0);
+    a.arg("x", 1.5);
+    Span b(&tracer, "cat", "child", 0.25);
+    b.close(0.5);
+    a.close(1.0);
+  }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Simulated seconds export as microseconds: 0.25 s -> ts 250000.
+  EXPECT_NE(json.find("250000"), std::string::npos);
+}
+
+TEST(Trace, WallClockSegregation) {
+  Tracer tracer;
+  {
+    Span s(&tracer, "cat", "timed", 0.0);
+    s.close(1.0);
+  }
+  EXPECT_NE(tracer.chrome_trace_json(true).find("wall_us"),
+            std::string::npos);
+  // include_wall=false omits every wall-clock field, so the export is
+  // bit-stable across identical simulated campaigns.
+  const std::string stable = tracer.chrome_trace_json(false);
+  EXPECT_EQ(stable.find("wall"), std::string::npos);
+  EXPECT_TRUE(json_well_formed(stable));
+}
+
+TEST(Trace, MovedFromSpanIsInert) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "cat", "moved", 0.0);
+    Span b = std::move(a);
+    a.close(9.0);  // no-op: a no longer owns the handle
+    b.close(1.0);
+  }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].sim_end_s, 1.0);
+}
+
+}  // namespace
+}  // namespace p2sim::telemetry

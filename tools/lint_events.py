@@ -20,7 +20,11 @@ divide-counter pathology.  This lint enforces:
     arithmetic on wrapped registers is a latent mod-2^32 bug;
   * every data member of the counter-carrying structs has an in-class
     initializer, so a partially filled struct can never leak
-    indeterminate counts into the accounting identities.
+    indeterminate counts into the accounting identities;
+  * every telemetry metric name in src/ matches ``p2sim_[a-z0-9_]+`` and
+    is registered at exactly one site -- a second registration site could
+    silently diverge in kind or help text, and a misnamed metric throws at
+    runtime in the middle of a campaign.
 
 Run from the repo root:  python3 tools/lint_events.py
 Self-check the linter:   python3 tools/lint_events.py --self-test
@@ -61,7 +65,19 @@ INIT_CHECKED_HEADERS = (
     # "every injected fault accounted for" identity.
     "src/fault/fault.hpp",
     "src/analysis/loss.hpp",
+    # Telemetry carries campaign tallies too: an indeterminate field in a
+    # health sample or snapshot would poison the dashboard reconciliation.
+    "src/telemetry/health.hpp",
+    "src/telemetry/reporter.hpp",
 )
+
+# Telemetry metric names: full-string shape every registration must obey
+# (the registry also enforces this at runtime; the lint catches it before a
+# campaign does) and the literal-site scanner.  The telemetry module itself
+# is excluded -- it holds the prefix constant, not registration sites.
+METRIC_NAME_RE = re.compile(r"^p2sim_[a-z0-9_]+$")
+_METRIC_LITERAL_RE = re.compile(r'"(p2sim_[^"]*)"')
+METRIC_SCAN_EXCLUDE = "src/telemetry/"
 
 # Only these member types are indeterminate without an initializer; class
 # types (vectors, maps, mutexes) default-construct to a defined state.
@@ -226,6 +242,40 @@ def check_member_init(root: pathlib.Path) -> list[str]:
     return problems
 
 
+def check_metric_names(root: pathlib.Path) -> list[str]:
+    """Every p2sim_* metric literal in src/ is well-formed and unique.
+
+    Uniqueness is per-site, not per-name-string: a metric registered from
+    two places can diverge in kind or help text, and the second site would
+    throw std::invalid_argument mid-campaign on a kind clash.  Comment
+    stripping runs first so documentation may mention metric names freely.
+    """
+    problems: list[str] = []
+    sites: dict[str, list[str]] = {}
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(METRIC_SCAN_EXCLUDE):
+            continue
+        text = strip_comments(path.read_text())
+        for i, line in enumerate(text.splitlines(), start=1):
+            for name in _METRIC_LITERAL_RE.findall(line):
+                where = f"{rel}:{i}"
+                if not METRIC_NAME_RE.match(name):
+                    problems.append(
+                        f"{where}: metric name {name!r} violates "
+                        f"p2sim_[a-z0-9_]+ (lowercase, digits, underscores)"
+                    )
+                sites.setdefault(name, []).append(where)
+    for name, where in sorted(sites.items()):
+        if len(where) > 1:
+            problems.append(
+                f"metric {name!r} registered at {len(where)} sites "
+                f"({', '.join(where)}); each metric must have exactly one "
+                f"registration site"
+            )
+    return problems
+
+
 def run_lint(root: pathlib.Path) -> int:
     if not (root / EVENTS_HPP).is_file():
         print(
@@ -238,6 +288,7 @@ def run_lint(root: pathlib.Path) -> int:
         check_enum_coverage(root)
         + check_raw_access(root)
         + check_member_init(root)
+        + check_metric_names(root)
     )
     for p in problems:
         print(f"lint_events: {p}", file=sys.stderr)
@@ -272,6 +323,7 @@ def self_test() -> int:
                 check_enum_coverage(tmp)
                 + check_raw_access(tmp)
                 + check_member_init(tmp)
+                + check_metric_names(tmp)
             )
             if not any(expect_substr in p for p in problems):
                 failures.append(
@@ -326,6 +378,38 @@ def self_test() -> int:
             )
         )
 
+    def copy_in(tmp, rel):
+        dest = tmp / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text((REPO / rel).read_text())
+        return dest
+
+    def bad_metric_name(tmp):
+        p = copy_in(tmp, "src/pbs/scheduler.cpp")
+        p.write_text(
+            p.read_text().replace(
+                '"p2sim_sched_queue_depth"', '"p2sim_Sched-Queue"', 1
+            )
+        )
+
+    def duplicate_metric_site(tmp):
+        copy_in(tmp, "src/pbs/scheduler.cpp")
+        p = copy_in(tmp, "src/rs2hpm/daemon.cpp")
+        p.write_text(
+            p.read_text().replace(
+                '"p2sim_daemon_coverage"', '"p2sim_sched_queue_depth"', 1
+            )
+        )
+
+    def drop_health_initializer(tmp):
+        p = tmp / "src/telemetry/health.hpp"
+        p.write_text(
+            p.read_text().replace(
+                "std::int64_t faults_injected = 0;",
+                "std::int64_t faults_injected;", 1
+            )
+        )
+
     scenario("missing kTable entry", drop_table_entry, "no kTable entry")
     scenario("missing emit site", drop_emit_site, "never emitted")
     scenario("raw access outside snapshot", add_raw_access, "raw 32-bit")
@@ -333,6 +417,11 @@ def self_test() -> int:
     scenario("missing fault-log init", drop_fault_rate_initializer,
              "in-class initializer")
     scenario("missing loss-tally init", drop_loss_tally_initializer,
+             "in-class initializer")
+    scenario("bad metric name", bad_metric_name, "violates p2sim_")
+    scenario("duplicate metric site", duplicate_metric_site,
+             "registration site")
+    scenario("missing health-sample init", drop_health_initializer,
              "in-class initializer")
 
     # The pristine tree must be clean, or the lint gate is vacuous.
