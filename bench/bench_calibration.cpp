@@ -22,7 +22,8 @@ void report() {
   std::printf("  blocked, unrolled, cache-resident matrix multiply:\n");
   bench::compare("matmul Mflops", 240.0, mm.mflops());
   bench::compare("matmul flops/memref", 3.0, mm_fpm);
-  bench::compare("peak fraction", 240.0 / 266.8,
+  bench::compare("peak fraction",
+                 240.0 / util::MachineClock::kPeakMflopsPerNode,
                  mm.mflops() / util::MachineClock::kPeakMflopsPerNode);
 
   // --- workload aggregates over the filtered days ---

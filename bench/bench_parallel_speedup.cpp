@@ -1,0 +1,118 @@
+// Parallel campaign engine: speedup and the bit-identity guarantee.
+//
+// Runs the paper-scale campaign (144 nodes) at threads = 1, 2 and 4 and
+// (a) hard-asserts that Table 2 is byte-identical across thread counts —
+// a mismatch exits nonzero, because determinism is the engine's contract,
+// not a statistic — and (b) reports wall seconds and speedup per thread
+// count, written to BENCH_parallel_speedup.json alongside the host's
+// hardware concurrency so a single-core CI runner's numbers read as what
+// they are.  P2SIM_BENCH_DAYS overrides the campaign length (default 270)
+// for quick local runs.
+#include "bench/common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/tables.hpp"
+#include "src/util/task_pool.hpp"
+
+namespace {
+
+using namespace p2sim;
+
+std::int64_t bench_days() {
+  if (const char* env = std::getenv("P2SIM_BENCH_DAYS")) {
+    const std::int64_t days = std::atoll(env);
+    if (days > 0) return days;
+  }
+  return 270;
+}
+
+struct TimedRun {
+  int threads = 0;
+  double wall_seconds = 0.0;
+  std::string table2;
+};
+
+TimedRun run_at(int threads, std::int64_t days) {
+  core::Sp2Config cfg;
+  cfg.driver.days = days;
+  cfg.threads() = threads;
+  core::Sp2Simulation sim(cfg);
+  TimedRun out;
+  out.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.campaign();  // the driver runs here, on `threads` workers
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.table2 = analysis::format_table2(sim.table2());
+  return out;
+}
+
+void report() {
+  bench::banner("Parallel campaign engine: speedup at bit-identical output",
+                "the 144-node campaign of section 2");
+  const std::int64_t days = bench_days();
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("  campaign: 144 nodes x %lld days; host has %u hardware "
+              "thread(s)\n",
+              static_cast<long long>(days), hw);
+
+  std::vector<TimedRun> runs;
+  for (int threads : {1, 2, 4}) {
+    runs.push_back(run_at(threads, days));
+    const TimedRun& r = runs.back();
+    std::printf("  threads=%d  wall %8.2f s  speedup %5.2fx\n", r.threads,
+                r.wall_seconds, runs.front().wall_seconds / r.wall_seconds);
+  }
+
+  bool identical = true;
+  for (const TimedRun& r : runs) {
+    if (r.table2 != runs.front().table2) {
+      identical = false;
+      std::printf("  !! Table 2 at threads=%d differs from threads=1\n",
+                  r.threads);
+    }
+  }
+  std::printf("  Table 2 across thread counts: %s\n",
+              identical ? "byte-identical" : "MISMATCH");
+
+  std::ofstream json = bench::open_csv("BENCH_parallel_speedup.json");
+  json << "{\n  \"nodes\": 144,\n  \"days\": " << days
+       << ",\n  \"hardware_concurrency\": " << hw
+       << ",\n  \"table2_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    json << "    {\"threads\": " << runs[i].threads << ", \"wall_seconds\": "
+         << runs[i].wall_seconds << ", \"speedup\": "
+         << runs.front().wall_seconds / runs[i].wall_seconds << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (!identical) {
+    std::fflush(stdout);
+    std::exit(1);  // the determinism contract is the point of the engine
+  }
+}
+
+// Dispatch overhead of one pool round-trip (the driver pays this once per
+// interval): publish, run 144 trivial shards, barrier.
+void BM_TaskPoolDispatch(benchmark::State& state) {
+  util::TaskPool pool(static_cast<int>(state.range(0)));
+  std::vector<double> sink(144, 0.0);
+  for (auto _ : state) {
+    pool.run(sink.size(), [&sink](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) sink[i] += 1.0;
+    });
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_TaskPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+P2SIM_BENCH_MAIN(report)

@@ -12,8 +12,13 @@
 // measurement-loss report.  A mismatch exits nonzero: the live view and the
 // forensic view must agree to the last node-sample.
 //
-//   campaign_dashboard [--days N] [--nodes N] [--faults reference|off]
-//                      [--seed S] [--stride N] [--outdir DIR] [--quiet]
+//   campaign_dashboard [--days N] [--nodes N] [--threads N]
+//                      [--faults reference|off] [--seed S] [--stride N]
+//                      [--outdir DIR] [--quiet]
+//
+// `--threads N` (default 1) runs the driver's node-advance phase on N
+// worker threads (0 = one per core); every export is bit-identical for
+// every value, so the knob only changes how long the campaign takes.
 //
 // Examples:
 //   ./build/examples/campaign_dashboard --days 30 --nodes 32
@@ -38,6 +43,7 @@ namespace {
 struct Options {
   std::int64_t days = 270;
   int nodes = 144;
+  int threads = 1;
   std::uint64_t seed = 0xC0FFEE42ULL;
   std::string faults = "reference";
   std::int64_t stride = 96;  // one health line per campaign day
@@ -47,8 +53,9 @@ struct Options {
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--days N] [--nodes N] [--faults reference|off] "
-               "[--seed S] [--stride N] [--outdir DIR] [--quiet]\n",
+               "usage: %s [--days N] [--nodes N] [--threads N] "
+               "[--faults reference|off] [--seed S] [--stride N] "
+               "[--outdir DIR] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +72,8 @@ Options parse(int argc, char** argv) {
       opt.days = std::atoll(value());
     } else if (arg == "--nodes") {
       opt.nodes = std::atoi(value());
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(value());
     } else if (arg == "--faults") {
       opt.faults = value();
     } else if (arg == "--seed") {
@@ -79,7 +88,9 @@ Options parse(int argc, char** argv) {
       usage_and_exit(argv[0]);
     }
   }
-  if (opt.days <= 0 || opt.nodes <= 0) usage_and_exit(argv[0]);
+  if (opt.days <= 0 || opt.nodes <= 0 || opt.threads < 0) {
+    usage_and_exit(argv[0]);
+  }
   if (opt.faults != "reference" && opt.faults != "off") {
     usage_and_exit(argv[0]);
   }
@@ -102,6 +113,7 @@ int main(int argc, char** argv) {
                             : core::Sp2Config::small(opt.days, opt.nodes);
   cfg.driver.days = opt.days;
   cfg.driver.seed = opt.seed;
+  cfg.driver.threads = opt.threads;
   if (opt.faults == "reference") {
     cfg.faults() = fault::FaultConfig::reference();
   }

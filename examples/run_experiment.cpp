@@ -31,6 +31,7 @@ void list_experiments() {
 int main(int argc, char** argv) {
   std::int64_t days = 30;
   int nodes = 32;
+  int threads = 1;
   bool faults = false;
   std::vector<std::string> names;
 
@@ -43,12 +44,16 @@ int main(int argc, char** argv) {
       days = std::atoll(argv[++i]);
     } else if (arg == "--nodes" && i + 1 < argc) {
       nodes = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else if (arg == "--faults") {
       faults = true;
     } else if (arg == "--help") {
       std::printf(
-          "usage: run_experiment [--days N] [--nodes N] [--faults] "
-          "<experiment>...\n       run_experiment --list\n");
+          "usage: run_experiment [--days N] [--nodes N] [--threads N] "
+          "[--faults] <experiment>...\n       run_experiment --list\n"
+          "--threads N runs the node-advance phase on N workers (0 = one\n"
+          "per core); every output is bit-identical for every value.\n");
       return 0;
     } else {
       names.push_back(arg);
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
   }
 
   p2sim::core::Sp2Config cfg = p2sim::core::Sp2Config::small(days, nodes);
+  cfg.threads() = threads;
   if (faults) cfg.faults() = p2sim::fault::FaultConfig::reference();
   p2sim::core::Sp2Simulation sim(cfg);
 

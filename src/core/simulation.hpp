@@ -38,6 +38,11 @@ struct Sp2Config {
   fault::FaultConfig& faults() { return driver.faults; }
   const fault::FaultConfig& faults() const { return driver.faults; }
 
+  /// Worker threads for the driver's node-advance phase (results are
+  /// bit-identical for every value; see workload::DriverConfig::threads).
+  int& threads() { return driver.threads; }
+  int threads() const { return driver.threads; }
+
   /// A scaled-down campaign for tests and quick demos: fewer days, fewer
   /// nodes, same physics.
   static Sp2Config small(std::int64_t days = 30, int nodes = 32);

@@ -1,0 +1,44 @@
+// Per-lane metric shards: how telemetry stays exact inside a parallel loop.
+//
+// The metrics Registry is deliberately single-threaded (plain counters, a
+// sorted map, no atomics) because every instrumentation hook runs in the
+// driver's serial phases.  The node-advance phase runs one lane per worker
+// thread, so lanes must not touch the registry at all; instead each lane
+// accumulates its interval tallies into its own MetricShard — plain
+// trivially-copyable fields, no registry allocation, safe without a
+// session — and the driver folds the shards in fixed node order during the
+// serial merge phase, publishing the fold into the registry at the interval
+// boundary.  Counts therefore stay exact (no sampling, no relaxed-atomic
+// drift) and the simulated-time exports stay byte-identical for every
+// thread count: the published values are sums of per-lane integers whose
+// per-lane values never depend on scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace p2sim::telemetry {
+
+/// One lane's tallies for the current interval.  Reset after each merge.
+struct MetricShard {
+  /// Node-intervals spent servicing a PBS job / idle / out of service.
+  std::uint64_t busy_node_intervals = 0;
+  std::uint64_t idle_node_intervals = 0;
+  std::uint64_t down_node_intervals = 0;
+
+  /// Folds `other` into this shard.  The driver calls this in ascending
+  /// node order, so the fold itself is deterministic.
+  void merge_from(const MetricShard& other) {
+    busy_node_intervals += other.busy_node_intervals;
+    idle_node_intervals += other.idle_node_intervals;
+    down_node_intervals += other.down_node_intervals;
+  }
+
+  void reset() { *this = MetricShard{}; }
+
+  bool empty() const {
+    return busy_node_intervals == 0 && idle_node_intervals == 0 &&
+           down_node_intervals == 0;
+  }
+};
+
+}  // namespace p2sim::telemetry

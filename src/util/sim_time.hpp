@@ -13,11 +13,18 @@
 namespace p2sim::util {
 
 /// Machine constants of the NAS SP2 as reported in the paper.
+///
+/// This is the single home of the 66.7 MHz literal: every other clock name
+/// in the tree (telemetry::kClockHz, NodeConfig::clock_hz, the Mflops
+/// helpers' defaults) refers back to kHz, and the peak rate is derived
+/// from it, so retuning the machine means editing exactly one number.
 struct MachineClock {
   /// POWER2 clock in Hz (66.7 MHz).
   static constexpr double kHz = 66.7e6;
-  /// Peak Mflops per node: 4 flops/cycle (dual FPU, fma) * 66.7 MHz.
-  static constexpr double kPeakMflopsPerNode = 266.8;
+  /// Peak flops per cycle: dual FPUs, each retiring one fma (2 flops).
+  static constexpr double kPeakFlopsPerCycle = 4.0;
+  /// Peak Mflops per node (the paper's 266.8): flops/cycle * MHz.
+  static constexpr double kPeakMflopsPerNode = kPeakFlopsPerCycle * kHz / 1e6;
 };
 
 /// Seconds per daemon sampling interval (the cron job ran every 15 minutes).

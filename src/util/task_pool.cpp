@@ -1,0 +1,104 @@
+#include "src/util/task_pool.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace p2sim::util {
+
+TaskPool::TaskPool(int threads) {
+  if (threads < 0) {
+    throw std::invalid_argument("TaskPool threads must be >= 0");
+  }
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  threads_ = threads;
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::run_shard(
+    const std::function<void(std::size_t, std::size_t)>& task, std::size_t n,
+    int worker_index) {
+  const ShardRange shard = shard_range(n, worker_index, threads_);
+  if (shard.empty()) return;
+  task(shard.begin, shard.end);
+}
+
+void TaskPool::worker_loop(int worker_index) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* task = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (task_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      task = task_;
+      n = task_items_;
+    }
+    std::exception_ptr error;
+    try {
+      run_shard(*task, n, worker_index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
+      if (--pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void TaskPool::run(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& task) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    task(0, n);  // the serial bypass: no locks, no workers, no barrier
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    task_items_ = n;
+    pending_ = threads_ - 1;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  // The calling thread is worker 0: it always runs the first shard while
+  // the pool threads run the rest.
+  std::exception_ptr caller_error;
+  try {
+    run_shard(task, n, 0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    if (caller_error && !first_error_) first_error_ = std::move(caller_error);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace p2sim::util

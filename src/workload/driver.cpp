@@ -9,6 +9,7 @@
 #include "src/check/invariants.hpp"
 #include "src/rs2hpm/derived.hpp"
 #include "src/telemetry/session.hpp"
+#include "src/util/task_pool.hpp"
 
 namespace p2sim::workload {
 
@@ -25,7 +26,12 @@ WorkloadDriver::WorkloadDriver(const DriverConfig& cfg) : cfg_(cfg) {
       cfg_.slump_depth_min < 0.0 || cfg_.slump_depth_max > 1.0) {
     throw std::invalid_argument("slump depth bounds invalid");
   }
+  if (cfg_.threads < 0) {
+    throw std::invalid_argument("threads must be >= 0 (0 = hardware)");
+  }
 }
+
+WorkloadDriver::~WorkloadDriver() = default;
 
 cluster::ActivityProfile WorkloadDriver::activity_for(
     const Running& r, double disk_grant_fraction) const {
@@ -57,81 +63,112 @@ cluster::ActivityProfile WorkloadDriver::activity_for(
   return a;
 }
 
-CampaignResult WorkloadDriver::run() {
-  const double interval_s = static_cast<double>(util::kIntervalSeconds);
-  const std::int64_t total_intervals = cfg_.days * util::kIntervalsPerDay;
+/// Every piece of campaign state, constructed once per run().  The serial
+/// phases own all of it; the parallel phase touches only `lanes` (one lane
+/// per worker, statically sharded) and reads the immutable inputs.
+struct WorkloadDriver::CampaignState {
+  explicit CampaignState(const DriverConfig& cfg)
+      : interval_s(static_cast<double>(util::kIntervalSeconds)),
+        total_intervals(cfg.days * util::kIntervalsPerDay),
+        sched([&] {
+          pbs::SchedulerConfig sc = cfg.sched;
+          sc.total_nodes = cfg.num_nodes;
+          return sc;
+        }()),
+        gen([&] {
+          JobGenConfig gc = cfg.jobgen;
+          gc.seed ^= cfg.seed;
+          return gc;
+        }(), registry),
+        signatures(cfg.core),
+        daemon(static_cast<std::size_t>(cfg.num_nodes)),
+        nfs(cfg.nfs),
+        rng(cfg.seed),
+        inject(cfg.faults),
+        down_until(static_cast<std::size_t>(cfg.num_nodes), 0),
+        node_job(static_cast<std::size_t>(cfg.num_nodes), nullptr),
+        totals_scratch(static_cast<std::size_t>(cfg.num_nodes)),
+        quads_scratch(static_cast<std::size_t>(cfg.num_nodes)),
+        pool(cfg.threads) {
+    cluster::NodeConfig node_cfg = cfg.node;
+    node_cfg.fault_fxu_inst = cfg.paging.fxu_inst_per_fault;
+    node_cfg.fault_icu_inst = cfg.paging.icu_inst_per_fault;
+    node_cfg.fault_cycles = cfg.paging.cycles_per_fault;
+    node_cfg.page_bytes = cfg.paging.page_bytes;
+    lanes.reserve(static_cast<std::size_t>(cfg.num_nodes));
+    const fault::FaultSchedule* view =
+        inject.enabled() ? &inject.schedule() : nullptr;
+    for (int i = 0; i < cfg.num_nodes; ++i) {
+      lanes.emplace_back(i, node_cfg, cfg.seed, view);
+    }
+    result.num_nodes = cfg.num_nodes;
+    result.days = cfg.days;
+    result.selection = node_cfg.monitor.selection;
+  }
 
-  // --- substrate instances ---
-  pbs::SchedulerConfig sched_cfg = cfg_.sched;
-  sched_cfg.total_nodes = cfg_.num_nodes;
-  pbs::Scheduler sched(sched_cfg);
+  NodeLane& lane(int n) { return lanes[static_cast<std::size_t>(n)]; }
+  cluster::Node& node(int n) { return lane(n).node; }
 
-  cluster::NodeConfig node_cfg = cfg_.node;
-  node_cfg.fault_fxu_inst = cfg_.paging.fxu_inst_per_fault;
-  node_cfg.fault_icu_inst = cfg_.paging.icu_inst_per_fault;
-  node_cfg.fault_cycles = cfg_.paging.cycles_per_fault;
-  node_cfg.page_bytes = cfg_.paging.page_bytes;
-  std::vector<cluster::Node> nodes;
-  nodes.reserve(static_cast<std::size_t>(cfg_.num_nodes));
-  for (int i = 0; i < cfg_.num_nodes; ++i) nodes.emplace_back(i, node_cfg);
+  /// Copies every lane's extended totals into the daemon scratch spans.
+  void refresh_scratch() {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      totals_scratch[i] = lanes[i].node.totals();
+      quads_scratch[i] = lanes[i].node.quad_total();
+    }
+  }
 
+  /// Snapshot spans over the nodes a job holds (prologue/epilogue input).
+  std::pair<std::vector<rs2hpm::ModeTotals>, std::vector<std::uint64_t>>
+  job_spans(const std::vector<int>& held) {
+    std::pair<std::vector<rs2hpm::ModeTotals>, std::vector<std::uint64_t>> out;
+    for (int n : held) {
+      out.first.push_back(node(n).totals());
+      out.second.push_back(node(n).quad_total());
+    }
+    return out;
+  }
+
+  // --- fixed campaign parameters -----------------------------------------
+  double interval_s;
+  std::int64_t total_intervals;
+
+  // --- substrate instances (serial-phase property) -----------------------
+  pbs::Scheduler sched;
   ProfileRegistry registry;
-  JobGenConfig gen_cfg = cfg_.jobgen;
-  gen_cfg.seed ^= cfg_.seed;
-  JobGenerator gen(gen_cfg, registry);
-  power2::SignatureCache signatures(cfg_.core);
-  rs2hpm::SamplingDaemon daemon(static_cast<std::size_t>(cfg_.num_nodes));
+  JobGenerator gen;
+  power2::SignatureCache signatures;
+  rs2hpm::SamplingDaemon daemon;
   rs2hpm::JobMonitor jobmon;
-  cluster::NfsModel nfs(cfg_.nfs);
+  cluster::NfsModel nfs;
 
-  util::Xoshiro256StarStar rng(cfg_.seed);
+  /// Master RNG stream: owned by the serial arrivals phase (demand walk,
+  /// slumps, Poisson arrivals).  Never consulted per node — per-node draws
+  /// belong to the lanes' private streams.
+  util::Xoshiro256StarStar rng;
   double demand_level = 1.0;
   int slump_days_left = 0;
   double slump_depth = 1.0;
 
-  fault::FaultInjector inject(cfg_.faults);
-  // Interval at which each crashed node reboots (node is down while
-  // t < down_until[n]; a node that never crashed has 0 and is up).
-  std::vector<std::int64_t> down_until(
-      static_cast<std::size_t>(cfg_.num_nodes), 0);
-  // Requeue counts per job id: the attempt number varies the fault
-  // schedule's prologue/epilogue draws across reruns of the same job.
+  fault::FaultInjector inject;
+  /// Interval at which each crashed node reboots (node is down while
+  /// t < down_until[n]; a node that never crashed has 0 and is up).
+  std::vector<std::int64_t> down_until;
+  /// Requeue counts per job id: the attempt number varies the fault
+  /// schedule's prologue/epilogue draws across reruns of the same job.
   std::map<std::int64_t, int> attempts;
 
-  std::map<std::int64_t, Running> running;            // by job id
-  std::vector<const Running*> node_job(
-      static_cast<std::size_t>(cfg_.num_nodes), nullptr);
+  std::map<std::int64_t, Running> running;  // by job id
+  std::vector<const Running*> node_job;
 
   CampaignResult result;
-  result.num_nodes = cfg_.num_nodes;
-  result.days = cfg_.days;
-  result.selection = node_cfg.monitor.selection;
 
   // Scratch spans for daemon / monitor snapshots.
-  std::vector<rs2hpm::ModeTotals> totals_scratch(
-      static_cast<std::size_t>(cfg_.num_nodes));
-  std::vector<std::uint64_t> quads_scratch(
-      static_cast<std::size_t>(cfg_.num_nodes));
-  auto refresh_scratch = [&] {
-    for (int i = 0; i < cfg_.num_nodes; ++i) {
-      totals_scratch[static_cast<std::size_t>(i)] =
-          nodes[static_cast<std::size_t>(i)].totals();
-      quads_scratch[static_cast<std::size_t>(i)] =
-          nodes[static_cast<std::size_t>(i)].quad_total();
-    }
-  };
-  auto job_spans = [&](const std::vector<int>& held) {
-    std::pair<std::vector<rs2hpm::ModeTotals>, std::vector<std::uint64_t>> out;
-    for (int n : held) {
-      out.first.push_back(nodes[static_cast<std::size_t>(n)].totals());
-      out.second.push_back(nodes[static_cast<std::size_t>(n)].quad_total());
-    }
-    return out;
-  };
+  std::vector<rs2hpm::ModeTotals> totals_scratch;
+  std::vector<std::uint64_t> quads_scratch;
 
-  // Prime the daemon (first collect establishes the baseline).
-  refresh_scratch();
-  daemon.collect(-1, totals_scratch, quads_scratch, 0);
+  // --- the parallel substrate --------------------------------------------
+  std::vector<NodeLane> lanes;
+  util::TaskPool pool;
 
   // Cumulative job-flow tallies: fed to the health observer every interval
   // and mirrored into telemetry counters at the events themselves.
@@ -140,253 +177,338 @@ CampaignResult WorkloadDriver::run() {
   std::int64_t jobs_requeued = 0;
   telemetry::Span day_span;
 
-  for (std::int64_t t = 0; t < total_intervals; ++t) {
-    const double now = static_cast<double>(t) * interval_s;
-    const std::int64_t day = t / util::kIntervalsPerDay;
+  // --- per-interval scratch, written by the phases in order --------------
+  std::int64_t t = 0;
+  double now = 0.0;
+  std::int64_t day = 0;
+  double grant = 0.0;
+  double busy_node_seconds = 0.0;
+  std::size_t records_before = 0;
+  int busy_now = 0;
+};
 
-    if (t % util::kIntervalsPerDay == 0) {
-      if (day_span.open()) day_span.close(now);
-      day_span = telemetry::span("workload", "campaign_day", now);
-      day_span.arg("day", static_cast<double>(day));
+void WorkloadDriver::phase_day_rollover(CampaignState& st) {
+  if (st.t % util::kIntervalsPerDay != 0) return;
+  if (st.day_span.open()) st.day_span.close(st.now);
+  st.day_span = telemetry::span("workload", "campaign_day", st.now);
+  st.day_span.arg("day", static_cast<double>(st.day));
+}
+
+void WorkloadDriver::phase_faults(CampaignState& st) {
+  if (!st.inject.enabled()) return;
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    if (!st.node(n).is_up() && st.t >= st.down_until[ni]) {
+      st.node(n).reboot();  // counters stay zeroed: non-monotone on purpose
+      st.sched.restore_node(n);
     }
-
-    // --- fault processing: reboots, then fresh crashes ---
-    if (inject.enabled()) {
-      for (int n = 0; n < cfg_.num_nodes; ++n) {
-        const auto ni = static_cast<std::size_t>(n);
-        if (!nodes[ni].is_up() && t >= down_until[ni]) {
-          nodes[ni].reboot();  // counters stay zeroed: non-monotone on purpose
-          sched.restore_node(n);
+    if (st.node(n).is_up() && st.inject.crash_now(n, st.t)) {
+      st.node(n).crash();
+      st.down_until[ni] = st.t + cfg_.faults.reboot_downtime_intervals;
+      // Every job holding the node dies; its epilogue never fires.
+      for (std::int64_t id : st.sched.fail_node(n)) {
+        Running& r = st.running.at(id);
+        st.inject.note_job_killed(r.has_prologue);
+        pbs::JobRecord rec;
+        rec.spec = r.spec;
+        rec.start_time_s = r.start_s;
+        rec.end_time_s = st.now;
+        rec.report = r.has_prologue
+                         ? st.jobmon.abandon(id, st.now)
+                         : rs2hpm::JobCounterReport::incomplete(
+                               id, static_cast<int>(r.nodes.size()),
+                               st.now - r.start_s);
+        st.result.jobs.add(std::move(rec));
+        for (int held : r.nodes) {
+          st.node_job[static_cast<std::size_t>(held)] = nullptr;
         }
-        if (nodes[ni].is_up() && inject.crash_now(n, t)) {
-          nodes[ni].crash();
-          down_until[ni] = t + cfg_.faults.reboot_downtime_intervals;
-          // Every job holding the node dies; its epilogue never fires.
-          for (std::int64_t id : sched.fail_node(n)) {
-            Running& r = running.at(id);
-            inject.note_job_killed(r.has_prologue);
-            pbs::JobRecord rec;
-            rec.spec = r.spec;
-            rec.start_time_s = r.start_s;
-            rec.end_time_s = now;
-            rec.report = r.has_prologue
-                             ? jobmon.abandon(id, now)
-                             : rs2hpm::JobCounterReport::incomplete(
-                                   id, static_cast<int>(r.nodes.size()),
-                                   now - r.start_s);
-            result.jobs.add(std::move(rec));
-            for (int held : r.nodes) {
-              node_job[static_cast<std::size_t>(held)] = nullptr;
-            }
-            if (cfg_.requeue_killed_jobs) {
-              pbs::JobSpec respec = r.spec;
-              respec.submit_time_s = now;
-              ++attempts[id];
-              sched.submit(respec);
-              inject.note_job_requeued();
-              ++jobs_requeued;
-              if (auto* tel = telemetry::current()) {
-                tel->registry
-                    .counter("p2sim_driver_jobs_requeued_total",
-                             "Crash-killed jobs resubmitted by PBS")
-                    .inc();
-              }
-            }
-            running.erase(id);
+        if (cfg_.requeue_killed_jobs) {
+          pbs::JobSpec respec = r.spec;
+          respec.submit_time_s = st.now;
+          ++st.attempts[id];
+          st.sched.submit(respec);
+          st.inject.note_job_requeued();
+          ++st.jobs_requeued;
+          if (auto* tel = telemetry::current()) {
+            tel->registry
+                .counter("p2sim_driver_jobs_requeued_total",
+                         "Crash-killed jobs resubmitted by PBS")
+                .inc();
           }
         }
-        if (!nodes[ni].is_up()) inject.note_node_down();
+        st.running.erase(id);
       }
     }
+    if (!st.node(n).is_up()) st.inject.note_node_down();
+  }
+}
 
-    // Demand process updates at day boundaries.
-    if (t % util::kIntervalsPerDay == 0) {
-      demand_level = std::clamp(
-          cfg_.demand_walk_rho * demand_level +
-              rng.normal(1.0 - cfg_.demand_walk_rho, cfg_.demand_walk_noise *
-                                                         (1.0 - cfg_.demand_walk_rho) * 4.0),
-          cfg_.demand_min, cfg_.demand_max);
-      if (slump_days_left > 0) {
-        --slump_days_left;
-      } else if (rng.chance(cfg_.slump_prob_per_day)) {
-        slump_days_left = static_cast<int>(2 + rng.below(6));
-        slump_depth = rng.uniform(cfg_.slump_depth_min, cfg_.slump_depth_max);
-      }
+void WorkloadDriver::phase_arrivals(CampaignState& st) {
+  // Demand process updates at day boundaries.
+  if (st.t % util::kIntervalsPerDay == 0) {
+    st.demand_level = std::clamp(
+        cfg_.demand_walk_rho * st.demand_level +
+            st.rng.normal(1.0 - cfg_.demand_walk_rho,
+                          cfg_.demand_walk_noise *
+                              (1.0 - cfg_.demand_walk_rho) * 4.0),
+        cfg_.demand_min, cfg_.demand_max);
+    if (st.slump_days_left > 0) {
+      --st.slump_days_left;
+    } else if (st.rng.chance(cfg_.slump_prob_per_day)) {
+      st.slump_days_left = static_cast<int>(2 + st.rng.below(6));
+      st.slump_depth =
+          st.rng.uniform(cfg_.slump_depth_min, cfg_.slump_depth_max);
     }
+  }
 
-    // --- arrivals ---
-    const double day_factor =
-        (util::is_weekend(day) ? cfg_.weekend_factor : 1.0) *
-        (slump_days_left > 0 ? slump_depth : 1.0);
-    const double lambda = cfg_.jobs_per_day * day_factor * demand_level /
-                          static_cast<double>(util::kIntervalsPerDay);
-    const std::uint64_t arrivals = rng.poisson(lambda);
-    for (std::uint64_t a = 0; a < arrivals; ++a) sched.submit(gen.next(now));
+  const double day_factor =
+      (util::is_weekend(st.day) ? cfg_.weekend_factor : 1.0) *
+      (st.slump_days_left > 0 ? st.slump_depth : 1.0);
+  const double lambda = cfg_.jobs_per_day * day_factor * st.demand_level /
+                        static_cast<double>(util::kIntervalsPerDay);
+  const std::uint64_t arrivals = st.rng.poisson(lambda);
+  for (std::uint64_t a = 0; a < arrivals; ++a) {
+    st.sched.submit(st.gen.next(st.now));
+  }
+}
 
-    // --- scheduling pass / prologues ---
-    for (pbs::StartEvent& ev : sched.schedule(now)) {
-      Running r;
-      r.spec = ev.spec;
-      r.profile = &registry.get(ev.spec.profile_id);
-      r.sig = &signatures.get(r.profile->kernel);
-      r.nodes = std::move(ev.nodes);
-      r.start_s = now;
-      r.end_s = now + ev.spec.runtime_s;
-      if (auto att = attempts.find(r.spec.job_id); att != attempts.end()) {
-        r.attempt = att->second;
-      }
-      if (inject.enabled() &&
-          inject.lose_prologue(r.spec.job_id, r.attempt)) {
-        r.has_prologue = false;  // the rsh timed out; no baseline snapshot
-      } else {
-        auto [jt, jq] = job_spans(r.nodes);
-        jobmon.prologue(r.spec.job_id, now, jt, jq);
-      }
-      auto [it, inserted] = running.emplace(r.spec.job_id, std::move(r));
-      for (int n : it->second.nodes) {
-        node_job[static_cast<std::size_t>(n)] = &it->second;
-      }
-      (void)inserted;
-      ++jobs_dispatched;
-      if (auto* tel = telemetry::current()) {
-        tel->registry
-            .counter("p2sim_driver_jobs_dispatched_total",
-                     "Jobs started on allocated nodes")
-            .inc();
-      }
+void WorkloadDriver::phase_scheduling(CampaignState& st) {
+  for (pbs::StartEvent& ev : st.sched.schedule(st.now)) {
+    Running r;
+    r.spec = ev.spec;
+    r.profile = &st.registry.get(ev.spec.profile_id);
+    r.sig = &st.signatures.get(r.profile->kernel);
+    r.nodes = std::move(ev.nodes);
+    r.start_s = st.now;
+    r.end_s = st.now + ev.spec.runtime_s;
+    if (auto att = st.attempts.find(r.spec.job_id); att != st.attempts.end()) {
+      r.attempt = att->second;
     }
-
-    // --- cluster-wide NFS throttle for this interval ---
-    double disk_demand = 0.0;
-    for (const auto& [id, r] : running) {
-      disk_demand += (r.profile->disk_read_bytes_per_s +
-                      r.profile->disk_write_bytes_per_s) *
-                     static_cast<double>(r.nodes.size());
+    if (st.inject.enabled() &&
+        st.inject.lose_prologue(r.spec.job_id, r.attempt)) {
+      r.has_prologue = false;  // the rsh timed out; no baseline snapshot
+    } else {
+      auto [jt, jq] = st.job_spans(r.nodes);
+      st.jobmon.prologue(r.spec.job_id, st.now, jt, jq);
     }
-    const double grant = nfs.grant_fraction(disk_demand);
-    nfs.account(nfs.grant(disk_demand) * interval_s);
+    auto [it, inserted] = st.running.emplace(r.spec.job_id, std::move(r));
+    for (int n : it->second.nodes) {
+      st.node_job[static_cast<std::size_t>(n)] = &it->second;
+    }
+    (void)inserted;
+    ++st.jobs_dispatched;
+    if (auto* tel = telemetry::current()) {
+      tel->registry
+          .counter("p2sim_driver_jobs_dispatched_total",
+                   "Jobs started on allocated nodes")
+          .inc();
+    }
+  }
+}
 
-    // --- advance every node through the interval ---
-    double busy_node_seconds = 0.0;
+void WorkloadDriver::phase_nfs_grant(CampaignState& st) {
+  double disk_demand = 0.0;
+  for (const auto& [id, r] : st.running) {
+    disk_demand += (r.profile->disk_read_bytes_per_s +
+                    r.profile->disk_write_bytes_per_s) *
+                   static_cast<double>(r.nodes.size());
+  }
+  st.grant = st.nfs.grant_fraction(disk_demand);
+  st.nfs.account(st.nfs.grant(disk_demand) * st.interval_s);
+}
+
+void WorkloadDriver::phase_node_advance(CampaignState& st) {
+  // Serial prologue: write each lane's work order for this interval.  The
+  // activity mix and busy time are pure functions of the job and the NFS
+  // grant, evaluated per node exactly as the serial driver did.
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    NodeLane& lane = st.lane(n);
+    const Running* r = st.node_job[static_cast<std::size_t>(n)];
+    if (r == nullptr) {
+      lane.step = LaneStep{};
+    } else {
+      lane.step.sig = r->sig;
+      lane.step.activity = activity_for(*r, st.grant);
+      lane.step.busy_s = std::min(r->end_s, st.now + st.interval_s) - st.now;
+    }
+  }
+
+  // The parallel region: one lane per index, no cross-lane state.  The
+  // pool's static shards make the work placement a function of
+  // (num_nodes, threads) only; with threads == 1 this is an inline loop.
+  const double interval_s = st.interval_s;
+  std::vector<NodeLane>& lanes = st.lanes;
+  st.pool.run(lanes.size(), [&lanes, interval_s](std::size_t begin,
+                                                 std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      lanes[i].advance_interval(interval_s);
+    }
+  });
+
+  // Serial merge, ascending node order: fold busy seconds exactly as the
+  // serial loop accumulated them, and fold the telemetry shards.
+  st.busy_node_seconds = 0.0;
+  telemetry::MetricShard interval_shard;
+  for (NodeLane& lane : lanes) {
+    if (lane.step.sig != nullptr) {
+      st.busy_node_seconds += lane.interval_busy_s;
+    }
+    interval_shard.merge_from(lane.shard);
+    lane.shard.reset();
+  }
+  st.result.total_busy_node_seconds += st.busy_node_seconds;
+  if (auto* tel = telemetry::current()) {
+    tel->registry
+        .counter("p2sim_lane_busy_node_intervals_total",
+                 "Node-intervals spent servicing a PBS job")
+        .inc(interval_shard.busy_node_intervals);
+    tel->registry
+        .counter("p2sim_lane_idle_node_intervals_total",
+                 "Node-intervals spent idle (OS noise only)")
+        .inc(interval_shard.idle_node_intervals);
+    tel->registry
+        .counter("p2sim_lane_down_node_intervals_total",
+                 "Node-intervals spent out of service after a crash")
+        .inc(interval_shard.down_node_intervals);
+  }
+}
+
+void WorkloadDriver::phase_epilogues(CampaignState& st) {
+  std::vector<std::int64_t> done;
+  for (const auto& [id, r] : st.running) {
+    if (r.end_s <= st.now + st.interval_s) done.push_back(id);
+  }
+  for (std::int64_t id : done) {
+    Running& r = st.running.at(id);
+    pbs::JobRecord rec;
+    rec.spec = r.spec;
+    rec.start_time_s = r.start_s;
+    rec.end_time_s = r.end_s;
+    if (!r.has_prologue) {
+      rec.report = rs2hpm::JobCounterReport::incomplete(
+          id, static_cast<int>(r.nodes.size()), r.end_s - r.start_s);
+    } else if (st.inject.enabled() && st.inject.lose_epilogue(id, r.attempt)) {
+      rec.report = st.jobmon.abandon(id, r.end_s);
+    } else {
+      auto [jt, jq] = st.job_spans(r.nodes);
+      rec.report = st.jobmon.epilogue(id, r.end_s, jt, jq);
+    }
+    st.result.jobs.add(std::move(rec));
+    for (int n : r.nodes) st.node_job[static_cast<std::size_t>(n)] = nullptr;
+    st.sched.release(id);
+    st.running.erase(id);
+    ++st.jobs_completed;
+    if (auto* tel = telemetry::current()) {
+      tel->registry
+          .counter("p2sim_driver_jobs_completed_total",
+                   "Jobs that ran to their scheduled end")
+          .inc();
+    }
+  }
+}
+
+void WorkloadDriver::phase_collect(CampaignState& st) {
+  st.refresh_scratch();
+  st.records_before = st.daemon.records().size();
+  st.busy_now =
+      static_cast<int>(std::lround(st.busy_node_seconds / st.interval_s));
+  if (!st.inject.enabled()) {
+    st.daemon.collect(st.t, st.totals_scratch, st.quads_scratch, st.busy_now);
+  } else if (!st.inject.miss_interval(st.t)) {
+    // Per-node reachability: down nodes cannot answer, and an up node's
+    // sample can still be lost in flight.  Unreachable nodes keep their
+    // baseline; the next successful sample covers the gap.
+    std::vector<std::uint8_t> reachable(
+        static_cast<std::size_t>(cfg_.num_nodes), 1);
     for (int n = 0; n < cfg_.num_nodes; ++n) {
-      const Running* r = node_job[static_cast<std::size_t>(n)];
-      if (r == nullptr) {
-        nodes[static_cast<std::size_t>(n)].advance_idle(interval_s);
-        continue;
-      }
-      const double busy = std::min(r->end_s, now + interval_s) - now;
-      const cluster::ActivityProfile act = activity_for(*r, grant);
-      nodes[static_cast<std::size_t>(n)].advance(busy, r->sig, act);
-      if (busy < interval_s) {
-        nodes[static_cast<std::size_t>(n)].advance_idle(interval_s - busy);
-      }
-      busy_node_seconds += busy;
-    }
-    result.total_busy_node_seconds += busy_node_seconds;
-
-    // --- epilogues for jobs that finished inside this interval ---
-    std::vector<std::int64_t> done;
-    for (const auto& [id, r] : running) {
-      if (r.end_s <= now + interval_s) done.push_back(id);
-    }
-    for (std::int64_t id : done) {
-      Running& r = running.at(id);
-      pbs::JobRecord rec;
-      rec.spec = r.spec;
-      rec.start_time_s = r.start_s;
-      rec.end_time_s = r.end_s;
-      if (!r.has_prologue) {
-        rec.report = rs2hpm::JobCounterReport::incomplete(
-            id, static_cast<int>(r.nodes.size()), r.end_s - r.start_s);
-      } else if (inject.enabled() && inject.lose_epilogue(id, r.attempt)) {
-        rec.report = jobmon.abandon(id, r.end_s);
-      } else {
-        auto [jt, jq] = job_spans(r.nodes);
-        rec.report = jobmon.epilogue(id, r.end_s, jt, jq);
-      }
-      result.jobs.add(std::move(rec));
-      for (int n : r.nodes) node_job[static_cast<std::size_t>(n)] = nullptr;
-      sched.release(id);
-      running.erase(id);
-      ++jobs_completed;
-      if (auto* tel = telemetry::current()) {
-        tel->registry
-            .counter("p2sim_driver_jobs_completed_total",
-                     "Jobs that ran to their scheduled end")
-            .inc();
+      const auto ni = static_cast<std::size_t>(n);
+      if (!st.node(n).is_up()) {
+        reachable[ni] = 0;
+        st.inject.note_node_unreachable();
+      } else if (st.inject.lose_node_sample(n, st.t)) {
+        reachable[ni] = 0;
       }
     }
-
-    // --- 15-minute daemon sample ---
-    refresh_scratch();
-    const std::size_t records_before = daemon.records().size();
-    const int busy_now =
-        static_cast<int>(std::lround(busy_node_seconds / interval_s));
-    if (!inject.enabled()) {
-      daemon.collect(t, totals_scratch, quads_scratch, busy_now);
-    } else if (!inject.miss_interval(t)) {
-      // Per-node reachability: down nodes cannot answer, and an up node's
-      // sample can still be lost in flight.  Unreachable nodes keep their
-      // baseline; the next successful sample covers the gap.
-      std::vector<std::uint8_t> reachable(
-          static_cast<std::size_t>(cfg_.num_nodes), 1);
-      for (int n = 0; n < cfg_.num_nodes; ++n) {
-        const auto ni = static_cast<std::size_t>(n);
-        if (!nodes[ni].is_up()) {
-          reachable[ni] = 0;
-          inject.note_node_unreachable();
-        } else if (inject.lose_node_sample(n, t)) {
-          reachable[ni] = 0;
-        }
-      }
-      daemon.collect(t, totals_scratch, quads_scratch, reachable, busy_now);
-    }
-
-    // --- pipeline-health observation (pure read-side) ---
-    if (cfg_.observer != nullptr) {
-      telemetry::HealthSample hs;
-      hs.interval = t;
-      hs.day = day;
-      hs.sim_seconds = now + interval_s;
-      hs.interval_recorded = daemon.records().size() > records_before;
-      if (hs.interval_recorded) {
-        const rs2hpm::IntervalRecord& rec = daemon.records().back();
-        hs.nodes_sampled = rec.nodes_sampled;
-        hs.nodes_expected = rec.nodes_expected;
-        hs.nodes_reprimed = rec.nodes_reprimed;
-        hs.mflops = rs2hpm::derive_rates(rec.delta, interval_s,
-                                         rec.quad_surplus,
-                                         node_cfg.monitor.selection)
-                        .mflops_all;
-      }
-      hs.busy_nodes = busy_now;
-      for (const cluster::Node& node : nodes) {
-        if (!node.is_up()) ++hs.offline_nodes;
-      }
-      hs.queue_depth = static_cast<std::int64_t>(sched.queued_jobs());
-      hs.jobs_dispatched = jobs_dispatched;
-      hs.jobs_completed = jobs_completed;
-      hs.jobs_requeued = jobs_requeued;
-      hs.faults_injected = inject.log().total_faults();
-      cfg_.observer->on_interval(hs);
-    }
+    st.daemon.collect(st.t, st.totals_scratch, st.quads_scratch, reachable,
+                      st.busy_now);
   }
-  if (day_span.open()) {
-    day_span.close(static_cast<double>(total_intervals) * interval_s);
+}
+
+void WorkloadDriver::phase_observe(CampaignState& st) {
+  if (cfg_.observer == nullptr) return;
+  telemetry::HealthSample hs;
+  hs.interval = st.t;
+  hs.day = st.day;
+  hs.sim_seconds = st.now + st.interval_s;
+  hs.interval_recorded = st.daemon.records().size() > st.records_before;
+  if (hs.interval_recorded) {
+    const rs2hpm::IntervalRecord& rec = st.daemon.records().back();
+    hs.nodes_sampled = rec.nodes_sampled;
+    hs.nodes_expected = rec.nodes_expected;
+    hs.nodes_reprimed = rec.nodes_reprimed;
+    hs.mflops = rs2hpm::derive_rates(rec.delta, st.interval_s,
+                                     rec.quad_surplus,
+                                     st.result.selection)
+                    .mflops_all;
+  }
+  hs.busy_nodes = st.busy_now;
+  for (const NodeLane& lane : st.lanes) {
+    if (!lane.node.is_up()) ++hs.offline_nodes;
+  }
+  hs.queue_depth = static_cast<std::int64_t>(st.sched.queued_jobs());
+  hs.jobs_dispatched = st.jobs_dispatched;
+  hs.jobs_completed = st.jobs_completed;
+  hs.jobs_requeued = st.jobs_requeued;
+  hs.faults_injected = st.inject.log().total_faults();
+  cfg_.observer->on_interval(hs);
+}
+
+CampaignResult WorkloadDriver::run() {
+  CampaignState st(cfg_);
+
+  if (auto* tel = telemetry::current()) {
+    // Wall-clock metric: the thread count shapes wall time, never results,
+    // so it is excluded from the bit-stable simulated-time export.
+    tel->registry
+        .gauge("p2sim_driver_threads",
+               "Worker threads advancing the node lanes", /*wall_clock=*/true)
+        .set(static_cast<double>(st.pool.threads()));
   }
 
-  result.intervals = daemon.records();
-  result.intervals_expected = total_intervals;
-  result.jobs_open_at_end =
-      static_cast<std::int64_t>(running.size() + sched.queued_jobs());
-  for (const auto& [id, r] : running) {
-    if (!r.has_prologue) ++result.jobs_open_sans_prologue;
+  // Prime the daemon (first collect establishes the baseline).
+  st.refresh_scratch();
+  st.daemon.collect(-1, st.totals_scratch, st.quads_scratch, 0);
+
+  for (st.t = 0; st.t < st.total_intervals; ++st.t) {
+    st.now = static_cast<double>(st.t) * st.interval_s;
+    st.day = st.t / util::kIntervalsPerDay;
+
+    phase_day_rollover(st);
+    phase_faults(st);
+    phase_arrivals(st);
+    phase_scheduling(st);
+    phase_nfs_grant(st);
+    phase_node_advance(st);
+    phase_epilogues(st);
+    phase_collect(st);
+    phase_observe(st);
   }
-  result.faults = inject.log();
+  if (st.day_span.open()) {
+    st.day_span.close(static_cast<double>(st.total_intervals) * st.interval_s);
+  }
+
+  st.result.intervals = st.daemon.records();
+  st.result.intervals_expected = st.total_intervals;
+  st.result.jobs_open_at_end =
+      static_cast<std::int64_t>(st.running.size() + st.sched.queued_jobs());
+  for (const auto& [id, r] : st.running) {
+    if (!r.has_prologue) ++st.result.jobs_open_sans_prologue;
+  }
+  st.result.faults = st.inject.log();
 #if P2SIM_CHECKS_ENABLED
   // Campaign-level audit: every 15-minute record the daemon produced must
   // obey the Table 1 identities in both privilege modes.
-  for (const rs2hpm::IntervalRecord& rec : result.intervals) {
+  for (const rs2hpm::IntervalRecord& rec : st.result.intervals) {
     P2SIM_AUDIT_TOTALS(rec.delta.user,
                        "workload::WorkloadDriver::run(interval user delta)");
     P2SIM_AUDIT_TOTALS(
@@ -394,7 +516,7 @@ CampaignResult WorkloadDriver::run() {
         "workload::WorkloadDriver::run(interval system delta)");
   }
 #endif
-  return result;
+  return st.result;
 }
 
 CampaignResult run_campaign(const DriverConfig& cfg) {

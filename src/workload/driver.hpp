@@ -1,16 +1,26 @@
 // The nine-month campaign driver: ties every substrate together.
 //
-// Per 15-minute interval it (1) draws job arrivals from a demand process
-// with the weekday/weekend rhythm and slow load fluctuation the paper
-// attributes Figure 1's swings to, (2) runs the PBS scheduling pass,
-// (3) advances every node — busy nodes by their job's kernel signature
-// modulated by communication, filesystem and paging behaviour, idle nodes
-// by OS noise only — and (4) lets the RS2HPM daemon collect the interval
-// sample.  Job starts fire the PBS prologue snapshot, job ends the
-// epilogue, populating the accounting database behind Figures 2-4.
+// The interval step is an explicit phase machine (see kPhases): serial
+// phases own all cross-node state — job arrivals from the demand process,
+// the PBS scheduling pass, daemon collection, prologue/epilogue accounting
+// — and the one parallel phase advances the per-node lanes (NodeLane:
+// node + RNG stream + fault view + telemetry shard) with no shared writes,
+// sharded statically across DriverConfig::threads worker threads.  Lane
+// outputs are folded back in ascending node order, so campaign results,
+// tables, figures, loss reports and simulated-time telemetry exports are
+// bit-identical for every thread count, including threads == 1, which
+// bypasses the pool entirely and is the original serial driver.
+//
+// Per 15-minute interval the phases run in the fixed order below: fault
+// reboots/crashes, arrivals (demand walk + Poisson submissions), the PBS
+// scheduling pass with prologue snapshots, the cluster-wide NFS grant,
+// the parallel node advance, epilogues for jobs that ended, the RS2HPM
+// daemon sample, and the read-only health observation.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/cluster/nfs.hpp"
@@ -26,6 +36,7 @@
 #include "src/telemetry/health.hpp"
 #include "src/util/sim_time.hpp"
 #include "src/workload/jobgen.hpp"
+#include "src/workload/lane.hpp"
 
 namespace p2sim::workload {
 
@@ -49,6 +60,12 @@ struct DriverConfig {
   double slump_depth_max = 0.45;
 
   std::uint64_t seed = 0xC0FFEE42ULL;
+
+  /// Worker threads for the node-advance phase.  1 (the default) bypasses
+  /// the pool and runs the original serial loop; 0 means one thread per
+  /// hardware core.  Campaign outputs are bit-identical for every value —
+  /// the knob trades wall-clock time only.
+  int threads = 1;
 
   /// Fault injection (disabled by default; a disabled-fault campaign is
   /// bit-identical to one run before the fault subsystem existed, because
@@ -104,9 +121,47 @@ struct CampaignResult {
 
 class WorkloadDriver {
  public:
-  explicit WorkloadDriver(const DriverConfig& cfg);
+  /// The interval step's phases, in execution order.  Exactly one phase
+  /// (kNodeAdvance) runs on the task pool; every other phase is serial and
+  /// owns the cross-node state.
+  enum class Phase {
+    kDayRollover,   ///< day-span telemetry rotation (serial)
+    kFaults,        ///< reboots, crashes, kills, requeues (serial)
+    kArrivals,      ///< demand walk + Poisson submissions (serial)
+    kScheduling,    ///< PBS pass + prologue snapshots (serial)
+    kNfsGrant,      ///< cluster-wide filesystem throttle (serial)
+    kNodeAdvance,   ///< per-lane node advance (PARALLEL, static shards)
+    kEpilogues,     ///< job completion + accounting records (serial)
+    kCollect,       ///< 15-minute RS2HPM daemon sample (serial)
+    kObserve,       ///< read-only pipeline-health sample (serial)
+  };
 
-  /// Runs the full campaign.  Deterministic in the config.
+  struct PhaseInfo {
+    Phase phase = Phase::kDayRollover;
+    const char* name = "";
+    bool parallel = false;
+  };
+  /// The phase machine, in execution order (documentation + tests).
+  static constexpr std::array<PhaseInfo, 9> kPhases{{
+      {Phase::kDayRollover, "day-rollover", false},
+      {Phase::kFaults, "faults", false},
+      {Phase::kArrivals, "arrivals", false},
+      {Phase::kScheduling, "scheduling", false},
+      {Phase::kNfsGrant, "nfs-grant", false},
+      {Phase::kNodeAdvance, "node-advance", true},
+      {Phase::kEpilogues, "epilogues", false},
+      {Phase::kCollect, "collect", false},
+      {Phase::kObserve, "observe", false},
+  }};
+  static const char* phase_name(Phase p) {
+    return kPhases[static_cast<std::size_t>(p)].name;
+  }
+
+  explicit WorkloadDriver(const DriverConfig& cfg);
+  ~WorkloadDriver();
+
+  /// Runs the full campaign.  Deterministic in the config; bit-identical
+  /// for every DriverConfig::threads value.
   CampaignResult run();
 
  private:
@@ -125,8 +180,22 @@ class WorkloadDriver {
     int attempt = 0;
   };
 
+  /// All campaign state, owned for the duration of run() (defined in
+  /// driver.cpp; the phase methods below are its transition functions).
+  struct CampaignState;
+
   cluster::ActivityProfile activity_for(const Running& r,
                                         double disk_grant_fraction) const;
+
+  void phase_day_rollover(CampaignState& st);
+  void phase_faults(CampaignState& st);
+  void phase_arrivals(CampaignState& st);
+  void phase_scheduling(CampaignState& st);
+  void phase_nfs_grant(CampaignState& st);
+  void phase_node_advance(CampaignState& st);
+  void phase_epilogues(CampaignState& st);
+  void phase_collect(CampaignState& st);
+  void phase_observe(CampaignState& st);
 
   DriverConfig cfg_;
 };

@@ -1,0 +1,95 @@
+// NodeLane: everything one node's worker thread may touch, and nothing else.
+//
+// The campaign driver's node-advance phase runs the 144 lanes in parallel
+// (util::TaskPool, static sharding).  The determinism and data-race story
+// both reduce to one ownership rule: inside the parallel region a worker
+// reads and writes exactly one lane — the Node with its counters, the
+// lane's private RNG stream, its read-only fault view and its telemetry
+// shard — plus immutable shared inputs (configs, the job's EventSignature,
+// this interval's LaneStep).  Cross-node state (scheduler, daemon, job
+// monitor, the metrics registry, the driver's master RNG) is touched only
+// in the serial phases, and lane outputs are folded back in ascending node
+// order, so campaign results are bit-identical for every thread count.
+//
+// RNG ownership: the lane stream is seeded from (campaign seed, node id)
+// through splitmix64 — never from the master stream, whose draw sequence
+// belongs to the serial demand/arrival phases, and never from iteration
+// order.  Any future per-node stochastic effect (OS-noise jitter, local
+// degradation) must draw from lane.rng so that adding it, or changing the
+// thread count, perturbs nothing else.
+#pragma once
+
+#include "src/cluster/node.hpp"
+#include "src/fault/fault.hpp"
+#include "src/power2/signature.hpp"
+#include "src/telemetry/shard.hpp"
+#include "src/util/rng.hpp"
+
+namespace p2sim::workload {
+
+/// One interval's work order for a lane, written by the serial
+/// arrivals/scheduling phases and read only inside the parallel region.
+struct LaneStep {
+  /// Kernel signature of the job holding this node; nullptr when idle.
+  const power2::EventSignature* sig = nullptr;
+  /// Activity mix for the busy part of the interval (valid when sig set).
+  cluster::ActivityProfile activity{};
+  /// Seconds of the interval spent running the job (<= interval length).
+  double busy_s = 0.0;
+};
+
+/// The per-node bundle owned by exactly one worker during node-advance.
+class NodeLane {
+ public:
+  /// `rng_seed` is the campaign seed; the lane derives its private stream
+  /// from (rng_seed, id) so streams are keyed to the node, not to order.
+  NodeLane(int id, const cluster::NodeConfig& cfg, std::uint64_t rng_seed,
+           const fault::FaultSchedule* fault_view)
+      : node(id, cfg),
+        rng(util::SplitMix64(rng_seed ^
+                             (0x9e3779b97f4a7c15ULL *
+                              (static_cast<std::uint64_t>(id) + 1)))
+                .next()),
+        fault_view(fault_view) {}
+
+  /// The parallel-region body: advance this lane's node through one
+  /// interval according to `step`, exactly as the serial driver did —
+  /// busy seconds under the job's signature, the remainder idle.  Touches
+  /// only lane-local state.
+  void advance_interval(double interval_s) {
+    interval_busy_s = 0.0;
+    if (!node.is_up()) {
+      ++shard.down_node_intervals;
+      return;
+    }
+    if (step.sig == nullptr) {
+      node.advance_idle(interval_s);
+      ++shard.idle_node_intervals;
+      return;
+    }
+    node.advance(step.busy_s, step.sig, step.activity);
+    if (step.busy_s < interval_s) {
+      node.advance_idle(interval_s - step.busy_s);
+    }
+    interval_busy_s = step.busy_s;
+    ++shard.busy_node_intervals;
+  }
+
+  cluster::Node node;
+  /// Lane-private RNG stream (see the ownership rule above).
+  util::Xoshiro256StarStar rng;
+  /// Read-only view of the deterministic fault schedule: lanes may query
+  /// it (stateless, keyed draws) but never log through the injector —
+  /// fault accounting is a serial-phase concern.  Null when faults are off.
+  const fault::FaultSchedule* fault_view = nullptr;
+  /// This lane's telemetry tallies, merged serially each interval.
+  telemetry::MetricShard shard;
+
+  /// Input for the current interval (serial phases write, lane reads).
+  LaneStep step;
+  /// Output: busy seconds this lane contributed this interval (folded into
+  /// the campaign total in ascending node order).
+  double interval_busy_s = 0.0;
+};
+
+}  // namespace p2sim::workload

@@ -95,7 +95,7 @@ TEST(FaultCampaign, IntervalDeltasStaySane) {
   const workload::CampaignResult& result = sim.campaign();
   const double clock_hz = result.intervals.empty()
                               ? 0.0
-                              : 66.7e6;
+                              : util::MachineClock::kHz;
   for (const rs2hpm::IntervalRecord& rec : result.intervals) {
     const double bound = 2.0 * clock_hz * 900.0 * rec.nodes_sampled + 1e9;
     for (std::uint64_t v : rec.delta.user) {

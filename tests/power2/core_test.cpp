@@ -220,7 +220,7 @@ TEST(Core, MflopsComputedAtClock) {
   r.counts.cycles = 66'700'000;  // one second at the SP2 clock
   r.counts.fp_add0 = 10'000'000;
   EXPECT_NEAR(r.mflops(), 10.0, 1e-9);
-  EXPECT_NEAR(r.mflops(2 * 66.7e6), 20.0, 1e-9);
+  EXPECT_NEAR(r.mflops(2 * util::MachineClock::kHz), 20.0, 1e-9);
 }
 
 // Steering policy comparison: round-robin splits the units evenly; the

@@ -1,0 +1,142 @@
+// The parallel driver's contract, enforced byte-for-byte: a campaign run
+// with DriverConfig::threads = 1, 2 or 4 (or 0 = auto) produces identical
+// campaign records, job accounting, measurement-loss reconciliation and
+// simulated-time telemetry exports — fault-free and under the reference
+// crash/reboot + lossy-collection schedule alike.  The fingerprint is the
+// serialized v2 record streams plus the JSONL metric export and the
+// wall-free Chrome trace, so any divergence in any counter, any record or
+// any span fails loudly with the first differing byte's context.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/analysis/loss.hpp"
+#include "src/analysis/record_io.hpp"
+#include "src/fault/fault.hpp"
+#include "src/telemetry/session.hpp"
+#include "src/util/task_pool.hpp"
+#include "src/workload/driver.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+DriverConfig small_config(std::int64_t days = 4, int nodes = 16) {
+  DriverConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.days = days;
+  cfg.jobs_per_day = 42.0 * nodes / 144.0;
+  cfg.jobgen.node_choices = {1, 2, 4, 8, 16};
+  cfg.jobgen.node_weights = {4, 3, 6, 14, 22};
+  cfg.sched.drain_threshold_nodes = 8;
+  return cfg;
+}
+
+DriverConfig faulted_config() {
+  DriverConfig cfg = small_config(6, 16);
+  cfg.faults = fault::FaultConfig::reference();
+  return cfg;
+}
+
+/// Every byte-stable artifact a campaign produces, concatenated: the v2
+/// interval and job record streams, the loss report, the scalar result
+/// fields, and the sim-time telemetry exports captured under a session.
+std::string campaign_fingerprint(DriverConfig cfg, int threads) {
+  cfg.threads = threads;
+  telemetry::Session session;
+  workload::CampaignResult result;
+  {
+    telemetry::ScopedSession scoped(session);
+    result = run_campaign(cfg);
+  }
+  std::ostringstream out;
+  out.precision(17);
+  analysis::save_intervals(out, result.intervals);
+  analysis::save_jobs(out, result.jobs);
+  out << analysis::format_measurement_loss(
+      analysis::measure_loss(result, 0.9));
+  out << "busy=" << result.total_busy_node_seconds
+      << " open=" << result.jobs_open_at_end
+      << " sans_prologue=" << result.jobs_open_sans_prologue
+      << " faults=" << result.faults.total_faults() << "\n";
+  out << session.registry.jsonl();
+  out << session.tracer.chrome_trace_json(/*include_wall=*/false);
+  return out.str();
+}
+
+/// Points at the first differing byte so a regression names the artifact
+/// (interval stream, job stream, loss report, jsonl, trace) that diverged.
+void expect_identical(const std::string& a, const std::string& b,
+                      const char* label) {
+  if (a == b) {
+    SUCCEED();
+    return;
+  }
+  std::size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  const std::size_t lo = i > 40 ? i - 40 : 0;
+  FAIL() << label << ": fingerprints diverge at byte " << i << "\n  a: ..."
+         << a.substr(lo, 80) << "\n  b: ..." << b.substr(lo, 80);
+}
+
+TEST(ParallelDeterminism, FaultFreeCampaignIsByteIdenticalAcrossThreads) {
+  const std::string serial = campaign_fingerprint(small_config(), 1);
+  expect_identical(serial, campaign_fingerprint(small_config(), 2),
+                   "threads=2 vs 1");
+  expect_identical(serial, campaign_fingerprint(small_config(), 4),
+                   "threads=4 vs 1");
+}
+
+TEST(ParallelDeterminism, FaultedCampaignIsByteIdenticalAcrossThreads) {
+  // Crash/reboot churn plus lossy collection exercises every serial-phase
+  // interaction with the lanes: kills, requeues, reachability, repriming.
+  const std::string serial = campaign_fingerprint(faulted_config(), 1);
+  expect_identical(serial, campaign_fingerprint(faulted_config(), 2),
+                   "faulted threads=2 vs 1");
+  expect_identical(serial, campaign_fingerprint(faulted_config(), 4),
+                   "faulted threads=4 vs 1");
+}
+
+TEST(ParallelDeterminism, AutoThreadCountMatchesSerial) {
+  expect_identical(campaign_fingerprint(small_config(), 1),
+                   campaign_fingerprint(small_config(), 0),
+                   "threads=0 (auto) vs 1");
+}
+
+TEST(ParallelDeterminism, MoreThreadsThanNodesMatchesSerial) {
+  DriverConfig tiny = small_config(2, 3);
+  tiny.jobgen.node_choices = {1, 2};
+  tiny.jobgen.node_weights = {3, 1};
+  tiny.sched.drain_threshold_nodes = 2;
+  expect_identical(campaign_fingerprint(tiny, 1),
+                   campaign_fingerprint(tiny, 8),
+                   "threads=8 on 3 nodes vs serial");
+}
+
+TEST(ParallelDeterminism, RepeatedRunsAreStableAtFixedThreadCount) {
+  expect_identical(campaign_fingerprint(faulted_config(), 4),
+                   campaign_fingerprint(faulted_config(), 4),
+                   "threads=4 run-to-run");
+}
+
+TEST(ParallelDeterminism, NegativeThreadCountIsRejected) {
+  DriverConfig bad = small_config();
+  bad.threads = -2;
+  EXPECT_THROW(WorkloadDriver{bad}, std::invalid_argument);
+}
+
+TEST(ParallelDeterminism, PhaseTableNamesNodeAdvanceAsTheOnlyParallelPhase) {
+  int parallel = 0;
+  for (const WorkloadDriver::PhaseInfo& p : WorkloadDriver::kPhases) {
+    if (p.parallel) {
+      ++parallel;
+      EXPECT_EQ(std::string(p.name), "node-advance");
+    }
+  }
+  EXPECT_EQ(parallel, 1);
+  EXPECT_STREQ(WorkloadDriver::phase_name(WorkloadDriver::Phase::kCollect),
+               "collect");
+}
+
+}  // namespace
+}  // namespace p2sim::workload

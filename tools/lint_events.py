@@ -69,6 +69,12 @@ INIT_CHECKED_HEADERS = (
     # health sample or snapshot would poison the dashboard reconciliation.
     "src/telemetry/health.hpp",
     "src/telemetry/reporter.hpp",
+    # The parallel engine: an indeterminate shard counter, lane output or
+    # pool bookkeeping field would surface as thread-count-dependent
+    # results, which the bit-identity contract forbids.
+    "src/telemetry/shard.hpp",
+    "src/util/task_pool.hpp",
+    "src/workload/lane.hpp",
 )
 
 # Telemetry metric names: full-string shape every registration must obey
@@ -83,7 +89,7 @@ METRIC_SCAN_EXCLUDE = "src/telemetry/"
 # types (vectors, maps, mutexes) default-construct to a defined state.
 _ARITHMETIC_TYPE_RE = re.compile(
     r"\b(u?int\d*_t|std::u?int\d+_t|size_t|std::size_t|double|float|bool|"
-    r"char|long|short|unsigned|signed)\b|std::array<"
+    r"char|int|long|short|unsigned|signed)\b|std::array<"
 )
 
 
@@ -421,7 +427,37 @@ def self_test() -> int:
     scenario("bad metric name", bad_metric_name, "violates p2sim_")
     scenario("duplicate metric site", duplicate_metric_site,
              "registration site")
+    def drop_pool_initializer(tmp):
+        p = tmp / "src/util/task_pool.hpp"
+        p.write_text(
+            p.read_text().replace("int threads_ = 1;", "int threads_;", 1)
+        )
+
+    def drop_lane_output_initializer(tmp):
+        p = tmp / "src/workload/lane.hpp"
+        p.write_text(
+            p.read_text().replace(
+                "double interval_busy_s = 0.0;",
+                "double interval_busy_s;", 1
+            )
+        )
+
+    def drop_shard_tally_initializer(tmp):
+        p = tmp / "src/telemetry/shard.hpp"
+        p.write_text(
+            p.read_text().replace(
+                "std::uint64_t busy_node_intervals = 0;",
+                "std::uint64_t busy_node_intervals;", 1
+            )
+        )
+
     scenario("missing health-sample init", drop_health_initializer,
+             "in-class initializer")
+    scenario("missing task-pool init", drop_pool_initializer,
+             "in-class initializer")
+    scenario("missing lane-output init", drop_lane_output_initializer,
+             "in-class initializer")
+    scenario("missing metric-shard init", drop_shard_tally_initializer,
              "in-class initializer")
 
     # The pristine tree must be clean, or the lint gate is vacuous.
