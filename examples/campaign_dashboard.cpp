@@ -97,7 +97,7 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-bool check(bool ok, const char* what) {
+bool reconcile_check(bool ok, const char* what) {
   if (!ok) std::fprintf(stderr, "RECONCILE FAIL: %s\n", what);
   return ok;
 }
@@ -149,21 +149,21 @@ int main(int argc, char** argv) {
       analysis::measure_loss(campaign, cfg.table_min_coverage);
   const telemetry::HealthSnapshot& snap = reporter.snapshot();
   bool ok = true;
-  ok &= check(snap.intervals_seen == loss.intervals_expected,
+  ok &= reconcile_check(snap.intervals_seen == loss.intervals_expected,
               "intervals seen != expected");
-  ok &= check(snap.intervals_recorded == loss.intervals_recorded,
+  ok &= reconcile_check(snap.intervals_recorded == loss.intervals_recorded,
               "intervals recorded");
-  ok &= check(snap.node_samples_expected == loss.node_samples_expected,
+  ok &= reconcile_check(snap.node_samples_expected == loss.node_samples_expected,
               "node-samples expected");
-  ok &= check(snap.node_samples_clean == loss.node_samples_clean,
+  ok &= reconcile_check(snap.node_samples_clean == loss.node_samples_clean,
               "node-samples clean");
-  ok &= check(snap.node_samples_reprimed == loss.node_samples_reprimed,
+  ok &= reconcile_check(snap.node_samples_reprimed == loss.node_samples_reprimed,
               "node-samples reprimed");
-  ok &= check(snap.faults_injected == loss.injected.total_faults(),
+  ok &= reconcile_check(snap.faults_injected == loss.injected.total_faults(),
               "fault totals");
-  ok &= check(snap.jobs_requeued == loss.injected.jobs_requeued,
+  ok &= reconcile_check(snap.jobs_requeued == loss.injected.jobs_requeued,
               "jobs requeued");
-  ok &= check(loss.reconciled(), "measurement-loss self-reconciliation");
+  ok &= reconcile_check(loss.reconciled(), "measurement-loss self-reconciliation");
 
   if (!opt.quiet) {
     std::printf("\ntrace: %zu spans (%llu dropped), %zu metrics\n",

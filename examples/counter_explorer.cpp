@@ -31,7 +31,12 @@ int main() {
   power2::EventCounts sixty_four_seconds;
   sixty_four_seconds.cycles =
       static_cast<std::uint64_t>(telemetry::cycles_from_seconds(64.4));
-  mon.accumulate(sixty_four_seconds, PrivilegeMode::kUser);
+  // A single >= 2^32 increment trips the checked accumulate() on purpose
+  // (no simulation slice may legally do this); the unchecked fold path is
+  // exactly the silent hardware wrap this demo is about.
+  hpm::CounterAdds wrapped{};
+  mon.map_events(sixty_four_seconds, wrapped);
+  mon.accumulate_adds(wrapped, PrivilegeMode::kUser);
   std::printf("   after 64.4 s of cycles the counter reads %u (wrapped!)\n",
               mon.bank(PrivilegeMode::kUser).read(HpmCounter::kUserCycles));
 
@@ -57,11 +62,12 @@ int main() {
   rs2hpm::ExtendedCounters lossy;
   lossy.attach(mon3);
   power2::EventCounts too_long;
-  too_long.cycles = (1ull << 32) + 1000;  // > one full wrap, one sample
+  too_long.cycles = (1ull << 31) + 500;  // legal per batch...
   mon3.accumulate(too_long, PrivilegeMode::kUser);
-  lossy.sample(mon3);
+  mon3.accumulate(too_long, PrivilegeMode::kUser);  // ...a wrap in total
+  lossy.sample(mon3);  // one sample only: the wrap is missed
   std::printf("   pushed %llu cycles, recovered only %llu\n",
-              static_cast<unsigned long long>(too_long.cycles),
+              static_cast<unsigned long long>(2 * too_long.cycles),
               static_cast<unsigned long long>(
                   lossy.totals().user_at(HpmCounter::kUserCycles)));
 

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   int nodes = 32;
   int threads = 1;
   bool faults = false;
+  std::string store_path;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
@@ -48,12 +49,18 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--faults") {
       faults = true;
+    } else if (arg == "--signature-store" && i + 1 < argc) {
+      store_path = argv[++i];
     } else if (arg == "--help") {
       std::printf(
           "usage: run_experiment [--days N] [--nodes N] [--threads N] "
-          "[--faults] <experiment>...\n       run_experiment --list\n"
+          "[--faults] [--signature-store FILE] <experiment>...\n"
+          "       run_experiment --list\n"
           "--threads N runs the node-advance phase on N workers (0 = one\n"
-          "per core); every output is bit-identical for every value.\n");
+          "per core); every output is bit-identical for every value.\n"
+          "--signature-store FILE persists measured kernel signatures so\n"
+          "repeated runs skip the cycle-accurate cold start (bit-identical\n"
+          "either way).\n");
       return 0;
     } else {
       names.push_back(arg);
@@ -66,6 +73,7 @@ int main(int argc, char** argv) {
 
   p2sim::core::Sp2Config cfg = p2sim::core::Sp2Config::small(days, nodes);
   cfg.threads() = threads;
+  cfg.signature_store() = store_path;
   if (faults) cfg.faults() = p2sim::fault::FaultConfig::reference();
   p2sim::core::Sp2Simulation sim(cfg);
 

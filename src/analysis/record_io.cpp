@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "src/telemetry/session.hpp"
+#include "src/util/checksum.hpp"
 
 namespace p2sim::analysis {
 namespace {
@@ -156,14 +157,7 @@ void for_each_line(std::istream& in, ParseReport* report,
 
 }  // namespace
 
-std::uint32_t fnv1a32(std::string_view data) {
-  std::uint32_t h = 0x811c9dc5u;
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x01000193u;
-  }
-  return h;
-}
+std::uint32_t fnv1a32(std::string_view data) { return util::fnv1a32(data); }
 
 void save_intervals(std::ostream& out,
                     const std::vector<rs2hpm::IntervalRecord>& records) {

@@ -41,6 +41,10 @@ class DmaEngine {
 
   double total_read_bytes() const { return total_read_bytes_; }
   double total_write_bytes() const { return total_write_bytes_; }
+  /// Sub-transfer residuals awaiting harvest (equivalence tests compare
+  /// these byte-for-byte between accrual paths).
+  double pending_read_bytes() const { return pending_read_bytes_; }
+  double pending_write_bytes() const { return pending_write_bytes_; }
   const DmaConfig& config() const { return cfg_; }
 
  private:

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/check/check.hpp"
+#include "src/power2/field_table.hpp"
 
 namespace p2sim::cluster {
 namespace {
@@ -49,6 +50,20 @@ void Node::advance(double seconds, const power2::EventSignature* sig,
                    const ActivityProfile& profile) {
   if (!up_) return;  // a down node executes nothing and counts nothing
   if (seconds <= 0.0) return;
+  check_profile(sig, profile);
+  if (cfg_.reference_accrual) {
+    advance_reference(seconds, sig, profile);
+  } else {
+    advance_batched(seconds, sig, profile);
+  }
+  // busy_seconds_ counts job-attached wall time only: with sig == nullptr
+  // the slice is idle/system time even when wait fractions were requested
+  // (check_profile forbids that combination — see the advance() contract).
+  if (sig != nullptr) busy_seconds_ += seconds;
+}
+
+void Node::advance_reference(double seconds, const power2::EventSignature* sig,
+                             const ActivityProfile& profile) {
   double left = seconds;
   while (left > 0.0) {
     const double slice = std::min(left, cfg_.max_sample_slice_s);
@@ -56,7 +71,148 @@ void Node::advance(double seconds, const power2::EventSignature* sig,
     ext_.sample(monitor_);  // multipass: sample well below the wrap period
     left -= slice;
   }
-  if (sig != nullptr) busy_seconds_ += seconds;
+}
+
+// The closed-form fast path.  The reference loop above cuts `seconds` into
+// n identical full slices of max_sample_slice_s plus one fp-exact remainder
+// (repeated `left -= max` reproduces the same doubles), and every full
+// slice is arithmetically identical: the same `rounded(rate * cycles)` per
+// field, the same wait-state truncation.  So the user-mode total is
+//     n * scale(full_slice) + scale(remainder)
+// computed with two scales instead of n + 1.  The 32-bit banks only ever
+// see sums mod 2^32, and each reference slice advances every mapped
+// counter by < 2^32 (the ctor's wrap bound on cycles; physical rates are
+// <= a few per cycle), so each per-slice wrap_delta equals the true
+// increment and the summed 64-bit totals handed to ExtendedCounters::
+// accrue are exactly what slice-by-slice sampling would have accumulated.
+// Only the floating-point carry state — the five residual accumulators,
+// the integer fxu split, and the DMA byte residuals — depends on slice
+// boundaries, so just that state is replayed per slice (~25 flops each,
+// no scaling, no bank traffic, no sampling).
+void Node::advance_batched(double seconds, const power2::EventSignature* sig,
+                           const ActivityProfile& profile) {
+  // Replicate the reference slice decomposition bit-for-bit.
+  std::uint64_t n_full = 0;
+  double left = seconds;
+  while (left > cfg_.max_sample_slice_s) {
+    left -= cfg_.max_sample_slice_s;
+    ++n_full;
+  }
+  const double rem = left;  // in (0, max_sample_slice_s]
+
+  hpm::CounterAdds user_adds{};
+  hpm::CounterAdds sys_adds{};
+
+  // --- user-mode work, closed form ---
+  if (sig != nullptr && profile.compute_fraction > 0.0) {
+    const auto slice_user = [&](double slice) {
+      const double cycles =
+          slice * cfg_.clock_hz * std::min(profile.compute_fraction, 1.0);
+      P2SIM_INVARIANT(cycles < 4294967296.0,
+                      "slice cycles must stay below one counter wrap");
+      power2::EventCounts ev = sig->scale(cycles);
+      ev.comm_wait_cycles = static_cast<std::uint64_t>(
+          slice * cfg_.clock_hz * std::min(profile.comm_wait_fraction, 1.0));
+      ev.io_wait_cycles = static_cast<std::uint64_t>(
+          slice * cfg_.clock_hz * std::min(profile.io_wait_fraction, 1.0));
+      return ev;
+    };
+    power2::EventCounts user_total;
+    if (n_full > 0) {
+      const power2::EventCounts full = slice_user(cfg_.max_sample_slice_s);
+      user_total.cycles = full.cycles * n_full;
+      for (const power2::ScaledField& f : power2::kScaledFields)
+        user_total.*(f.count) = (full.*(f.count)) * n_full;
+      user_total.comm_wait_cycles = full.comm_wait_cycles * n_full;
+      user_total.io_wait_cycles = full.io_wait_cycles * n_full;
+    }
+    user_total += slice_user(rem);
+    monitor_.map_events(user_total, user_adds);
+    quad_total_ += user_total.quad_inst;
+  }
+
+  // --- system-mode work + DMA: replay only the fp carry state per slice ---
+  power2::EventCounts sys_total;
+  std::uint64_t io_read = 0;
+  std::uint64_t io_write = 0;
+  const auto slice_system = [&](double slice) {
+    if (profile.page_faults_per_s > 0.0) {
+      const double faults = profile.page_faults_per_s * slice;
+      resid_fault_fxu_ += faults * cfg_.fault_fxu_inst;
+      resid_fault_icu_ += faults * cfg_.fault_icu_inst;
+      resid_fault_cycles_ += faults * cfg_.fault_cycles;
+      const double page_bytes = faults * cfg_.page_bytes;
+      dma_.transfer(/*read_bytes=*/page_bytes, /*write_bytes=*/page_bytes);
+    }
+    if (sig != nullptr) {
+      resid_noise_fxu_ += cfg_.os_noise_fxu_per_s * slice;
+      resid_noise_icu_ += cfg_.os_noise_icu_per_s * slice;
+    } else {
+      resid_noise_fxu_ += 0.05 * cfg_.os_noise_fxu_per_s * slice;
+      resid_noise_icu_ += 0.05 * cfg_.os_noise_icu_per_s * slice;
+    }
+    const std::uint64_t f_fxu =
+        take_whole(resid_fault_fxu_) + take_whole(resid_noise_fxu_);
+    const std::uint64_t f_icu =
+        take_whole(resid_fault_icu_) + take_whole(resid_noise_icu_);
+    sys_total.fxu0_inst += f_fxu / 2;
+    sys_total.fxu1_inst += f_fxu - f_fxu / 2;
+    sys_total.icu_type1 += f_icu;
+    sys_total.cycles += take_whole(resid_fault_cycles_);
+    dma_.transfer(
+        (profile.comm_send_bytes_per_s + profile.disk_write_bytes_per_s) *
+            slice,
+        (profile.comm_recv_bytes_per_s + profile.disk_read_bytes_per_s) *
+            slice);
+    const DmaEngine::Harvest h = dma_.harvest();
+    io_read += h.read_transfers;
+    io_write += h.write_transfers;
+  };
+  for (std::uint64_t i = 0; i < n_full; ++i) {
+    slice_system(cfg_.max_sample_slice_s);
+  }
+  slice_system(rem);
+
+  monitor_.map_events(sys_total, sys_adds);
+  if (io_read != 0 || io_write != 0) {
+    power2::EventCounts io;
+    io.dma_read = io_read;
+    io.dma_write = io_write;
+    monitor_.map_events(io, user_adds);
+  }
+  monitor_.accumulate_adds(user_adds, hpm::PrivilegeMode::kUser);
+  monitor_.accumulate_adds(sys_adds, hpm::PrivilegeMode::kSystem);
+  ext_.accrue(monitor_, user_adds, sys_adds);
+}
+
+void Node::check_profile(const power2::EventSignature* sig,
+                         const ActivityProfile& profile) const {
+#if P2SIM_CHECKS_ENABLED
+  const auto fraction_ok = [](double f) {
+    return std::isfinite(f) && f >= 0.0 && f <= 1.0;
+  };
+  const auto rate_ok = [](double r) { return std::isfinite(r) && r >= 0.0; };
+  P2SIM_CHECK(fraction_ok(profile.compute_fraction),
+              "compute_fraction must be finite and in [0,1]");
+  P2SIM_CHECK(fraction_ok(profile.comm_wait_fraction),
+              "comm_wait_fraction must be finite and in [0,1]");
+  P2SIM_CHECK(fraction_ok(profile.io_wait_fraction),
+              "io_wait_fraction must be finite and in [0,1]");
+  P2SIM_CHECK(rate_ok(profile.comm_send_bytes_per_s) &&
+                  rate_ok(profile.comm_recv_bytes_per_s) &&
+                  rate_ok(profile.disk_read_bytes_per_s) &&
+                  rate_ok(profile.disk_write_bytes_per_s) &&
+                  rate_ok(profile.page_faults_per_s),
+              "traffic and fault rates must be finite and >= 0");
+  // Wait time belongs to a job; without a signature the slice is idle and
+  // the wait-state counters stay silent (see the advance() contract).
+  P2SIM_CHECK(sig != nullptr || (profile.comm_wait_fraction == 0.0 &&
+                                 profile.io_wait_fraction == 0.0),
+              "wait fractions require a running job (sig != nullptr)");
+#else
+  (void)sig;
+  (void)profile;
+#endif
 }
 
 void Node::advance_idle(double seconds) {

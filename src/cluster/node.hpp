@@ -56,6 +56,11 @@ struct NodeConfig {
   /// Longest slice applied between multipass samples; must stay below the
   /// 32-bit cycle-counter wrap (~64 s at 66.7 MHz).
   double max_sample_slice_s = 50.0;
+  /// Use the original slice-by-slice accrual loop instead of the
+  /// closed-form batched path.  The two are bit-identical by contract
+  /// (tests/cluster/accrual_equivalence_test.cpp); the reference loop is
+  /// kept as the oracle and for perf comparison, not for correctness.
+  bool reference_accrual = false;
 };
 
 class Node {
@@ -64,6 +69,13 @@ class Node {
 
   /// Advances `seconds` of wall time running user work described by `sig`
   /// and `profile`.  Pass sig == nullptr for a purely idle/system slice.
+  ///
+  /// Contract (checked under P2SIM_CHECKS): every ActivityProfile fraction
+  /// must be finite and in [0, 1], and every rate finite and >= 0 — a NaN
+  /// rate would silently poison the residual accumulators.  Wait-state
+  /// fractions require sig != nullptr: without a job there is nothing to
+  /// attribute blocked time to, so the slice counts as idle/system time,
+  /// no wait-state cycles are recorded, and busy_seconds() does not grow.
   void advance(double seconds, const power2::EventSignature* sig,
                const ActivityProfile& profile);
 
@@ -89,12 +101,20 @@ class Node {
   std::uint64_t quad_total() const { return quad_total_; }
   /// Raw monitor (tests peek at the wrapping banks).
   const hpm::PerformanceMonitor& monitor() const { return monitor_; }
+  /// DMA engine state (equivalence tests compare it byte-for-byte).
+  const DmaEngine& dma() const { return dma_; }
 
   double busy_seconds() const { return busy_seconds_; }
 
  private:
   void apply_slice(double seconds, const power2::EventSignature* sig,
                    const ActivityProfile& profile);
+  void advance_reference(double seconds, const power2::EventSignature* sig,
+                         const ActivityProfile& profile);
+  void advance_batched(double seconds, const power2::EventSignature* sig,
+                       const ActivityProfile& profile);
+  void check_profile(const power2::EventSignature* sig,
+                     const ActivityProfile& profile) const;
 
   int id_;
   NodeConfig cfg_;

@@ -43,6 +43,14 @@ struct Sp2Config {
   int& threads() { return driver.threads; }
   int threads() const { return driver.threads; }
 
+  /// Persistent signature-store file (empty = off); store hits are
+  /// bit-identical to fresh measurement.  See
+  /// workload::DriverConfig::signature_store_path.
+  std::string& signature_store() { return driver.signature_store_path; }
+  const std::string& signature_store() const {
+    return driver.signature_store_path;
+  }
+
   /// A scaled-down campaign for tests and quick demos: fewer days, fewer
   /// nodes, same physics.
   static Sp2Config small(std::int64_t days = 30, int nodes = 32);

@@ -1,0 +1,93 @@
+// The signature/event field table: the single source of truth tying each
+// per-cycle rate in EventSignature to its 64-bit counter slot in
+// EventCounts.
+//
+// Hot-path code iterates this constexpr table instead of spelling out ~23
+// named-field statements, so `EventSignature::scale`, `scale_into`,
+// `measure_signature` and the on-disk signature store all stay in lockstep
+// by construction: adding a field to EventCounts either gets a row here or
+// an entry in `kUnscaledFields`, and `tools/lint_events.py` fails the build
+// otherwise.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/power2/event_counts.hpp"
+#include "src/power2/signature.hpp"
+
+namespace p2sim::power2 {
+
+/// One signature-scaled event: the per-cycle rate member and the event
+/// counter it accrues into, plus the stable name used by the persistent
+/// signature store and diagnostics.
+struct ScaledField {
+  const char* name;
+  double EventSignature::* rate;
+  std::uint64_t EventCounts::* count;
+};
+
+/// Every EventCounts field produced by signature scaling, in EventCounts
+/// declaration order.  The order is load-bearing for the on-disk store
+/// format (columns are written in table order).
+inline constexpr std::array<ScaledField, 23> kScaledFields = {{
+    {"fxu0_inst", &EventSignature::fxu0_inst, &EventCounts::fxu0_inst},
+    {"fxu1_inst", &EventSignature::fxu1_inst, &EventCounts::fxu1_inst},
+    {"dcache_miss", &EventSignature::dcache_miss, &EventCounts::dcache_miss},
+    {"tlb_miss", &EventSignature::tlb_miss, &EventCounts::tlb_miss},
+    {"fpu0_inst", &EventSignature::fpu0_inst, &EventCounts::fpu0_inst},
+    {"fpu1_inst", &EventSignature::fpu1_inst, &EventCounts::fpu1_inst},
+    {"fp_add0", &EventSignature::fp_add0, &EventCounts::fp_add0},
+    {"fp_add1", &EventSignature::fp_add1, &EventCounts::fp_add1},
+    {"fp_mul0", &EventSignature::fp_mul0, &EventCounts::fp_mul0},
+    {"fp_mul1", &EventSignature::fp_mul1, &EventCounts::fp_mul1},
+    {"fp_div0", &EventSignature::fp_div0, &EventCounts::fp_div0},
+    {"fp_div1", &EventSignature::fp_div1, &EventCounts::fp_div1},
+    {"fp_fma0", &EventSignature::fp_fma0, &EventCounts::fp_fma0},
+    {"fp_fma1", &EventSignature::fp_fma1, &EventCounts::fp_fma1},
+    {"icu_type1", &EventSignature::icu_type1, &EventCounts::icu_type1},
+    {"icu_type2", &EventSignature::icu_type2, &EventCounts::icu_type2},
+    {"icache_reload", &EventSignature::icache_reload,
+     &EventCounts::icache_reload},
+    {"dcache_reload", &EventSignature::dcache_reload,
+     &EventCounts::dcache_reload},
+    {"dcache_store", &EventSignature::dcache_store,
+     &EventCounts::dcache_store},
+    {"memory_inst", &EventSignature::memory_inst, &EventCounts::memory_inst},
+    {"quad_inst", &EventSignature::quad_inst, &EventCounts::quad_inst},
+    {"stall_dcache", &EventSignature::stall_dcache,
+     &EventCounts::stall_dcache},
+    {"stall_tlb", &EventSignature::stall_tlb, &EventCounts::stall_tlb},
+}};
+
+inline constexpr std::size_t kScaledFieldCount = kScaledFields.size();
+
+/// EventCounts fields that have no per-cycle rate: the timebase itself and
+/// counters produced outside signature scaling (DMA traffic, the dispatch
+/// diagnostic, wait-state cycles).  The counter-plumbing lint requires every
+/// EventCounts member to appear either in kScaledFields or here.
+inline constexpr std::array<const char*, 6> kUnscaledFields = {
+    "cycles",
+    "dma_read",
+    "dma_write",
+    "dispatched_inst",
+    "comm_wait_cycles",
+    "io_wait_cycles",
+};
+
+/// SoA view of a signature's scaled rates, in kScaledFields order.
+using SignatureRates = std::array<double, kScaledFieldCount>;
+
+/// Residual accumulators for deterministic fractional-event carrying, one
+/// slot per scaled field (see EventSignature::scale_into).
+using ScaleResiduals = std::array<double, kScaledFieldCount>;
+
+inline SignatureRates signature_rates(const EventSignature& sig) {
+  SignatureRates r{};
+  for (std::size_t i = 0; i < kScaledFieldCount; ++i)
+    r[i] = sig.*(kScaledFields[i].rate);
+  return r;
+}
+
+}  // namespace p2sim::power2

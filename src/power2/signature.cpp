@@ -1,6 +1,10 @@
 #include "src/power2/signature.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "src/power2/field_table.hpp"
+#include "src/power2/signature_store.hpp"
 
 namespace p2sim::power2 {
 namespace {
@@ -20,30 +24,16 @@ EventCounts EventSignature::scale(double cycles) const {
   EventCounts ev;
   if (cycles <= 0.0) return ev;
   ev.cycles = rounded(cycles);
-  ev.fxu0_inst = rounded(fxu0_inst * cycles);
-  ev.fxu1_inst = rounded(fxu1_inst * cycles);
-  ev.dcache_miss = rounded(dcache_miss * cycles);
-  ev.tlb_miss = rounded(tlb_miss * cycles);
-  ev.fpu0_inst = rounded(fpu0_inst * cycles);
-  ev.fpu1_inst = rounded(fpu1_inst * cycles);
-  ev.fp_add0 = rounded(fp_add0 * cycles);
-  ev.fp_add1 = rounded(fp_add1 * cycles);
-  ev.fp_mul0 = rounded(fp_mul0 * cycles);
-  ev.fp_mul1 = rounded(fp_mul1 * cycles);
-  ev.fp_div0 = rounded(fp_div0 * cycles);
-  ev.fp_div1 = rounded(fp_div1 * cycles);
-  ev.fp_fma0 = rounded(fp_fma0 * cycles);
-  ev.fp_fma1 = rounded(fp_fma1 * cycles);
-  ev.icu_type1 = rounded(icu_type1 * cycles);
-  ev.icu_type2 = rounded(icu_type2 * cycles);
-  ev.icache_reload = rounded(icache_reload * cycles);
-  ev.dcache_reload = rounded(dcache_reload * cycles);
-  ev.dcache_store = rounded(dcache_store * cycles);
-  ev.memory_inst = rounded(memory_inst * cycles);
-  ev.quad_inst = rounded(quad_inst * cycles);
-  ev.stall_dcache = rounded(stall_dcache * cycles);
-  ev.stall_tlb = rounded(stall_tlb * cycles);
+  scale_into(cycles, ev);
   return ev;
+}
+
+void EventSignature::scale_into(double cycles, EventCounts& ev) const {
+  if (cycles <= 0.0) return;
+  // One tight loop over the field table: each rate scales and rounds
+  // independently, exactly as the former named-field statements did.
+  for (const ScaledField& f : kScaledFields)
+    ev.*(f.count) += rounded(this->*(f.rate) * cycles);
 }
 
 EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel) {
@@ -52,48 +42,92 @@ EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel) {
   const std::uint64_t c = r.counts.cycles;
   EventSignature s;
   s.cycles_per_iter = r.cycles_per_iter();
-  s.fxu0_inst = rate(r.counts.fxu0_inst, c);
-  s.fxu1_inst = rate(r.counts.fxu1_inst, c);
-  s.dcache_miss = rate(r.counts.dcache_miss, c);
-  s.tlb_miss = rate(r.counts.tlb_miss, c);
-  s.fpu0_inst = rate(r.counts.fpu0_inst, c);
-  s.fpu1_inst = rate(r.counts.fpu1_inst, c);
-  s.fp_add0 = rate(r.counts.fp_add0, c);
-  s.fp_add1 = rate(r.counts.fp_add1, c);
-  s.fp_mul0 = rate(r.counts.fp_mul0, c);
-  s.fp_mul1 = rate(r.counts.fp_mul1, c);
-  s.fp_div0 = rate(r.counts.fp_div0, c);
-  s.fp_div1 = rate(r.counts.fp_div1, c);
-  s.fp_fma0 = rate(r.counts.fp_fma0, c);
-  s.fp_fma1 = rate(r.counts.fp_fma1, c);
-  s.icu_type1 = rate(r.counts.icu_type1, c);
-  s.icu_type2 = rate(r.counts.icu_type2, c);
-  s.icache_reload = rate(r.counts.icache_reload, c);
-  s.dcache_reload = rate(r.counts.dcache_reload, c);
-  s.dcache_store = rate(r.counts.dcache_store, c);
-  s.memory_inst = rate(r.counts.memory_inst, c);
-  s.quad_inst = rate(r.counts.quad_inst, c);
-  s.stall_dcache = rate(r.counts.stall_dcache, c);
-  s.stall_tlb = rate(r.counts.stall_tlb, c);
+  for (const ScaledField& f : kScaledFields)
+    s.*(f.rate) = rate(r.counts.*(f.count), c);
   return s;
 }
 
-SignatureCache::SignatureCache(const CoreConfig& core_cfg)
-    : core_cfg_(core_cfg) {}
+SignatureCache::SignatureCache(const CoreConfig& core_cfg,
+                               SignatureStoreConfig store)
+    : core_cfg_(core_cfg),
+      core_hash_(core_config_hash(core_cfg)),
+      store_(std::move(store)) {
+  if (store_.path.empty() || !store_.read) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const SignatureStoreReport rep =
+      load_signature_store(store_.path, core_hash_, by_hash_);
+  stats_.store_loaded = rep.loaded;
+  stats_.store_corrupt_lines = rep.corrupt_lines;
+  stats_.store_rejected = rep.file_found && !rep.core_hash_matched;
+  publish_snapshot_locked();
+}
 
 const EventSignature& SignatureCache::get(const KernelDesc& kernel) {
   const std::uint64_t h = kernel.content_hash();
+  // Level 1: the immutable snapshot, no lock.  After warm() this is the
+  // only path the campaign's serial scheduling phase takes for known
+  // kernels, and the only path at all that is safe to call concurrently.
+  const auto it = std::lower_bound(
+      snapshot_.begin(), snapshot_.end(), h,
+      [](const SnapshotEntry& e, std::uint64_t key) { return e.first < key; });
+  if (it != snapshot_.end() && it->first == h) {
+    snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
+  }
+  // Level 2: the overflow map, for kernels first seen after warm-up.
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_hash_.find(h);
-  if (it != by_hash_.end()) return it->second;
+  const auto mit = by_hash_.find(h);
+  if (mit != by_hash_.end()) {
+    ++stats_.locked_hits;
+    return mit->second;
+  }
+  return measure_locked(h, kernel);
+}
+
+const EventSignature& SignatureCache::measure_locked(
+    std::uint64_t hash, const KernelDesc& kernel) {
   Power2Core core(core_cfg_);
   EventSignature s = measure_signature(core, kernel);
-  return by_hash_.emplace(h, s).first->second;
+  ++stats_.measured;
+  dirty_ = true;
+  return by_hash_.emplace(hash, s).first->second;
+}
+
+void SignatureCache::warm(const std::vector<KernelDesc>& kernels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const KernelDesc& k : kernels) {
+    const std::uint64_t h = k.content_hash();
+    if (by_hash_.find(h) == by_hash_.end()) measure_locked(h, k);
+  }
+  publish_snapshot_locked();
+}
+
+void SignatureCache::publish_snapshot_locked() {
+  snapshot_.clear();
+  snapshot_.reserve(by_hash_.size());
+  for (const auto& [hash, sig] : by_hash_) snapshot_.emplace_back(hash, &sig);
+  // std::map iterates in key order, so the snapshot is already sorted for
+  // the binary search in get().
+}
+
+bool SignatureCache::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_.path.empty() || !store_.write || !dirty_) return true;
+  if (!save_signature_store(store_.path, core_hash_, by_hash_)) return false;
+  dirty_ = false;
+  return true;
 }
 
 std::size_t SignatureCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return by_hash_.size();
+}
+
+SignatureCache::Stats SignatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.snapshot_hits = snapshot_hits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace p2sim::power2

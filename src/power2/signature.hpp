@@ -8,9 +8,13 @@
 // quantization the real RS2HPM daemon imposed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/power2/core.hpp"
 #include "src/power2/event_counts.hpp"
@@ -22,7 +26,10 @@ namespace p2sim::power2 {
 struct EventSignature {
   double cycles_per_iter = 0.0;
 
-  // One rate per EventCounts field (events per cycle).
+  // One rate per EventCounts field (events per cycle).  The authoritative
+  // rate-to-counter mapping is the field table in
+  // src/power2/field_table.hpp; scaling and store I/O iterate that table
+  // rather than naming these members.
   double fxu0_inst = 0, fxu1_inst = 0;
   double dcache_miss = 0, tlb_miss = 0;
   double fpu0_inst = 0, fpu1_inst = 0;
@@ -48,30 +55,96 @@ struct EventSignature {
   }
 
   /// Scales the signature to event totals over `cycles` busy cycles.
-  /// Fractional events are accumulated via deterministic rounding with a
-  /// caller-maintained residual: see `scale_into`.
+  /// Each field rounds independently via llround; the result for a given
+  /// (signature, cycles) pair is deterministic and platform-stable.
   EventCounts scale(double cycles) const;
+
+  /// Accumulating form: adds the scaled totals for `cycles` busy cycles
+  /// into `ev` (table fields only — `ev.cycles` is the caller's business).
+  /// `scale` is `scale_into` on a zeroed EventCounts plus the cycle count.
+  void scale_into(double cycles, EventCounts& ev) const;
+
+  bool operator==(const EventSignature&) const = default;
 };
 
 /// Derives a signature by running the kernel on a core.
 EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel);
 
+/// Optional persistence for SignatureCache: a versioned on-disk store keyed
+/// by kernel-content hash and guarded by a core-config hash, so repeated
+/// campaigns and benches skip the cycle-accurate cold start.  Empty path
+/// disables persistence.
+struct SignatureStoreConfig {
+  std::string path;
+  bool read = true;   ///< load the store (if present) at construction
+  bool write = true;  ///< persist newly measured signatures on flush()
+};
+
 /// Memoizes signatures by (kernel content hash, core config).  The
 /// nine-month run touches a few dozen kernel variants thousands of times;
-/// each is simulated once.
+/// each is simulated once — or zero times when the persistent store
+/// already has it.
+///
+/// Two-level design.  Level 1 is an immutable sorted snapshot, readable
+/// lock-free; it is (re)published only by the constructor's store load and
+/// by `warm()`, both setup-phase operations that must not race concurrent
+/// `get()` calls.  Level 2 is the mutex-guarded overflow map for kernels
+/// first seen after warm-up.  Entries are pointer-stable for the cache's
+/// lifetime in both levels, so callers may hold `const EventSignature*`
+/// across intervals.
 class SignatureCache {
  public:
-  explicit SignatureCache(const CoreConfig& core_cfg = {});
+  explicit SignatureCache(const CoreConfig& core_cfg = {},
+                          SignatureStoreConfig store = {});
 
   /// Returns the signature, measuring it on first use.
   const EventSignature& get(const KernelDesc& kernel);
 
+  /// Pre-measures every kernel in `kernels` (skipping known ones) and
+  /// publishes the whole cache — store hits included — as the lock-free
+  /// snapshot.  Call once during driver setup, before worker threads run;
+  /// not safe concurrently with get().
+  void warm(const std::vector<KernelDesc>& kernels);
+
+  /// Writes newly measured signatures back to the persistent store.
+  /// Returns false when a configured write fails; true otherwise
+  /// (including when persistence is disabled or nothing is dirty).
+  bool flush();
+
   std::size_t size() const;
 
+  /// Observability for tests and benches (values are point-in-time).
+  struct Stats {
+    std::uint64_t snapshot_hits = 0;  ///< lock-free level-1 hits
+    std::uint64_t locked_hits = 0;    ///< level-2 map hits under the mutex
+    std::uint64_t measured = 0;       ///< cold measurements actually run
+    std::uint64_t store_loaded = 0;   ///< entries adopted from disk
+    std::uint64_t store_corrupt_lines = 0;  ///< checksum/parse rejects
+    bool store_rejected = false;  ///< whole store dropped (core-hash mismatch)
+  };
+  Stats stats() const;
+
  private:
+  using SnapshotEntry = std::pair<std::uint64_t, const EventSignature*>;
+
+  const EventSignature& measure_locked(std::uint64_t hash,
+                                       const KernelDesc& kernel);
+  void publish_snapshot_locked();
+
   CoreConfig core_cfg_;
+  std::uint64_t core_hash_ = 0;
+  SignatureStoreConfig store_;
+
+  /// Level 1: sorted by hash, binary-searched without taking mu_.
+  std::vector<SnapshotEntry> snapshot_;
+  mutable std::atomic<std::uint64_t> snapshot_hits_{0};
+
+  /// Level 2 (and backing storage for level 1 — std::map nodes are
+  /// pointer-stable under insertion).
   mutable std::mutex mu_;
   std::map<std::uint64_t, EventSignature> by_hash_;
+  bool dirty_ = false;
+  Stats stats_{};
 };
 
 }  // namespace p2sim::power2

@@ -1,0 +1,174 @@
+#include "src/power2/signature_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/power2/field_table.hpp"
+#include "src/util/checksum.hpp"
+
+namespace p2sim::power2 {
+namespace {
+
+// Same mixer as KernelDesc::content_hash, so store keys and config hashes
+// share one diffusion quality.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// C99 hexfloat: bit-exact double round trip through text.
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_hex_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(tok.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_double(const std::string& tok, double& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Parses one "sig ..." body (checksum already verified).  Returns false
+/// on any token-count or numeric failure.
+bool parse_entry(const std::string& body, std::uint64_t& hash,
+                 EventSignature& sig) {
+  std::istringstream in(body);
+  std::string tok;
+  if (!(in >> tok) || tok != "sig") return false;
+  if (!(in >> tok) || !parse_hex_u64(tok, hash)) return false;
+  if (!(in >> tok) || !parse_double(tok, sig.cycles_per_iter)) return false;
+  for (const ScaledField& f : kScaledFields) {
+    if (!(in >> tok) || !parse_double(tok, sig.*(f.rate))) return false;
+  }
+  return !(in >> tok);  // trailing garbage is corruption too
+}
+
+}  // namespace
+
+std::uint64_t core_config_hash(const CoreConfig& cfg) {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  h = mix64(h, cfg.dcache.size_bytes);
+  h = mix64(h, cfg.dcache.line_bytes);
+  h = mix64(h, cfg.dcache.ways);
+  h = mix64(h, cfg.dcache.write_allocate ? 1u : 0u);
+  h = mix64(h, cfg.icache.size_bytes);
+  h = mix64(h, cfg.icache.line_bytes);
+  h = mix64(h, cfg.icache.ways);
+  h = mix64(h, cfg.icache.write_allocate ? 1u : 0u);
+  h = mix64(h, cfg.tlb.entries);
+  h = mix64(h, cfg.tlb.page_bytes);
+  h = mix64(h, cfg.tlb.ways);
+  h = mix64(h, cfg.dispatch_width);
+  h = mix64(h, cfg.dcache_miss_halt);
+  h = mix64(h, cfg.tlb_miss_min);
+  h = mix64(h, cfg.tlb_miss_max);
+  h = mix64(h, static_cast<std::uint64_t>(cfg.fpu_steering));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.fxu_steering));
+  h = mix64(h, cfg.rng_seed);
+  return h;
+}
+
+SignatureStoreReport load_signature_store(
+    const std::string& path, std::uint64_t core_hash,
+    std::map<std::uint64_t, EventSignature>& out) {
+  SignatureStoreReport rep;
+  std::ifstream in(path);
+  if (!in) return rep;
+  rep.file_found = true;
+
+  std::string header;
+  if (!std::getline(in, header)) return rep;
+  {
+    std::istringstream hs(header);
+    std::string tag, version, fields, core;
+    if (!(hs >> tag >> version >> fields >> core)) return rep;
+    if (tag != kSignatureStoreTag) return rep;
+    if (version != "v" + std::to_string(kSignatureStoreVersion)) return rep;
+    if (fields != "fields=" + std::to_string(kScaledFieldCount)) return rep;
+    rep.header_ok = true;
+    std::uint64_t stored_core = 0;
+    if (core.rfind("core=", 0) != 0 ||
+        !parse_hex_u64(core.substr(5), stored_core)) {
+      rep.header_ok = false;
+      return rep;
+    }
+    if (stored_core != core_hash) return rep;  // wrong core model: all stale
+    rep.core_hash_matched = true;
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t crc_at = line.rfind(" crc=");
+    std::uint32_t stored_crc = 0;
+    std::uint64_t parsed_crc64 = 0;
+    if (crc_at == std::string::npos ||
+        !parse_hex_u64(line.substr(crc_at + 5), parsed_crc64) ||
+        parsed_crc64 > 0xffffffffULL) {
+      ++rep.corrupt_lines;
+      continue;
+    }
+    stored_crc = static_cast<std::uint32_t>(parsed_crc64);
+    const std::string body = line.substr(0, crc_at);
+    if (util::fnv1a32(body) != stored_crc) {
+      ++rep.corrupt_lines;
+      continue;
+    }
+    std::uint64_t hash = 0;
+    EventSignature sig;
+    if (!parse_entry(body, hash, sig)) {
+      ++rep.corrupt_lines;
+      continue;
+    }
+    if (out.emplace(hash, sig).second) ++rep.loaded;
+  }
+  return rep;
+}
+
+bool save_signature_store(
+    const std::string& path, std::uint64_t core_hash,
+    const std::map<std::uint64_t, EventSignature>& entries) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << kSignatureStoreTag << " v" << kSignatureStoreVersion
+        << " fields=" << kScaledFieldCount << " core=" << hex16(core_hash)
+        << '\n';
+    for (const auto& [hash, sig] : entries) {
+      std::ostringstream body;
+      body << "sig " << hex16(hash) << ' ' << hexfloat(sig.cycles_per_iter);
+      for (const ScaledField& f : kScaledFields)
+        body << ' ' << hexfloat(sig.*(f.rate));
+      const std::string b = body.str();
+      char crc[9];
+      std::snprintf(crc, sizeof crc, "%08x", util::fnv1a32(b));
+      out << b << " crc=" << crc << '\n';
+    }
+    if (!out.good()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace p2sim::power2

@@ -1,0 +1,57 @@
+// On-disk persistence for measured event signatures.
+//
+// Text format, one line per signature, following the record_io v2 idiom:
+// a versioned header line carrying the core-config hash, then
+//
+//   sig <kernel-hash:hex16> <cycles_per_iter> <rate>... crc=<hex8>
+//
+// with every double printed as a C99 hexfloat (bit-exact round trip) and
+// the rates in field-table order (src/power2/field_table.hpp).  Each line
+// ends with an FNV-1a-32 checksum of everything before " crc=".
+//
+// Recovery rules: a line that fails its checksum or does not parse is
+// skipped (that kernel is simply re-measured); a header whose core-config
+// hash differs from the running configuration invalidates the whole file,
+// because signatures measured on a different core model are not merely
+// stale, they are wrong.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/power2/core.hpp"
+#include "src/power2/signature.hpp"
+
+namespace p2sim::power2 {
+
+inline constexpr const char* kSignatureStoreTag = "p2sim-signatures";
+inline constexpr int kSignatureStoreVersion = 1;
+
+/// Hash of every CoreConfig field that can change a measured signature.
+/// Two configs with equal hashes produce interchangeable store entries.
+std::uint64_t core_config_hash(const CoreConfig& cfg);
+
+/// What a load pass found; callers decide how loudly to report it.
+struct SignatureStoreReport {
+  bool file_found = false;
+  bool header_ok = false;       ///< tag/version parsed
+  bool core_hash_matched = false;
+  std::size_t loaded = 0;          ///< entries adopted into `out`
+  std::size_t corrupt_lines = 0;   ///< checksum or parse failures skipped
+};
+
+/// Loads `path` into `out` (inserting, never overwriting existing keys)
+/// when its core hash equals `core_hash`.  Missing file, bad header or a
+/// core-hash mismatch adopt nothing; corrupt lines are skipped
+/// individually.  The report says which of those happened.
+SignatureStoreReport load_signature_store(
+    const std::string& path, std::uint64_t core_hash,
+    std::map<std::uint64_t, EventSignature>& out);
+
+/// Writes the whole map to `path` (atomically via a temp file + rename).
+/// Returns false on I/O failure.
+bool save_signature_store(const std::string& path, std::uint64_t core_hash,
+                          const std::map<std::uint64_t, EventSignature>& entries);
+
+}  // namespace p2sim::power2

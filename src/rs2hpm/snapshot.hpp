@@ -69,6 +69,17 @@ class ExtendedCounters {
   /// Folds the events since the previous sample into the 64-bit totals.
   void sample(const hpm::PerformanceMonitor& mon);
 
+  /// Batched accrual — the closed-form fast path.  The caller has just
+  /// folded exactly `user_adds`/`system_adds` into the monitor's wrapping
+  /// banks (hpm::PerformanceMonitor::accumulate_adds), possibly spanning
+  /// many wraps at once, and hands over the 64-bit truth.  Equivalent to
+  /// interleaving sub-wrap accumulate()/sample() pairs: the totals gain the
+  /// exact amounts and the sampling baseline re-anchors at the registers'
+  /// current raw values.  Requires a prior attach().
+  void accrue(const hpm::PerformanceMonitor& mon,
+              const hpm::CounterAdds& user_adds,
+              const hpm::CounterAdds& system_adds);
+
   const ModeTotals& totals() const { return totals_; }
   void reset_totals() {
     totals_ = ModeTotals{};

@@ -1,0 +1,21 @@
+// Small checksums shared by the text persistence formats (record_io v2,
+// the signature store).  FNV-1a is not cryptographic: it detects the
+// truncation/bit-rot/hand-edit class of corruption these formats care
+// about, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace p2sim::util {
+
+inline std::uint32_t fnv1a32(std::string_view data) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace p2sim::util

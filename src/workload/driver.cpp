@@ -80,7 +80,8 @@ struct WorkloadDriver::CampaignState {
           gc.seed ^= cfg.seed;
           return gc;
         }(), registry),
-        signatures(cfg.core),
+        signatures(cfg.core,
+                   power2::SignatureStoreConfig{cfg.signature_store_path}),
         daemon(static_cast<std::size_t>(cfg.num_nodes)),
         nfs(cfg.nfs),
         rng(cfg.seed),
@@ -466,6 +467,19 @@ void WorkloadDriver::phase_observe(CampaignState& st) {
 CampaignResult WorkloadDriver::run() {
   CampaignState st(cfg_);
 
+  // Warm the signature cache before the interval loop: pre-measure every
+  // kernel already registered and publish the lock-free snapshot (which
+  // also covers everything the persistent store contributed).  Kernels
+  // first generated mid-campaign still measure on demand through the
+  // cache's locked slow path — always in the serial scheduling phase,
+  // never in per-interval worker code.
+  {
+    std::vector<power2::KernelDesc> kernels;
+    st.registry.for_each(
+        [&](const JobProfile& p) { kernels.push_back(p.kernel); });
+    st.signatures.warm(kernels);
+  }
+
   if (auto* tel = telemetry::current()) {
     // Wall-clock metric: the thread count shapes wall time, never results,
     // so it is excluded from the bit-stable simulated-time export.
@@ -505,6 +519,10 @@ CampaignResult WorkloadDriver::run() {
     if (!r.has_prologue) ++st.result.jobs_open_sans_prologue;
   }
   st.result.faults = st.inject.log();
+  // Persist newly measured signatures for the next run (no-op without a
+  // configured store).  A failed write never fails the campaign — the
+  // store is an accelerator, not a result.
+  st.signatures.flush();
 #if P2SIM_CHECKS_ENABLED
   // Campaign-level audit: every 15-minute record the daemon produced must
   // obey the Table 1 identities in both privilege modes.

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/nfs.hpp"
@@ -60,6 +61,14 @@ struct DriverConfig {
   double slump_depth_max = 0.45;
 
   std::uint64_t seed = 0xC0FFEE42ULL;
+
+  /// Persistent signature store (empty = off).  When set, measured kernel
+  /// signatures are loaded from this file at start-up and written back at
+  /// the end of the run, so repeated campaigns on the same core config
+  /// skip the cycle-accurate signature cold start.  Store hits are
+  /// bit-identical to fresh measurement (hexfloat round trip); a corrupt
+  /// or mismatched store silently falls back to measuring.
+  std::string signature_store_path{};
 
   /// Worker threads for the node-advance phase.  1 (the default) bypasses
   /// the pool and runs the original serial loop; 0 means one thread per

@@ -91,6 +91,13 @@ class ProfileRegistry {
   }
   std::size_t size() const { return profiles_.size(); }
 
+  /// Visits every registered profile in id order (e.g. to pre-warm the
+  /// signature cache with the known kernel population).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [id, profile] : profiles_) f(profile);
+  }
+
  private:
   std::int64_t next_id_ = 1;
   std::map<std::int64_t, JobProfile> profiles_;

@@ -1,0 +1,200 @@
+// The closed-form accrual path's contract: bit-identical node state to the
+// reference slice-by-slice loop, for any signature, activity profile,
+// slice length, interval length and crash/reboot sequence.
+//
+// Two nodes differing only in NodeConfig::reference_accrual receive the
+// same operation stream; after every operation the full observable state —
+// both wrapping 32-bit banks, the RS2HPM 64-bit extension, the DMA
+// engine's totals and sub-transfer residuals, the quad diagnostic and
+// busy_seconds — must match exactly (doubles compared bitwise via ==).
+
+#include "src/cluster/node.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/hpm/events.hpp"
+#include "src/power2/field_table.hpp"
+#include "src/util/rng.hpp"
+
+namespace p2sim::cluster {
+namespace {
+
+// Random rates kept physical (each <= ~1 event/cycle) and consistent with
+// the audit identities, which are enforced here as single-field
+// inequalities: fma <= add (per unit), reload <= miss <= memory,
+// store <= reload, tlb/quad <= memory, and miss rates <= a single FXU
+// rate (the totals rules bound misses by fxu0+fxu1; a one-field bound is
+// the rounding-safe way to satisfy them, since llround is monotone so
+// single-field rate inequalities survive scaling on every slice length).
+power2::EventSignature random_signature(util::Xoshiro256StarStar& rng) {
+  power2::EventSignature s;
+  s.cycles_per_iter = rng.uniform(1.0, 100.0);
+  s.fxu0_inst = rng.uniform(0.0, 0.9);
+  s.fxu1_inst = rng.uniform(0.0, 0.9);
+  s.fpu0_inst = rng.uniform(0.0, 0.9);
+  s.fpu1_inst = rng.uniform(0.0, 0.9);
+  s.fp_add0 = rng.uniform(0.0, 0.9);
+  s.fp_add1 = rng.uniform(0.0, 0.9);
+  s.fp_mul0 = rng.uniform(0.0, 0.9);
+  s.fp_mul1 = rng.uniform(0.0, 0.9);
+  s.fp_div0 = rng.uniform(0.0, 0.2);
+  s.fp_div1 = rng.uniform(0.0, 0.2);
+  s.fp_fma0 = s.fp_add0 * rng.uniform();
+  s.fp_fma1 = s.fp_add1 * rng.uniform();
+  s.icu_type1 = rng.uniform(0.0, 0.5);
+  s.icu_type2 = rng.uniform(0.0, 0.5);
+  s.icache_reload = rng.uniform(0.0, 0.1);
+  s.memory_inst = rng.uniform(0.0, 0.9);
+  s.dcache_miss = std::min(s.memory_inst, s.fxu0_inst) * rng.uniform();
+  s.dcache_reload = s.dcache_miss * rng.uniform();
+  s.dcache_store = s.dcache_reload * rng.uniform();
+  s.tlb_miss = std::min(s.memory_inst, s.fxu1_inst) * rng.uniform(0.0, 0.1);
+  s.quad_inst = s.memory_inst * rng.uniform();
+  s.stall_dcache = rng.uniform(0.0, 0.5);
+  s.stall_tlb = rng.uniform(0.0, 0.3);
+  return s;
+}
+
+ActivityProfile random_profile(util::Xoshiro256StarStar& rng) {
+  ActivityProfile a;
+  a.compute_fraction = rng.uniform();
+  a.comm_wait_fraction = rng.uniform();
+  a.io_wait_fraction = rng.uniform();
+  a.comm_send_bytes_per_s = rng.uniform(0.0, 5e6);
+  a.comm_recv_bytes_per_s = rng.uniform(0.0, 5e6);
+  a.disk_read_bytes_per_s = rng.uniform(0.0, 10e6);
+  a.disk_write_bytes_per_s = rng.uniform(0.0, 10e6);
+  a.page_faults_per_s = rng.uniform(0.0, 50.0);
+  return a;
+}
+
+void expect_identical(const Node& fast, const Node& ref,
+                      const std::string& where) {
+  EXPECT_EQ(fast.monitor().bank(hpm::PrivilegeMode::kUser).raw(),
+            ref.monitor().bank(hpm::PrivilegeMode::kUser).raw())
+      << where << ": user bank";
+  EXPECT_EQ(fast.monitor().bank(hpm::PrivilegeMode::kSystem).raw(),
+            ref.monitor().bank(hpm::PrivilegeMode::kSystem).raw())
+      << where << ": system bank";
+  EXPECT_EQ(fast.totals(), ref.totals()) << where << ": extended totals";
+  EXPECT_EQ(fast.quad_total(), ref.quad_total()) << where << ": quad";
+  EXPECT_EQ(fast.busy_seconds(), ref.busy_seconds()) << where << ": busy";
+  EXPECT_EQ(fast.dma().total_read_bytes(), ref.dma().total_read_bytes())
+      << where << ": dma read";
+  EXPECT_EQ(fast.dma().total_write_bytes(), ref.dma().total_write_bytes())
+      << where << ": dma write";
+  EXPECT_EQ(fast.dma().pending_read_bytes(), ref.dma().pending_read_bytes())
+      << where << ": dma pending read";
+  EXPECT_EQ(fast.dma().pending_write_bytes(), ref.dma().pending_write_bytes())
+      << where << ": dma pending write";
+}
+
+void fuzz_config(NodeConfig cfg, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  for (int round = 0; round < 12; ++round) {
+    NodeConfig fast_cfg = cfg;
+    fast_cfg.reference_accrual = false;
+    NodeConfig ref_cfg = cfg;
+    ref_cfg.reference_accrual = true;
+    Node fast(1, fast_cfg);
+    Node ref(1, ref_cfg);
+    const power2::EventSignature sig = random_signature(rng);
+
+    for (int op = 0; op < 30; ++op) {
+      const std::uint64_t kind = rng.below(10);
+      if (kind < 6) {
+        // Busy interval; occasionally an exact multiple of the slice
+        // length to hit the remainder == max boundary.
+        double seconds = rng.uniform(0.01, 1800.0);
+        if (rng.below(5) == 0) {
+          seconds =
+              cfg.max_sample_slice_s * static_cast<double>(1 + rng.below(20));
+        }
+        const ActivityProfile act = random_profile(rng);
+        fast.advance(seconds, &sig, act);
+        ref.advance(seconds, &sig, act);
+      } else if (kind < 8) {
+        const double seconds = rng.uniform(0.01, 1800.0);
+        fast.advance_idle(seconds);
+        ref.advance_idle(seconds);
+      } else if (kind == 8) {
+        fast.crash();
+        ref.crash();
+        if (rng.below(2) == 0) {
+          // Advances while down are no-ops on both paths.
+          const ActivityProfile act = random_profile(rng);
+          fast.advance(100.0, &sig, act);
+          ref.advance(100.0, &sig, act);
+        }
+        fast.reboot();
+        ref.reboot();
+      } else {
+        // Zero / negative durations are no-ops.
+        const ActivityProfile act = random_profile(rng);
+        fast.advance(0.0, &sig, act);
+        ref.advance(0.0, &sig, act);
+        fast.advance(-5.0, &sig, act);
+        ref.advance(-5.0, &sig, act);
+      }
+      expect_identical(fast, ref,
+                       "round " + std::to_string(round) + " op " +
+                           std::to_string(op));
+      if (testing::Test::HasFailure()) return;  // first divergence is enough
+    }
+  }
+}
+
+TEST(AccrualEquivalence, DefaultConfig) { fuzz_config(NodeConfig{}, 0xA11CE); }
+
+TEST(AccrualEquivalence, ShortSlices) {
+  NodeConfig cfg;
+  cfg.max_sample_slice_s = 13.3;
+  fuzz_config(cfg, 0xB0B);
+}
+
+TEST(AccrualEquivalence, OddSliceLength) {
+  NodeConfig cfg;
+  cfg.max_sample_slice_s = 37.7;
+  fuzz_config(cfg, 0xC4B1E);
+}
+
+TEST(AccrualEquivalence, WaitStateSelection) {
+  NodeConfig cfg;
+  cfg.monitor.selection = hpm::CounterSelection::kWaitStates;
+  fuzz_config(cfg, 0xD00D);
+}
+
+TEST(AccrualEquivalence, DivideCounterFixed) {
+  NodeConfig cfg;
+  cfg.monitor.divide_counter_bug = false;
+  fuzz_config(cfg, 0xE66);
+}
+
+// The slice decomposition itself: a duration equal to, just under and just
+// over one slice must land identically (these are the boundary cases of
+// the closed-form n_full/remainder split).
+TEST(AccrualEquivalence, SliceBoundaryDurations) {
+  util::Xoshiro256StarStar rng(0xF00F);
+  const power2::EventSignature sig = random_signature(rng);
+  const ActivityProfile act = random_profile(rng);
+  NodeConfig fast_cfg;
+  fast_cfg.reference_accrual = false;
+  NodeConfig ref_cfg;
+  ref_cfg.reference_accrual = true;
+  Node fast(7, fast_cfg);
+  Node ref(7, ref_cfg);
+  const double max = fast_cfg.max_sample_slice_s;
+  for (double seconds : {max, max - 1e-9, max + 1e-9, 2.0 * max, 0.5 * max,
+                         900.0, 1e-6}) {
+    fast.advance(seconds, &sig, act);
+    ref.advance(seconds, &sig, act);
+    expect_identical(fast, ref, "seconds=" + std::to_string(seconds));
+  }
+}
+
+}  // namespace
+}  // namespace p2sim::cluster

@@ -1,7 +1,10 @@
 #include "src/cluster/node.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
+#include "src/check/check.hpp"
 #include "src/hpm/events.hpp"
 
 namespace p2sim::cluster {
@@ -206,6 +209,67 @@ TEST(Node, ZeroSecondsIsNoOp) {
   const power2::EventSignature sig = flat_signature();
   n.advance(0.0, &sig, ActivityProfile{});
   EXPECT_EQ(n.totals(), rs2hpm::ModeTotals{});
+}
+
+TEST(Node, IdleAdvanceLeavesBusySecondsUntouched) {
+  // The advance() accounting contract: busy time only accrues under a
+  // signature; sig == nullptr intervals are idle regardless of profile.
+  Node n(14);
+  ActivityProfile act;
+  act.compute_fraction = 0.8;  // meaningless without a job
+  n.advance(300.0, nullptr, act);
+  EXPECT_EQ(n.busy_seconds(), 0.0);
+  const power2::EventSignature sig = flat_signature();
+  n.advance(120.0, &sig, act);
+  EXPECT_EQ(n.busy_seconds(), 120.0);
+}
+
+// Contract violations the library asserts on when checks are compiled in.
+// Release (NDEBUG) strips the checks, so the death tests only run on the
+// checks-enabled presets (debug, asan-ubsan, tsan).
+class NodeContractDeathTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!p2sim::check::library_checks_enabled()) {
+      GTEST_SKIP() << "library checks compiled out in this build";
+    }
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(NodeContractDeathTest, RejectsNanComputeFraction) {
+  Node n(20);
+  const power2::EventSignature sig = flat_signature();
+  ActivityProfile act;
+  act.compute_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(n.advance(10.0, &sig, act),
+               "compute_fraction must be finite");
+}
+
+TEST_F(NodeContractDeathTest, RejectsFractionAboveOne) {
+  Node n(21);
+  const power2::EventSignature sig = flat_signature();
+  ActivityProfile act;
+  act.io_wait_fraction = 1.5;
+  EXPECT_DEATH(n.advance(10.0, &sig, act),
+               "io_wait_fraction must be finite and in \\[0,1\\]");
+}
+
+TEST_F(NodeContractDeathTest, RejectsNegativeTrafficRate) {
+  Node n(22);
+  const power2::EventSignature sig = flat_signature();
+  ActivityProfile act;
+  act.disk_read_bytes_per_s = -1.0;
+  EXPECT_DEATH(n.advance(10.0, &sig, act),
+               "traffic and fault rates must be finite");
+}
+
+TEST_F(NodeContractDeathTest, RejectsWaitFractionsWithoutSignature) {
+  Node n(23);
+  ActivityProfile act;
+  act.comm_wait_fraction = 0.3;
+  EXPECT_DEATH(n.advance(10.0, nullptr, act),
+               "wait fractions require a running job");
 }
 
 }  // namespace

@@ -50,9 +50,11 @@ TEST(CounterBank, WrapsAt32Bits) {
   EXPECT_EQ(b.read(HpmCounter::kUserCycles), 2u);
 }
 
-TEST(CounterBank, LargeAdditionWrapsModulo) {
+TEST(CounterBank, LargeFoldWrapsModulo) {
+  // Multi-wrap increments go through fold(); add() asserts they stay
+  // below one wrap (the multipass-sampling contract).
   CounterBank b;
-  b.add(HpmCounter::kUserCycles, (1ull << 32) * 5 + 7);
+  b.fold(HpmCounter::kUserCycles, (1ull << 32) * 5 + 7);
   EXPECT_EQ(b.read(HpmCounter::kUserCycles), 7u);
 }
 

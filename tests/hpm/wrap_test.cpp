@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/check/check.hpp"
 #include "src/hpm/monitor.hpp"
 #include "src/rs2hpm/daemon.hpp"
 #include "src/rs2hpm/snapshot.hpp"
@@ -40,10 +41,22 @@ TEST(CounterBankWrap, AddWrapsMod32Bits) {
   EXPECT_EQ(bank.read(hpm::HpmCounter::kUserCycles), 0u);
 }
 
-TEST(CounterBankWrap, LargeIncrementKeepsOnlyLow32Bits) {
+TEST(CounterBankWrap, LargeFoldKeepsOnlyLow32Bits) {
+  // fold() is the wrap-agnostic entry: a multi-wrap increment is legal
+  // there (the closed-form accrual path uses it) and the register keeps
+  // the faithful mod-2^32 residue.
   hpm::CounterBank bank;
-  bank.add(hpm::HpmCounter::kUserFxu0, kWrap * 3 + 17);
+  bank.fold(hpm::HpmCounter::kUserFxu0, kWrap * 3 + 17);
   EXPECT_EQ(bank.read(hpm::HpmCounter::kUserFxu0), 17u);
+}
+
+TEST(CounterBankWrapDeathTest, CheckedAddRejectsMultiWrapIncrement) {
+  // add() enforces the multipass-sampling contract: one increment must
+  // stay below a full wrap or wrap-delta recovery silently undercounts.
+  if (!p2sim::check::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  hpm::CounterBank bank;
+  EXPECT_DEATH(bank.add(hpm::HpmCounter::kUserFxu0, kWrap),
+               "increment >= one wrap");
 }
 
 TEST(CounterBankWrap, CountersAreIndependent) {
@@ -127,9 +140,11 @@ TEST(ExtendedCountersWrap, MissedSampleUnderCountsByOneWrap) {
   ext.attach(mon);
 
   // Break the sampling contract: a full wrap plus a little slips between
-  // two samples.  The extension layer cannot see the lost 2^32 -- this is
+  // two samples (two individually legal sub-wrap batches, no sample in
+  // between).  The extension layer cannot see the lost 2^32 -- this is
   // the "missed period" failure mode the multipass design exists to avoid.
-  mon.accumulate(cycles_only(kWrap + 5), hpm::PrivilegeMode::kUser);
+  mon.accumulate(cycles_only(kWrap / 2), hpm::PrivilegeMode::kUser);
+  mon.accumulate(cycles_only(kWrap / 2 + 5), hpm::PrivilegeMode::kUser);
   ext.sample(mon);
   EXPECT_EQ(ext.totals().user_at(hpm::HpmCounter::kUserCycles), 5u);
 }

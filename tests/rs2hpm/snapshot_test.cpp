@@ -71,11 +71,14 @@ TEST(ExtendedCounters, MissedWrapUndercounts) {
   PerformanceMonitor mon;
   ExtendedCounters ext;
   ext.attach(mon);
+  // Two legal sub-wrap batches crossing a full wrap in total, with no
+  // sample in between: the daemon overslept one period.
   power2::EventCounts ev;
-  ev.cycles = (1ull << 32) + 17;  // more than one full wrap, unsampled
+  ev.cycles = (1ull << 31) + 9;
   mon.accumulate(ev, PrivilegeMode::kUser);
+  mon.accumulate(ev, PrivilegeMode::kUser);  // total = 2^32 + 18, unsampled
   ext.sample(mon);
-  EXPECT_EQ(ext.totals().user_at(HpmCounter::kUserCycles), 17u);
+  EXPECT_EQ(ext.totals().user_at(HpmCounter::kUserCycles), 18u);
 }
 
 TEST(ExtendedCounters, SampleWithoutAttachPrimes) {

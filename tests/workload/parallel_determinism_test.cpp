@@ -8,6 +8,7 @@
 // any span fails loudly with the first differing byte's context.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -41,7 +42,8 @@ DriverConfig faulted_config() {
 /// Every byte-stable artifact a campaign produces, concatenated: the v2
 /// interval and job record streams, the loss report, the scalar result
 /// fields, and the sim-time telemetry exports captured under a session.
-std::string campaign_fingerprint(DriverConfig cfg, int threads) {
+std::string campaign_fingerprint(DriverConfig cfg, int threads,
+                                 bool include_telemetry = true) {
   cfg.threads = threads;
   telemetry::Session session;
   workload::CampaignResult result;
@@ -59,8 +61,10 @@ std::string campaign_fingerprint(DriverConfig cfg, int threads) {
       << " open=" << result.jobs_open_at_end
       << " sans_prologue=" << result.jobs_open_sans_prologue
       << " faults=" << result.faults.total_faults() << "\n";
-  out << session.registry.jsonl();
-  out << session.tracer.chrome_trace_json(/*include_wall=*/false);
+  if (include_telemetry) {
+    out << session.registry.jsonl();
+    out << session.tracer.chrome_trace_json(/*include_wall=*/false);
+  }
   return out.str();
 }
 
@@ -117,6 +121,54 @@ TEST(ParallelDeterminism, RepeatedRunsAreStableAtFixedThreadCount) {
   expect_identical(campaign_fingerprint(faulted_config(), 4),
                    campaign_fingerprint(faulted_config(), 4),
                    "threads=4 run-to-run");
+}
+
+TEST(ParallelDeterminism, FastAccrualMatchesReferenceByteForByte) {
+  // The closed-form accrual path must not change a single campaign byte
+  // relative to the slice-by-slice reference oracle.
+  DriverConfig ref_cfg = small_config();
+  ref_cfg.node.reference_accrual = true;
+  expect_identical(campaign_fingerprint(small_config(), 1),
+                   campaign_fingerprint(ref_cfg, 1),
+                   "fast vs reference accrual (fault-free)");
+}
+
+TEST(ParallelDeterminism, FastAccrualMatchesReferenceUnderFaultsAndThreads) {
+  // Cross both axes at once: parallel fast path vs serial reference oracle
+  // on the crash/reboot + lossy-collection schedule.
+  DriverConfig ref_cfg = faulted_config();
+  ref_cfg.node.reference_accrual = true;
+  expect_identical(campaign_fingerprint(faulted_config(), 4),
+                   campaign_fingerprint(ref_cfg, 1),
+                   "faulted fast threads=4 vs reference serial");
+}
+
+TEST(ParallelDeterminism, SignatureStoreDoesNotPerturbCampaign) {
+  // Cold run (populates the store), warm run (loads it) and store-free run
+  // must fingerprint identically — persistence is purely a speed lever.
+  const std::string store =
+      testing::TempDir() + "p2sim_determinism_store.txt";
+  std::remove(store.c_str());
+  DriverConfig stored = small_config();
+  stored.signature_store_path = store;
+
+  // A cold run measures every kernel itself, so even the telemetry stream
+  // (core-run histograms included) matches a store-free run exactly.
+  expect_identical(campaign_fingerprint(small_config(), 1),
+                   campaign_fingerprint(stored, 1), "cold store vs no store");
+  // Warm runs skip the level-A core runs entirely, so core-run telemetry
+  // legitimately vanishes; every campaign artifact — interval and job
+  // record streams, loss reconciliation, scalar totals — must still match
+  // byte for byte.
+  const std::string no_store =
+      campaign_fingerprint(small_config(), 1, /*include_telemetry=*/false);
+  expect_identical(no_store,
+                   campaign_fingerprint(stored, 1, false),
+                   "warm store vs no store");
+  expect_identical(no_store,
+                   campaign_fingerprint(stored, 4, false),
+                   "warm store threads=4 vs no store");
+  std::remove(store.c_str());
 }
 
 TEST(ParallelDeterminism, NegativeThreadCountIsRejected) {

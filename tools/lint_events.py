@@ -24,7 +24,12 @@ divide-counter pathology.  This lint enforces:
   * every telemetry metric name in src/ matches ``p2sim_[a-z0-9_]+`` and
     is registered at exactly one site -- a second registration site could
     silently diverge in kind or help text, and a misnamed metric throws at
-    runtime in the middle of a campaign.
+    runtime in the middle of a campaign;
+  * the signature field table (src/power2/field_table.hpp) exactly
+    partitions the ``EventCounts`` members into scaled rows and declared
+    unscaled fields -- a counter missing from both would silently stay
+    zero under the closed-form accrual path and the on-disk signature
+    store, and every row's rate member must exist on ``EventSignature``.
 
 Run from the repo root:  python3 tools/lint_events.py
 Self-check the linter:   python3 tools/lint_events.py --self-test
@@ -42,6 +47,9 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 EVENTS_HPP = "src/hpm/events.hpp"
 EVENTS_CPP = "src/hpm/events.cpp"
 MONITOR_CPP = "src/hpm/monitor.cpp"
+EVENT_COUNTS_HPP = "src/power2/event_counts.hpp"
+FIELD_TABLE_HPP = "src/power2/field_table.hpp"
+SIGNATURE_HPP = "src/power2/signature.hpp"
 
 # Wrap correction is this module's whole job; raw register access is legal
 # only here.
@@ -248,6 +256,99 @@ def check_member_init(root: pathlib.Path) -> list[str]:
     return problems
 
 
+_TABLE_ROW_RE = re.compile(
+    r'\{\s*"(\w+)"\s*,\s*&EventSignature::(\w+)\s*,\s*&EventCounts::(\w+)\s*,?\s*\}'
+)
+
+
+def check_field_table(root: pathlib.Path) -> list[str]:
+    """kScaledFields + kUnscaledFields exactly partition EventCounts.
+
+    The closed-form accrual path and the signature store iterate the table
+    instead of naming fields, so an EventCounts member absent from both
+    lists would silently read zero for a whole campaign -- the same defect
+    class as a missing monitor emit site, one layer down.
+    """
+    problems: list[str] = []
+    counts_text = strip_comments((root / EVENT_COUNTS_HPP).read_text())
+    table_text = strip_comments((root / FIELD_TABLE_HPP).read_text())
+    sig_text = strip_comments((root / SIGNATURE_HPP).read_text())
+
+    m = re.search(r"struct EventCounts\s*\{(.*?)\n\};", counts_text, re.DOTALL)
+    if not m:
+        return [f"{EVENT_COUNTS_HPP}: could not parse struct EventCounts"]
+    members = []
+    for line in m.group(1).splitlines():
+        line = line.strip()
+        if "(" in line:
+            continue  # derived-sum accessors, not data
+        mm = re.match(r"std::uint64_t\s+(\w+)\s*=", line)
+        if mm:
+            members.append(mm.group(1))
+    if not members:
+        return [f"{EVENT_COUNTS_HPP}: found no EventCounts data members"]
+
+    rows = _TABLE_ROW_RE.findall(table_text)
+    if not rows:
+        return [f"{FIELD_TABLE_HPP}: could not parse any kScaledFields rows"]
+    um = re.search(r"kUnscaledFields\s*=\s*\{(.*?)\}\s*;", table_text,
+                   re.DOTALL)
+    unscaled = re.findall(r'"(\w+)"', um.group(1)) if um else []
+
+    sm = re.search(r"struct EventSignature\s*\{(.*?)\n\};", sig_text,
+                   re.DOTALL)
+    sig_members = (
+        set(re.findall(r"(\w+)\s*=\s*0(?:\.0)?\s*[,;]", sm.group(1)))
+        if sm else set()
+    )
+
+    declared = re.search(r"std::array<ScaledField,\s*(\d+)>", table_text)
+    if declared is not None and int(declared.group(1)) != len(rows):
+        problems.append(
+            f"{FIELD_TABLE_HPP}: kScaledFields declares "
+            f"{declared.group(1)} rows but defines {len(rows)}"
+        )
+
+    scaled = [counter for _, _, counter in rows]
+    for name, rate, counter in rows:
+        if name != counter:
+            problems.append(
+                f"{FIELD_TABLE_HPP}: row {name!r} names counter "
+                f"EventCounts::{counter}; the store-format name must match "
+                f"the counter member"
+            )
+        if rate not in sig_members:
+            problems.append(
+                f"{FIELD_TABLE_HPP}: row {name!r} references "
+                f"EventSignature::{rate}, which {SIGNATURE_HPP} does not "
+                f"declare"
+            )
+
+    covered: dict[str, int] = {}
+    for name in scaled + unscaled:
+        covered[name] = covered.get(name, 0) + 1
+        if name not in members:
+            problems.append(
+                f"{FIELD_TABLE_HPP}: {name!r} is not an EventCounts member"
+            )
+    for name, times in covered.items():
+        if times > 1:
+            problems.append(
+                f"{FIELD_TABLE_HPP}: {name!r} appears {times} times across "
+                f"kScaledFields and kUnscaledFields; the lists must "
+                f"partition EventCounts"
+            )
+    for member in members:
+        if member not in covered:
+            problems.append(
+                f"{FIELD_TABLE_HPP}: EventCounts::{member} is not covered "
+                f"by the field table (neither a kScaledFields row nor a "
+                f"kUnscaledFields entry) -- the closed-form accrual path "
+                f"and the signature store would silently drop it"
+            )
+    return problems
+
+
 def check_metric_names(root: pathlib.Path) -> list[str]:
     """Every p2sim_* metric literal in src/ is well-formed and unique.
 
@@ -295,6 +396,7 @@ def run_lint(root: pathlib.Path) -> int:
         + check_raw_access(root)
         + check_member_init(root)
         + check_metric_names(root)
+        + check_field_table(root)
     )
     for p in problems:
         print(f"lint_events: {p}", file=sys.stderr)
@@ -314,7 +416,8 @@ def self_test() -> int:
     def scenario(name, mutate, expect_substr):
         with tempfile.TemporaryDirectory() as td:
             tmp = pathlib.Path(td)
-            for rel in (EVENTS_HPP, EVENTS_CPP, MONITOR_CPP):
+            for rel in (EVENTS_HPP, EVENTS_CPP, MONITOR_CPP,
+                        EVENT_COUNTS_HPP, FIELD_TABLE_HPP):
                 dest = tmp / rel
                 dest.parent.mkdir(parents=True, exist_ok=True)
                 dest.write_text((REPO / rel).read_text())
@@ -330,6 +433,7 @@ def self_test() -> int:
                 + check_raw_access(tmp)
                 + check_member_init(tmp)
                 + check_metric_names(tmp)
+                + check_field_table(tmp)
             )
             if not any(expect_substr in p for p in problems):
                 failures.append(
@@ -347,7 +451,11 @@ def self_test() -> int:
         p = tmp / MONITOR_CPP
         text = p.read_text()
         p.write_text(
-            text.replace("b.add(HpmCounter::kDcacheStore, ev.dcache_store);", "")
+            text.replace(
+                "adds[index_of(HpmCounter::kDcacheStore)] += "
+                "ev.dcache_store;",
+                "",
+            )
         )
 
     def add_raw_access(tmp):
@@ -459,6 +567,43 @@ def self_test() -> int:
              "in-class initializer")
     scenario("missing metric-shard init", drop_shard_tally_initializer,
              "in-class initializer")
+
+    def drop_field_table_row(tmp):
+        p = tmp / FIELD_TABLE_HPP
+        text = re.sub(
+            r'\{"dcache_store".*?\},\n', "", p.read_text(), flags=re.DOTALL
+        )
+        p.write_text(re.sub(r"std::array<ScaledField, 23>",
+                            "std::array<ScaledField, 22>", text))
+
+    def misspell_unscaled_field(tmp):
+        p = tmp / FIELD_TABLE_HPP
+        p.write_text(p.read_text().replace('"dma_read",', '"dma_red",', 1))
+
+    def mismatch_row_name(tmp):
+        p = tmp / FIELD_TABLE_HPP
+        p.write_text(
+            p.read_text().replace(
+                '{"tlb_miss", &EventSignature::tlb_miss,',
+                '{"tlb_misses", &EventSignature::tlb_miss,', 1
+            )
+        )
+
+    def duplicate_coverage(tmp):
+        p = tmp / FIELD_TABLE_HPP
+        p.write_text(
+            p.read_text().replace('"dma_read",', '"dma_read",\n    "cycles",',
+                                  1)
+        )
+
+    scenario("field-table row dropped", drop_field_table_row,
+             "not covered by the field table")
+    scenario("unscaled field misspelled", misspell_unscaled_field,
+             "is not an EventCounts member")
+    scenario("field-table name mismatch", mismatch_row_name,
+             "the store-format name must match")
+    scenario("field covered twice", duplicate_coverage,
+             "must partition EventCounts")
 
     # The pristine tree must be clean, or the lint gate is vacuous.
     rc = run_lint(REPO)
