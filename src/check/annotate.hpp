@@ -1,0 +1,43 @@
+// Concurrency & determinism annotations — the vocabulary tools/detlint.py
+// audits statically (see DESIGN.md §10).
+//
+// The campaign's core guarantee — bit-identical outputs for every
+// DriverConfig::threads value, with a lock-free hot path — used to be
+// enforced only dynamically (fingerprint tests, the TSan CI job), which
+// checks the runs we happen to exercise, not the code.  These macros put
+// the concurrency contract *in the source*, where the static auditor can
+// close the gap:
+//
+//   P2SIM_PAR_SAFE        on a function: callable from the parallel
+//                         node-advance region.  The auditor requires every
+//                         function transitively reachable from a parallel
+//                         phase (per WorkloadDriver::kPhases) to carry it,
+//                         and bans shared-stream RNG draws inside it.
+//   P2SIM_PAR_SAFE_FILE   file-scope marker (written as a declaration,
+//                         `P2SIM_PAR_SAFE_FILE;`): every function in the
+//                         file is parallel-safe.  For leaf value-type
+//                         headers where per-function annotation is noise.
+//   P2SIM_SERIAL_ONLY     on a function: owns cross-node state; must never
+//                         be reachable from a parallel phase.  The auditor
+//                         fails if one leaks into the parallel closure.
+//   P2SIM_GUARDED_BY(m)   after a data member: accessed only under mutex
+//                         `m` (declared in the same class).  Cross-checked
+//                         against tools/concurrency_manifest.json.
+//   P2SIM_ORDERED_FOLD    on an unordered-container declaration: its
+//                         iteration order is laundered into a deterministic
+//                         order (sort / ordered key fold) before reaching
+//                         any record file, table, or telemetry export.
+//                         Unordered containers are banned without it.
+//
+// Every macro compiles to nothing (P2SIM_PAR_SAFE_FILE to a vacuous
+// static_assert so the trailing `;` is legal at namespace scope), in every
+// build type; tests/check/annotate_test.cpp pins that expansion.  They
+// exist for tools/detlint.py and for the human reader — the compiler never
+// sees them.
+#pragma once
+
+#define P2SIM_PAR_SAFE
+#define P2SIM_SERIAL_ONLY
+#define P2SIM_GUARDED_BY(m)
+#define P2SIM_ORDERED_FOLD
+#define P2SIM_PAR_SAFE_FILE static_assert(true, "par-safe file")

@@ -9,13 +9,15 @@
 
 #include <cstdint>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::cluster {
 
 struct DmaConfig {
   /// Fraction of transfers that move 8 words (64 bytes); the rest move 4.
   double eight_word_fraction = 0.5;
 
-  double avg_transfer_bytes() const {
+  P2SIM_PAR_SAFE double avg_transfer_bytes() const {
     return eight_word_fraction * 64.0 + (1.0 - eight_word_fraction) * 32.0;
   }
 };
@@ -28,7 +30,7 @@ class DmaEngine {
 
   /// `reads` = bytes leaving memory (sends, disk writes);
   /// `writes` = bytes entering memory (receives, disk reads).
-  void transfer(double read_bytes, double write_bytes);
+  P2SIM_PAR_SAFE void transfer(double read_bytes, double write_bytes);
 
   /// Transfers completed since the last harvest; the caller feeds these to
   /// the performance monitor and the engine keeps only sub-transfer
@@ -37,7 +39,7 @@ class DmaEngine {
     std::uint64_t read_transfers = 0;
     std::uint64_t write_transfers = 0;
   };
-  Harvest harvest();
+  P2SIM_PAR_SAFE Harvest harvest();
 
   double total_read_bytes() const { return total_read_bytes_; }
   double total_write_bytes() const { return total_write_bytes_; }

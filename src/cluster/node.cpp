@@ -11,7 +11,7 @@ namespace p2sim::cluster {
 namespace {
 
 /// Splits an accumulated fractional count into a whole number plus residual.
-std::uint64_t take_whole(double& residual) {
+P2SIM_PAR_SAFE std::uint64_t take_whole(double& residual) {
   const double whole = std::floor(residual);
   residual -= whole;
   return static_cast<std::uint64_t>(whole);

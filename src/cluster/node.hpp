@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "src/check/annotate.hpp"
 #include "src/cluster/dma.hpp"
 #include "src/hpm/monitor.hpp"
 #include "src/power2/signature.hpp"
@@ -76,21 +77,22 @@ class Node {
   /// fractions require sig != nullptr: without a job there is nothing to
   /// attribute blocked time to, so the slice counts as idle/system time,
   /// no wait-state cycles are recorded, and busy_seconds() does not grow.
-  void advance(double seconds, const power2::EventSignature* sig,
-               const ActivityProfile& profile);
+  P2SIM_PAR_SAFE void advance(double seconds,
+                              const power2::EventSignature* sig,
+                              const ActivityProfile& profile);
 
   /// Idle slice: only daemon-level OS noise accrues.
-  void advance_idle(double seconds);
+  P2SIM_PAR_SAFE void advance_idle(double seconds);
 
   /// Power failure: the node drops out of service instantly.  Monitor
   /// state does not survive — the 32-bit banks, the RS2HPM 64-bit
   /// extension and the quad diagnostic all restart from zero, which is
   /// exactly the non-monotonicity downstream consumers must tolerate.
   /// advance()/advance_idle() are no-ops while the node is down.
-  void crash();
+  P2SIM_SERIAL_ONLY void crash();
   /// Returns the node to service (counters stay zeroed from the crash).
-  void reboot();
-  bool is_up() const { return up_; }
+  P2SIM_SERIAL_ONLY void reboot();
+  P2SIM_PAR_SAFE bool is_up() const { return up_; }
 
   int id() const { return id_; }
   const NodeConfig& config() const { return cfg_; }
@@ -107,14 +109,17 @@ class Node {
   double busy_seconds() const { return busy_seconds_; }
 
  private:
-  void apply_slice(double seconds, const power2::EventSignature* sig,
-                   const ActivityProfile& profile);
-  void advance_reference(double seconds, const power2::EventSignature* sig,
-                         const ActivityProfile& profile);
-  void advance_batched(double seconds, const power2::EventSignature* sig,
-                       const ActivityProfile& profile);
-  void check_profile(const power2::EventSignature* sig,
-                     const ActivityProfile& profile) const;
+  P2SIM_PAR_SAFE void apply_slice(double seconds,
+                                  const power2::EventSignature* sig,
+                                  const ActivityProfile& profile);
+  P2SIM_PAR_SAFE void advance_reference(double seconds,
+                                        const power2::EventSignature* sig,
+                                        const ActivityProfile& profile);
+  P2SIM_PAR_SAFE void advance_batched(double seconds,
+                                      const power2::EventSignature* sig,
+                                      const ActivityProfile& profile);
+  P2SIM_PAR_SAFE void check_profile(const power2::EventSignature* sig,
+                                    const ActivityProfile& profile) const;
 
   int id_;
   NodeConfig cfg_;

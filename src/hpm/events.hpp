@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::hpm {
 
 /// Number of hardware counters in the POWER2 monitor.
@@ -54,9 +56,9 @@ struct CounterInfo {
 const std::array<CounterInfo, kNumCounters>& counter_table();
 
 /// Metadata lookup.
-const CounterInfo& counter_info(HpmCounter c);
+P2SIM_PAR_SAFE const CounterInfo& counter_info(HpmCounter c);
 
-constexpr std::size_t index_of(HpmCounter c) {
+P2SIM_PAR_SAFE constexpr std::size_t index_of(HpmCounter c) {
   return static_cast<std::size_t>(c);
 }
 

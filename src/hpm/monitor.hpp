@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 
+#include "src/check/annotate.hpp"
 #include "src/check/check.hpp"
 #include "src/hpm/events.hpp"
 #include "src/power2/event_counts.hpp"
@@ -38,26 +39,28 @@ using CounterAdds = std::array<std::uint64_t, kNumCounters>;
 /// need the register's mod-2^32 residue to stay faithful.
 class CounterBank {
  public:
-  void add(HpmCounter c, std::uint64_t n) {
+  P2SIM_PAR_SAFE void add(HpmCounter c, std::uint64_t n) {
     P2SIM_CHECK(n < kWrap, "CounterBank::add: increment >= one wrap");
     fold(c, n);
   }
-  void fold(HpmCounter c, std::uint64_t n) {
+  P2SIM_PAR_SAFE void fold(HpmCounter c, std::uint64_t n) {
     counters_[index_of(c)] =
         static_cast<std::uint32_t>(counters_[index_of(c)] + n);
   }
-  void add_batch(const CounterAdds& n) {
+  P2SIM_PAR_SAFE void add_batch(const CounterAdds& n) {
     for (std::size_t i = 0; i < kNumCounters; ++i) {
       P2SIM_CHECK(n[i] < kWrap, "CounterBank::add_batch: increment >= wrap");
       counters_[i] = static_cast<std::uint32_t>(counters_[i] + n[i]);
     }
   }
-  void fold_batch(const CounterAdds& n) {
+  P2SIM_PAR_SAFE void fold_batch(const CounterAdds& n) {
     for (std::size_t i = 0; i < kNumCounters; ++i)
       counters_[i] = static_cast<std::uint32_t>(counters_[i] + n[i]);
   }
-  std::uint32_t read(HpmCounter c) const { return counters_[index_of(c)]; }
-  const std::array<std::uint32_t, kNumCounters>& raw() const {
+  P2SIM_PAR_SAFE std::uint32_t read(HpmCounter c) const {
+    return counters_[index_of(c)];
+  }
+  P2SIM_PAR_SAFE const std::array<std::uint32_t, kNumCounters>& raw() const {
     return counters_;
   }
   void clear() { counters_.fill(0); }
@@ -81,22 +84,25 @@ class PerformanceMonitor {
 
   /// Accumulates a batch of microarchitectural events into the bank for
   /// the given privilege mode.
-  void accumulate(const power2::EventCounts& ev, PrivilegeMode mode);
+  P2SIM_PAR_SAFE void accumulate(const power2::EventCounts& ev,
+                                 PrivilegeMode mode);
 
   /// Maps `ev` onto per-counter increments under this monitor's selection
   /// (+= semantics: callers may fold several event batches into one
   /// CounterAdds).  This is exactly the event-to-slot wiring accumulate()
   /// applies, audited at the same kScaled gate.
-  void map_events(const power2::EventCounts& ev, CounterAdds& adds) const;
+  P2SIM_PAR_SAFE void map_events(const power2::EventCounts& ev,
+                                 CounterAdds& adds) const;
 
   /// Batched register update: folds pre-mapped increments into the bank.
   /// Unlike accumulate(), one call may cover an arbitrary stretch of
   /// multipass slices — per-counter totals at or above 2^32 are legal, the
   /// registers keep only the faithful mod-2^32 residue, and the caller
   /// (rs2hpm::ExtendedCounters::accrue) owns the 64-bit truth.
-  void accumulate_adds(const CounterAdds& adds, PrivilegeMode mode);
+  P2SIM_PAR_SAFE void accumulate_adds(const CounterAdds& adds,
+                                      PrivilegeMode mode);
 
-  const CounterBank& bank(PrivilegeMode mode) const {
+  P2SIM_PAR_SAFE const CounterBank& bank(PrivilegeMode mode) const {
     return banks_[static_cast<std::size_t>(mode)];
   }
   void clear();

@@ -1,13 +1,13 @@
 #include "src/power2/core.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
 #include "src/check/invariants.hpp"
 #include "src/telemetry/clock.hpp"
 #include "src/telemetry/session.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace p2sim::power2 {
 namespace {
@@ -345,7 +345,7 @@ RunResult Power2Core::run(const KernelDesc& kernel) {
 
 RunResult Power2Core::run(const KernelDesc& kernel,
                           std::uint64_t measure_iters) {
-  const auto wall_begin = std::chrono::steady_clock::now();
+  const std::int64_t wall_begin_us = telemetry::wall_now_us();
   bind(kernel);
 
   EventCounts scratch;
@@ -403,10 +403,7 @@ RunResult Power2Core::run(const KernelDesc& kernel,
                    "Simulated cycles per measured kernel run",
                    telemetry::exponential_buckets(1e3, 10.0, 7))
         .observe(static_cast<double>(ev.cycles));
-    const auto wall_us =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - wall_begin)
-            .count();
+    const std::int64_t wall_us = telemetry::wall_now_us() - wall_begin_us;
     if (wall_us > 0) {
       tel->registry
           .histogram("p2sim_core_cycles_per_wall_second",

@@ -14,7 +14,7 @@ double rate(std::uint64_t events, std::uint64_t cycles) {
                 : 0.0;
 }
 
-std::uint64_t rounded(double x) {
+P2SIM_PAR_SAFE std::uint64_t rounded(double x) {
   return x <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(x));
 }
 

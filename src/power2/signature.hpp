@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/check/annotate.hpp"
 #include "src/power2/core.hpp"
 #include "src/power2/event_counts.hpp"
 #include "src/power2/kernel_desc.hpp"
@@ -57,12 +58,12 @@ struct EventSignature {
   /// Scales the signature to event totals over `cycles` busy cycles.
   /// Each field rounds independently via llround; the result for a given
   /// (signature, cycles) pair is deterministic and platform-stable.
-  EventCounts scale(double cycles) const;
+  P2SIM_PAR_SAFE EventCounts scale(double cycles) const;
 
   /// Accumulating form: adds the scaled totals for `cycles` busy cycles
   /// into `ev` (table fields only — `ev.cycles` is the caller's business).
   /// `scale` is `scale_into` on a zeroed EventCounts plus the cycle count.
-  void scale_into(double cycles, EventCounts& ev) const;
+  P2SIM_PAR_SAFE void scale_into(double cycles, EventCounts& ev) const;
 
   bool operator==(const EventSignature&) const = default;
 };
@@ -98,18 +99,18 @@ class SignatureCache {
                           SignatureStoreConfig store = {});
 
   /// Returns the signature, measuring it on first use.
-  const EventSignature& get(const KernelDesc& kernel);
+  P2SIM_SERIAL_ONLY const EventSignature& get(const KernelDesc& kernel);
 
   /// Pre-measures every kernel in `kernels` (skipping known ones) and
   /// publishes the whole cache — store hits included — as the lock-free
   /// snapshot.  Call once during driver setup, before worker threads run;
   /// not safe concurrently with get().
-  void warm(const std::vector<KernelDesc>& kernels);
+  P2SIM_SERIAL_ONLY void warm(const std::vector<KernelDesc>& kernels);
 
   /// Writes newly measured signatures back to the persistent store.
   /// Returns false when a configured write fails; true otherwise
   /// (including when persistence is disabled or nothing is dirty).
-  bool flush();
+  P2SIM_SERIAL_ONLY bool flush();
 
   std::size_t size() const;
 
@@ -127,9 +128,9 @@ class SignatureCache {
  private:
   using SnapshotEntry = std::pair<std::uint64_t, const EventSignature*>;
 
-  const EventSignature& measure_locked(std::uint64_t hash,
-                                       const KernelDesc& kernel);
-  void publish_snapshot_locked();
+  P2SIM_SERIAL_ONLY const EventSignature& measure_locked(
+      std::uint64_t hash, const KernelDesc& kernel);
+  P2SIM_SERIAL_ONLY void publish_snapshot_locked();
 
   CoreConfig core_cfg_;
   std::uint64_t core_hash_ = 0;
@@ -142,9 +143,9 @@ class SignatureCache {
   /// Level 2 (and backing storage for level 1 — std::map nodes are
   /// pointer-stable under insertion).
   mutable std::mutex mu_;
-  std::map<std::uint64_t, EventSignature> by_hash_;
-  bool dirty_ = false;
-  Stats stats_{};
+  std::map<std::uint64_t, EventSignature> by_hash_ P2SIM_GUARDED_BY(mu_);
+  bool dirty_ P2SIM_GUARDED_BY(mu_) = false;
+  Stats stats_ P2SIM_GUARDED_BY(mu_){};
 };
 
 }  // namespace p2sim::power2

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "src/check/annotate.hpp"
 #include "src/rs2hpm/snapshot.hpp"
 
 namespace p2sim::rs2hpm {
@@ -51,19 +52,21 @@ class SamplingDaemon {
   /// cumulative quad-instruction diagnostic.  `busy_nodes` comes from the
   /// batch system.  Spans must cover all nodes.  Equivalent to the lossy
   /// overload with every node reachable.
-  void collect(std::int64_t interval,
-               std::span<const ModeTotals> node_totals,
-               std::span<const std::uint64_t> node_quads, int busy_nodes);
+  P2SIM_SERIAL_ONLY void collect(std::int64_t interval,
+                                 std::span<const ModeTotals> node_totals,
+                                 std::span<const std::uint64_t> node_quads,
+                                 int busy_nodes);
 
   /// Lossy collection: `reachable[i] == 0` means node i could not be
   /// sampled this interval (down, or the fetch was dropped).  Unreachable
   /// nodes keep their previous baseline — their next clean delta simply
   /// spans the gap.  A node whose totals went backwards (counter reset)
   /// is re-primed at the new values and contributes nothing this interval.
-  void collect(std::int64_t interval,
-               std::span<const ModeTotals> node_totals,
-               std::span<const std::uint64_t> node_quads,
-               std::span<const std::uint8_t> reachable, int busy_nodes);
+  P2SIM_SERIAL_ONLY void collect(std::int64_t interval,
+                                 std::span<const ModeTotals> node_totals,
+                                 std::span<const std::uint64_t> node_quads,
+                                 std::span<const std::uint8_t> reachable,
+                                 int busy_nodes);
 
   const std::vector<IntervalRecord>& records() const { return records_; }
   std::size_t num_nodes() const { return prev_.size(); }

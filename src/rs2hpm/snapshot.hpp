@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 
+#include "src/check/annotate.hpp"
 #include "src/hpm/monitor.hpp"
 
 namespace p2sim::rs2hpm {
@@ -53,7 +54,8 @@ struct ModeTotals {
 
 /// Wrap-corrected 32-bit delta: (now - prev) mod 2^32.  Correct as long as
 /// fewer than 2^32 events occurred between the samples.
-constexpr std::uint64_t wrap_delta(std::uint32_t prev, std::uint32_t now) {
+P2SIM_PAR_SAFE constexpr std::uint64_t wrap_delta(std::uint32_t prev,
+                                                  std::uint32_t now) {
   return static_cast<std::uint32_t>(now - prev);
 }
 
@@ -64,10 +66,10 @@ constexpr std::uint64_t wrap_delta(std::uint32_t prev, std::uint32_t now) {
 class ExtendedCounters {
  public:
   /// Captures the monitor's current raw values as the baseline.
-  void attach(const hpm::PerformanceMonitor& mon);
+  P2SIM_PAR_SAFE void attach(const hpm::PerformanceMonitor& mon);
 
   /// Folds the events since the previous sample into the 64-bit totals.
-  void sample(const hpm::PerformanceMonitor& mon);
+  P2SIM_PAR_SAFE void sample(const hpm::PerformanceMonitor& mon);
 
   /// Batched accrual — the closed-form fast path.  The caller has just
   /// folded exactly `user_adds`/`system_adds` into the monitor's wrapping
@@ -76,9 +78,9 @@ class ExtendedCounters {
   /// interleaving sub-wrap accumulate()/sample() pairs: the totals gain the
   /// exact amounts and the sampling baseline re-anchors at the registers'
   /// current raw values.  Requires a prior attach().
-  void accrue(const hpm::PerformanceMonitor& mon,
-              const hpm::CounterAdds& user_adds,
-              const hpm::CounterAdds& system_adds);
+  P2SIM_PAR_SAFE void accrue(const hpm::PerformanceMonitor& mon,
+                             const hpm::CounterAdds& user_adds,
+                             const hpm::CounterAdds& system_adds);
 
   const ModeTotals& totals() const { return totals_; }
   void reset_totals() {
@@ -93,7 +95,8 @@ class ExtendedCounters {
   /// Debug-build audit: (baseline + extended total) mod 2^32 must equal
   /// each raw 32-bit register — the wrap-consistency identity between
   /// hpm::CounterBank and this extension layer.  Compiled out in Release.
-  void check_wrap_consistency(const hpm::PerformanceMonitor& mon) const;
+  P2SIM_PAR_SAFE void check_wrap_consistency(
+      const hpm::PerformanceMonitor& mon) const;
 
   std::array<std::uint32_t, hpm::kNumCounters> last_user_{};
   std::array<std::uint32_t, hpm::kNumCounters> last_system_{};

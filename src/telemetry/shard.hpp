@@ -16,7 +16,13 @@
 
 #include <cstdint>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::telemetry {
+
+// A shard is lane-private by construction; every method is safe
+// inside the parallel region (the serial merge also uses them).
+P2SIM_PAR_SAFE_FILE;
 
 /// One lane's tallies for the current interval.  Reset after each merge.
 struct MetricShard {

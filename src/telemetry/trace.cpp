@@ -6,13 +6,14 @@
 #include <sstream>
 
 namespace p2sim::telemetry {
-namespace {
 
 std::int64_t wall_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+namespace {
 
 /// Minimal JSON string escape (names are string literals, but a stray
 /// quote must not produce an unloadable trace).

@@ -19,6 +19,14 @@
 
 namespace p2sim::telemetry {
 
+/// The simulator's one sanctioned wall-clock read: microseconds on
+/// std::chrono::steady_clock.  Wall time is inherently nondeterministic,
+/// so tools/detlint.py confines clock access to this module; callers tag
+/// anything derived from it as wall-clock data (trace `wall_*` args, the
+/// registry's wall_clock metric flag) so byte-identical exports can strip
+/// it.
+std::int64_t wall_now_us();
+
 struct TraceEvent {
   const char* category = "";
   const char* name = "";

@@ -2,7 +2,11 @@
 
 #include <cmath>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::util {
+
+P2SIM_PAR_SAFE_FILE;
 
 std::uint64_t Xoshiro256StarStar::below(std::uint64_t n) noexcept {
   // Lemire's nearly-divisionless bounded sampling.

@@ -14,7 +14,14 @@
 #include <limits>
 #include <span>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::util {
+
+// Lane streams draw from these generators inside the parallel
+// region; every function here is pure state-in/state-out on the
+// generator object itself.
+P2SIM_PAR_SAFE_FILE;
 
 /// splitmix64: tiny generator used to expand a 64-bit seed into independent
 /// substreams.  Passes BigCrush when used as specified by Vigna.

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::util {
 
 /// Half-open index range [begin, end) owned by one worker.
@@ -60,8 +62,9 @@ class TaskPool {
   /// happens-before the return).  The first exception any shard throws is
   /// rethrown here after the barrier.  Not reentrant: shards must not call
   /// run() on the same pool.
-  void run(std::size_t n,
-           const std::function<void(std::size_t, std::size_t)>& task);
+  P2SIM_SERIAL_ONLY void run(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& task);
 
  private:
   void worker_loop(int worker_index);
@@ -76,12 +79,13 @@ class TaskPool {
   std::condition_variable work_done_;
   // Dispatch slot, valid while pending_ > 0.  epoch_ increments once per
   // run() so a worker can tell a fresh dispatch from the one it just ran.
-  const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
-  std::size_t task_items_ = 0;
-  std::uint64_t epoch_ = 0;
-  int pending_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  const std::function<void(std::size_t, std::size_t)>* task_
+      P2SIM_GUARDED_BY(mutex_) = nullptr;
+  std::size_t task_items_ P2SIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t epoch_ P2SIM_GUARDED_BY(mutex_) = 0;
+  int pending_ P2SIM_GUARDED_BY(mutex_) = 0;
+  bool stopping_ P2SIM_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ P2SIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace p2sim::util

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/annotate.hpp"
 #include "src/cluster/nfs.hpp"
 #include "src/cluster/node.hpp"
 #include "src/cluster/paging.hpp"
@@ -196,15 +197,15 @@ class WorkloadDriver {
   cluster::ActivityProfile activity_for(const Running& r,
                                         double disk_grant_fraction) const;
 
-  void phase_day_rollover(CampaignState& st);
-  void phase_faults(CampaignState& st);
-  void phase_arrivals(CampaignState& st);
-  void phase_scheduling(CampaignState& st);
-  void phase_nfs_grant(CampaignState& st);
-  void phase_node_advance(CampaignState& st);
-  void phase_epilogues(CampaignState& st);
-  void phase_collect(CampaignState& st);
-  void phase_observe(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_day_rollover(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_faults(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_arrivals(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_scheduling(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_nfs_grant(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_node_advance(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_epilogues(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_collect(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_observe(CampaignState& st);
 
   DriverConfig cfg_;
 };

@@ -19,6 +19,7 @@
 // thread count, perturbs nothing else.
 #pragma once
 
+#include "src/check/annotate.hpp"
 #include "src/cluster/node.hpp"
 #include "src/fault/fault.hpp"
 #include "src/power2/signature.hpp"
@@ -56,7 +57,7 @@ class NodeLane {
   /// interval according to `step`, exactly as the serial driver did —
   /// busy seconds under the job's signature, the remainder idle.  Touches
   /// only lane-local state.
-  void advance_interval(double interval_s) {
+  P2SIM_PAR_SAFE void advance_interval(double interval_s) {
     interval_busy_s = 0.0;
     if (!node.is_up()) {
       ++shard.down_node_intervals;

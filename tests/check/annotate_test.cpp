@@ -1,0 +1,58 @@
+// The annotation layer's one compile-time contract: every macro in
+// src/check/annotate.hpp expands to nothing (P2SIM_PAR_SAFE_FILE to a
+// vacuous static_assert), in every build type.  The macros exist for
+// tools/detlint.py; if one ever grew a runtime expansion it would change
+// codegen behind the auditor's back, so this test pins the expansions at
+// compile time via the stringize operator -- a non-empty expansion
+// changes the literal's length and the static_asserts below stop
+// compiling.
+
+#include "src/check/annotate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#define P2SIM_TEST_STR2(x) #x
+#define P2SIM_TEST_STR(x) P2SIM_TEST_STR2(x)
+
+// sizeof("") == 1: just the terminating NUL.  Any token surviving
+// expansion would make the literal longer.
+static_assert(sizeof(P2SIM_TEST_STR(P2SIM_PAR_SAFE)) == 1,
+              "P2SIM_PAR_SAFE must expand to nothing");
+static_assert(sizeof(P2SIM_TEST_STR(P2SIM_SERIAL_ONLY)) == 1,
+              "P2SIM_SERIAL_ONLY must expand to nothing");
+static_assert(sizeof(P2SIM_TEST_STR(P2SIM_GUARDED_BY(some_mutex))) == 1,
+              "P2SIM_GUARDED_BY(m) must expand to nothing");
+static_assert(sizeof(P2SIM_TEST_STR(P2SIM_ORDERED_FOLD)) == 1,
+              "P2SIM_ORDERED_FOLD must expand to nothing");
+
+#undef P2SIM_TEST_STR
+#undef P2SIM_TEST_STR2
+
+// Every documented placement compiles: function annotations prefix a
+// declaration, P2SIM_GUARDED_BY trails a member (with and without an
+// initializer), P2SIM_ORDERED_FOLD prefixes a declaration, and
+// P2SIM_PAR_SAFE_FILE stands alone as a namespace-scope declaration.
+P2SIM_PAR_SAFE_FILE;
+
+struct Annotated {
+  P2SIM_PAR_SAFE int par_safe_fn() const { return 1; }
+  P2SIM_SERIAL_ONLY int serial_fn() const { return 2; }
+
+  int plain_ P2SIM_GUARDED_BY(mu_) = 3;
+  int uninit_ P2SIM_GUARDED_BY(mu_){4};
+  P2SIM_ORDERED_FOLD int fold_source_ = 5;
+  int mu_ = 0;  // stand-in for a mutex; the macro never names its type
+};
+
+TEST(AnnotateTest, AnnotatedCodeBehavesIdentically) {
+  const Annotated a;
+  EXPECT_EQ(a.par_safe_fn(), 1);
+  EXPECT_EQ(a.serial_fn(), 2);
+  EXPECT_EQ(a.plain_, 3);
+  EXPECT_EQ(a.uninit_, 4);
+  EXPECT_EQ(a.fold_source_, 5);
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Single entry point for the repo's rule-based static analyzers.
+
+Runs every linter in tools/ and prints one combined summary:
+
+  * lint_events.py -- HPM counter plumbing (enum/table/emit coverage,
+    wrap-access confinement, member init, metric names, field table);
+  * detlint.py    -- determinism & concurrency audit (phase purity,
+    nondeterminism bans, the concurrency manifest, RNG discipline).
+
+Exit status is 0 only when every linter passes.  Each linter remains
+independently runnable (and self-testable with --self-test); this runner
+exists so ctest and CI have one lint fixture to gate on.
+
+Run from the repo root:  python3 tools/lint_all.py
+Self-test every linter:  python3 tools/lint_all.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+
+LINTERS = ("lint_events.py", "detlint.py")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every linter's built-in scenarios")
+    args = parser.parse_args()
+    flags = ["--self-test"] if args.self_test else []
+    results: list[tuple[str, int]] = []
+    for name in LINTERS:
+        proc = subprocess.run(
+            [sys.executable, str(TOOLS / name), *flags], check=False)
+        results.append((name, proc.returncode))
+    failed = [name for name, rc in results if rc != 0]
+    for name, rc in results:
+        status = "OK" if rc == 0 else f"FAILED (exit {rc})"
+        print(f"lint_all: {name}: {status}")
+    if failed:
+        print(f"lint_all: {len(failed)} of {len(results)} linter(s) "
+              f"failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"lint_all: all {len(results)} linters passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
