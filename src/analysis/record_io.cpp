@@ -82,6 +82,19 @@ rs2hpm::ModeTotals parse_totals(const std::vector<std::string_view>& f,
   return t;
 }
 
+/// How a loader classified one payload line.  Valid trailers stay out of
+/// the ParseReport tallies — they are framing, not data — while a rotted
+/// trailer fails like any other bad line and is counted.
+enum class LineKind { kRecord, kTrailer };
+
+/// Only the commit trailer starts with "C,": record lines start with "I,"
+/// or "J,", and the corruption modes (truncation, mid-line bit rot,
+/// delimiter loss) never touch a line's first two bytes.  So a "C," line
+/// is a trailer — possibly a rotted one — never a mistaken record.
+bool looks_like_trailer(std::string_view line) {
+  return line.size() >= 2 && line[0] == 'C' && line[1] == ',';
+}
+
 /// Reads the header line; returns the format version (1 or 2).
 int check_header(std::istream& in, const char* expected_tag) {
   std::string line;
@@ -124,6 +137,25 @@ std::vector<std::string_view> strip_checksum(std::string_view line,
   return f;
 }
 
+/// Validates a v2 commit trailer against the record lines seen so far
+/// (loaded and skipped alike: rot changes a line's content, not the
+/// count of lines the writer committed).  Throws on any defect so the
+/// driver counts the line as skipped and the file stays uncommitted.
+void check_trailer(std::string_view line, std::vector<std::string_view> f,
+                   bool* committed, std::int64_t records_seen) {
+  f = strip_checksum(line, std::move(f));
+  if (*committed) {
+    throw std::runtime_error("record_io: duplicate commit trailer");
+  }
+  if (f.size() != 2) {
+    throw std::runtime_error("record_io: malformed commit trailer");
+  }
+  if (parse_num<std::int64_t>(f[1], "commit count") != records_seen) {
+    throw std::runtime_error("record_io: commit trailer count mismatch");
+  }
+  *committed = true;
+}
+
 /// Line-by-line driver shared by both loaders: strict mode re-throws the
 /// first parse error, recovering mode records it and moves on.
 template <typename ParseLine>
@@ -134,12 +166,15 @@ void for_each_line(std::istream& in, ParseReport* report,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    if (report != nullptr) ++report->lines_total;
     try {
-      parse_line(line);
-      if (report != nullptr) ++report->lines_loaded;
+      const LineKind kind = parse_line(line);
+      if (report != nullptr && kind == LineKind::kRecord) {
+        ++report->lines_total;
+        ++report->lines_loaded;
+      }
     } catch (const std::runtime_error& e) {
       if (report == nullptr) throw;
+      ++report->lines_total;
       ++report->lines_skipped;
       if (static_cast<std::int64_t>(report->issues.size()) <
           report->max_issues) {
@@ -152,6 +187,19 @@ void for_each_line(std::istream& in, ParseReport* report,
             .inc();
       }
     }
+  }
+}
+
+/// Applies the trailer verdict after the line loop: a recovering load
+/// records it, a strict load refuses an uncommitted v2 file.
+void finish_trailer(int version, bool committed, ParseReport* report) {
+  if (version != 2) return;
+  if (report != nullptr) {
+    report->committed = committed;
+    report->truncated = !committed;
+  } else if (!committed) {
+    throw std::runtime_error(
+        "record_io: missing commit trailer (file truncated?)");
   }
 }
 
@@ -170,13 +218,24 @@ void save_intervals(std::ostream& out,
     write_totals(body, r.delta);
     write_checked_line(out, body.str());
   }
+  write_checked_line(out, "C," + std::to_string(records.size()));
 }
 
 std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in,
                                                    ParseReport* report) {
   const int version = check_header(in, kIntervalTag);
   std::vector<rs2hpm::IntervalRecord> out;
+  bool committed = false;
+  std::int64_t records_seen = 0;
   for_each_line(in, report, [&](const std::string& line) {
+    if (version == 2 && looks_like_trailer(line)) {
+      check_trailer(line, split(line), &committed, records_seen);
+      return LineKind::kTrailer;
+    }
+    ++records_seen;
+    if (committed) {
+      throw std::runtime_error("record_io: record after commit trailer");
+    }
     auto f = split(line);
     if (version == 2) f = strip_checksum(line, std::move(f));
     const std::size_t fixed = version == 1 ? 5 : 7;
@@ -200,7 +259,9 @@ std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in,
     }
     rec.delta = parse_totals(f, fixed);
     out.push_back(rec);
+    return LineKind::kRecord;
   });
+  finish_trailer(version, committed, report);
   return out;
 }
 
@@ -215,12 +276,23 @@ void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs) {
     write_totals(body, r.report.delta);
     write_checked_line(out, body.str());
   }
+  write_checked_line(out, "C," + std::to_string(jobs.size()));
 }
 
 pbs::JobDatabase load_jobs(std::istream& in, ParseReport* report) {
   const int version = check_header(in, kJobTag);
   pbs::JobDatabase db;
+  bool committed = false;
+  std::int64_t records_seen = 0;
   for_each_line(in, report, [&](const std::string& line) {
+    if (version == 2 && looks_like_trailer(line)) {
+      check_trailer(line, split(line), &committed, records_seen);
+      return LineKind::kTrailer;
+    }
+    ++records_seen;
+    if (committed) {
+      throw std::runtime_error("record_io: record after commit trailer");
+    }
     auto f = split(line);
     if (version == 2) f = strip_checksum(line, std::move(f));
     const std::size_t fixed = version == 1 ? 7 : 8;
@@ -245,7 +317,9 @@ pbs::JobDatabase load_jobs(std::istream& in, ParseReport* report) {
         parse_num<std::uint64_t>(f[quad_at], "quad");
     rec.report.delta = parse_totals(f, fixed);
     db.add(std::move(rec));
+    return LineKind::kRecord;
   });
+  finish_trailer(version, committed, report);
   return db;
 }
 
@@ -259,6 +333,7 @@ std::string format_parse_report(const ParseReport& report) {
   const std::int64_t more =
       report.lines_skipped - static_cast<std::int64_t>(report.issues.size());
   if (more > 0) os << "; ... and " << more << " more";
+  if (report.truncated) os << "; tail truncated before the commit trailer";
   return os.str();
 }
 

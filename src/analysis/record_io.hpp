@@ -18,6 +18,15 @@
 // The v1 format (no checksum, no coverage fields, no completeness flag)
 // still loads; v1 lines are assumed fully covered and complete.
 //
+// A v2 file ends with a commit trailer — "C,<record count>,<crc 8 hex>" —
+// written after the last record.  The trailer is how a loader tells a
+// *clean crash truncation* (the writer died mid-file: the tail is gone but
+// every surviving line is intact) from *storage corruption* (lines present
+// but rotted).  A recovering load reports both verdicts via
+// ParseReport::committed / ParseReport::truncated; a strict load refuses a
+// v2 file with no trailer.  v1 files predate the trailer and never carry
+// one.
+//
 // Nine months of production files rot: lines get truncated, fields turn to
 // garbage, delimiters vanish.  Every load function therefore has two
 // modes.  Given only a stream it is strict — the first malformed line
@@ -49,10 +58,18 @@ struct ParseReport {
   /// always counts every bad line — a nine-month file can rot in thousands
   /// of places, and a report that grows with the rot is its own leak.
   std::int64_t max_issues = 5;
-  std::int64_t lines_total = 0;    ///< payload lines seen (blank excluded)
+  std::int64_t lines_total = 0;    ///< record lines seen (blank/trailer excl.)
   std::int64_t lines_loaded = 0;
   std::int64_t lines_skipped = 0;  ///< >= issues.size(); capped by max_issues
   std::vector<Issue> issues;
+
+  /// True when a valid v2 commit trailer closed the file and its count
+  /// matched the record lines seen.  Always false for v1 files.
+  bool committed = false;
+  /// True for a v2 file whose commit trailer is missing or rotted: the
+  /// writer died before finishing (clean truncation — drop the tail, keep
+  /// everything loaded) or the trailer line itself was corrupted.
+  bool truncated = false;
 
   bool clean() const { return lines_skipped == 0; }
 };

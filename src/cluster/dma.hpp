@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/check/annotate.hpp"
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::cluster {
 
@@ -48,6 +49,20 @@ class DmaEngine {
   double pending_read_bytes() const { return pending_read_bytes_; }
   double pending_write_bytes() const { return pending_write_bytes_; }
   const DmaConfig& config() const { return cfg_; }
+
+  /// Checkpoint support: residuals and lifetime totals round-trip exactly.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_f64(pending_read_bytes_);
+    w.put_f64(pending_write_bytes_);
+    w.put_f64(total_read_bytes_);
+    w.put_f64(total_write_bytes_);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    pending_read_bytes_ = r.read_f64("dma.pending_read");
+    pending_write_bytes_ = r.read_f64("dma.pending_write");
+    total_read_bytes_ = r.read_f64("dma.total_read");
+    total_write_bytes_ = r.read_f64("dma.total_write");
+  }
 
  private:
   DmaConfig cfg_;

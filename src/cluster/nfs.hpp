@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "src/util/ckpt.hpp"
+
 namespace p2sim::cluster {
 
 struct NfsConfig {
@@ -35,6 +37,12 @@ class NfsModel {
   void account(double bytes) { total_bytes_ += bytes; }
   double total_bytes() const { return total_bytes_; }
   const NfsConfig& config() const { return cfg_; }
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const { w.put_f64(total_bytes_); }
+  void restore_ckpt(util::CkptReader& r) {
+    total_bytes_ = r.read_f64("nfs.total_bytes");
+  }
 
  private:
   NfsConfig cfg_;

@@ -108,6 +108,36 @@ class Node {
 
   double busy_seconds() const { return busy_seconds_; }
 
+  /// Checkpoint support: the complete per-node dynamic state (wrapping
+  /// banks, 64-bit extension, DMA residuals, up/down flag, event
+  /// residuals), so a restored node advances bit-identically.
+  void save_ckpt(util::CkptWriter& w) const {
+    monitor_.save_ckpt(w);
+    ext_.save_ckpt(w);
+    dma_.save_ckpt(w);
+    w.put_u64(quad_total_);
+    w.put_f64(busy_seconds_);
+    w.put_bool(up_);
+    w.put_f64(resid_fault_fxu_);
+    w.put_f64(resid_fault_icu_);
+    w.put_f64(resid_fault_cycles_);
+    w.put_f64(resid_noise_fxu_);
+    w.put_f64(resid_noise_icu_);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    monitor_.restore_ckpt(r);
+    ext_.restore_ckpt(r);
+    dma_.restore_ckpt(r);
+    quad_total_ = r.read_u64("node.quad_total");
+    busy_seconds_ = r.read_f64("node.busy_seconds");
+    up_ = r.read_bool("node.up");
+    resid_fault_fxu_ = r.read_f64("node.resid_fault_fxu");
+    resid_fault_icu_ = r.read_f64("node.resid_fault_icu");
+    resid_fault_cycles_ = r.read_f64("node.resid_fault_cycles");
+    resid_noise_fxu_ = r.read_f64("node.resid_noise_fxu");
+    resid_noise_icu_ = r.read_f64("node.resid_noise_icu");
+  }
+
  private:
   P2SIM_PAR_SAFE void apply_slice(double seconds,
                                   const power2::EventSignature* sig,

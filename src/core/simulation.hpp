@@ -51,6 +51,14 @@ struct Sp2Config {
     return driver.signature_store_path;
   }
 
+  /// Durable checkpoint/restart (off by default; a resumed campaign is
+  /// bit-identical to an uninterrupted one).  See
+  /// workload::DriverConfig::checkpoint.
+  workload::CheckpointConfig& checkpoint() { return driver.checkpoint; }
+  const workload::CheckpointConfig& checkpoint() const {
+    return driver.checkpoint;
+  }
+
   /// A scaled-down campaign for tests and quick demos: fewer days, fewer
   /// nodes, same physics.
   static Sp2Config small(std::int64_t days = 30, int nodes = 32);

@@ -20,6 +20,7 @@
 #include "src/check/check.hpp"
 #include "src/hpm/events.hpp"
 #include "src/power2/event_counts.hpp"
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::hpm {
 
@@ -65,6 +66,14 @@ class CounterBank {
   }
   void clear() { counters_.fill(0); }
 
+  /// Checkpoint support: raw 32-bit register values round-trip exactly.
+  void save_ckpt(util::CkptWriter& w) const {
+    for (std::uint32_t c : counters_) w.put_u32(c);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    for (std::uint32_t& c : counters_) c = r.read_u32("counter_bank.reg");
+  }
+
  private:
   static constexpr std::uint64_t kWrap = 1ULL << 32;
   std::array<std::uint32_t, kNumCounters> counters_{};
@@ -108,6 +117,15 @@ class PerformanceMonitor {
   void clear();
 
   const MonitorConfig& config() const { return cfg_; }
+
+  /// Checkpoint support: both privilege-mode banks (config is rebuilt from
+  /// the campaign configuration, not serialized).
+  void save_ckpt(util::CkptWriter& w) const {
+    for (const CounterBank& b : banks_) b.save_ckpt(w);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    for (CounterBank& b : banks_) b.restore_ckpt(r);
+  }
 
  private:
   MonitorConfig cfg_;

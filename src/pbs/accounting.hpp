@@ -28,6 +28,20 @@ struct JobRecord {
   /// A record is analyzable only when its measurement window held: both
   /// snapshots fired and no counter reset mid-job.
   bool complete() const { return report.complete; }
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const {
+    spec.save_ckpt(w);
+    w.put_f64(start_time_s);
+    w.put_f64(end_time_s);
+    report.save_ckpt(w);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    spec.restore_ckpt(r);
+    start_time_s = r.read_f64("job_record.start_time_s");
+    end_time_s = r.read_f64("job_record.end_time_s");
+    report.restore_ckpt(r);
+  }
 };
 
 /// The paper's analysis threshold for batch jobs.
@@ -59,6 +73,22 @@ class JobDatabase {
   /// per node".
   double time_weighted_mflops_per_node(
       double min_walltime_s = kMinAnalyzedWalltimeS) const;
+
+  /// Checkpoint support: every accumulated record round-trips.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_u64(records_.size());
+    for (const JobRecord& rec : records_) rec.save_ckpt(w);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    records_.clear();
+    std::uint64_t n = r.read_u64("job_db.size");
+    records_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      JobRecord rec;
+      rec.restore_ckpt(r);
+      records_.push_back(std::move(rec));
+    }
+  }
 
  private:
   std::vector<JobRecord> records_;

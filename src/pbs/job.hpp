@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "src/util/ckpt.hpp"
+
 namespace p2sim::pbs {
 
 enum class JobKind : std::uint8_t {
@@ -32,6 +34,30 @@ struct JobSpec {
   /// Opaque handle to the workload profile (kernel + comm pattern).
   std::int64_t profile_id = 0;
   JobKind kind = JobKind::kBatch;
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_i64(job_id);
+    w.put_i32(user_id);
+    w.put_i32(nodes_requested);
+    w.put_f64(submit_time_s);
+    w.put_f64(runtime_s);
+    w.put_f64(walltime_request_s);
+    w.put_f64(memory_mb_per_node);
+    w.put_i64(profile_id);
+    w.put_u8(static_cast<std::uint8_t>(kind));
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    job_id = r.read_i64("job.id");
+    user_id = r.read_i32("job.user_id");
+    nodes_requested = r.read_i32("job.nodes_requested");
+    submit_time_s = r.read_f64("job.submit_time");
+    runtime_s = r.read_f64("job.runtime");
+    walltime_request_s = r.read_f64("job.walltime_request");
+    memory_mb_per_node = r.read_f64("job.memory_mb_per_node");
+    profile_id = r.read_i64("job.profile_id");
+    kind = static_cast<JobKind>(r.read_u8("job.kind"));
+  }
 };
 
 }  // namespace p2sim::pbs

@@ -81,6 +81,13 @@ class Scheduler {
   /// Nodes held by a running job (empty if unknown).
   std::vector<int> nodes_of(std::int64_t job_id) const;
 
+  /// Checkpoint support: queue order, running allocations, per-node
+  /// busy/offline flags and the draining latch all round-trip, so a
+  /// restored scheduler makes the same decisions the uninterrupted one
+  /// would have.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
+
  private:
   std::vector<int> allocate(int n);
 

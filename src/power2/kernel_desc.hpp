@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/power2/isa.hpp"
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::power2 {
 
@@ -67,6 +68,11 @@ struct KernelDesc {
   std::uint64_t instructions_per_iter() const { return body.size(); }
   std::uint64_t flops_per_iter() const;
   std::uint64_t memrefs_per_iter() const;  ///< quad counts as 1 instruction
+
+  /// Checkpoint support: the full structural description round-trips, so a
+  /// restored profile re-measures (or cache-hits) identically.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
 };
 
 /// Fluent builder so kernels read like the loop they model.

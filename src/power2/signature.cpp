@@ -58,7 +58,8 @@ SignatureCache::SignatureCache(const CoreConfig& core_cfg,
       load_signature_store(store_.path, core_hash_, by_hash_);
   stats_.store_loaded = rep.loaded;
   stats_.store_corrupt_lines = rep.corrupt_lines;
-  stats_.store_rejected = rep.file_found && !rep.core_hash_matched;
+  stats_.store_rejected =
+      rep.file_found && (!rep.core_hash_matched || rep.truncated);
   publish_snapshot_locked();
 }
 
@@ -128,6 +129,47 @@ SignatureCache::Stats SignatureCache::stats() const {
   Stats s = stats_;
   s.snapshot_hits = snapshot_hits_.load(std::memory_order_relaxed);
   return s;
+}
+
+void EventSignature::save_ckpt(util::CkptWriter& w) const {
+  w.put_f64(cycles_per_iter);
+  for (const ScaledField& f : kScaledFields) w.put_f64(this->*(f.rate));
+}
+
+void EventSignature::restore_ckpt(util::CkptReader& r) {
+  cycles_per_iter = r.read_f64("signature.cycles_per_iter");
+  for (const ScaledField& f : kScaledFields) {
+    this->*(f.rate) = r.read_f64("signature.rate");
+  }
+}
+
+void SignatureCache::save_ckpt(util::CkptWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.put_u64(core_hash_);
+  w.put_u64(by_hash_.size());
+  for (const auto& [hash, sig] : by_hash_) {
+    w.put_u64(hash);
+    sig.save_ckpt(w);
+  }
+  w.put_bool(dirty_);
+}
+
+void SignatureCache::restore_ckpt(util::CkptReader& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t hash = r.read_u64("sigcache.core_hash");
+  if (hash != core_hash_) {
+    throw util::CkptError("sigcache.core_hash: core config mismatch");
+  }
+  by_hash_.clear();
+  std::uint64_t n = r.read_u64("sigcache.size");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t h = r.read_u64("sigcache.hash");
+    EventSignature s;
+    s.restore_ckpt(r);
+    by_hash_.emplace(h, s);
+  }
+  dirty_ = r.read_bool("sigcache.dirty");
+  publish_snapshot_locked();
 }
 
 }  // namespace p2sim::power2

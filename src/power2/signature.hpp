@@ -20,6 +20,7 @@
 #include "src/power2/core.hpp"
 #include "src/power2/event_counts.hpp"
 #include "src/power2/kernel_desc.hpp"
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::power2 {
 
@@ -66,6 +67,10 @@ struct EventSignature {
   P2SIM_PAR_SAFE void scale_into(double cycles, EventCounts& ev) const;
 
   bool operator==(const EventSignature&) const = default;
+
+  /// Checkpoint support (field-table driven, like the store I/O).
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
 };
 
 /// Derives a signature by running the kernel on a core.
@@ -124,6 +129,14 @@ class SignatureCache {
     bool store_rejected = false;  ///< whole store dropped (core-hash mismatch)
   };
   Stats stats() const;
+
+  /// Checkpoint support: the measured/loaded signature set and the dirty
+  /// flag round-trip; restore republishes the lock-free snapshot.  The
+  /// restored cache then serves mid-campaign lookups exactly as the
+  /// original process would have (re-measurements are deterministic, so a
+  /// kernel first seen after the checkpoint re-measures identically).
+  P2SIM_SERIAL_ONLY void save_ckpt(util::CkptWriter& w) const;
+  P2SIM_SERIAL_ONLY void restore_ckpt(util::CkptReader& r);
 
  private:
   using SnapshotEntry = std::pair<std::uint64_t, const EventSignature*>;

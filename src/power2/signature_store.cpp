@@ -9,6 +9,7 @@
 
 #include "src/power2/field_table.hpp"
 #include "src/util/checksum.hpp"
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::power2 {
 namespace {
@@ -39,6 +40,13 @@ bool parse_hex_u64(const std::string& tok, std::uint64_t& out) {
   if (tok.empty()) return false;
   char* end = nullptr;
   out = std::strtoull(tok.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_dec_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(tok.c_str(), &end, 10);
   return end != nullptr && *end == '\0';
 }
 
@@ -99,12 +107,19 @@ SignatureStoreReport load_signature_store(
 
   std::string header;
   if (!std::getline(in, header)) return rep;
+  int version = 0;
   {
     std::istringstream hs(header);
-    std::string tag, version, fields, core;
-    if (!(hs >> tag >> version >> fields >> core)) return rep;
+    std::string tag, ver, fields, core;
+    if (!(hs >> tag >> ver >> fields >> core)) return rep;
     if (tag != kSignatureStoreTag) return rep;
-    if (version != "v" + std::to_string(kSignatureStoreVersion)) return rep;
+    if (ver == "v1") {
+      version = 1;
+    } else if (ver == "v2") {
+      version = 2;
+    } else {
+      return rep;
+    }
     if (fields != "fields=" + std::to_string(kScaledFieldCount)) return rep;
     rep.header_ok = true;
     std::uint64_t stored_core = 0;
@@ -117,30 +132,62 @@ SignatureStoreReport load_signature_store(
     rep.core_hash_matched = true;
   }
 
+  // Entries stage here and are only adopted into `out` once the file is
+  // known complete: unconditionally for v1, after a valid commit trailer
+  // for v2.
+  std::vector<std::pair<std::uint64_t, EventSignature>> staged;
+  std::size_t corrupt_lines = 0;
+  std::size_t entry_lines = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    // Only the trailer starts with "end "; entry lines start with "sig "
+    // and rot never rewrites a line's first bytes.
+    const bool is_trailer =
+        version == 2 && line.rfind("end ", 0) == 0;
+    if (!is_trailer) ++entry_lines;
     const std::size_t crc_at = line.rfind(" crc=");
-    std::uint32_t stored_crc = 0;
     std::uint64_t parsed_crc64 = 0;
     if (crc_at == std::string::npos ||
         !parse_hex_u64(line.substr(crc_at + 5), parsed_crc64) ||
         parsed_crc64 > 0xffffffffULL) {
-      ++rep.corrupt_lines;
+      ++corrupt_lines;
       continue;
     }
-    stored_crc = static_cast<std::uint32_t>(parsed_crc64);
+    const auto stored_crc = static_cast<std::uint32_t>(parsed_crc64);
     const std::string body = line.substr(0, crc_at);
     if (util::fnv1a32(body) != stored_crc) {
-      ++rep.corrupt_lines;
+      ++corrupt_lines;
+      continue;
+    }
+    if (is_trailer) {
+      std::uint64_t count = 0;
+      if (rep.committed || body.rfind("end count=", 0) != 0 ||
+          !parse_dec_u64(body.substr(10), count) || count != entry_lines) {
+        ++corrupt_lines;
+      } else {
+        rep.committed = true;
+      }
       continue;
     }
     std::uint64_t hash = 0;
     EventSignature sig;
     if (!parse_entry(body, hash, sig)) {
-      ++rep.corrupt_lines;
+      ++corrupt_lines;
       continue;
     }
+    staged.emplace_back(hash, sig);
+  }
+
+  rep.corrupt_lines = corrupt_lines;
+  if (version == 2 && !rep.committed) {
+    // No (or inconsistent) commit trailer: the writer died mid-file.  The
+    // surviving prefix may be arbitrarily short, so nothing is adopted —
+    // affected kernels re-measure and the next save rebuilds the store.
+    rep.truncated = true;
+    return rep;
+  }
+  for (auto& [hash, sig] : staged) {
     if (out.emplace(hash, sig).second) ++rep.loaded;
   }
   return rep;
@@ -149,26 +196,24 @@ SignatureStoreReport load_signature_store(
 bool save_signature_store(
     const std::string& path, std::uint64_t core_hash,
     const std::map<std::uint64_t, EventSignature>& entries) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    out << kSignatureStoreTag << " v" << kSignatureStoreVersion
-        << " fields=" << kScaledFieldCount << " core=" << hex16(core_hash)
-        << '\n';
-    for (const auto& [hash, sig] : entries) {
-      std::ostringstream body;
-      body << "sig " << hex16(hash) << ' ' << hexfloat(sig.cycles_per_iter);
-      for (const ScaledField& f : kScaledFields)
-        body << ' ' << hexfloat(sig.*(f.rate));
-      const std::string b = body.str();
-      char crc[9];
-      std::snprintf(crc, sizeof crc, "%08x", util::fnv1a32(b));
-      out << b << " crc=" << crc << '\n';
-    }
-    if (!out.good()) return false;
+  std::ostringstream out;
+  out << kSignatureStoreTag << " v" << kSignatureStoreVersion
+      << " fields=" << kScaledFieldCount << " core=" << hex16(core_hash)
+      << '\n';
+  const auto checked_line = [&out](const std::string& body) {
+    char crc[9];
+    std::snprintf(crc, sizeof crc, "%08x", util::fnv1a32(body));
+    out << body << " crc=" << crc << '\n';
+  };
+  for (const auto& [hash, sig] : entries) {
+    std::ostringstream body;
+    body << "sig " << hex16(hash) << ' ' << hexfloat(sig.cycles_per_iter);
+    for (const ScaledField& f : kScaledFields)
+      body << ' ' << hexfloat(sig.*(f.rate));
+    checked_line(body.str());
   }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  checked_line("end count=" + std::to_string(entries.size()));
+  return util::write_file_durable(path, out.str());
 }
 
 }  // namespace p2sim::power2

@@ -7,13 +7,23 @@
 //
 // with every double printed as a C99 hexfloat (bit-exact round trip) and
 // the rates in field-table order (src/power2/field_table.hpp).  Each line
-// ends with an FNV-1a-32 checksum of everything before " crc=".
+// ends with an FNV-1a-32 checksum of everything before " crc=".  A v2
+// store closes with a commit trailer
+//
+//   end count=<entries> crc=<hex8>
+//
+// and is written durably (temp file + fsync + atomic rename + directory
+// fsync), so a crash mid-save leaves either the old store or the new one,
+// never a torn file.
 //
 // Recovery rules: a line that fails its checksum or does not parse is
 // skipped (that kernel is simply re-measured); a header whose core-config
 // hash differs from the running configuration invalidates the whole file,
 // because signatures measured on a different core model are not merely
-// stale, they are wrong.
+// stale, they are wrong; and a v2 store whose commit trailer is missing,
+// rotted or inconsistent is rejected wholesale — a truncated store means
+// the writer died mid-file, and adopting its prefix would silently pin a
+// partial signature set.  v1 stores (no trailer) still load.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +36,7 @@
 namespace p2sim::power2 {
 
 inline constexpr const char* kSignatureStoreTag = "p2sim-signatures";
-inline constexpr int kSignatureStoreVersion = 1;
+inline constexpr int kSignatureStoreVersion = 2;
 
 /// Hash of every CoreConfig field that can change a measured signature.
 /// Two configs with equal hashes produce interchangeable store entries.
@@ -37,6 +47,12 @@ struct SignatureStoreReport {
   bool file_found = false;
   bool header_ok = false;       ///< tag/version parsed
   bool core_hash_matched = false;
+  /// v2 commit trailer present, checksummed and counting exactly the entry
+  /// lines seen.  Always false for v1 stores.
+  bool committed = false;
+  /// v2 store with no valid trailer: the writer died mid-file.  The whole
+  /// store is rejected (loaded == 0) and will be rebuilt by the next save.
+  bool truncated = false;
   std::size_t loaded = 0;          ///< entries adopted into `out`
   std::size_t corrupt_lines = 0;   ///< checksum or parse failures skipped
 };
@@ -49,8 +65,9 @@ SignatureStoreReport load_signature_store(
     const std::string& path, std::uint64_t core_hash,
     std::map<std::uint64_t, EventSignature>& out);
 
-/// Writes the whole map to `path` (atomically via a temp file + rename).
-/// Returns false on I/O failure.
+/// Writes the whole map to `path` durably: temp file + fsync + atomic
+/// rename + directory fsync, closed by the commit trailer.  Returns false
+/// on I/O failure (the old store, if any, is left intact).
 bool save_signature_store(const std::string& path, std::uint64_t core_hash,
                           const std::map<std::uint64_t, EventSignature>& entries);
 

@@ -118,4 +118,31 @@ void SamplingDaemon::collect(std::int64_t interval,
   if (any_primed) records_.push_back(rec);
 }
 
+void SamplingDaemon::save_ckpt(util::CkptWriter& w) const {
+  w.put_u64(prev_.size());
+  for (const ModeTotals& t : prev_) t.save_ckpt(w);
+  for (std::uint64_t q : prev_quads_) w.put_u64(q);
+  for (std::uint8_t p : primed_) w.put_u8(p);
+  w.put_u64(records_.size());
+  for (const IntervalRecord& rec : records_) rec.save_ckpt(w);
+  w.put_i64(total_reprimes_);
+  w.put_i64(total_unreachable_);
+}
+
+void SamplingDaemon::restore_ckpt(util::CkptReader& r) {
+  std::uint64_t n = r.read_u64("daemon.num_nodes");
+  if (n != prev_.size()) {
+    throw util::CkptError("daemon.num_nodes: node count mismatch");
+  }
+  for (ModeTotals& t : prev_) t.restore_ckpt(r);
+  for (std::uint64_t& q : prev_quads_) q = r.read_u64("daemon.prev_quad");
+  for (std::uint8_t& p : primed_) p = r.read_u8("daemon.primed");
+  records_.clear();
+  std::uint64_t nr = r.read_u64("daemon.records_size");
+  records_.resize(static_cast<std::size_t>(nr));
+  for (IntervalRecord& rec : records_) rec.restore_ckpt(r);
+  total_reprimes_ = r.read_i64("daemon.total_reprimes");
+  total_unreachable_ = r.read_i64("daemon.total_unreachable");
+}
+
 }  // namespace p2sim::rs2hpm

@@ -41,6 +41,26 @@ struct IntervalRecord {
                ? static_cast<double>(nodes_sampled) / nodes_expected
                : 1.0;
   }
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_i64(interval);
+    delta.save_ckpt(w);
+    w.put_u64(quad_surplus);
+    w.put_i32(nodes_sampled);
+    w.put_i32(nodes_expected);
+    w.put_i32(nodes_reprimed);
+    w.put_i32(busy_nodes);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    interval = r.read_i64("record.interval");
+    delta.restore_ckpt(r);
+    quad_surplus = r.read_u64("record.quad_surplus");
+    nodes_sampled = r.read_i32("record.nodes_sampled");
+    nodes_expected = r.read_i32("record.nodes_expected");
+    nodes_reprimed = r.read_i32("record.nodes_reprimed");
+    busy_nodes = r.read_i32("record.busy_nodes");
+  }
 };
 
 class SamplingDaemon {
@@ -74,6 +94,11 @@ class SamplingDaemon {
   /// Lifetime counts of the degradations the daemon absorbed.
   std::int64_t total_reprimes() const { return total_reprimes_; }
   std::int64_t total_unreachable() const { return total_unreachable_; }
+
+  /// Checkpoint support: per-node baselines, primed flags, the collected
+  /// record stream and the lifetime degradation tallies.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
 
  private:
   std::vector<ModeTotals> prev_;

@@ -55,6 +55,26 @@ struct JobCounterReport {
   /// or killed before any snapshot): zero deltas, complete == false.
   static JobCounterReport incomplete(std::int64_t job_id, int nodes,
                                      double elapsed_s);
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_i64(job_id);
+    w.put_i32(nodes);
+    w.put_f64(elapsed_s);
+    delta.save_ckpt(w);
+    w.put_u64(quad_surplus);
+    w.put_bool(complete);
+    w.put_i32(nodes_reset);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    job_id = r.read_i64("job_report.job_id");
+    nodes = r.read_i32("job_report.nodes");
+    elapsed_s = r.read_f64("job_report.elapsed_s");
+    delta.restore_ckpt(r);
+    quad_surplus = r.read_u64("job_report.quad_surplus");
+    complete = r.read_bool("job_report.complete");
+    nodes_reset = r.read_i32("job_report.nodes_reset");
+  }
 };
 
 class JobMonitor {
@@ -80,6 +100,11 @@ class JobMonitor {
     return open_.contains(job_id);
   }
   std::size_t pending_count() const { return open_.size(); }
+
+  /// Checkpoint support: every open prologue window round-trips so the
+  /// matching epilogue forms the same deltas after a resume.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
 
  private:
   struct Open {

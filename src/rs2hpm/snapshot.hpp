@@ -50,6 +50,16 @@ struct ModeTotals {
   }
 
   bool operator==(const ModeTotals&) const = default;
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const {
+    for (std::uint64_t v : user) w.put_u64(v);
+    for (std::uint64_t v : system) w.put_u64(v);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    for (std::uint64_t& v : user) v = r.read_u64("mode_totals.user");
+    for (std::uint64_t& v : system) v = r.read_u64("mode_totals.system");
+  }
 };
 
 /// Wrap-corrected 32-bit delta: (now - prev) mod 2^32.  Correct as long as
@@ -83,6 +93,26 @@ class ExtendedCounters {
                              const hpm::CounterAdds& system_adds);
 
   const ModeTotals& totals() const { return totals_; }
+
+  /// Checkpoint support: sampling baselines, anchors and 64-bit totals all
+  /// round-trip so wrap-consistency holds across a resume.
+  void save_ckpt(util::CkptWriter& w) const {
+    for (std::uint32_t v : last_user_) w.put_u32(v);
+    for (std::uint32_t v : last_system_) w.put_u32(v);
+    for (std::uint32_t v : base_user_) w.put_u32(v);
+    for (std::uint32_t v : base_system_) w.put_u32(v);
+    totals_.save_ckpt(w);
+    w.put_bool(attached_);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    for (std::uint32_t& v : last_user_) v = r.read_u32("ext.last_user");
+    for (std::uint32_t& v : last_system_) v = r.read_u32("ext.last_system");
+    for (std::uint32_t& v : base_user_) v = r.read_u32("ext.base_user");
+    for (std::uint32_t& v : base_system_) v = r.read_u32("ext.base_system");
+    totals_.restore_ckpt(r);
+    attached_ = r.read_bool("ext.attached");
+  }
+
   void reset_totals() {
     totals_ = ModeTotals{};
     // Re-anchor the wrap-consistency baseline: totals restart from zero at

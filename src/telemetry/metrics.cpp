@@ -163,6 +163,73 @@ std::string Registry::prometheus_text() const {
   return os.str();
 }
 
+void Histogram::save_ckpt(util::CkptWriter& w) const {
+  for (std::uint64_t c : counts_) w.put_u64(c);
+  w.put_u64(count_);
+  w.put_f64(sum_);
+}
+
+void Histogram::restore_ckpt(util::CkptReader& r) {
+  for (std::uint64_t& c : counts_) c = r.read_u64("histogram.bucket");
+  count_ = r.read_u64("histogram.count");
+  sum_ = r.read_f64("histogram.sum");
+}
+
+void Registry::save_ckpt(util::CkptWriter& w) const {
+  w.put_u64(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    w.put_str(name);
+    w.put_u8(static_cast<std::uint8_t>(e.kind));
+    w.put_str(e.help);
+    w.put_bool(e.wall_clock);
+    switch (e.kind) {
+      case Kind::kCounter:
+        w.put_u64(e.c != nullptr ? e.c->value() : 0);
+        break;
+      case Kind::kGauge:
+        w.put_f64(e.g != nullptr ? e.g->value() : 0.0);
+        break;
+      case Kind::kHistogram: {
+        const auto& bounds = e.h->upper_bounds();
+        w.put_u64(bounds.size());
+        for (double b : bounds) w.put_f64(b);
+        e.h->save_ckpt(w);
+        break;
+      }
+    }
+  }
+}
+
+void Registry::restore_ckpt(util::CkptReader& r) {
+  entries_.clear();
+  std::uint64_t n = r.read_u64("registry.entries");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.read_str("registry.name");
+    const std::uint8_t raw_kind = r.read_u8("registry.kind");
+    if (raw_kind > static_cast<std::uint8_t>(Kind::kHistogram)) {
+      throw util::CkptError("registry.kind: unknown metric kind");
+    }
+    const Kind kind = static_cast<Kind>(raw_kind);
+    const std::string help = r.read_str("registry.help");
+    const bool wall = r.read_bool("registry.wall_clock");
+    switch (kind) {
+      case Kind::kCounter:
+        counter(name, help, wall).inc(r.read_u64("registry.counter_value"));
+        break;
+      case Kind::kGauge:
+        gauge(name, help, wall).set(r.read_f64("registry.gauge_value"));
+        break;
+      case Kind::kHistogram: {
+        std::uint64_t nb = r.read_u64("registry.histogram_bounds");
+        std::vector<double> bounds(static_cast<std::size_t>(nb));
+        for (double& b : bounds) b = r.read_f64("registry.histogram_bound");
+        histogram(name, help, std::move(bounds), wall).restore_ckpt(r);
+        break;
+      }
+    }
+  }
+}
+
 std::string Registry::jsonl(bool include_wall_clock) const {
   std::ostringstream os;
   for (const auto& [name, e] : entries_) {

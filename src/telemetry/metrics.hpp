@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/ckpt.hpp"
+
 namespace p2sim::telemetry {
 
 /// Process-wide count of metric objects ever constructed.  The overhead
@@ -76,6 +78,12 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
+  /// Checkpoint support: observation counts and the running sum round-trip
+  /// (the sum is an order-dependent double accumulation, so it must be
+  /// restored, not replayed).
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -108,6 +116,12 @@ class Registry {
   /// metrics are excluded unless asked for, so the default export is
   /// bit-stable across identical simulated campaigns.
   std::string jsonl(bool include_wall_clock = false) const;
+
+  /// Checkpoint support: every registered metric (name, kind, help,
+  /// wall-clock flag and current value) round-trips, so a resumed
+  /// campaign's exports are byte-identical to the uninterrupted run's.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -115,6 +115,59 @@ std::string Tracer::chrome_trace_json(bool include_wall) const {
   return out;
 }
 
+const char* Tracer::intern(const std::string& s) {
+  for (const std::string& have : interned_) {
+    if (have == s) return have.c_str();
+  }
+  interned_.push_back(s);
+  return interned_.back().c_str();
+}
+
+void Tracer::save_ckpt(util::CkptWriter& w) const {
+  w.put_u64(dropped_);
+  w.put_i32(depth_);
+  w.put_u64(events_.size());
+  for (const TraceEvent& ev : events_) {
+    w.put_str(ev.category);
+    w.put_str(ev.name);
+    w.put_f64(ev.sim_begin_s);
+    w.put_f64(ev.sim_end_s);
+    w.put_i64(ev.wall_begin_us);
+    w.put_i64(ev.wall_end_us);
+    w.put_i32(ev.depth);
+    w.put_u64(ev.args.size());
+    for (const TraceEvent::Arg& a : ev.args) {
+      w.put_str(a.key);
+      w.put_f64(a.value);
+    }
+  }
+}
+
+void Tracer::restore_ckpt(util::CkptReader& r) {
+  dropped_ = r.read_u64("tracer.dropped");
+  depth_ = r.read_i32("tracer.depth");
+  events_.clear();
+  std::uint64_t n = r.read_u64("tracer.events");
+  events_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceEvent ev;
+    ev.category = intern(r.read_str("tracer.category"));
+    ev.name = intern(r.read_str("tracer.name"));
+    ev.sim_begin_s = r.read_f64("tracer.sim_begin");
+    ev.sim_end_s = r.read_f64("tracer.sim_end");
+    ev.wall_begin_us = r.read_i64("tracer.wall_begin");
+    ev.wall_end_us = r.read_i64("tracer.wall_end");
+    ev.depth = r.read_i32("tracer.event_depth");
+    std::uint64_t na = r.read_u64("tracer.num_args");
+    ev.args.reserve(static_cast<std::size_t>(na));
+    for (std::uint64_t j = 0; j < na; ++j) {
+      const char* key = intern(r.read_str("tracer.arg_key"));
+      ev.args.push_back({key, r.read_f64("tracer.arg_value")});
+    }
+    events_.push_back(std::move(ev));
+  }
+}
+
 Span::Span(Tracer* tracer, const char* category, const char* name,
            double sim_begin_s)
     : tracer_(tracer), sim_begin_s_(sim_begin_s) {

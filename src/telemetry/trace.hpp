@@ -14,8 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
+
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::telemetry {
 
@@ -70,11 +73,23 @@ class Tracer {
   /// identical campaigns.
   std::string chrome_trace_json(bool include_wall = true) const;
 
+  /// Checkpoint support: the recorded event stream round-trips (wall-clock
+  /// fields included, faithfully — they stay segregated in the export).
+  /// Restored category/name/key strings are interned in an owned pool, so
+  /// the string-literal lifetime contract still holds for future spans.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
+
  private:
+  const char* intern(const std::string& s);
+
   std::vector<TraceEvent> events_;
   std::size_t max_events_;
   std::uint64_t dropped_ = 0;
   int depth_ = 0;
+  /// Owned backing for strings revived from a checkpoint (deque: stable
+  /// element addresses under growth).
+  std::deque<std::string> interned_;
 };
 
 /// RAII span.  Default-constructed (or on a null tracer) it is inert.
@@ -95,6 +110,25 @@ class Span {
   void close(double sim_end_s);
   bool open() const { return open_; }
   explicit operator bool() const { return tracer_ != nullptr; }
+
+  /// Checkpoint support for long-lived spans (the driver's day span stays
+  /// open across checkpoints): the handle and begin time round-trip, and
+  /// adopt_ckpt revives the span against the restored tracer, whose event
+  /// stream was rebuilt with identical handles.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_u64(handle_);
+    w.put_f64(sim_begin_s_);
+    w.put_bool(open_);
+  }
+  static Span adopt_ckpt(Tracer* tracer, util::CkptReader& r) {
+    Span s;
+    s.handle_ = static_cast<std::size_t>(r.read_u64("span.handle"));
+    s.sim_begin_s_ = r.read_f64("span.sim_begin_s");
+    const bool was_open = r.read_bool("span.open");
+    s.tracer_ = tracer;
+    s.open_ = was_open && tracer != nullptr;
+    return s;
+  }
 
  private:
   Tracer* tracer_ = nullptr;

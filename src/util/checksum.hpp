@@ -18,4 +18,15 @@ inline std::uint32_t fnv1a32(std::string_view data) {
   return h;
 }
 
+/// 64-bit variant used by the binary checkpoint container, where the
+/// payload is large enough that 32 bits of collision margin feel thin.
+inline std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace p2sim::util

@@ -15,6 +15,7 @@
 #include <span>
 
 #include "src/check/annotate.hpp"
+#include "src/util/ckpt.hpp"
 
 namespace p2sim::util {
 
@@ -118,6 +119,20 @@ class Xoshiro256StarStar {
   /// Derive an independent child generator; used to give each job / node /
   /// kernel its own stream so that adding a consumer never perturbs others.
   Xoshiro256StarStar split(std::uint64_t tag) noexcept;
+
+  /// Checkpoint support: the full generator state (four state words plus
+  /// the Box-Muller spare) round-trips exactly, so a restored stream
+  /// continues bit-identically to the uninterrupted one.
+  void save_ckpt(CkptWriter& w) const {
+    for (std::uint64_t s : state_) w.put_u64(s);
+    w.put_f64(spare_normal_);
+    w.put_bool(has_spare_);
+  }
+  void restore_ckpt(CkptReader& r) {
+    for (std::uint64_t& s : state_) s = r.read_u64("rng.state");
+    spare_normal_ = r.read_f64("rng.spare_normal");
+    has_spare_ = r.read_bool("rng.has_spare");
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -1,0 +1,382 @@
+#include "src/workload/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "src/power2/signature_store.hpp"
+#include "src/util/checksum.hpp"
+#include "src/workload/driver.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+/// Container magic: version bumps rename the last byte, so an old binary
+/// rejects a new checkpoint with "bad magic" instead of misparsing it.
+constexpr char kMagic[8] = {'P', '2', 'S', 'I', 'M', 'C', 'K', '1'};
+constexpr std::size_t kHeaderSize = 48;
+constexpr std::size_t kHeaderChecksumOffset = 40;
+
+CheckpointTestHook g_test_hook = nullptr;
+
+void put_le64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_le64(std::string_view bytes, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void fail_at(const char* what, std::size_t offset,
+                          const char* why) {
+  std::ostringstream os;
+  os << "checkpoint field '" << what << "' at offset " << offset << ": "
+     << why;
+  throw util::CkptError(os.str());
+}
+
+void set_error(std::string* error, const std::string& path, const char* op) {
+  if (error == nullptr) return;
+  *error = path + ": " + op + ": " + std::strerror(errno);
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Fingerprint helper: the fields stream through a CkptWriter (typed,
+/// little-endian, length-prefixed strings) and the byte stream is hashed,
+/// so two configs collide only by hash collision, never by ambiguous
+/// concatenation.
+class FingerprintSink {
+ public:
+  void b(bool v) { w_.put_bool(v); }
+  void i(std::int64_t v) { w_.put_i64(v); }
+  void u(std::uint64_t v) { w_.put_u64(v); }
+  void d(double v) { w_.put_f64(v); }
+  std::uint64_t digest() const {
+    return util::fnv1a64(
+        std::string_view(w_.bytes().data(), w_.bytes().size()));
+  }
+
+ private:
+  util::CkptWriter w_;
+};
+
+}  // namespace
+
+void set_checkpoint_test_hook(CheckpointTestHook hook) { g_test_hook = hook; }
+
+void checkpoint_test_tick(const char* point, std::int64_t value) {
+  if (g_test_hook != nullptr) g_test_hook(point, value);
+}
+
+std::uint64_t config_fingerprint(const DriverConfig& cfg) {
+  FingerprintSink s;
+  // Campaign shape and demand process.
+  s.i(cfg.num_nodes);
+  s.i(cfg.days);
+  s.d(cfg.jobs_per_day);
+  s.d(cfg.weekend_factor);
+  s.d(cfg.demand_walk_rho);
+  s.d(cfg.demand_walk_noise);
+  s.d(cfg.demand_min);
+  s.d(cfg.demand_max);
+  s.d(cfg.slump_prob_per_day);
+  s.d(cfg.slump_depth_min);
+  s.d(cfg.slump_depth_max);
+  s.u(cfg.seed);
+  s.b(cfg.requeue_killed_jobs);
+  // Fault schedule (a pure function of its config).
+  s.b(cfg.faults.enabled);
+  s.d(cfg.faults.node_crashes_per_node_day);
+  s.i(cfg.faults.reboot_downtime_intervals);
+  s.d(cfg.faults.interval_miss_prob);
+  s.d(cfg.faults.node_sample_loss_prob);
+  s.d(cfg.faults.prologue_loss_prob);
+  s.d(cfg.faults.epilogue_loss_prob);
+  s.d(cfg.faults.record_corruption_prob);
+  s.u(cfg.faults.seed);
+  // PBS policy.
+  s.i(cfg.sched.total_nodes);
+  s.i(cfg.sched.drain_threshold_nodes);
+  s.d(cfg.sched.wide_wait_patience_s);
+  s.b(cfg.sched.checkpoint_for_wide);
+  // Node model (monitor selection included: it steers counter wiring).
+  s.d(cfg.node.clock_hz);
+  s.d(cfg.node.memory_mb);
+  s.b(cfg.node.monitor.divide_counter_bug);
+  s.i(static_cast<std::int64_t>(cfg.node.monitor.selection));
+  s.d(cfg.node.dma.eight_word_fraction);
+  s.d(cfg.node.fault_fxu_inst);
+  s.d(cfg.node.fault_icu_inst);
+  s.d(cfg.node.fault_cycles);
+  s.d(cfg.node.page_bytes);
+  s.d(cfg.node.os_noise_fxu_per_s);
+  s.d(cfg.node.os_noise_icu_per_s);
+  s.d(cfg.node.max_sample_slice_s);
+  s.b(cfg.node.reference_accrual);
+  // Paging, switch, NFS.
+  s.d(cfg.paging.node_memory_mb);
+  s.d(cfg.paging.fault_rate_at_2x);
+  s.d(cfg.paging.fault_service_s);
+  s.d(cfg.paging.fxu_inst_per_fault);
+  s.d(cfg.paging.icu_inst_per_fault);
+  s.d(cfg.paging.cycles_per_fault);
+  s.d(cfg.paging.page_bytes);
+  s.d(cfg.hps.latency_s);
+  s.d(cfg.hps.bandwidth_bytes_per_s);
+  s.i(cfg.nfs.num_filesystems);
+  s.d(cfg.nfs.capacity_gb_each);
+  s.d(cfg.nfs.server_bandwidth_bytes_per_s);
+  // POWER2 core: reuse the signature store's structural hash.
+  s.u(power2::core_config_hash(cfg.core));
+  // Job generator (vectors hashed element-wise behind their lengths).
+  const JobGenConfig& g = cfg.jobgen;
+  s.i(static_cast<std::int64_t>(g.node_choices.size()));
+  for (int c : g.node_choices) s.i(c);
+  s.i(static_cast<std::int64_t>(g.node_weights.size()));
+  for (double wgt : g.node_weights) s.d(wgt);
+  s.d(g.runtime_median_s);
+  s.d(g.runtime_sigma);
+  s.d(g.runtime_min_s);
+  s.d(g.runtime_max_s);
+  s.d(g.interactive_prob);
+  s.d(g.dev_session_prob);
+  s.d(g.dev_duty_min);
+  s.d(g.dev_duty_max);
+  s.i(g.dev_max_nodes);
+  s.d(g.memory_median_mb);
+  s.d(g.memory_sigma);
+  s.i(g.paging_node_threshold);
+  s.d(g.wide_paging_prob);
+  s.d(g.narrow_paging_prob);
+  s.d(g.paging_demand_min);
+  s.d(g.paging_demand_max);
+  s.d(g.paging_episode_start_prob);
+  s.i(g.paging_episode_min_days);
+  s.i(g.paging_episode_max_days);
+  s.d(g.paging_episode_narrow_prob);
+  s.i(static_cast<std::int64_t>(g.family_weights.size()));
+  for (double wgt : g.family_weights) s.d(wgt);
+  s.d(g.quality_mean);
+  s.d(g.quality_sigma);
+  s.d(g.code_reuse_prob);
+  s.u(g.seed);
+  // Deliberately excluded: threads, observer, signature_store_path and
+  // the checkpoint config — none of them shape campaign results.
+  return s.digest();
+}
+
+std::string encode_checkpoint_file(std::uint64_t config_hash,
+                                   std::int64_t resume_interval,
+                                   std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_le64(out, config_hash);
+  put_le64(out, std::bit_cast<std::uint64_t>(resume_interval));
+  put_le64(out, payload.size());
+  put_le64(out, util::fnv1a64(payload));
+  put_le64(out, util::fnv1a64(
+                    std::string_view(out.data(), kHeaderChecksumOffset)));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+CheckpointImage decode_checkpoint_file(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    fail_at("header", bytes.size(), "file shorter than the 48-byte header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    fail_at("magic", 0, "bad magic (not a p2sim checkpoint, or a "
+                        "different container version)");
+  }
+  const std::uint64_t stored_header_sum =
+      get_le64(bytes, kHeaderChecksumOffset);
+  const std::uint64_t actual_header_sum =
+      util::fnv1a64(bytes.substr(0, kHeaderChecksumOffset));
+  if (stored_header_sum != actual_header_sum) {
+    fail_at("header_checksum", kHeaderChecksumOffset,
+            "header checksum mismatch (torn or corrupted header)");
+  }
+  CheckpointImage img;
+  img.config_hash = get_le64(bytes, 8);
+  img.resume_interval =
+      std::bit_cast<std::int64_t>(get_le64(bytes, 16));
+  const std::uint64_t payload_size = get_le64(bytes, 24);
+  const std::uint64_t payload_sum = get_le64(bytes, 32);
+  if (img.resume_interval < 0) {
+    fail_at("resume_interval", 16, "negative resume interval");
+  }
+  if (payload_size != bytes.size() - kHeaderSize) {
+    fail_at("payload_size", 24,
+            "payload size disagrees with file size (truncated write)");
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (util::fnv1a64(payload) != payload_sum) {
+    fail_at("payload_checksum", kHeaderSize,
+            "payload checksum mismatch (torn or corrupted payload)");
+  }
+  img.payload.assign(payload.data(), payload.size());
+  return img;
+}
+
+std::string checkpoint_file_name(std::int64_t resume_interval) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "ckpt-%012lld.p2ck",
+                static_cast<long long>(resume_interval));
+  return buf;
+}
+
+std::vector<std::string> list_checkpoints(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.compare(0, 5, "ckpt-") == 0 &&
+        name.size() > 5 + 5 &&
+        name.compare(name.size() - 5, 5, ".p2ck") == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool write_checkpoint(const std::string& dir, std::uint64_t config_hash,
+                      std::int64_t resume_interval, std::string_view payload,
+                      int keep, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string data =
+      encode_checkpoint_file(config_hash, resume_interval, payload);
+  const std::string path = dir + "/" + checkpoint_file_name(resume_interval);
+  const std::string tmp = path + ".tmp";
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, tmp, "open");
+    return false;
+  }
+  // Two half-writes with a test tick between them: the kill harness lands
+  // SIGKILL exactly mid-checkpoint, leaving a torn .tmp the loader must
+  // never consider (it only reads committed *.p2ck generations).
+  const std::string_view head = std::string_view(data).substr(0, data.size() / 2);
+  const std::string_view tail = std::string_view(data).substr(data.size() / 2);
+  bool ok = write_all(fd, head);
+  checkpoint_test_tick("ckpt-mid-write", resume_interval);
+  ok = ok && write_all(fd, tail);
+  if (!ok) {
+    set_error(error, tmp, "write");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, tmp, "fsync");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, tmp, "close");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  checkpoint_test_tick("ckpt-pre-rename", resume_interval);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, path, "rename");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  checkpoint_test_tick("ckpt-committed", resume_interval);
+
+  // Prune beyond `keep` generations, oldest first.  Pruning failures are
+  // ignored: stale generations waste disk, never correctness.
+  if (keep > 0) {
+    std::vector<std::string> names = list_checkpoints(dir);
+    while (names.size() > static_cast<std::size_t>(keep)) {
+      ::unlink((dir + "/" + names.front()).c_str());
+      names.erase(names.begin());
+    }
+  }
+  return true;
+}
+
+std::optional<CheckpointImage> load_latest_checkpoint(
+    const std::string& dir, std::uint64_t config_hash, ResumeReport* report) {
+  if (report != nullptr) report->attempted = true;
+  std::vector<std::string> names = list_checkpoints(dir);
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const std::string path = dir + "/" + *it;
+    std::string bytes;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      if (f == nullptr) {
+        if (report != nullptr) {
+          report->rejected.push_back(path + ": unreadable: " +
+                                     std::strerror(errno));
+        }
+        continue;
+      }
+      char buf[1 << 16];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        bytes.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    try {
+      CheckpointImage img = decode_checkpoint_file(bytes);
+      if (img.config_hash != config_hash) {
+        fail_at("config_hash", 8,
+                "config fingerprint mismatch (checkpoint belongs to a "
+                "different campaign configuration)");
+      }
+      if (report != nullptr) {
+        report->resumed = true;
+        report->resume_interval = img.resume_interval;
+        report->loaded_path = path;
+      }
+      return img;
+    } catch (const util::CkptError& e) {
+      if (report != nullptr) {
+        report->rejected.push_back(path + ": " + e.what());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace p2sim::workload

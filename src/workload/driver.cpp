@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "src/check/invariants.hpp"
@@ -110,6 +112,14 @@ struct WorkloadDriver::CampaignState {
   NodeLane& lane(int n) { return lanes[static_cast<std::size_t>(n)]; }
   cluster::Node& node(int n) { return lane(n).node; }
 
+  /// Serializes every accumulated campaign quantity at an interval
+  /// boundary (per-interval scratch and the worker pool are excluded: the
+  /// next iteration rewrites them).  The restore side re-resolves the
+  /// profile/signature pointers and rebuilds node_job, then demands the
+  /// stream be fully consumed.
+  void save_ckpt(util::CkptWriter& w) const;
+  void restore_ckpt(util::CkptReader& r);
+
   /// Copies every lane's extended totals into the daemon scratch spans.
   void refresh_scratch() {
     for (std::size_t i = 0; i < lanes.size(); ++i) {
@@ -187,6 +197,139 @@ struct WorkloadDriver::CampaignState {
   std::size_t records_before = 0;
   int busy_now = 0;
 };
+
+void WorkloadDriver::CampaignState::save_ckpt(util::CkptWriter& w) const {
+  w.put_i64(t);
+  rng.save_ckpt(w);
+  w.put_f64(demand_level);
+  w.put_i32(slump_days_left);
+  w.put_f64(slump_depth);
+  w.put_i64(jobs_dispatched);
+  w.put_i64(jobs_completed);
+  w.put_i64(jobs_requeued);
+  for (std::int64_t until : down_until) w.put_i64(until);
+  w.put_u64(attempts.size());
+  for (const auto& [id, attempt] : attempts) {
+    w.put_i64(id);
+    w.put_i32(attempt);
+  }
+  sched.save_ckpt(w);
+  registry.save_ckpt(w);
+  gen.save_ckpt(w);
+  signatures.save_ckpt(w);
+  daemon.save_ckpt(w);
+  jobmon.save_ckpt(w);
+  nfs.save_ckpt(w);
+  inject.save_ckpt(w);
+  w.put_u64(lanes.size());
+  for (const NodeLane& lane : lanes) {
+    lane.node.save_ckpt(w);
+    lane.rng.save_ckpt(w);
+  }
+  w.put_u64(running.size());
+  for (const auto& [id, r] : running) {
+    r.spec.save_ckpt(w);
+    w.put_u64(r.nodes.size());
+    for (int n : r.nodes) w.put_i32(n);
+    w.put_f64(r.start_s);
+    w.put_f64(r.end_s);
+    w.put_bool(r.has_prologue);
+    w.put_i32(r.attempt);
+  }
+  w.put_f64(result.total_busy_node_seconds);
+  result.jobs.save_ckpt(w);
+  // Telemetry rides along as a nested length-prefixed blob so a session
+  // without telemetry can skip it wholesale (the blob is still read, so
+  // the stream stays in sync).
+  const telemetry::Session* tel = telemetry::current();
+  w.put_bool(tel != nullptr);
+  {
+    util::CkptWriter nested;
+    if (tel != nullptr) {
+      nested.put_f64(tel->engine_clock_s);
+      tel->registry.save_ckpt(nested);
+      tel->tracer.save_ckpt(nested);
+    }
+    w.put_str(nested.bytes());
+  }
+  day_span.save_ckpt(w);
+}
+
+void WorkloadDriver::CampaignState::restore_ckpt(util::CkptReader& r) {
+  t = r.read_i64("campaign.t");
+  rng.restore_ckpt(r);
+  demand_level = r.read_f64("campaign.demand_level");
+  slump_days_left = r.read_i32("campaign.slump_days_left");
+  slump_depth = r.read_f64("campaign.slump_depth");
+  jobs_dispatched = r.read_i64("campaign.jobs_dispatched");
+  jobs_completed = r.read_i64("campaign.jobs_completed");
+  jobs_requeued = r.read_i64("campaign.jobs_requeued");
+  for (std::int64_t& until : down_until) {
+    until = r.read_i64("campaign.down_until");
+  }
+  attempts.clear();
+  std::uint64_t num_attempts = r.read_u64("campaign.attempts");
+  for (std::uint64_t i = 0; i < num_attempts; ++i) {
+    const std::int64_t id = r.read_i64("campaign.attempt_id");
+    attempts[id] = r.read_i32("campaign.attempt_count");
+  }
+  sched.restore_ckpt(r);
+  registry.restore_ckpt(r);
+  gen.restore_ckpt(r);
+  signatures.restore_ckpt(r);
+  daemon.restore_ckpt(r);
+  jobmon.restore_ckpt(r);
+  nfs.restore_ckpt(r);
+  inject.restore_ckpt(r);
+  const std::uint64_t num_lanes = r.read_u64("campaign.lanes");
+  if (num_lanes != lanes.size()) {
+    throw util::CkptError("campaign.lanes: node count mismatch");
+  }
+  for (NodeLane& lane : lanes) {
+    lane.node.restore_ckpt(r);
+    lane.rng.restore_ckpt(r);
+  }
+  running.clear();
+  std::fill(node_job.begin(), node_job.end(), nullptr);
+  const std::uint64_t num_running = r.read_u64("campaign.running");
+  for (std::uint64_t i = 0; i < num_running; ++i) {
+    Running rj;
+    rj.spec.restore_ckpt(r);
+    const std::uint64_t num_held = r.read_u64("campaign.job_nodes");
+    rj.nodes.resize(static_cast<std::size_t>(num_held));
+    for (int& n : rj.nodes) n = r.read_i32("campaign.job_node");
+    rj.start_s = r.read_f64("campaign.job_start_s");
+    rj.end_s = r.read_f64("campaign.job_end_s");
+    rj.has_prologue = r.read_bool("campaign.job_has_prologue");
+    rj.attempt = r.read_i32("campaign.job_attempt");
+    running.emplace(rj.spec.job_id, std::move(rj));
+  }
+  // Pointer re-resolution: profiles and signatures live in the restored
+  // registry/cache, so the map lookups reproduce the original pointers'
+  // referents exactly.
+  for (auto& [id, rj] : running) {
+    rj.profile = &registry.get(rj.spec.profile_id);
+    rj.sig = &signatures.get(rj.profile->kernel);
+    for (int n : rj.nodes) {
+      node_job[static_cast<std::size_t>(n)] = &rj;
+    }
+  }
+  result.total_busy_node_seconds = r.read_f64("campaign.busy_node_seconds");
+  result.jobs.restore_ckpt(r);
+  telemetry::Session* tel = telemetry::current();
+  const bool saved_telemetry = r.read_bool("campaign.has_telemetry");
+  const std::string blob = r.read_str("campaign.telemetry_blob");
+  if (saved_telemetry && tel != nullptr) {
+    util::CkptReader nested(blob);
+    tel->engine_clock_s = nested.read_f64("campaign.engine_clock_s");
+    tel->registry.restore_ckpt(nested);
+    tel->tracer.restore_ckpt(nested);
+    nested.expect_end("campaign.telemetry_blob");
+  }
+  day_span = telemetry::Span::adopt_ckpt(
+      tel != nullptr ? &tel->tracer : nullptr, r);
+  r.expect_end("campaign");
+}
 
 void WorkloadDriver::phase_day_rollover(CampaignState& st) {
   if (st.t % util::kIntervalsPerDay != 0) return;
@@ -464,16 +607,69 @@ void WorkloadDriver::phase_observe(CampaignState& st) {
   cfg_.observer->on_interval(hs);
 }
 
+std::int64_t WorkloadDriver::try_resume(CampaignState& st) {
+  const CheckpointConfig& ck = cfg_.checkpoint;
+  if (!ck.resume || ck.dir.empty()) return 0;
+  ResumeReport local;
+  ResumeReport* rep = ck.report != nullptr ? ck.report : &local;
+  std::optional<CheckpointImage> img =
+      load_latest_checkpoint(ck.dir, config_fingerprint(cfg_), rep);
+  for (const std::string& why : rep->rejected) {
+    std::fprintf(stderr, "p2sim: checkpoint rejected: %s\n", why.c_str());
+  }
+  if (!img.has_value()) return 0;
+  util::CkptReader r(img->payload);
+  st.restore_ckpt(r);
+  return img->resume_interval;
+}
+
+void WorkloadDriver::maybe_checkpoint(CampaignState& st) {
+  checkpoint_test_tick("interval-end", st.t);
+  const CheckpointConfig& ck = cfg_.checkpoint;
+  if (ck.dir.empty() || ck.every_intervals <= 0) return;
+  const std::int64_t next_t = st.t + 1;
+  if (next_t % ck.every_intervals != 0 || next_t >= st.total_intervals) {
+    return;
+  }
+  util::CkptWriter w;
+  st.save_ckpt(w);
+  std::string error;
+  if (write_checkpoint(ck.dir, config_fingerprint(cfg_), next_t, w.bytes(),
+                       ck.keep, &error)) {
+    if (auto* tel = telemetry::current()) {
+      tel->registry
+          .counter("p2sim_ckpt_writes_total",
+                   "Checkpoint generations committed durably",
+                   /*wall_clock=*/true)
+          .inc();
+    }
+  } else {
+    // Durability is best-effort from the campaign's point of view: losing
+    // a checkpoint loses restartability, never results.
+    std::fprintf(stderr, "p2sim: checkpoint write failed: %s\n",
+                 error.c_str());
+    if (auto* tel = telemetry::current()) {
+      tel->registry
+          .counter("p2sim_ckpt_write_failures_total",
+                   "Checkpoint writes that failed (campaign continued)",
+                   /*wall_clock=*/true)
+          .inc();
+    }
+  }
+}
+
 CampaignResult WorkloadDriver::run() {
   CampaignState st(cfg_);
 
-  // Warm the signature cache before the interval loop: pre-measure every
-  // kernel already registered and publish the lock-free snapshot (which
-  // also covers everything the persistent store contributed).  Kernels
-  // first generated mid-campaign still measure on demand through the
-  // cache's locked slow path — always in the serial scheduling phase,
-  // never in per-interval worker code.
-  {
+  const std::int64_t start_t = try_resume(st);
+  if (start_t == 0) {
+    // Warm the signature cache before the interval loop: pre-measure every
+    // kernel already registered and publish the lock-free snapshot (which
+    // also covers everything the persistent store contributed).  Kernels
+    // first generated mid-campaign still measure on demand through the
+    // cache's locked slow path — always in the serial scheduling phase,
+    // never in per-interval worker code.  A resumed campaign restores the
+    // cache (and the daemon baseline) from the checkpoint instead.
     std::vector<power2::KernelDesc> kernels;
     st.registry.for_each(
         [&](const JobProfile& p) { kernels.push_back(p.kernel); });
@@ -482,18 +678,21 @@ CampaignResult WorkloadDriver::run() {
 
   if (auto* tel = telemetry::current()) {
     // Wall-clock metric: the thread count shapes wall time, never results,
-    // so it is excluded from the bit-stable simulated-time export.
+    // so it is excluded from the bit-stable simulated-time export.  Set
+    // after the resume so this run's value wins over the checkpointed one.
     tel->registry
         .gauge("p2sim_driver_threads",
                "Worker threads advancing the node lanes", /*wall_clock=*/true)
         .set(static_cast<double>(st.pool.threads()));
   }
 
-  // Prime the daemon (first collect establishes the baseline).
-  st.refresh_scratch();
-  st.daemon.collect(-1, st.totals_scratch, st.quads_scratch, 0);
+  if (start_t == 0) {
+    // Prime the daemon (first collect establishes the baseline).
+    st.refresh_scratch();
+    st.daemon.collect(-1, st.totals_scratch, st.quads_scratch, 0);
+  }
 
-  for (st.t = 0; st.t < st.total_intervals; ++st.t) {
+  for (st.t = start_t; st.t < st.total_intervals; ++st.t) {
     st.now = static_cast<double>(st.t) * st.interval_s;
     st.day = st.t / util::kIntervalsPerDay;
 
@@ -506,6 +705,7 @@ CampaignResult WorkloadDriver::run() {
     phase_epilogues(st);
     phase_collect(st);
     phase_observe(st);
+    maybe_checkpoint(st);
   }
   if (st.day_span.open()) {
     st.day_span.close(static_cast<double>(st.total_intervals) * st.interval_s);

@@ -37,6 +37,7 @@
 #include "src/rs2hpm/job_monitor.hpp"
 #include "src/telemetry/health.hpp"
 #include "src/util/sim_time.hpp"
+#include "src/workload/checkpoint.hpp"
 #include "src/workload/jobgen.hpp"
 #include "src/workload/lane.hpp"
 
@@ -89,6 +90,11 @@ struct DriverConfig {
   /// sample.  Pure read-side: installing one never perturbs the campaign
   /// (no RNG stream is touched), and nullptr costs one branch.  Not owned.
   telemetry::CampaignObserver* observer = nullptr;
+
+  /// Durable checkpoint/restart (off by default).  Like `threads`, it
+  /// trades wall-clock durability only: a checkpointed, killed and resumed
+  /// campaign is bit-identical to an uninterrupted one.
+  CheckpointConfig checkpoint{};
 
   pbs::SchedulerConfig sched{};
   cluster::NodeConfig node{};
@@ -206,6 +212,15 @@ class WorkloadDriver {
   P2SIM_SERIAL_ONLY void phase_epilogues(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_collect(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_observe(CampaignState& st);
+
+  /// Called from run() after each interval's phases: announces the
+  /// interval to the kill-injection hook and, at the configured cadence,
+  /// writes one durable checkpoint generation.  A failed write logs and
+  /// counts — it never fails the campaign.
+  P2SIM_SERIAL_ONLY void maybe_checkpoint(CampaignState& st);
+  /// Attempts a resume from DriverConfig::checkpoint.  Returns the first
+  /// interval the loop must execute (0 when starting fresh).
+  P2SIM_SERIAL_ONLY std::int64_t try_resume(CampaignState& st);
 
   DriverConfig cfg_;
 };

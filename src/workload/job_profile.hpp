@@ -71,6 +71,46 @@ struct JobProfile {
     }
     return comm_fraction(nodes);
   }
+
+  /// Checkpoint support.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_i64(id);
+    kernel.save_ckpt(w);
+    w.put_f64(comm_fraction_base);
+    w.put_i32(ref_nodes);
+    w.put_f64(comm_scaling_exponent);
+    w.put_f64(msg_bytes_per_s);
+    w.put_f64(disk_read_bytes_per_s);
+    w.put_f64(disk_write_bytes_per_s);
+    w.put_f64(memory_mb_per_node);
+    w.put_f64(imbalance_efficiency);
+    w.put_f64(duty_cycle);
+    w.put_f64(quality);
+    w.put_str(family);
+    w.put_bool(comm_shape.has_value());
+    if (comm_shape.has_value()) comm_shape->save_ckpt(w);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    id = r.read_i64("profile.id");
+    kernel.restore_ckpt(r);
+    comm_fraction_base = r.read_f64("profile.comm_fraction_base");
+    ref_nodes = r.read_i32("profile.ref_nodes");
+    comm_scaling_exponent = r.read_f64("profile.comm_scaling_exponent");
+    msg_bytes_per_s = r.read_f64("profile.msg_bytes_per_s");
+    disk_read_bytes_per_s = r.read_f64("profile.disk_read_bytes_per_s");
+    disk_write_bytes_per_s = r.read_f64("profile.disk_write_bytes_per_s");
+    memory_mb_per_node = r.read_f64("profile.memory_mb_per_node");
+    imbalance_efficiency = r.read_f64("profile.imbalance_efficiency");
+    duty_cycle = r.read_f64("profile.duty_cycle");
+    quality = r.read_f64("profile.quality");
+    family = r.read_str("profile.family");
+    if (r.read_bool("profile.has_comm_shape")) {
+      comm_shape.emplace();
+      comm_shape->restore_ckpt(r);
+    } else {
+      comm_shape.reset();
+    }
+  }
 };
 
 /// Owns profiles by id; the scheduler carries only the id.
@@ -96,6 +136,25 @@ class ProfileRegistry {
   template <typename F>
   void for_each(F&& f) const {
     for (const auto& [id, profile] : profiles_) f(profile);
+  }
+
+  /// Checkpoint support: profiles keep their ids and the id counter
+  /// continues where it left off.
+  void save_ckpt(util::CkptWriter& w) const {
+    w.put_i64(next_id_);
+    w.put_u64(profiles_.size());
+    for (const auto& [id, profile] : profiles_) profile.save_ckpt(w);
+  }
+  void restore_ckpt(util::CkptReader& r) {
+    next_id_ = r.read_i64("registry.next_id");
+    profiles_.clear();
+    std::uint64_t n = r.read_u64("registry.size");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      JobProfile p;
+      p.restore_ckpt(r);
+      const std::int64_t id = p.id;
+      profiles_.emplace(id, std::move(p));
+    }
   }
 
  private:

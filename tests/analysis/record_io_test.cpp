@@ -292,5 +292,143 @@ TEST(RecordIo, SkipsBlankLines) {
   EXPECT_EQ(load_intervals(padded).size(), 1u);
 }
 
+// ---- Commit-trailer semantics (crash truncation vs corruption) ----
+
+std::string saved_intervals_text(std::int64_t n) {
+  std::vector<rs2hpm::IntervalRecord> in;
+  for (std::int64_t i = 0; i < n; ++i) in.push_back(make_interval(i));
+  std::ostringstream ss;
+  save_intervals(ss, in);
+  return ss.str();
+}
+
+TEST(RecordIo, TrailerCommitsCleanFiles) {
+  std::istringstream in(saved_intervals_text(3));
+  ParseReport report;
+  EXPECT_EQ(load_intervals(in, &report).size(), 3u);
+  EXPECT_TRUE(report.committed);
+  EXPECT_FALSE(report.truncated);
+  // The trailer is framing, not data: it never enters the line tallies.
+  EXPECT_EQ(report.lines_total, 3);
+  EXPECT_EQ(report.lines_loaded, 3);
+}
+
+TEST(RecordIo, CleanTruncationAtLineBoundaryIsNotCorruption) {
+  // The writer died after finishing a record but before the trailer: no
+  // line is malformed, yet the load must still flag the missing tail.
+  std::string text = saved_intervals_text(4);
+  const auto trailer = text.rfind("C,");
+  ASSERT_NE(trailer, std::string::npos);
+  text.resize(trailer);
+  std::istringstream in(text);
+  ParseReport report;
+  EXPECT_EQ(load_intervals(in, &report).size(), 4u);
+  EXPECT_TRUE(report.clean());  // every surviving line is intact...
+  EXPECT_FALSE(report.committed);
+  EXPECT_TRUE(report.truncated);  // ...but the file is not complete
+  const std::string pretty = format_parse_report(report);
+  EXPECT_NE(pretty.find("truncated"), std::string::npos);
+}
+
+TEST(RecordIo, CrashTruncationMidRecordDropsOnlyTheTail) {
+  // Killed mid-write: the last record is half a line and the trailer never
+  // made it.  Everything before the tear survives.
+  std::string text = saved_intervals_text(4);
+  const auto trailer = text.rfind("C,");
+  ASSERT_NE(trailer, std::string::npos);
+  const auto last_rec = text.rfind("I,", trailer);
+  ASSERT_NE(last_rec, std::string::npos);
+  text.resize(last_rec + 20);  // tear inside the final record line
+  std::istringstream in(text);
+  ParseReport report;
+  EXPECT_EQ(load_intervals(in, &report).size(), 3u);
+  EXPECT_EQ(report.lines_skipped, 1);
+  EXPECT_FALSE(report.committed);
+  EXPECT_TRUE(report.truncated);
+}
+
+TEST(RecordIo, StrictModeRefusesUncommittedV2File) {
+  std::string text = saved_intervals_text(2);
+  const auto trailer = text.rfind("C,");
+  ASSERT_NE(trailer, std::string::npos);
+  text.resize(trailer);
+  std::istringstream in(text);
+  EXPECT_THROW(load_intervals(in), std::runtime_error);
+}
+
+TEST(RecordIo, TrailerCountMismatchStaysUncommitted) {
+  // A trailer claiming more records than the file holds means whole lines
+  // vanished; the trailer itself becomes the reported bad line.
+  std::string text = saved_intervals_text(3);
+  const auto second = text.find("I,1,");
+  const auto third = text.find("I,2,");
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  text.erase(second, third - second);  // drop a whole record line
+  std::istringstream in(text);
+  ParseReport report;
+  EXPECT_EQ(load_intervals(in, &report).size(), 2u);
+  EXPECT_EQ(report.lines_skipped, 1);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues[0].what.find("count mismatch"), std::string::npos);
+  EXPECT_FALSE(report.committed);
+  EXPECT_TRUE(report.truncated);
+}
+
+TEST(RecordIo, RecordAfterTrailerIsRejected) {
+  std::string text = saved_intervals_text(2);
+  const auto first = text.find("I,0,");
+  const auto second = text.find("I,1,");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  text += text.substr(first, second - first);  // replay a committed line
+  std::istringstream in(text);
+  ParseReport report;
+  EXPECT_EQ(load_intervals(in, &report).size(), 2u);
+  EXPECT_EQ(report.lines_skipped, 1);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues[0].what.find("after commit trailer"),
+            std::string::npos);
+  EXPECT_TRUE(report.committed);  // the trailer itself was valid
+}
+
+TEST(RecordIo, JobTrailerRoundTripsAndDetectsTruncation) {
+  pbs::JobDatabase db;
+  db.add(make_job(1));
+  db.add(make_job(2));
+  std::ostringstream ss;
+  save_jobs(ss, db);
+  std::string text = ss.str();
+
+  std::istringstream whole(text);
+  ParseReport clean_report;
+  EXPECT_EQ(load_jobs(whole, &clean_report).size(), 2u);
+  EXPECT_TRUE(clean_report.committed);
+
+  const auto trailer = text.rfind("C,");
+  ASSERT_NE(trailer, std::string::npos);
+  text.resize(trailer);
+  std::istringstream cut(text);
+  ParseReport report;
+  EXPECT_EQ(load_jobs(cut, &report).size(), 2u);
+  EXPECT_FALSE(report.committed);
+  EXPECT_TRUE(report.truncated);
+  std::istringstream strict(text);
+  EXPECT_THROW(load_jobs(strict), std::runtime_error);
+}
+
+TEST(RecordIo, V1FilesCarryNoTrailerVerdict) {
+  std::ostringstream ss;
+  ss << "p2sim-intervals v1 " << hpm::kNumCounters << "\n";
+  ss << "I,7,144,100,555";
+  for (std::size_t c = 0; c < 2 * hpm::kNumCounters; ++c) ss << ',' << c;
+  ss << "\n";
+  std::istringstream in(ss.str());
+  ParseReport report;
+  EXPECT_EQ(load_intervals(in, &report).size(), 1u);
+  EXPECT_FALSE(report.committed);
+  EXPECT_FALSE(report.truncated);  // v1 predates the trailer: no verdict
+}
+
 }  // namespace
 }  // namespace p2sim::analysis

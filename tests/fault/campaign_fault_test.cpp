@@ -133,13 +133,23 @@ TEST(FaultCampaign, RecordsSurviveStorageCorruption) {
   const std::int64_t corrupted = fault::corrupt_records(text, rot_sched);
   ASSERT_GT(corrupted, 0);
 
+  // The commit trailer is the last payload line; if the rot schedule hit
+  // it the file reads as truncated and one of the `corrupted` lines was
+  // the trailer, not a record.
+  const std::int64_t trailer_line =
+      static_cast<std::int64_t>(sim.campaign().intervals.size()) + 1;
+  const bool trailer_hit = rot_sched.record_corrupted(trailer_line);
+  const std::int64_t records_lost = corrupted - (trailer_hit ? 1 : 0);
+
   std::istringstream load(text);
   analysis::ParseReport report;
   const auto recovered = analysis::load_intervals(load, &report);
   EXPECT_EQ(report.lines_skipped, corrupted);
   EXPECT_EQ(recovered.size(),
             sim.campaign().intervals.size() -
-                static_cast<std::size_t>(corrupted));
+                static_cast<std::size_t>(records_lost));
+  EXPECT_EQ(report.committed, !trailer_hit);
+  EXPECT_EQ(report.truncated, trailer_hit);
   // The report attaches only the first max_issues offending lines (the
   // skip count above still covers every one); raising the cap recovers
   // the full listing.

@@ -196,6 +196,101 @@ TEST(SignatureStore, WarmPublishesStoreAndMeasurements) {
   std::remove(path.c_str());
 }
 
+TEST(SignatureStore, TruncatedStoreIsRejectedAndRebuilt) {
+  const std::string path = temp_store("p2sim_store_truncated.txt");
+
+  SignatureCache writer({}, {.path = path});
+  const EventSignature sig_a = writer.get(kernel_a());
+  writer.get(kernel_b());
+  ASSERT_TRUE(writer.flush());
+
+  // The writer "died" before the commit trailer: the surviving prefix is
+  // intact but provably incomplete.
+  std::string body = read_file(path);
+  const std::size_t end_at = body.rfind("end count=");
+  ASSERT_NE(end_at, std::string::npos);
+  body.resize(end_at);
+  write_file(path, body);
+
+  SignatureCache reader({}, {.path = path});
+  const SignatureCache::Stats loaded = reader.stats();
+  EXPECT_TRUE(loaded.store_rejected);
+  EXPECT_EQ(loaded.store_loaded, 0u);
+
+  // Affected kernels transparently re-measure (bit-identical: measurement
+  // is deterministic)...
+  EXPECT_EQ(reader.get(kernel_a()), sig_a);
+  EXPECT_EQ(reader.stats().measured, 1u);
+
+  // ...and the next flush rebuilds a complete, committed store.
+  ASSERT_TRUE(reader.flush());
+  SignatureCache rebuilt({}, {.path = path});
+  EXPECT_FALSE(rebuilt.stats().store_rejected);
+  EXPECT_EQ(rebuilt.stats().store_loaded, 1u);
+
+  std::remove(path.c_str());
+}
+
+TEST(SignatureStore, MidLineTruncationRejectsWholeStore) {
+  const std::string path = temp_store("p2sim_store_midline.txt");
+
+  SignatureCache writer({}, {.path = path});
+  writer.get(kernel_a());
+  writer.get(kernel_b());
+  ASSERT_TRUE(writer.flush());
+
+  // Tear inside the last entry line: the trailer is gone and the final
+  // "sig" line is half a line.
+  std::string body = read_file(path);
+  const std::size_t last_sig = body.rfind("\nsig ");
+  ASSERT_NE(last_sig, std::string::npos);
+  body.resize(last_sig + 20);
+  write_file(path, body);
+
+  std::map<std::uint64_t, EventSignature> out;
+  const SignatureStoreReport rep =
+      load_signature_store(path, core_config_hash({}), out);
+  EXPECT_TRUE(rep.file_found);
+  EXPECT_TRUE(rep.header_ok);
+  EXPECT_TRUE(rep.core_hash_matched);
+  EXPECT_FALSE(rep.committed);
+  EXPECT_TRUE(rep.truncated);
+  EXPECT_EQ(rep.loaded, 0u);  // nothing adopted, not even the intact line
+  EXPECT_TRUE(out.empty());
+
+  std::remove(path.c_str());
+}
+
+TEST(SignatureStore, LegacyV1StoreWithoutTrailerStillLoads) {
+  const std::string path = temp_store("p2sim_store_v1.txt");
+
+  SignatureCache writer({}, {.path = path});
+  writer.get(kernel_a());
+  writer.get(kernel_b());
+  ASSERT_TRUE(writer.flush());
+
+  // Rewrite the store as a v1 file: v1 header, no commit trailer.
+  std::string body = read_file(path);
+  const std::size_t ver = body.find(" v2 ");
+  ASSERT_NE(ver, std::string::npos);
+  body.replace(ver, 4, " v1 ");
+  const std::size_t end_at = body.rfind("end count=");
+  ASSERT_NE(end_at, std::string::npos);
+  body.resize(end_at);
+  write_file(path, body);
+
+  std::map<std::uint64_t, EventSignature> out;
+  const SignatureStoreReport rep =
+      load_signature_store(path, core_config_hash({}), out);
+  EXPECT_TRUE(rep.core_hash_matched);
+  EXPECT_FALSE(rep.committed);  // v1 predates the trailer
+  EXPECT_FALSE(rep.truncated);
+  EXPECT_EQ(rep.loaded, 2u);
+  EXPECT_EQ(rep.corrupt_lines, 0u);
+
+  std::remove(path.c_str());
+}
+
 TEST(SignatureStore, CoreConfigHashCoversCacheGeometry) {
   CoreConfig base;
   CoreConfig other = base;

@@ -1,0 +1,246 @@
+// Checkpoint/restart unit contract: the container round-trips and rejects
+// malformation precisely; checkpointing never perturbs a campaign's
+// fingerprint; a resume from ANY generation — at any thread count — is
+// byte-identical to the uninterrupted run; a corrupt newest generation
+// falls back to the previous one with the reason on record; and a
+// checkpoint from a different campaign configuration is refused outright.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/util/ckpt.hpp"
+#include "src/workload/checkpoint.hpp"
+#include "tests/workload/campaign_fingerprint.hpp"
+
+namespace p2sim::workload {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A dense two-day faulted campaign with a short checkpoint cadence: 192
+/// intervals, generations every 24.
+DriverConfig ck_config() {
+  DriverConfig cfg = small_config(2, 16);
+  cfg.faults = fault::FaultConfig::reference();
+  cfg.checkpoint.every_intervals = 24;
+  return cfg;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = testing::TempDir() + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CheckpointRestart, ContainerRoundTrips) {
+  const std::string payload = "the campaign state, opaquely";
+  const std::string bytes = encode_checkpoint_file(0xABCD1234u, 96, payload);
+  const CheckpointImage img = decode_checkpoint_file(bytes);
+  EXPECT_EQ(img.config_hash, 0xABCD1234u);
+  EXPECT_EQ(img.resume_interval, 96);
+  EXPECT_EQ(img.payload, payload);
+}
+
+TEST(CheckpointRestart, FileNamesSortInIntervalOrder) {
+  EXPECT_EQ(checkpoint_file_name(24), "ckpt-000000000024.p2ck");
+  EXPECT_LT(checkpoint_file_name(96), checkpoint_file_name(1000));
+  EXPECT_LT(checkpoint_file_name(999), checkpoint_file_name(10000));
+}
+
+TEST(CheckpointRestart, WriteListLoadAndPrune) {
+  const std::string dir = fresh_dir("p2sim_ck_wll");
+  std::string err;
+  for (std::int64_t t : {24, 48, 72}) {
+    ASSERT_TRUE(write_checkpoint(dir, 7u, t, "payload", /*keep=*/2, &err))
+        << err;
+  }
+  // keep=2: the oldest generation was pruned after the third commit.
+  const auto gens = list_checkpoints(dir);
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_NE(gens[0].find("ckpt-000000000048"), std::string::npos);
+  EXPECT_NE(gens[1].find("ckpt-000000000072"), std::string::npos);
+
+  ResumeReport rep;
+  const auto img = load_latest_checkpoint(dir, 7u, &rep);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(img->resume_interval, 72);
+  EXPECT_TRUE(rep.rejected.empty());
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRestart, CheckpointingDoesNotPerturbTheCampaign) {
+  const std::string dir = fresh_dir("p2sim_ck_perturb");
+  DriverConfig with_ck = ck_config();
+  with_ck.checkpoint.dir = dir;
+  expect_identical(campaign_fingerprint(ck_config(), 1),
+                   campaign_fingerprint(with_ck, 1),
+                   "checkpointing on vs off");
+  EXPECT_FALSE(list_checkpoints(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRestart, ResumeFromEveryGenerationIsByteIdentical) {
+  const std::string dir = fresh_dir("p2sim_ck_gens");
+  DriverConfig cfg = ck_config();
+  cfg.checkpoint.dir = dir;
+  cfg.checkpoint.keep = 99;  // retain every generation
+  const std::string reference = campaign_fingerprint(cfg, 1);
+
+  const auto gens = list_checkpoints(dir);
+  ASSERT_EQ(gens.size(), 7u);  // 24, 48, ..., 168 of 192 intervals
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    // Stage exactly one generation in its own directory, so the resume is
+    // forced through it.
+    const std::string gen_dir =
+        fresh_dir(("p2sim_ck_gen_" + std::to_string(i)).c_str());
+    fs::create_directories(gen_dir);
+    fs::copy_file(dir + "/" + gens[i], gen_dir + "/" + gens[i]);
+
+    DriverConfig resume_cfg = ck_config();
+    resume_cfg.checkpoint.dir = gen_dir;
+    resume_cfg.checkpoint.resume = true;
+    ResumeReport rep;
+    resume_cfg.checkpoint.report = &rep;
+    const int threads = i % 3 == 2 ? 4 : 1;  // mix thread counts across gens
+    const std::string resumed = campaign_fingerprint(resume_cfg, threads);
+    EXPECT_TRUE(rep.resumed);
+    EXPECT_EQ(rep.resume_interval, 24 * static_cast<std::int64_t>(i + 1));
+    expect_identical(reference, resumed,
+                     ("resume from generation " + std::to_string(i)).c_str());
+    fs::remove_all(gen_dir);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRestart, CorruptNewestGenerationFallsBackWithReason) {
+  const std::string dir = fresh_dir("p2sim_ck_fallback");
+  DriverConfig cfg = ck_config();
+  cfg.checkpoint.dir = dir;
+  const std::string reference = campaign_fingerprint(cfg, 1);
+
+  auto gens = list_checkpoints(dir);
+  ASSERT_EQ(gens.size(), 2u);  // keep=2 default
+  // Rot one payload byte of the newest generation.
+  const std::string newest = dir + "/" + gens[1];
+  std::string bytes = read_file(newest);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0x40);
+  std::ofstream(newest, std::ios::binary | std::ios::trunc) << bytes;
+
+  DriverConfig resume_cfg = ck_config();
+  resume_cfg.checkpoint.dir = dir;
+  resume_cfg.checkpoint.resume = true;
+  ResumeReport rep;
+  resume_cfg.checkpoint.report = &rep;
+  const std::string resumed = campaign_fingerprint(resume_cfg, 1);
+
+  EXPECT_TRUE(rep.resumed);
+  EXPECT_EQ(rep.resume_interval, 144);  // fell back from 168 to 144
+  ASSERT_EQ(rep.rejected.size(), 1u);
+  EXPECT_NE(rep.rejected[0].find("checksum"), std::string::npos)
+      << rep.rejected[0];
+  expect_identical(reference, resumed, "resume after fallback");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRestart, ConfigMismatchRejectsEveryGeneration) {
+  const std::string dir = fresh_dir("p2sim_ck_mismatch");
+  DriverConfig cfg = ck_config();
+  cfg.checkpoint.dir = dir;
+  (void)campaign_fingerprint(cfg, 1);
+  const std::size_t gens = list_checkpoints(dir).size();
+  ASSERT_GT(gens, 0u);
+
+  DriverConfig other = ck_config();
+  other.seed ^= 1;  // a different campaign entirely
+  other.checkpoint.dir = dir;
+  other.checkpoint.resume = true;
+  ResumeReport rep;
+  other.checkpoint.report = &rep;
+  const std::string resumed = campaign_fingerprint(other, 1);
+
+  EXPECT_TRUE(rep.attempted);
+  EXPECT_FALSE(rep.resumed);
+  EXPECT_EQ(rep.rejected.size(), gens);
+  for (const std::string& why : rep.rejected) {
+    EXPECT_NE(why.find("config_hash"), std::string::npos) << why;
+  }
+  // The refused resume ran the other campaign from scratch, correctly.
+  DriverConfig other_fresh = ck_config();
+  other_fresh.seed ^= 1;
+  expect_identical(campaign_fingerprint(other_fresh, 1), resumed,
+                   "refused resume vs fresh run");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRestart, TornTmpFileIsIgnored) {
+  const std::string dir = fresh_dir("p2sim_ck_tmp");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/ckpt-000000000048.p2ck.tmp") << "half a checkpoint";
+  EXPECT_TRUE(list_checkpoints(dir).empty());
+
+  // A resume over nothing but the torn tmp starts from the beginning.
+  DriverConfig cfg = ck_config();
+  cfg.checkpoint.dir = dir;
+  cfg.checkpoint.resume = true;
+  ResumeReport rep;
+  cfg.checkpoint.report = &rep;
+  const std::string run = campaign_fingerprint(cfg, 1);
+  EXPECT_FALSE(rep.resumed);
+  expect_identical(campaign_fingerprint(ck_config(), 1), run,
+                   "resume over torn tmp vs fresh");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRestart, UnwritableCheckpointDirIsNonFatal) {
+  // Point the checkpoint dir at a path blocked by a regular file: every
+  // write fails, the campaign still completes identically.
+  const std::string blocker = testing::TempDir() + "p2sim_ck_blocker";
+  std::ofstream(blocker, std::ios::trunc) << "not a directory";
+  DriverConfig cfg = ck_config();
+  cfg.checkpoint.dir = blocker + "/nested";
+  expect_identical(campaign_fingerprint(ck_config(), 1),
+                   campaign_fingerprint(cfg, 1),
+                   "failing checkpoint writes vs none");
+  std::remove(blocker.c_str());
+}
+
+TEST(CheckpointRestart, ConfigFingerprintCoversDeterminismKnobsOnly) {
+  const DriverConfig base = ck_config();
+  // Wall-clock-only knobs do not change the fingerprint...
+  DriverConfig same = base;
+  same.threads = 7;
+  same.signature_store_path = "somewhere.txt";
+  same.checkpoint.dir = "elsewhere";
+  same.checkpoint.every_intervals = 3;
+  same.checkpoint.keep = 42;
+  EXPECT_EQ(config_fingerprint(base), config_fingerprint(same));
+  // ...every determinism-relevant knob does.
+  DriverConfig seed = base;
+  seed.seed ^= 1;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(seed));
+  DriverConfig faults = base;
+  faults.faults.interval_miss_prob += 0.01;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(faults));
+  DriverConfig jobs = base;
+  jobs.jobgen.node_weights.back() += 1;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(jobs));
+  DriverConfig node = base;
+  node.node.clock_hz *= 2.0;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(node));
+  DriverConfig days = base;
+  days.days += 1;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(days));
+}
+
+}  // namespace
+}  // namespace p2sim::workload

@@ -9,79 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <sstream>
 #include <string>
 
-#include "src/analysis/loss.hpp"
-#include "src/analysis/record_io.hpp"
-#include "src/fault/fault.hpp"
-#include "src/telemetry/session.hpp"
 #include "src/util/task_pool.hpp"
 #include "src/workload/driver.hpp"
+#include "tests/workload/campaign_fingerprint.hpp"
 
 namespace p2sim::workload {
 namespace {
-
-DriverConfig small_config(std::int64_t days = 4, int nodes = 16) {
-  DriverConfig cfg;
-  cfg.num_nodes = nodes;
-  cfg.days = days;
-  cfg.jobs_per_day = 42.0 * nodes / 144.0;
-  cfg.jobgen.node_choices = {1, 2, 4, 8, 16};
-  cfg.jobgen.node_weights = {4, 3, 6, 14, 22};
-  cfg.sched.drain_threshold_nodes = 8;
-  return cfg;
-}
-
-DriverConfig faulted_config() {
-  DriverConfig cfg = small_config(6, 16);
-  cfg.faults = fault::FaultConfig::reference();
-  return cfg;
-}
-
-/// Every byte-stable artifact a campaign produces, concatenated: the v2
-/// interval and job record streams, the loss report, the scalar result
-/// fields, and the sim-time telemetry exports captured under a session.
-std::string campaign_fingerprint(DriverConfig cfg, int threads,
-                                 bool include_telemetry = true) {
-  cfg.threads = threads;
-  telemetry::Session session;
-  workload::CampaignResult result;
-  {
-    telemetry::ScopedSession scoped(session);
-    result = run_campaign(cfg);
-  }
-  std::ostringstream out;
-  out.precision(17);
-  analysis::save_intervals(out, result.intervals);
-  analysis::save_jobs(out, result.jobs);
-  out << analysis::format_measurement_loss(
-      analysis::measure_loss(result, 0.9));
-  out << "busy=" << result.total_busy_node_seconds
-      << " open=" << result.jobs_open_at_end
-      << " sans_prologue=" << result.jobs_open_sans_prologue
-      << " faults=" << result.faults.total_faults() << "\n";
-  if (include_telemetry) {
-    out << session.registry.jsonl();
-    out << session.tracer.chrome_trace_json(/*include_wall=*/false);
-  }
-  return out.str();
-}
-
-/// Points at the first differing byte so a regression names the artifact
-/// (interval stream, job stream, loss report, jsonl, trace) that diverged.
-void expect_identical(const std::string& a, const std::string& b,
-                      const char* label) {
-  if (a == b) {
-    SUCCEED();
-    return;
-  }
-  std::size_t i = 0;
-  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
-  const std::size_t lo = i > 40 ? i - 40 : 0;
-  FAIL() << label << ": fingerprints diverge at byte " << i << "\n  a: ..."
-         << a.substr(lo, 80) << "\n  b: ..." << b.substr(lo, 80);
-}
 
 TEST(ParallelDeterminism, FaultFreeCampaignIsByteIdenticalAcrossThreads) {
   const std::string serial = campaign_fingerprint(small_config(), 1);

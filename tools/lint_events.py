@@ -83,6 +83,11 @@ INIT_CHECKED_HEADERS = (
     "src/telemetry/shard.hpp",
     "src/util/task_pool.hpp",
     "src/workload/lane.hpp",
+    # Crash consistency: an indeterminate offset in the checkpoint reader
+    # or an uninitialized resume interval would turn a clean restart into
+    # silent state divergence.
+    "src/util/ckpt.hpp",
+    "src/workload/checkpoint.hpp",
 )
 
 # Telemetry metric names: full-string shape every registration must obey
