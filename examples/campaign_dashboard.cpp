@@ -16,7 +16,12 @@
 //                      [--faults reference|off] [--seed S] [--stride N]
 //                      [--outdir DIR] [--quiet]
 //                      [--checkpoint-dir DIR] [--checkpoint-every N]
-//                      [--resume]
+//                      [--resume] [--connect HOST:PORT]
+//
+// `--connect HOST:PORT` runs no campaign at all: it attaches to a running
+// p2sim_monitord, fetches /healthz and /api/days, and prints both — the
+// remote flavor of the dashboard.  Exit status 0 iff both requests
+// returned 200.
 //
 // `--threads N` (default 1) runs the driver's node-advance phase on N
 // worker threads (0 = one per core); every export is bit-identical for
@@ -45,6 +50,7 @@
 #include "src/core/simulation.hpp"
 #include "src/telemetry/reporter.hpp"
 #include "src/telemetry/session.hpp"
+#include "src/util/http_client.hpp"
 #include "src/workload/driver.hpp"
 
 namespace {
@@ -61,6 +67,7 @@ struct Options {
   std::string checkpoint_dir;
   std::int64_t checkpoint_every = 96;
   bool resume = false;
+  std::string connect;  // "HOST:PORT" -> remote mode, no local campaign
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
@@ -68,7 +75,7 @@ struct Options {
                "usage: %s [--days N] [--nodes N] [--threads N] "
                "[--faults reference|off] [--seed S] [--stride N] "
                "[--outdir DIR] [--quiet] [--checkpoint-dir DIR] "
-               "[--checkpoint-every N] [--resume]\n",
+               "[--checkpoint-every N] [--resume] [--connect HOST:PORT]\n",
                argv0);
   std::exit(2);
 }
@@ -103,6 +110,8 @@ Options parse(int argc, char** argv) {
       opt.checkpoint_every = std::atoll(value());
     } else if (arg == "--resume") {
       opt.resume = true;
+    } else if (arg == "--connect") {
+      opt.connect = value();
     } else {
       usage_and_exit(argv[0]);
     }
@@ -121,11 +130,45 @@ bool reconcile_check(bool ok, const char* what) {
   return ok;
 }
 
+/// Remote mode: attach to a running p2sim_monitord and print its live
+/// health and per-day tables.  Returns the process exit status.
+int connect_and_report(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got %s\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect: bad port in %s\n", endpoint.c_str());
+    return 2;
+  }
+  bool ok = true;
+  for (const char* target : {"/healthz", "/api/days"}) {
+    const p2sim::util::HttpFetch got = p2sim::util::http_get(
+        host, static_cast<std::uint16_t>(port), target);
+    if (!got.ok || got.status != 200) {
+      std::fprintf(stderr, "GET %s%s failed: %s (status %d)\n",
+                   endpoint.c_str(), target,
+                   got.ok ? "non-200" : got.error.c_str(), got.status);
+      ok = false;
+      continue;
+    }
+    std::printf("== %s ==\n%s", target, got.body.c_str());
+    if (!got.body.empty() && got.body.back() != '\n') std::printf("\n");
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2sim;
   const Options opt = parse(argc, argv);
+  if (!opt.connect.empty()) return connect_and_report(opt.connect);
 
   core::Sp2Config cfg = (opt.nodes == 144 && opt.days == 270)
                             ? core::Sp2Config{}

@@ -49,11 +49,32 @@ struct HealthSample {
   }
 };
 
-/// Interface the driver calls once per interval (after the daemon sample).
+/// One finished job's facts, emitted at epilogue time (plain data, like
+/// HealthSample, so the monitoring service can serve /api/jobs without
+/// reaching into pbs/rs2hpm types).
+struct JobSample {
+  std::int64_t job_id = 0;
+  std::int32_t user_id = 0;
+  int nodes = 0;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Whole-job Mflops from the HPM report (0 when measurement was lost).
+  double job_mflops = 0.0;
+  /// True when the measurement window survived (prologue and epilogue).
+  bool complete = false;
+  /// True when the epilogue was lost and the report abandoned.
+  bool abandoned = false;
+};
+
+/// Interface the driver calls once per interval (after the daemon sample)
+/// and once per job at epilogue time.  on_job defaults to a no-op so
+/// interval-only observers keep working unchanged.
 class CampaignObserver {
  public:
   virtual ~CampaignObserver() = default;
   virtual void on_interval(const HealthSample& sample) = 0;
+  virtual void on_job(const JobSample& /*sample*/) {}
 };
 
 }  // namespace p2sim::telemetry

@@ -1,0 +1,120 @@
+#include "src/util/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace p2sim::util {
+namespace {
+
+// Wall time governs the client deadline — network I/O, not simulation
+// (detlint allowlists this file alongside the server).
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+HttpFetch fail(HttpFetch f, const char* what) {
+  f.ok = false;
+  f.error = std::string(what) + ": " + strerror(errno);
+  return f;
+}
+
+HttpFetch exchange(const std::string& host, std::uint16_t port,
+                   const std::string& bytes, int timeout_ms, int linger_ms) {
+  HttpFetch f;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(std::move(f), "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    f.error = "bad host literal: " + host;
+    return f;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail(std::move(f), "connect");
+  }
+  if (linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail(std::move(f), "send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ms = remaining_ms(deadline);
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      ::close(fd);
+      f.error = rc == 0 ? "timeout" : std::string("poll: ") + strerror(errno);
+      return f;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      f.raw.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    break;  // orderly close (n == 0) or hard reset: parse what we have
+  }
+  ::close(fd);
+  // Parse the status line and strip the header block.
+  const std::size_t hdr_end = f.raw.find("\r\n\r\n");
+  if (f.raw.rfind("HTTP/1.", 0) != 0 || hdr_end == std::string::npos) {
+    f.error = "short or non-HTTP response";
+    return f;
+  }
+  const std::size_t sp = f.raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > f.raw.size()) {
+    f.error = "bad status line";
+    return f;
+  }
+  f.status = std::atoi(f.raw.c_str() + sp + 1);
+  f.body = f.raw.substr(hdr_end + 4);
+  f.ok = f.status > 0;
+  return f;
+}
+
+}  // namespace
+
+HttpFetch http_get(const std::string& host, std::uint16_t port,
+                   const std::string& target, int timeout_ms) {
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  return exchange(host, port, req, timeout_ms, /*linger_ms=*/0);
+}
+
+HttpFetch http_raw(const std::string& host, std::uint16_t port,
+                   const std::string& bytes, int timeout_ms, int linger_ms) {
+  return exchange(host, port, bytes, timeout_ms, linger_ms);
+}
+
+}  // namespace p2sim::util

@@ -1,0 +1,435 @@
+#include "src/util/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+namespace p2sim::util {
+namespace {
+
+// The loop thread is the one place in src/ outside the telemetry clock
+// where wall time is legitimate: connection deadlines are a property of
+// the real network, not of the simulation (detlint allowlists this file).
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Response";
+  }
+}
+
+std::string serialize(const HttpResponse& r, bool close) {
+  std::string out;
+  out.reserve(r.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += status_reason(r.status);
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(r.body.size());
+  out += close ? "\r\nConnection: close\r\n\r\n"
+               : "\r\nConnection: keep-alive\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+enum class Parse { kNeedMore, kOk, kError };
+
+/// Incremental parse of the front of `in`.  On kOk fills `req` and sets
+/// `consumed` to the bytes to drop; on kError sets `err_status` (400 or
+/// 413).  kNeedMore with oversized buffered input is promoted to 413.
+Parse parse_request(const std::string& in, std::size_t max_bytes,
+                    HttpRequest* req, std::size_t* consumed,
+                    int* err_status) {
+  const std::size_t hdr_end = in.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) {
+    if (in.size() > max_bytes) {
+      *err_status = 413;
+      return Parse::kError;
+    }
+    return Parse::kNeedMore;
+  }
+  if (hdr_end + 4 > max_bytes) {
+    *err_status = 413;
+    return Parse::kError;
+  }
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const std::size_t line_end = in.find("\r\n");
+  const std::string line = in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    *err_status = 400;
+    return Parse::kError;
+  }
+  req->method = line.substr(0, sp1);
+  req->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req->version = line.substr(sp2 + 1);
+  if (req->method.empty() || req->target.empty() || req->target[0] != '/' ||
+      req->version.rfind("HTTP/1.", 0) != 0) {
+    *err_status = 400;
+    return Parse::kError;
+  }
+  for (char c : req->method) {
+    if (std::isupper(static_cast<unsigned char>(c)) == 0) {
+      *err_status = 400;
+      return Parse::kError;
+    }
+  }
+  const std::size_t q = req->target.find('?');
+  req->path = req->target.substr(0, q);
+  req->query =
+      q == std::string::npos ? std::string() : req->target.substr(q + 1);
+  // Header fields.
+  req->headers.clear();
+  std::size_t pos = line_end + 2;
+  while (pos < hdr_end) {
+    std::size_t eol = in.find("\r\n", pos);
+    if (eol > hdr_end) eol = hdr_end;
+    const std::string hline = in.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = hline.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      *err_status = 400;
+      return Parse::kError;
+    }
+    std::string name = hline.substr(0, colon);
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      *err_status = 400;
+      return Parse::kError;
+    }
+    std::string value = hline.substr(colon + 1);
+    const std::size_t b = value.find_first_not_of(" \t");
+    const std::size_t e = value.find_last_not_of(" \t");
+    value = b == std::string::npos ? std::string()
+                                   : value.substr(b, e - b + 1);
+    req->headers.emplace_back(to_lower(std::move(name)), std::move(value));
+  }
+  // Body, when Content-Length is present.
+  std::size_t body_len = 0;
+  if (const std::string* cl = req->header("content-length")) {
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos ||
+        cl->size() > 9) {
+      *err_status = 400;
+      return Parse::kError;
+    }
+    body_len = static_cast<std::size_t>(std::stoul(*cl));
+    if (hdr_end + 4 + body_len > max_bytes) {
+      *err_status = 413;
+      return Parse::kError;
+    }
+  }
+  if (in.size() < hdr_end + 4 + body_len) return Parse::kNeedMore;
+  req->body = in.substr(hdr_end + 4, body_len);
+  *consumed = hdr_end + 4 + body_len;
+  return Parse::kOk;
+}
+
+bool wants_close(const HttpRequest& req) {
+  const std::string* conn = req.header("connection");
+  const std::string value = conn == nullptr ? std::string() : to_lower(*conn);
+  if (value.find("close") != std::string::npos) return true;
+  if (req.version == "HTTP/1.0") {
+    return value.find("keep-alive") == std::string::npos;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+struct HttpServer::Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  bool close_after_out = false;
+  bool peer_closed = false;
+  Clock::time_point deadline;
+};
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(const HttpServerConfig& cfg, HttpHandler handler,
+                       std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) *error = std::string(what) + ": " + strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_rd_ >= 0) ::close(wake_rd_);
+    if (wake_wr_ >= 0) ::close(wake_wr_);
+    listen_fd_ = wake_rd_ = wake_wr_ = -1;
+    return false;
+  };
+  if (running()) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) return fail("pipe");
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+  if (!set_nonblocking(listen_fd_) || !set_nonblocking(wake_rd_)) {
+    return fail("fcntl");
+  }
+  port_ = ntohs(addr.sin_port);
+  cfg_ = cfg;
+  handler_ = std::move(handler);
+  loop_ = std::thread(&HttpServer::loop, this);
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!loop_.joinable()) return;
+  const char wake = 'q';
+  // A full pipe already guarantees a pending wake-up; the result of this
+  // extra byte is irrelevant either way.
+  (void)!::write(wake_wr_, &wake, 1);
+  loop_.join();
+  ::close(listen_fd_);
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+  listen_fd_ = wake_rd_ = wake_wr_ = -1;
+  port_ = 0;
+  handler_ = nullptr;
+}
+
+void HttpServer::loop() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::vector<pollfd> fds;
+  const auto timeout = std::chrono::milliseconds(
+      cfg_.header_timeout_ms > 0 ? cfg_.header_timeout_ms : 5000);
+
+  // Handles a complete request already parsed from conn input; returns the
+  // serialized response and records it with the observer.
+  auto dispatch = [this](Conn& c, const HttpRequest& req) {
+    const Clock::time_point t0 = Clock::now();
+    HttpResponse resp;
+    if (handler_) {
+      try {
+        resp = handler_(req);
+      } catch (...) {
+        resp = HttpResponse{};
+        resp.status = 500;
+        resp.body = "internal error\n";
+      }
+    } else {
+      resp.status = 404;
+      resp.body = "no handler\n";
+    }
+    const double secs = seconds_between(t0, Clock::now());
+    const bool close = resp.close_connection || wants_close(req);
+    c.out += serialize(resp, close);
+    c.close_after_out = c.close_after_out || close;
+    if (cfg_.observer != nullptr) {
+      cfg_.observer->on_request(req.method, req.path, resp.status, secs);
+    }
+  };
+
+  auto fail_request = [this](Conn& c, int status) {
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = std::string(status_reason(status)) + "\n";
+    c.out += serialize(resp, /*close=*/true);
+    c.close_after_out = true;
+    if (cfg_.observer != nullptr) {
+      cfg_.observer->on_request("", "", status, 0.0);
+    }
+  };
+
+  for (;;) {
+    fds.clear();
+    fds.push_back(pollfd{wake_rd_, POLLIN, 0});
+    // At capacity the listener's readiness is uninteresting (accepting is
+    // deferred until a slot frees); masking it keeps poll() from spinning.
+    const bool at_capacity =
+        static_cast<int>(conns.size()) >= cfg_.max_connections;
+    fds.push_back(
+        pollfd{listen_fd_, static_cast<short>(at_capacity ? 0 : POLLIN), 0});
+    for (const auto& c : conns) {
+      short events = POLLIN;
+      if (!c->out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{c->fd, events, 0});
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc < 0 && errno != EINTR) break;
+    if ((fds[0].revents & POLLIN) != 0) break;  // stop() wake-up
+
+    const Clock::time_point now = Clock::now();
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      // Accept only up to capacity.  Beyond it, connections stay queued in
+      // the kernel backlog until a slot frees — backpressure, never an
+      // accept-and-reset that a client would see as a dropped request.
+      while (static_cast<int>(conns.size()) < cfg_.max_connections) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->deadline = now + timeout;
+        conns.push_back(std::move(conn));
+        if (cfg_.observer != nullptr) cfg_.observer->on_connection_delta(1);
+      }
+    }
+
+    // Only the connections that were present when `fds` was built have a
+    // pollfd entry; connections accepted above are served next iteration.
+    const std::size_t polled = fds.size() - 2;
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = *conns[i];
+      const short revents = fds[i + 2].revents;
+      bool dead = (revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!dead && (revents & (POLLIN | POLLHUP)) != 0) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            c.peer_closed = true;
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            dead = true;
+          }
+          break;
+        }
+      }
+
+      // Serve every complete pipelined request already buffered.
+      while (!dead && !c.close_after_out) {
+        HttpRequest req;
+        std::size_t consumed = 0;
+        int err_status = 0;
+        const Parse p = parse_request(c.in, cfg_.max_request_bytes, &req,
+                                      &consumed, &err_status);
+        if (p == Parse::kNeedMore) break;
+        if (p == Parse::kError) {
+          fail_request(c, err_status);
+          break;
+        }
+        c.in.erase(0, consumed);
+        dispatch(c, req);
+        c.deadline = now + timeout;  // re-arm per served request
+      }
+
+      if (!dead && !c.out.empty() &&
+          (revents & (POLLOUT | POLLIN | POLLHUP)) != 0) {
+        const ssize_t n =
+            ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+          c.out.erase(0, static_cast<std::size_t>(n));
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          dead = true;  // client went away mid-response; tolerated
+        }
+      }
+
+      if (!dead && c.out.empty() && (c.close_after_out || c.peer_closed)) {
+        dead = true;
+      }
+      if (!dead && now >= c.deadline) {
+        if (c.in.empty() && c.out.empty()) {
+          dead = true;  // idle keep-alive connection; close silently
+        } else if (c.out.empty()) {
+          fail_request(c, 408);  // slow-loris: partial request, no progress
+        }
+        c.deadline = now + timeout;
+      }
+      if (dead) {
+        ::close(c.fd);
+        c.fd = -1;
+        if (cfg_.observer != nullptr) cfg_.observer->on_connection_delta(-1);
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::unique_ptr<Conn>& c) {
+                                 return c->fd < 0;
+                               }),
+                conns.end());
+  }
+
+  for (const auto& c : conns) {
+    ::close(c->fd);
+    if (cfg_.observer != nullptr) cfg_.observer->on_connection_delta(-1);
+  }
+}
+
+}  // namespace p2sim::util

@@ -1,0 +1,118 @@
+// A small embedded HTTP/1.1 server for the monitoring plane.
+//
+// One background thread owns a poll(2) event loop over non-blocking
+// sockets: it accepts connections on a loopback listener, parses requests
+// incrementally (so a slow or hostile client never blocks anyone else),
+// invokes a single user handler per complete request, and streams the
+// response back through a per-connection output buffer.  There are no
+// third-party dependencies and — deliberately — no locks or atomics: every
+// byte of connection state is owned by the loop thread.  start() publishes
+// the handler and the bound port before the thread exists, stop() wakes
+// the loop through a self-pipe and joins it, and std::thread's
+// constructor/join give the only happens-before edges the design needs.
+//
+// Robustness contract (exercised by tests/util/http_server_test.cpp and
+// the monitoring soak):
+//   - malformed request line or headers        -> 400, connection closed
+//   - request larger than max_request_bytes    -> 413, connection closed
+//   - headers not complete within the deadline -> 408, connection closed
+//     (slow-loris defence; the deadline re-arms per request)
+//   - client disconnect mid-request or mid-response is tolerated silently
+//   - keep-alive and pipelined requests are served in arrival order;
+//     "Connection: close" (or HTTP/1.0 without keep-alive) is honored
+//   - at max_connections, new connections wait in the kernel backlog
+//     until a slot frees (backpressure) — they are never accept-and-reset
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace p2sim::util {
+
+/// One parsed request.  Header names are lower-cased at parse time.
+struct HttpRequest {
+  std::string method;
+  std::string target;  // origin-form as received, e.g. "/api/jobs?limit=5"
+  std::string path;    // target up to '?'
+  std::string query;   // after '?', possibly empty
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup (name must be given in lower case).
+  const std::string* header(std::string_view lower_name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  bool close_connection = false;  // force close after this response
+};
+
+/// Loop-thread callbacks for observability; default no-ops.  on_request
+/// fires once per handled request (including generated 400/408/413) with
+/// the wall-clock seconds spent in the user handler; on_connection_delta
+/// fires +1 on accept and -1 on close.
+class HttpObserver {
+ public:
+  virtual ~HttpObserver() = default;
+  virtual void on_connection_delta(int /*delta*/) {}
+  virtual void on_request(const std::string& /*method*/,
+                          const std::string& /*path*/, int /*status*/,
+                          double /*handler_seconds*/) {}
+};
+
+struct HttpServerConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral; see HttpServer::port()
+  int max_connections = 64;
+  std::size_t max_request_bytes = 1U << 16;
+  int header_timeout_ms = 5000;
+  HttpObserver* observer = nullptr;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the loop thread and returns true; on
+  /// failure returns false and, if `error` is non-null, stores the reason.
+  /// The handler runs on the loop thread and must not call back into this
+  /// server.  Calling start() on a running server fails.
+  bool start(const HttpServerConfig& cfg, HttpHandler handler,
+             std::string* error = nullptr);
+
+  /// Wakes the loop, closes every connection and joins the thread.
+  /// Idempotent; safe on a never-started server.
+  void stop();
+
+  bool running() const noexcept { return loop_.joinable(); }
+
+  /// The bound port (resolved at start() even when cfg.port == 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  struct Conn;
+  void loop();
+
+  HttpServerConfig cfg_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread loop_;
+};
+
+}  // namespace p2sim::util

@@ -490,7 +490,13 @@ void WorkloadDriver::phase_node_advance(CampaignState& st) {
   });
 
   // Serial merge, ascending node order: fold busy seconds exactly as the
-  // serial loop accumulated them, and fold the telemetry shards.
+  // serial loop accumulated them, and fold the telemetry shards through
+  // the shard field table (the single registration site for the
+  // p2sim_lane_* counters).  The FoldGuard flips the session's fold epoch
+  // odd for the duration so a concurrent scrape retries instead of
+  // double-counting folded counters plus not-yet-reset shard residue.
+  auto* tel = telemetry::current();
+  telemetry::Session::FoldGuard fold_guard(tel);
   st.busy_node_seconds = 0.0;
   telemetry::MetricShard interval_shard;
   for (NodeLane& lane : lanes) {
@@ -501,19 +507,11 @@ void WorkloadDriver::phase_node_advance(CampaignState& st) {
     lane.shard.reset();
   }
   st.result.total_busy_node_seconds += st.busy_node_seconds;
-  if (auto* tel = telemetry::current()) {
-    tel->registry
-        .counter("p2sim_lane_busy_node_intervals_total",
-                 "Node-intervals spent servicing a PBS job")
-        .inc(interval_shard.busy_node_intervals);
-    tel->registry
-        .counter("p2sim_lane_idle_node_intervals_total",
-                 "Node-intervals spent idle (OS noise only)")
-        .inc(interval_shard.idle_node_intervals);
-    tel->registry
-        .counter("p2sim_lane_down_node_intervals_total",
-                 "Node-intervals spent out of service after a crash")
-        .inc(interval_shard.down_node_intervals);
+  if (tel != nullptr) {
+    for (const telemetry::MetricShard::Field& f :
+         telemetry::MetricShard::fields()) {
+      tel->registry.counter(f.name, f.help).inc((interval_shard.*f.value)());
+    }
   }
 }
 
@@ -528,14 +526,29 @@ void WorkloadDriver::phase_epilogues(CampaignState& st) {
     rec.spec = r.spec;
     rec.start_time_s = r.start_s;
     rec.end_time_s = r.end_s;
+    bool abandoned = false;
     if (!r.has_prologue) {
       rec.report = rs2hpm::JobCounterReport::incomplete(
           id, static_cast<int>(r.nodes.size()), r.end_s - r.start_s);
     } else if (st.inject.enabled() && st.inject.lose_epilogue(id, r.attempt)) {
       rec.report = st.jobmon.abandon(id, r.end_s);
+      abandoned = true;
     } else {
       auto [jt, jq] = st.job_spans(r.nodes);
       rec.report = st.jobmon.epilogue(id, r.end_s, jt, jq);
+    }
+    if (cfg_.observer != nullptr) {
+      telemetry::JobSample js;
+      js.job_id = id;
+      js.user_id = rec.spec.user_id;
+      js.nodes = static_cast<int>(r.nodes.size());
+      js.submit_s = rec.spec.submit_time_s;
+      js.start_s = rec.start_time_s;
+      js.end_s = rec.end_time_s;
+      js.job_mflops = rec.job_mflops();
+      js.complete = rec.report.complete;
+      js.abandoned = abandoned;
+      cfg_.observer->on_job(js);
     }
     st.result.jobs.add(std::move(rec));
     for (int n : r.nodes) st.node_job[static_cast<std::size_t>(n)] = nullptr;
@@ -660,6 +673,17 @@ void WorkloadDriver::maybe_checkpoint(CampaignState& st) {
 
 CampaignResult WorkloadDriver::run() {
   CampaignState st(cfg_);
+
+  // Publish the lane shards to the session's live view so a scrape can
+  // merge-on-read the unfolded residue mid-interval; retracted (under the
+  // readers' lock) before the lanes die, even on unwind.
+  std::vector<const telemetry::MetricShard*> shard_ptrs;
+  if (telemetry::current() != nullptr) {
+    shard_ptrs.reserve(st.lanes.size());
+    for (const NodeLane& lane : st.lanes) shard_ptrs.push_back(&lane.shard);
+  }
+  telemetry::ScopedLiveShards live_shards(telemetry::current(),
+                                          std::move(shard_ptrs));
 
   const std::int64_t start_t = try_resume(st);
   if (start_t == 0) {

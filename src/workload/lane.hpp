@@ -60,12 +60,12 @@ class NodeLane {
   P2SIM_PAR_SAFE void advance_interval(double interval_s) {
     interval_busy_s = 0.0;
     if (!node.is_up()) {
-      ++shard.down_node_intervals;
+      shard.add_down();
       return;
     }
     if (step.sig == nullptr) {
       node.advance_idle(interval_s);
-      ++shard.idle_node_intervals;
+      shard.add_idle();
       return;
     }
     node.advance(step.busy_s, step.sig, step.activity);
@@ -73,7 +73,7 @@ class NodeLane {
       node.advance_idle(interval_s - step.busy_s);
     }
     interval_busy_s = step.busy_s;
-    ++shard.busy_node_intervals;
+    shard.add_busy();
   }
 
   cluster::Node node;

@@ -7,6 +7,7 @@
 
 #include "src/core/simulation.hpp"
 #include "src/telemetry/metrics.hpp"
+#include "src/telemetry/service.hpp"
 #include "src/telemetry/session.hpp"
 #include "src/workload/driver.hpp"
 
@@ -25,6 +26,29 @@ TEST(CampaignTelemetry, DisabledCampaignAllocatesNoMetrics) {
   // pipeline.  This pins "disabled means off", not "off but allocating".
   const std::uint64_t before = telemetry::metrics_created();
   (void)workload::run_campaign(small_faulted());
+  EXPECT_EQ(telemetry::metrics_created(), before);
+}
+
+TEST(CampaignTelemetry, ScrapePathAllocatesNoMetrics) {
+  // The other half of the overhead guard: serving the monitoring plane
+  // must construct zero metric objects.  All registration happens at
+  // MonitorService construction and during the campaign; every scrape and
+  // query after that works entirely on existing storage.
+  telemetry::Session session;
+  telemetry::MonitorService svc(session);
+  {
+    telemetry::ScopedSession scoped(session);
+    (void)workload::run_campaign(small_faulted());
+  }
+  const std::uint64_t before = telemetry::metrics_created();
+  for (int i = 0; i < 50; ++i) {
+    (void)svc.metrics_text();
+    (void)svc.healthz_json();
+    (void)svc.days_json();
+    (void)svc.jobs_json(16);
+    (void)session.registry.snapshot();
+    (void)session.registry.prometheus_text();
+  }
   EXPECT_EQ(telemetry::metrics_created(), before);
 }
 

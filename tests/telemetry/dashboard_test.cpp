@@ -96,6 +96,79 @@ TEST(Dashboard, RenderCarriesChartsAndHealthBlock) {
   EXPECT_EQ(obs.reporter.daily_coverage().size(), 6u);
 }
 
+TEST(Dashboard, UntouchedReporterRendersCleanly) {
+  // Zero campaigns, zero completed jobs: every accessor has a defined
+  // value and the dashboard renders without dividing by zero.
+  telemetry::HealthReporter reporter;
+  const telemetry::HealthSnapshot& snap = reporter.snapshot();
+  EXPECT_EQ(snap.intervals_seen, 0);
+  EXPECT_EQ(snap.jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(snap.coverage(), 1.0);  // nothing expected, nothing lost
+  EXPECT_DOUBLE_EQ(snap.mean_mflops(), 0.0);
+  EXPECT_TRUE(reporter.daily_gflops().empty());
+  EXPECT_TRUE(reporter.daily_coverage().empty());
+  const std::string dash = reporter.render_dashboard();
+  EXPECT_NE(dash.find("Campaign pipeline health"), std::string::npos);
+}
+
+TEST(Dashboard, FullyDarkDayHasZeroCoverage) {
+  // A day whose every daemon sample was lost: daily coverage must be 0
+  // (scaled by the recorded-interval fraction), not 1.0-because-nothing-
+  // was-expected; daily Gflops must be 0, not NaN.
+  telemetry::HealthReporter reporter;
+  for (int i = 0; i < 96; ++i) {
+    telemetry::HealthSample s;
+    s.interval = i;
+    s.day = 0;
+    s.interval_recorded = false;
+    reporter.on_interval(s);
+  }
+  telemetry::HealthSample lit;
+  lit.interval = 96;
+  lit.day = 1;
+  lit.interval_recorded = true;
+  lit.nodes_expected = 8;
+  lit.nodes_sampled = 6;
+  lit.mflops = 120.0;
+  reporter.on_interval(lit);
+
+  const std::vector<double> cov = reporter.daily_coverage();
+  const std::vector<double> gfl = reporter.daily_gflops();
+  ASSERT_EQ(cov.size(), 2u);
+  EXPECT_DOUBLE_EQ(cov[0], 0.0);
+  EXPECT_DOUBLE_EQ(gfl[0], 0.0);
+  EXPECT_DOUBLE_EQ(cov[1], 6.0 / 8.0);
+  // The cumulative view only counts recorded intervals' node samples.
+  const telemetry::HealthSnapshot& snap = reporter.snapshot();
+  EXPECT_EQ(snap.intervals_seen, 97);
+  EXPECT_EQ(snap.intervals_recorded, 1);
+  EXPECT_EQ(snap.node_samples_expected, 8);
+  EXPECT_EQ(snap.node_samples_clean, 6);
+}
+
+TEST(Dashboard, SnapshotIsConsistentAtEveryIntervalBoundary) {
+  // A scrape can land between any two on_interval calls; the snapshot it
+  // reads must already account for every interval delivered so far — no
+  // deferred or batched accounting.
+  telemetry::HealthReporter reporter;
+  for (int i = 0; i < 20; ++i) {
+    telemetry::HealthSample s;
+    s.interval = i;
+    s.day = i / 4;
+    s.interval_recorded = (i % 5 != 4);  // every fifth interval is lost
+    s.nodes_expected = s.interval_recorded ? 4 : 0;
+    s.nodes_sampled = s.nodes_expected;
+    s.mflops = 10.0;
+    reporter.on_interval(s);
+    const telemetry::HealthSnapshot& snap = reporter.snapshot();
+    EXPECT_EQ(snap.intervals_seen, i + 1);
+    EXPECT_EQ(snap.intervals_recorded, (i + 1) - (i + 1) / 5);
+    EXPECT_EQ(snap.node_samples_expected, snap.node_samples_clean);
+    EXPECT_EQ(snap.node_samples_expected,
+              4 * ((i + 1) - (i + 1) / 5));
+  }
+}
+
 TEST(Dashboard, FaultFreeCampaignHasFullCoverage) {
   core::Sp2Config cfg = core::Sp2Config::small(/*days=*/4, /*nodes=*/8);
   telemetry::HealthReporter reporter;

@@ -69,6 +69,8 @@ NONDET_ALLOWLIST = (
     "src/util/rng.cpp",
     "src/telemetry/trace.hpp",
     "src/telemetry/trace.cpp",
+    "src/util/http_server.cpp",
+    "src/util/http_client.cpp",
 )
 
 NONDET_RES = (

@@ -88,15 +88,25 @@ INIT_CHECKED_HEADERS = (
     # silent state divergence.
     "src/util/ckpt.hpp",
     "src/workload/checkpoint.hpp",
+    # The monitoring plane: request/response fields, server bookkeeping and
+    # the service's job-ring cursors cross the driver/HTTP-loop thread
+    # boundary; an indeterminate status code or ring index here would be a
+    # use-of-uninitialized on every scrape.
+    "src/telemetry/service.hpp",
+    "src/util/http_server.hpp",
+    "src/util/http_client.hpp",
 )
 
 # Telemetry metric names: full-string shape every registration must obey
 # (the registry also enforces this at runtime; the lint catches it before a
-# campaign does) and the literal-site scanner.  The telemetry module itself
-# is excluded -- it holds the prefix constant, not registration sites.
+# campaign does) and the literal-site scanner.  Only the registry
+# implementation itself is excluded -- it holds the name-shape prefix
+# constant, not registration sites.  The lane-shard counters (shard.hpp)
+# and the p2sim_server_* monitoring metrics (service.cpp) ARE scanned:
+# each must have exactly one registration site like any other metric.
 METRIC_NAME_RE = re.compile(r"^p2sim_[a-z0-9_]+$")
 _METRIC_LITERAL_RE = re.compile(r'"(p2sim_[^"]*)"')
-METRIC_SCAN_EXCLUDE = "src/telemetry/"
+METRIC_SCAN_EXCLUDE = ("src/telemetry/metrics.",)
 
 # Only these member types are indeterminate without an initializer; class
 # types (vectors, maps, mutexes) default-construct to a defined state.
@@ -555,13 +565,27 @@ def self_test() -> int:
             )
         )
 
-    def drop_shard_tally_initializer(tmp):
-        p = tmp / "src/telemetry/shard.hpp"
+    def drop_service_ring_initializer(tmp):
+        p = tmp / "src/telemetry/service.hpp"
         p.write_text(
             p.read_text().replace(
-                "std::uint64_t busy_node_intervals = 0;",
-                "std::uint64_t busy_node_intervals;", 1
+                "std::size_t max_job_samples = 4096;",
+                "std::size_t max_job_samples;", 1
             )
+        )
+
+    def drop_http_status_initializer(tmp):
+        p = tmp / "src/util/http_server.hpp"
+        p.write_text(
+            p.read_text().replace("int status = 200;", "int status;", 1)
+        )
+
+    def duplicate_server_metric_site(tmp):
+        p = tmp / "src/telemetry/service.hpp"
+        p.write_text(
+            p.read_text()
+            + 'inline const char* kDupA = "p2sim_server_requests_total";\n'
+            + 'inline const char* kDupB = "p2sim_server_requests_total";\n'
         )
 
     scenario("missing health-sample init", drop_health_initializer,
@@ -570,8 +594,12 @@ def self_test() -> int:
              "in-class initializer")
     scenario("missing lane-output init", drop_lane_output_initializer,
              "in-class initializer")
-    scenario("missing metric-shard init", drop_shard_tally_initializer,
+    scenario("missing monitor-service init", drop_service_ring_initializer,
              "in-class initializer")
+    scenario("missing http-response init", drop_http_status_initializer,
+             "in-class initializer")
+    scenario("duplicate server metric site", duplicate_server_metric_site,
+             "registration site")
 
     def drop_field_table_row(tmp):
         p = tmp / FIELD_TABLE_HPP

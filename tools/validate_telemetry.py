@@ -17,7 +17,18 @@ Checked against the formats the telemetry layer promises:
 Cross-checks: every metric in the JSONL stream also appears in the
 Prometheus export (same registry, two serializations).
 
+Exposition conformance (both modes): HELP and TYPE appear exactly once per
+family, every histogram family exports ``_sum`` and ``_count`` plus a
+closing ``le="+Inf"`` bucket, and the +Inf bucket's cumulative value equals
+the family's ``_count``.
+
 Usage:  python3 tools/validate_telemetry.py <outdir>
+        python3 tools/validate_telemetry.py --scrape <file>
+
+The ``--scrape`` form validates the body of a live ``GET /metrics``
+response captured from the monitoring service (e.g. via p2sim_monitord
+--scrape-dump); it additionally requires at least one ``p2sim_server_*``
+metric, proving the body came from a live server and not a file export.
 Exit status 0 when everything holds, 1 with a message per violation.
 """
 
@@ -63,18 +74,32 @@ def check_prometheus(path: pathlib.Path) -> tuple[list[str], set[str]]:
     typed: dict[str, str] = {}
     sampled: set[str] = set()
     last_bucket: dict[str, float] = {}
+    inf_bucket: dict[str, float] = {}
+    family_stat: dict[str, set[str]] = {}
+    count_value: dict[str, float] = {}
     for i, line in enumerate(path.read_text().splitlines(), start=1):
         if not line:
             problems.append(f"{path.name}:{i}: blank line")
             continue
         if line.startswith("# HELP "):
-            helped.add(line.split()[2])
+            fam = line.split()[2]
+            if fam in helped:
+                problems.append(
+                    f"{path.name}:{i}: duplicate HELP for {fam!r}; exactly "
+                    f"one per family"
+                )
+            helped.add(fam)
             continue
         if line.startswith("# TYPE "):
             parts = line.split()
             if len(parts) != 4 or parts[3] not in KINDS:
                 problems.append(f"{path.name}:{i}: malformed TYPE line")
             else:
+                if parts[2] in typed:
+                    problems.append(
+                        f"{path.name}:{i}: duplicate TYPE for {parts[2]!r}; "
+                        f"exactly one per family"
+                    )
                 typed[parts[2]] = parts[3]
             continue
         if line.startswith("#"):
@@ -117,15 +142,50 @@ def check_prometheus(path: pathlib.Path) -> tuple[list[str], set[str]]:
                 problems.append(
                     f"{path.name}:{i}: bucket sample without an le label"
                 )
+            if 'le="+Inf"' in labels:
+                inf_bucket[name] = value
+        elif m.group("name").endswith("_sum") and name in typed:
+            family_stat.setdefault(name, set()).add("sum")
+        elif m.group("name").endswith("_count") and name in typed:
+            family_stat.setdefault(name, set()).add("count")
+            count_value[name] = value
     for name, kind in typed.items():
         if kind == "histogram":
             if name not in last_bucket:
                 problems.append(
                     f"{path.name}: histogram {name!r} exported no buckets"
                 )
+            elif name not in inf_bucket:
+                problems.append(
+                    f"{path.name}: histogram {name!r} lacks the closing "
+                    f'le="+Inf" bucket'
+                )
+            for stat in ("sum", "count"):
+                if stat not in family_stat.get(name, set()):
+                    problems.append(
+                        f"{path.name}: histogram {name!r} exported no "
+                        f"_{stat} sample"
+                    )
+            if (name in inf_bucket and name in count_value
+                    and inf_bucket[name] != count_value[name]):
+                problems.append(
+                    f"{path.name}: histogram {name!r} +Inf bucket "
+                    f"({inf_bucket[name]}) != _count ({count_value[name]})"
+                )
     if not sampled:
         problems.append(f"{path.name}: no samples at all")
     return problems, sampled
+
+
+def check_scrape(path: pathlib.Path) -> list[str]:
+    """Validate a captured live /metrics response body."""
+    problems, names = check_prometheus(path)
+    if not any(n.startswith("p2sim_server_") for n in names):
+        problems.append(
+            f"{path.name}: no p2sim_server_* metric in the scrape; the "
+            f"body does not look like a live monitoring-service response"
+        )
+    return problems
 
 
 def check_jsonl(path: pathlib.Path) -> tuple[list[str], set[str]]:
@@ -195,6 +255,20 @@ def check_trace(path: pathlib.Path) -> list[str]:
 
 
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--scrape":
+        scrape = pathlib.Path(sys.argv[2])
+        if not scrape.is_file():
+            print(f"validate_telemetry: {scrape}: missing", file=sys.stderr)
+            return 1
+        problems = check_scrape(scrape)
+        for p in problems:
+            print(f"validate_telemetry: {p}", file=sys.stderr)
+        if problems:
+            print(f"validate_telemetry: {len(problems)} problem(s)",
+                  file=sys.stderr)
+            return 1
+        print("validate_telemetry: scrape OK")
+        return 0
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
