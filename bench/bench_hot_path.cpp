@@ -154,9 +154,18 @@ void report() {
   std::printf("  signature lookup (warm snapshot): %8.1f ns\n", lookup_ns);
 
   // (c) Full campaign: fast path across thread counts vs serial reference.
+  // Multi-thread speedup figures are only published when the host really
+  // has that many cores; oversubscribed wall times are scheduling noise,
+  // not scaling data.
+  const bool scaling_valid = hw >= 8u;
   std::printf("  campaign: 144 nodes x %lld days; host has %u hardware "
               "thread(s)\n",
               static_cast<long long>(days), hw);
+  if (!scaling_valid) {
+    std::printf("    !! host has %u hardware thread(s) < 8: multi-thread "
+                "speedup figures withheld\n",
+                hw);
+  }
   const CampaignRun ref_run =
       run_campaign_at("reference", 1, /*reference=*/true, days);
   std::printf("    reference  threads=1  wall %8.2f s\n", ref_run.wall_seconds);
@@ -164,10 +173,15 @@ void report() {
   for (int threads : {1, 2, 4, 8}) {
     runs.push_back(run_campaign_at("fast", threads, /*reference=*/false, days));
     const CampaignRun& r = runs.back();
-    std::printf("    fast       threads=%d  wall %8.2f s  vs reference "
-                "%5.2fx\n",
-                r.threads, r.wall_seconds,
-                ref_run.wall_seconds / r.wall_seconds);
+    if (r.threads == 1 || scaling_valid) {
+      std::printf("    fast       threads=%d  wall %8.2f s  vs reference "
+                  "%5.2fx\n",
+                  r.threads, r.wall_seconds,
+                  ref_run.wall_seconds / r.wall_seconds);
+    } else {
+      std::printf("    fast       threads=%d  wall %8.2f s\n", r.threads,
+                  r.wall_seconds);
+    }
   }
 
   bool identical = true;
@@ -192,14 +206,20 @@ void report() {
        << "    \"speedup\": " << speedup << "\n  },\n"
        << "  \"signature_lookup_ns\": " << lookup_ns << ",\n"
        << "  \"table2_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"scaling_valid\": " << (scaling_valid ? "true" : "false")
        << ",\n  \"campaign\": {\n    \"reference_wall_seconds\": "
        << ref_run.wall_seconds << ",\n    \"fast_runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     json << "      {\"threads\": " << runs[i].threads
-         << ", \"wall_seconds\": " << runs[i].wall_seconds
-         << ", \"speedup_vs_reference\": "
-         << ref_run.wall_seconds / runs[i].wall_seconds << "}"
-         << (i + 1 < runs.size() ? "," : "") << "\n";
+         << ", \"wall_seconds\": " << runs[i].wall_seconds;
+    if (runs[i].threads == 1 || scaling_valid) {
+      // threads=1 is an algorithmic (fast vs reference) comparison and
+      // stays valid on any host; wider runs only claim speedup when the
+      // cores exist.
+      json << ", \"speedup_vs_reference\": "
+           << ref_run.wall_seconds / runs[i].wall_seconds;
+    }
+    json << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "    ]\n  }\n}\n";
 

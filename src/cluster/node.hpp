@@ -94,13 +94,16 @@ class Node {
   P2SIM_SERIAL_ONLY void reboot();
   P2SIM_PAR_SAFE bool is_up() const { return up_; }
 
-  int id() const { return id_; }
+  P2SIM_PAR_SAFE int id() const { return id_; }
   const NodeConfig& config() const { return cfg_; }
 
-  /// RS2HPM view: monotone 64-bit extended totals.
-  const rs2hpm::ModeTotals& totals() const { return ext_.totals(); }
+  /// RS2HPM view: monotone 64-bit extended totals.  Lane-local reads, so
+  /// the owning lane may probe them inside the parallel region.
+  P2SIM_PAR_SAFE const rs2hpm::ModeTotals& totals() const {
+    return ext_.totals();
+  }
   /// Diagnostic channel (not a hardware counter): cumulative quad ops.
-  std::uint64_t quad_total() const { return quad_total_; }
+  P2SIM_PAR_SAFE std::uint64_t quad_total() const { return quad_total_; }
   /// Raw monitor (tests peek at the wrapping banks).
   const hpm::PerformanceMonitor& monitor() const { return monitor_; }
   /// DMA engine state (equivalence tests compare it byte-for-byte).

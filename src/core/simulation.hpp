@@ -38,7 +38,7 @@ struct Sp2Config {
   fault::FaultConfig& faults() { return driver.faults; }
   const fault::FaultConfig& faults() const { return driver.faults; }
 
-  /// Worker threads for the driver's node-advance phase (results are
+  /// Worker threads for the driver's parallel phases (results are
   /// bit-identical for every value; see workload::DriverConfig::threads).
   int& threads() { return driver.threads; }
   int threads() const { return driver.threads; }

@@ -129,10 +129,19 @@ bool FaultInjector::miss_interval(std::int64_t interval) {
 
 bool FaultInjector::lose_node_sample(int node, std::int64_t interval) {
   if (!sched_.node_sample_lost(node, interval)) return false;
-  ++log_.node_samples_lost;
-  count_fault("p2sim_fault_node_samples_lost_total",
-              "Per-node daemon samples dropped in flight");
+  note_samples_lost(1);
   return true;
+}
+
+void FaultInjector::note_samples_lost(std::int64_t count) {
+  if (count <= 0) return;
+  log_.node_samples_lost += count;
+  if (auto* tel = telemetry::current()) {
+    tel->registry
+        .counter("p2sim_fault_node_samples_lost_total",
+                 "Per-node daemon samples dropped in flight")
+        .inc(static_cast<std::uint64_t>(count));
+  }
 }
 
 bool FaultInjector::lose_prologue(std::int64_t job_id, int attempt) {

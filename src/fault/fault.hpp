@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/check/annotate.hpp"
 #include "src/util/rng.hpp"
 
 namespace p2sim::fault {
@@ -67,7 +68,10 @@ class FaultSchedule {
 
   bool node_crashes(int node, std::int64_t interval) const;
   bool interval_missed(std::int64_t interval) const;
-  bool node_sample_lost(int node, std::int64_t interval) const;
+  /// Lanes query this inside the parallel region (read-only fault view):
+  /// the answer is a pure function of (seed, node, interval), so the call
+  /// shares no mutable state.  Logging stays a serial-phase concern.
+  P2SIM_PAR_SAFE bool node_sample_lost(int node, std::int64_t interval) const;
   /// `attempt` distinguishes requeued runs of the same job id.
   bool prologue_lost(std::int64_t job_id, int attempt = 0) const;
   bool epilogue_lost(std::int64_t job_id, int attempt = 0) const;
@@ -76,8 +80,11 @@ class FaultSchedule {
   const FaultConfig& config() const { return cfg_; }
 
  private:
-  /// Uniform [0,1) draw for one fault decision.
-  double draw(std::uint64_t domain, std::uint64_t a, std::uint64_t b) const;
+  /// Uniform [0,1) draw for one fault decision.  Constructs a one-shot
+  /// generator from the hashed coordinates — no stream state survives the
+  /// call, which is what makes concurrent lane queries safe.
+  P2SIM_PAR_SAFE double draw(std::uint64_t domain, std::uint64_t a,
+                             std::uint64_t b) const;
 
   FaultConfig cfg_;
   double crash_prob_per_interval_ = 0.0;
@@ -162,6 +169,10 @@ class FaultInjector {
   /// Side-effect bookkeeping the driver reports as it happens.
   void note_node_down() { ++log_.down_node_intervals; }
   void note_node_unreachable() { ++log_.node_samples_unreachable; }
+  /// Batch variant of lose_node_sample's logging half: the lanes already
+  /// decided (via the schedule) which samples were lost this interval; the
+  /// serial fold reports the tally here so log and telemetry stay exact.
+  void note_samples_lost(std::int64_t count);
   void note_job_killed(bool had_prologue) {
     ++log_.jobs_killed;
     if (!had_prologue) ++log_.jobs_killed_sans_prologue;

@@ -64,7 +64,7 @@ class CounterBank {
   P2SIM_PAR_SAFE const std::array<std::uint32_t, kNumCounters>& raw() const {
     return counters_;
   }
-  void clear() { counters_.fill(0); }
+  P2SIM_PAR_SAFE void clear() { counters_.fill(0); }
 
   /// Checkpoint support: raw 32-bit register values round-trip exactly.
   void save_ckpt(util::CkptWriter& w) const {
@@ -114,7 +114,7 @@ class PerformanceMonitor {
   P2SIM_PAR_SAFE const CounterBank& bank(PrivilegeMode mode) const {
     return banks_[static_cast<std::size_t>(mode)];
   }
-  void clear();
+  P2SIM_PAR_SAFE void clear();
 
   const MonitorConfig& config() const { return cfg_; }
 

@@ -97,7 +97,10 @@ std::vector<StartEvent> Scheduler::schedule(double now) {
       break;
     }
   }
-  // Telemetry: machine-state gauges after every scheduling pass.
+  return started;
+}
+
+void Scheduler::export_gauges() const {
   if (auto* tel = telemetry::current()) {
     tel->registry
         .gauge("p2sim_sched_queue_depth", "Jobs waiting in the PBS queue")
@@ -114,7 +117,6 @@ std::vector<StartEvent> Scheduler::schedule(double now) {
         .gauge("p2sim_sched_free_nodes", "Nodes idle and allocatable")
         .set(static_cast<double>(free_count_));
   }
-  return started;
 }
 
 void Scheduler::release(std::int64_t job_id) {

@@ -50,6 +50,14 @@ class Scheduler {
   /// policy allows and returns the start events.
   std::vector<StartEvent> schedule(double now);
 
+  /// Publishes the machine-state gauges (queue depth, busy/offline/free
+  /// nodes) to the current telemetry session.  Split out of schedule() so
+  /// the campaign driver can refresh them once per interval even when a
+  /// multi-interval horizon skips the scheduling pass itself; gauge values
+  /// must be a function of interval state, never of how intervals were
+  /// batched into passes.
+  void export_gauges() const;
+
   /// Releases a running job's nodes (the driver calls this when the job's
   /// runtime elapses).
   void release(std::int64_t job_id);

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::power2 {
 
 struct CacheConfig {
@@ -38,12 +40,14 @@ class Cache {
 
   /// Accesses one address (the address, not a range: callers issue one
   /// access per instruction, matching HPM count semantics for quad ops).
-  CacheAccess access(std::uint64_t addr, bool is_store);
+  /// Touches only this cache instance, so a worker-private core may call
+  /// it inside the parallel measurement region.
+  P2SIM_PAR_SAFE CacheAccess access(std::uint64_t addr, bool is_store);
 
   /// Drops all lines (used between unrelated kernel runs).
   void flush();
 
-  const CacheConfig& config() const { return cfg_; }
+  P2SIM_PAR_SAFE const CacheConfig& config() const { return cfg_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t dirty_evictions() const { return dirty_evictions_; }

@@ -345,6 +345,15 @@ RunResult Power2Core::run(const KernelDesc& kernel) {
 
 RunResult Power2Core::run(const KernelDesc& kernel,
                           std::uint64_t measure_iters) {
+  std::int64_t wall_us = 0;
+  RunResult out = run_counted(kernel, measure_iters, &wall_us);
+  note_kernel_run(out, wall_us);
+  return out;
+}
+
+RunResult Power2Core::run_counted(const KernelDesc& kernel,
+                                  std::uint64_t measure_iters,
+                                  std::int64_t* wall_us_out) {
   const std::int64_t wall_begin_us = telemetry::wall_now_us();
   bind(kernel);
 
@@ -385,36 +394,42 @@ RunResult Power2Core::run(const KernelDesc& kernel,
   RunResult out;
   out.counts = ev;
   out.iterations = measure_iters;
+  if (wall_us_out != nullptr) {
+    *wall_us_out = telemetry::wall_now_us() - wall_begin_us;
+  }
+  return out;
+}
 
+void Power2Core::note_kernel_run(const RunResult& result,
+                                 std::int64_t wall_us) {
   // Telemetry: kernel runs are not on the campaign clock, so their spans
   // advance the session's dedicated engine timeline by each run's simulated
   // duration.  The cycle histogram is deterministic; the throughput
   // histogram is wall-clock-fed and flagged as such.
   if (auto* tel = telemetry::current()) {
-    const double sim_s = telemetry::seconds_from_cycles(ev.cycles);
+    const std::uint64_t cycles = result.counts.cycles;
+    const double sim_s = telemetry::seconds_from_cycles(cycles);
     auto span =
         telemetry::span("power2", "kernel_run", tel->engine_clock_s);
-    span.arg("iterations", static_cast<double>(measure_iters));
-    span.arg("cycles", static_cast<double>(ev.cycles));
+    span.arg("iterations", static_cast<double>(result.iterations));
+    span.arg("cycles", static_cast<double>(cycles));
     tel->engine_clock_s += sim_s;
     span.close(tel->engine_clock_s);
     tel->registry
         .histogram("p2sim_core_run_cycles",
                    "Simulated cycles per measured kernel run",
                    telemetry::exponential_buckets(1e3, 10.0, 7))
-        .observe(static_cast<double>(ev.cycles));
-    const std::int64_t wall_us = telemetry::wall_now_us() - wall_begin_us;
+        .observe(static_cast<double>(cycles));
     if (wall_us > 0) {
       tel->registry
           .histogram("p2sim_core_cycles_per_wall_second",
                      "Engine throughput: simulated cycles per wall second",
                      telemetry::exponential_buckets(1e6, 10.0, 7),
                      /*wall_clock=*/true)
-          .observe(static_cast<double>(ev.cycles) * 1e6 /
+          .observe(static_cast<double>(cycles) * 1e6 /
                    static_cast<double>(wall_us));
     }
   }
-  return out;
 }
 
 }  // namespace p2sim::power2

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/check/annotate.hpp"
 #include "src/power2/cache.hpp"
 #include "src/power2/event_counts.hpp"
 #include "src/power2/kernel_desc.hpp"
@@ -89,7 +90,7 @@ struct RunResult {
   EventCounts counts;            ///< includes counts.cycles
   std::uint64_t iterations = 0;  ///< measured iterations
 
-  double cycles_per_iter() const {
+  P2SIM_PAR_SAFE double cycles_per_iter() const {
     return iterations ? static_cast<double>(counts.cycles) /
                             static_cast<double>(iterations)
                       : 0.0;
@@ -100,7 +101,10 @@ struct RunResult {
 
 class Power2Core {
  public:
-  explicit Power2Core(const CoreConfig& cfg = {});
+  /// A fresh core is fully reset (cold caches/TLB, zeroed pipeline clock);
+  /// construction touches only this instance, so parallel measurement
+  /// workers build private cores freely.
+  P2SIM_PAR_SAFE explicit Power2Core(const CoreConfig& cfg = {});
 
   /// Runs warmup_iters uncounted, then measure_iters counted.  Cache and
   /// TLB contents persist across calls unless reset() is used; callers
@@ -108,8 +112,25 @@ class Power2Core {
   RunResult run(const KernelDesc& kernel);
 
   /// Runs a specific number of measured iterations (after the kernel's own
-  /// warmup), overriding kernel.measure_iters.
+  /// warmup), overriding kernel.measure_iters.  Equivalent to
+  /// run_counted() followed by note_kernel_run().
   RunResult run(const KernelDesc& kernel, std::uint64_t measure_iters);
+
+  /// The deterministic measurement body of run(): warmup + counted
+  /// iterations, audits included, but no telemetry emission — safe on a
+  /// worker-private core inside the parallel measurement phase.  When
+  /// `wall_us_out` is non-null it receives the wall-clock duration of the
+  /// run so the caller can later feed note_kernel_run().
+  P2SIM_PAR_SAFE RunResult run_counted(const KernelDesc& kernel,
+                                       std::uint64_t measure_iters,
+                                       std::int64_t* wall_us_out = nullptr);
+
+  /// The telemetry tail of run(), split out so batched (parallel) kernel
+  /// measurement can replay its spans and histograms serially, in a
+  /// deterministic order, against the session's engine timeline.  Pass the
+  /// wall_us captured by run_counted (<= 0 skips the wall-fed histogram).
+  P2SIM_SERIAL_ONLY static void note_kernel_run(const RunResult& result,
+                                                std::int64_t wall_us);
 
   /// Runs `iterations` of the kernel (no warmup) while recording every
   /// instruction's issue: the pipeline-diagram view.  Intended for short
@@ -124,9 +145,11 @@ class Power2Core {
  private:
   /// Executes one iteration starting at pipeline time `now`; returns the
   /// cycle after the loop branch issues.  Counts events into `ev` when
-  /// counting is enabled.
-  std::uint64_t run_iteration(const KernelDesc& kernel, std::uint64_t now,
-                              bool counting, EventCounts& ev);
+  /// counting is enabled.  Draws microarchitectural jitter only from the
+  /// core-private rng_ stream.
+  P2SIM_PAR_SAFE std::uint64_t run_iteration(const KernelDesc& kernel,
+                                             std::uint64_t now, bool counting,
+                                             EventCounts& ev);
 
   CoreConfig cfg_;
   Cache dcache_;
@@ -160,7 +183,7 @@ class Power2Core {
   IssueTrace* trace_sink_ = nullptr;
   std::uint32_t trace_iteration_ = 0;
 
-  void bind(const KernelDesc& kernel);
+  P2SIM_PAR_SAFE void bind(const KernelDesc& kernel);
 };
 
 }  // namespace p2sim::power2

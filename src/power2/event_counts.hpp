@@ -9,7 +9,14 @@
 
 #include <cstdint>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::power2 {
+
+// Plain counter arithmetic on caller-owned values: every function here is
+// safe inside the parallel region (worker-private measurement cores
+// accumulate EventCounts while lanes advance).
+P2SIM_PAR_SAFE_FILE;
 
 struct EventCounts {
   // --- cycles ---

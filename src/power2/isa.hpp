@@ -16,7 +16,13 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::power2 {
+
+// Pure constexpr classification helpers — callable from the parallel
+// measurement region (worker-private Power2Core instances).
+P2SIM_PAR_SAFE_FILE;
 
 enum class OpClass : std::uint8_t {
   kFxLoad,     ///< memory load (quad flag doubles the data, not the count)

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/annotate.hpp"
 #include "src/power2/isa.hpp"
 #include "src/util/ckpt.hpp"
 
@@ -58,8 +59,9 @@ struct KernelDesc {
 
   /// Validates structural invariants (dep indices in range, streams bound,
   /// body ends with exactly one branch).  Returns an empty string when
-  /// valid, else a diagnostic.
-  std::string validate() const;
+  /// valid, else a diagnostic.  Read-only, so parallel measurement workers
+  /// may validate the (immutable) kernels they are handed.
+  P2SIM_PAR_SAFE std::string validate() const;
 
   /// Stable content hash for signature memoization.
   std::uint64_t content_hash() const;

@@ -3,15 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/check/check.hpp"
 #include "src/power2/field_table.hpp"
 #include "src/power2/signature_store.hpp"
 
 namespace p2sim::power2 {
 namespace {
 
-double rate(std::uint64_t events, std::uint64_t cycles) {
+P2SIM_PAR_SAFE double rate(std::uint64_t events, std::uint64_t cycles) {
   return cycles ? static_cast<double>(events) / static_cast<double>(cycles)
                 : 0.0;
+}
+
+/// Derives per-cycle rates from a finished run (the arithmetic half of
+/// measure_signature, shared with the quiet path).
+P2SIM_PAR_SAFE EventSignature signature_from_run(const RunResult& r) {
+  const std::uint64_t c = r.counts.cycles;
+  EventSignature s;
+  s.cycles_per_iter = r.cycles_per_iter();
+  for (const ScaledField& f : kScaledFields)
+    s.*(f.rate) = rate(r.counts.*(f.count), c);
+  return s;
 }
 
 P2SIM_PAR_SAFE std::uint64_t rounded(double x) {
@@ -39,12 +51,16 @@ void EventSignature::scale_into(double cycles, EventCounts& ev) const {
 EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel) {
   core.reset();
   const RunResult r = core.run(kernel);
-  const std::uint64_t c = r.counts.cycles;
-  EventSignature s;
-  s.cycles_per_iter = r.cycles_per_iter();
-  for (const ScaledField& f : kScaledFields)
-    s.*(f.rate) = rate(r.counts.*(f.count), c);
-  return s;
+  return signature_from_run(r);
+}
+
+QuietMeasurement measure_quiet(const CoreConfig& core_cfg,
+                               const KernelDesc& kernel) {
+  Power2Core core(core_cfg);
+  QuietMeasurement m;
+  m.run = core.run_counted(kernel, kernel.measure_iters, &m.wall_us);
+  m.sig = signature_from_run(m.run);
+  return m;
 }
 
 SignatureCache::SignatureCache(const CoreConfig& core_cfg,
@@ -87,11 +103,11 @@ const EventSignature& SignatureCache::get(const KernelDesc& kernel) {
 
 const EventSignature& SignatureCache::measure_locked(
     std::uint64_t hash, const KernelDesc& kernel) {
-  Power2Core core(core_cfg_);
-  EventSignature s = measure_signature(core, kernel);
+  const QuietMeasurement m = measure_quiet(core_cfg_, kernel);
+  Power2Core::note_kernel_run(m.run, m.wall_us);
   ++stats_.measured;
   dirty_ = true;
-  return by_hash_.emplace(hash, s).first->second;
+  return by_hash_.emplace(hash, m.sig).first->second;
 }
 
 void SignatureCache::warm(const std::vector<KernelDesc>& kernels) {
@@ -109,6 +125,50 @@ void SignatureCache::publish_snapshot_locked() {
   for (const auto& [hash, sig] : by_hash_) snapshot_.emplace_back(hash, &sig);
   // std::map iterates in key order, so the snapshot is already sorted for
   // the binary search in get().
+}
+
+bool SignatureCache::contains(const KernelDesc& kernel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_hash_.find(kernel.content_hash()) != by_hash_.end();
+}
+
+std::vector<KernelDesc> SignatureCache::plan_batch(
+    const std::vector<KernelDesc>& kernels) const {
+  std::vector<KernelDesc> plan;
+  std::vector<std::uint64_t> planned;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const KernelDesc& k : kernels) {
+    const std::uint64_t h = k.content_hash();
+    // by_hash_ backs both cache levels, so one lookup covers them.
+    if (by_hash_.find(h) != by_hash_.end()) continue;
+    if (std::find(planned.begin(), planned.end(), h) != planned.end()) {
+      continue;
+    }
+    planned.push_back(h);
+    plan.push_back(k);
+  }
+  return plan;
+}
+
+void SignatureCache::adopt_batch(const std::vector<KernelDesc>& plan,
+                                 const std::vector<QuietMeasurement>& results) {
+  P2SIM_CHECK(plan.size() == results.size(),
+              "adopt_batch: one result per planned kernel");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (by_hash_.emplace(plan[i].content_hash(), results[i].sig).second) {
+        ++stats_.measured;
+        dirty_ = true;
+      }
+    }
+  }
+  // Replay the deferred kernel-run telemetry serially in plan order —
+  // first-appearance order, exactly where the on-demand path would have
+  // emitted each span on the engine timeline.
+  for (const QuietMeasurement& m : results) {
+    Power2Core::note_kernel_run(m.run, m.wall_us);
+  }
 }
 
 bool SignatureCache::flush() {

@@ -76,6 +76,23 @@ struct EventSignature {
 /// Derives a signature by running the kernel on a core.
 EventSignature measure_signature(Power2Core& core, const KernelDesc& kernel);
 
+/// One kernel measured without touching the telemetry session: the derived
+/// signature plus the raw run and wall duration needed for the deferred
+/// telemetry replay (Power2Core::note_kernel_run).
+struct QuietMeasurement {
+  EventSignature sig;
+  RunResult run;
+  std::int64_t wall_us = 0;
+};
+
+/// Measures a kernel's signature on a fresh worker-private core (a fresh
+/// core is exactly the reset state measure_signature establishes) and emits
+/// no telemetry — the parallel half of batched signature measurement.  The
+/// result is bit-identical to measure_signature on a fresh core, in any
+/// thread, in any order.
+P2SIM_PAR_SAFE QuietMeasurement measure_quiet(const CoreConfig& core_cfg,
+                                              const KernelDesc& kernel);
+
 /// Optional persistence for SignatureCache: a versioned on-disk store keyed
 /// by kernel-content hash and guarded by a core-config hash, so repeated
 /// campaigns and benches skip the cycle-accurate cold start.  Empty path
@@ -116,6 +133,29 @@ class SignatureCache {
   /// Returns false when a configured write fails; true otherwise
   /// (including when persistence is disabled or nothing is dirty).
   P2SIM_SERIAL_ONLY bool flush();
+
+  /// True when the kernel's signature is already cached (either level).
+  bool contains(const KernelDesc& kernel) const;
+
+  /// The core configuration measurements run under; workers pass it to
+  /// measure_quiet so batch and on-demand measurement are interchangeable.
+  const CoreConfig& core_config() const { return core_cfg_; }
+
+  /// Batched measurement, step 1 (serial): the sublist of `kernels` that
+  /// still needs measuring — unknown to the cache, deduplicated by content
+  /// hash, in first-appearance order.  The caller measures the plan's
+  /// entries with measure_quiet (typically in parallel) and hands the
+  /// results to adopt_batch.
+  P2SIM_SERIAL_ONLY std::vector<KernelDesc> plan_batch(
+      const std::vector<KernelDesc>& kernels) const;
+
+  /// Batched measurement, step 2 (serial): adopts results[i] as the
+  /// signature of plan[i] and replays the deferred kernel-run telemetry in
+  /// plan order — the same order the on-demand path would have emitted it,
+  /// so exports stay byte-identical.
+  P2SIM_SERIAL_ONLY void adopt_batch(
+      const std::vector<KernelDesc>& plan,
+      const std::vector<QuietMeasurement>& results);
 
   std::size_t size() const;
 

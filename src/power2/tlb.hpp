@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/check/annotate.hpp"
+
 namespace p2sim::power2 {
 
 struct TlbConfig {
@@ -22,10 +24,12 @@ class Tlb {
   explicit Tlb(const TlbConfig& cfg);
 
   /// Returns true on a hit; a miss installs the translation (LRU victim).
-  bool access(std::uint64_t addr);
+  /// Instance-local state only: safe on a worker-private core inside the
+  /// parallel measurement region.
+  P2SIM_PAR_SAFE bool access(std::uint64_t addr);
 
   void flush();
-  const TlbConfig& config() const { return cfg_; }
+  P2SIM_PAR_SAFE const TlbConfig& config() const { return cfg_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   /// Lifetime access count (accesses == hits + misses, audited).

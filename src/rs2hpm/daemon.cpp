@@ -53,7 +53,6 @@ void SamplingDaemon::collect(std::int64_t interval,
       // gap (nothing is lost unless it also rebooted, which the monotone
       // guard below catches).
       ++unreachable;
-      ++total_unreachable_;
       continue;
     }
     // The guard is unconditional in every build: subtracting a baseline
@@ -70,7 +69,6 @@ void SamplingDaemon::collect(std::int64_t interval,
       // Counter reset (node reboot) between samples: drop this node's
       // interval contribution and re-establish the baseline.
       ++rec.nodes_reprimed;
-      ++total_reprimes_;
     } else {
       ++newly_primed;
     }
@@ -78,22 +76,29 @@ void SamplingDaemon::collect(std::int64_t interval,
     prev_quads_[i] = node_quads[i];
     primed_[i] = 1;
   }
+  ingest(rec, unreachable, newly_primed, any_primed);
+}
+
+void SamplingDaemon::ingest(const IntervalRecord& rec, int unreachable,
+                            int newly_primed, bool any_primed) {
   // Debug-only bookkeeping diagnostic: every expected node must be
   // accounted for as sampled, re-primed, newly primed or unreachable.
   P2SIM_CHECK(rec.nodes_sampled + rec.nodes_reprimed + newly_primed +
                       unreachable ==
                   rec.nodes_expected,
               "daemon coverage accounting must partition the fleet");
-  // Telemetry: one span per real collect (the priming call, interval < 0,
+  total_reprimes_ += rec.nodes_reprimed;
+  total_unreachable_ += unreachable;
+  // Telemetry: one span per real collect (a priming call, interval < 0,
   // establishes baselines and is not a campaign sample).
-  if (interval >= 0) {
+  if (rec.interval >= 0) {
     if (auto* tel = telemetry::current()) {
       const double ival_s = static_cast<double>(util::kIntervalSeconds);
       auto span = telemetry::span("rs2hpm", "daemon_collect",
-                                  static_cast<double>(interval) * ival_s);
+                                  static_cast<double>(rec.interval) * ival_s);
       span.arg("nodes_sampled", static_cast<double>(rec.nodes_sampled));
       span.arg("nodes_reprimed", static_cast<double>(rec.nodes_reprimed));
-      span.close(static_cast<double>(interval + 1) * ival_s);
+      span.close(static_cast<double>(rec.interval + 1) * ival_s);
       tel->registry
           .gauge("p2sim_daemon_coverage",
                  "Fraction of expected node-samples in the last collect")

@@ -88,6 +88,17 @@ class SamplingDaemon {
                                  std::span<const std::uint8_t> reachable,
                                  int busy_nodes);
 
+  /// Adopts one already-merged interval record: the accounting tail of
+  /// collect(), split out for callers that form per-node deltas themselves
+  /// (the campaign driver's lane pipeline probes nodes inside the parallel
+  /// region and tree-merges the samples before handing the result here).
+  /// `unreachable` counts nodes that could not be sampled (down or dropped
+  /// in flight), `newly_primed` first-contact nodes, and `any_primed`
+  /// gates record emission exactly as collect() does — a fleet with no
+  /// baseline yet emits nothing.  Emits the same telemetry as collect().
+  P2SIM_SERIAL_ONLY void ingest(const IntervalRecord& rec, int unreachable,
+                                int newly_primed, bool any_primed);
+
   const std::vector<IntervalRecord>& records() const { return records_; }
   std::size_t num_nodes() const { return prev_.size(); }
 

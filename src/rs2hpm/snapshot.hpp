@@ -30,13 +30,15 @@ struct ModeTotals {
     return a;
   }
   /// Per-counter difference (this - earlier); requires monotone inputs.
-  ModeTotals since(const ModeTotals& earlier) const;
+  /// Pure value arithmetic: safe inside the parallel region on lane-local
+  /// snapshots.
+  P2SIM_PAR_SAFE ModeTotals since(const ModeTotals& earlier) const;
 
   /// True when every counter in both modes is >= its value in `earlier` —
   /// the monotonicity precondition of since().  A false return means the
   /// source counters were reset between the snapshots (node reboot): the
   /// consumer must re-prime its baseline, never subtract.
-  bool covers(const ModeTotals& earlier) const;
+  P2SIM_PAR_SAFE bool covers(const ModeTotals& earlier) const;
 
   std::uint64_t user_at(hpm::HpmCounter c) const {
     return user[hpm::index_of(c)];
@@ -92,7 +94,7 @@ class ExtendedCounters {
                              const hpm::CounterAdds& user_adds,
                              const hpm::CounterAdds& system_adds);
 
-  const ModeTotals& totals() const { return totals_; }
+  P2SIM_PAR_SAFE const ModeTotals& totals() const { return totals_; }
 
   /// Checkpoint support: sampling baselines, anchors and 64-bit totals all
   /// round-trip so wrap-consistency holds across a resume.

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/telemetry/fold.hpp"
+
 namespace p2sim::telemetry {
 
 namespace detail {
@@ -41,12 +43,10 @@ void Session::retract_live_shards() {
 }
 
 MetricShard Session::live_shard_residue() const {
-  MetricShard residue;
   std::lock_guard<std::mutex> lock(live_mu_);
-  for (const MetricShard* shard : live_shards_) {
-    residue.merge_from(*shard);
-  }
-  return residue;
+  return tree_fold_shards(
+      live_shards_.size(),
+      [this](std::size_t i) -> const MetricShard& { return *live_shards_[i]; });
 }
 
 ScopedLiveShards::ScopedLiveShards(Session* session,

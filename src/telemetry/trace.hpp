@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/annotate.hpp"
 #include "src/util/ckpt.hpp"
 
 namespace p2sim::telemetry {
@@ -28,7 +29,10 @@ namespace p2sim::telemetry {
 /// anything derived from it as wall-clock data (trace `wall_*` args, the
 /// registry's wall_clock metric flag) so byte-identical exports can strip
 /// it.
-std::int64_t wall_now_us();
+/// Thread-safe (a bare steady_clock read), so parallel measurement workers
+/// may stamp wall durations with it; determinism is unaffected because
+/// every consumer tags the result as wall-clock data.
+P2SIM_PAR_SAFE std::int64_t wall_now_us();
 
 struct TraceEvent {
   const char* category = "";

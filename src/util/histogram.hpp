@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "src/check/annotate.hpp"
 #include "src/util/stats.hpp"
 
 namespace p2sim::util {
@@ -34,7 +35,7 @@ class KeyedHistogram {
   std::vector<std::int64_t> keys() const;
   double grand_total() const;
   std::size_t size() const { return cells_.size(); }
-  bool empty() const { return cells_.empty(); }
+  P2SIM_PAR_SAFE bool empty() const { return cells_.empty(); }
 
   /// Key holding the largest accumulated weight; 0 if empty.  The paper's
   /// "most popular choice of nodes" (16) is exactly this query on Figure 2.

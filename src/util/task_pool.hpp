@@ -32,7 +32,7 @@ namespace p2sim::util {
 struct ShardRange {
   std::size_t begin = 0;
   std::size_t end = 0;
-  bool empty() const noexcept { return begin >= end; }
+  P2SIM_PAR_SAFE bool empty() const noexcept { return begin >= end; }
 };
 
 /// The static shard of `n` items owned by `worker` of `workers`: contiguous,

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "src/check/check.hpp"
 #include "src/check/invariants.hpp"
 #include "src/rs2hpm/derived.hpp"
+#include "src/telemetry/fold.hpp"
 #include "src/telemetry/session.hpp"
 #include "src/util/task_pool.hpp"
 
@@ -66,9 +69,23 @@ cluster::ActivityProfile WorkloadDriver::activity_for(
 }
 
 /// Every piece of campaign state, constructed once per run().  The serial
-/// phases own all of it; the parallel phase touches only `lanes` (one lane
-/// per worker, statically sharded) and reads the immutable inputs.
+/// phases own all of it; the parallel phases touch only `lanes` (one lane
+/// per worker, statically sharded), the measurement plan slots, and the
+/// immutable inputs.
 struct WorkloadDriver::CampaignState {
+  /// One interval's fleet-wide probe results, tree-merged from the lanes'
+  /// samples by the fold phase and consumed by the collect post-pass.
+  struct MergedInterval {
+    rs2hpm::ModeTotals delta;
+    std::uint64_t quad_surplus = 0;
+    int sampled = 0;
+    int reprimed = 0;
+    int newly_primed = 0;
+    int down = 0;
+    int lost = 0;
+    double busy_s = 0.0;
+  };
+
   explicit CampaignState(const DriverConfig& cfg)
       : interval_s(static_cast<double>(util::kIntervalSeconds)),
         total_intervals(cfg.days * util::kIntervalsPerDay),
@@ -90,8 +107,6 @@ struct WorkloadDriver::CampaignState {
         inject(cfg.faults),
         down_until(static_cast<std::size_t>(cfg.num_nodes), 0),
         node_job(static_cast<std::size_t>(cfg.num_nodes), nullptr),
-        totals_scratch(static_cast<std::size_t>(cfg.num_nodes)),
-        quads_scratch(static_cast<std::size_t>(cfg.num_nodes)),
         pool(cfg.threads) {
     cluster::NodeConfig node_cfg = cfg.node;
     node_cfg.fault_fxu_inst = cfg.paging.fxu_inst_per_fault;
@@ -113,20 +128,12 @@ struct WorkloadDriver::CampaignState {
   cluster::Node& node(int n) { return lane(n).node; }
 
   /// Serializes every accumulated campaign quantity at an interval
-  /// boundary (per-interval scratch and the worker pool are excluded: the
-  /// next iteration rewrites them).  The restore side re-resolves the
+  /// boundary (per-pass scratch and the worker pool are excluded: the next
+  /// pass rewrites them).  The restore side re-resolves the
   /// profile/signature pointers and rebuilds node_job, then demands the
   /// stream be fully consumed.
   void save_ckpt(util::CkptWriter& w) const;
   void restore_ckpt(util::CkptReader& r);
-
-  /// Copies every lane's extended totals into the daemon scratch spans.
-  void refresh_scratch() {
-    for (std::size_t i = 0; i < lanes.size(); ++i) {
-      totals_scratch[i] = lanes[i].node.totals();
-      quads_scratch[i] = lanes[i].node.quad_total();
-    }
-  }
 
   /// Snapshot spans over the nodes a job holds (prologue/epilogue input).
   std::pair<std::vector<rs2hpm::ModeTotals>, std::vector<std::uint64_t>>
@@ -152,13 +159,24 @@ struct WorkloadDriver::CampaignState {
   rs2hpm::JobMonitor jobmon;
   cluster::NfsModel nfs;
 
-  /// Master RNG stream: owned by the serial arrivals phase (demand walk,
-  /// slumps, Poisson arrivals).  Never consulted per node — per-node draws
-  /// belong to the lanes' private streams.
+  /// Master RNG stream: owned by the serial arrivals/horizon phases
+  /// (demand walk, slumps, Poisson arrivals).  Never consulted per node —
+  /// per-node draws belong to the lanes' private streams.
   util::Xoshiro256StarStar rng;
   double demand_level = 1.0;
   int slump_days_left = 0;
   double slump_depth = 1.0;
+
+  /// Arrival frontier: Poisson counts the horizon scan pre-drew from the
+  /// master stream, in interval order, that the arrivals phase has not yet
+  /// consumed.  pending_arrivals[i] is the count for interval
+  /// pending_base + i; intervals below arrivals_drawn_until have had their
+  /// draw taken from the stream.  The frontier keeps the master stream's
+  /// draw sequence exactly one-per-interval in ascending order no matter
+  /// how intervals batch into passes, and it checkpoints with the stream.
+  std::deque<std::uint64_t> pending_arrivals;
+  std::int64_t pending_base = 0;
+  std::int64_t arrivals_drawn_until = 0;
 
   fault::FaultInjector inject;
   /// Interval at which each crashed node reboots (node is down while
@@ -173,10 +191,6 @@ struct WorkloadDriver::CampaignState {
 
   CampaignResult result;
 
-  // Scratch spans for daemon / monitor snapshots.
-  std::vector<rs2hpm::ModeTotals> totals_scratch;
-  std::vector<std::uint64_t> quads_scratch;
-
   // --- the parallel substrate --------------------------------------------
   std::vector<NodeLane> lanes;
   util::TaskPool pool;
@@ -188,11 +202,24 @@ struct WorkloadDriver::CampaignState {
   std::int64_t jobs_requeued = 0;
   telemetry::Span day_span;
 
-  // --- per-interval scratch, written by the phases in order --------------
+  // --- per-pass scratch, written by the phases in order ------------------
   std::int64_t t = 0;
   double now = 0.0;
   std::int64_t day = 0;
   double grant = 0.0;
+  /// Start events of this pass, produced by scheduling and consumed (with
+  /// their measurement plan) by the measure and launch phases.
+  std::vector<pbs::StartEvent> starts;
+  std::vector<power2::KernelDesc> measure_plan;
+  std::vector<power2::QuietMeasurement> measure_results;
+  /// This pass's extent: intervals [horizon_first, horizon_first + horizon).
+  std::int64_t horizon = 1;
+  std::int64_t horizon_first = 0;
+  /// miss[k] != 0 marks horizon offset k as a whole-interval cron miss.
+  std::vector<std::uint8_t> miss;
+  /// Fleet-wide merge of the lanes' probe samples, one per horizon offset.
+  std::vector<MergedInterval> merged;
+  // --- per-interval scratch (collect/observe post-pass) ------------------
   double busy_node_seconds = 0.0;
   std::size_t records_before = 0;
   int busy_now = 0;
@@ -204,6 +231,12 @@ void WorkloadDriver::CampaignState::save_ckpt(util::CkptWriter& w) const {
   w.put_f64(demand_level);
   w.put_i32(slump_days_left);
   w.put_f64(slump_depth);
+  // The arrival frontier travels with the master stream: draws the horizon
+  // scan already took must not be redrawn after a resume.
+  w.put_u64(pending_arrivals.size());
+  for (std::uint64_t c : pending_arrivals) w.put_u64(c);
+  w.put_i64(pending_base);
+  w.put_i64(arrivals_drawn_until);
   w.put_i64(jobs_dispatched);
   w.put_i64(jobs_completed);
   w.put_i64(jobs_requeued);
@@ -225,6 +258,9 @@ void WorkloadDriver::CampaignState::save_ckpt(util::CkptWriter& w) const {
   for (const NodeLane& lane : lanes) {
     lane.node.save_ckpt(w);
     lane.rng.save_ckpt(w);
+    lane.probe_prev.save_ckpt(w);
+    w.put_u64(lane.probe_prev_quad);
+    w.put_bool(lane.probe_primed);
   }
   w.put_u64(running.size());
   for (const auto& [id, r] : running) {
@@ -261,6 +297,13 @@ void WorkloadDriver::CampaignState::restore_ckpt(util::CkptReader& r) {
   demand_level = r.read_f64("campaign.demand_level");
   slump_days_left = r.read_i32("campaign.slump_days_left");
   slump_depth = r.read_f64("campaign.slump_depth");
+  pending_arrivals.clear();
+  const std::uint64_t num_pending = r.read_u64("campaign.pending_arrivals");
+  for (std::uint64_t i = 0; i < num_pending; ++i) {
+    pending_arrivals.push_back(r.read_u64("campaign.pending_arrival"));
+  }
+  pending_base = r.read_i64("campaign.pending_base");
+  arrivals_drawn_until = r.read_i64("campaign.arrivals_drawn_until");
   jobs_dispatched = r.read_i64("campaign.jobs_dispatched");
   jobs_completed = r.read_i64("campaign.jobs_completed");
   jobs_requeued = r.read_i64("campaign.jobs_requeued");
@@ -288,6 +331,9 @@ void WorkloadDriver::CampaignState::restore_ckpt(util::CkptReader& r) {
   for (NodeLane& lane : lanes) {
     lane.node.restore_ckpt(r);
     lane.rng.restore_ckpt(r);
+    lane.probe_prev.restore_ckpt(r);
+    lane.probe_prev_quad = r.read_u64("campaign.lane_probe_quad");
+    lane.probe_primed = r.read_bool("campaign.lane_probe_primed");
   }
   running.clear();
   std::fill(node_job.begin(), node_job.end(), nullptr);
@@ -329,6 +375,14 @@ void WorkloadDriver::CampaignState::restore_ckpt(util::CkptReader& r) {
   day_span = telemetry::Span::adopt_ckpt(
       tel != nullptr ? &tel->tracer : nullptr, r);
   r.expect_end("campaign");
+}
+
+double WorkloadDriver::arrival_lambda(const CampaignState& st) const {
+  const double day_factor =
+      (util::is_weekend(st.day) ? cfg_.weekend_factor : 1.0) *
+      (st.slump_days_left > 0 ? st.slump_depth : 1.0);
+  return cfg_.jobs_per_day * day_factor * st.demand_level /
+         static_cast<double>(util::kIntervalsPerDay);
 }
 
 void WorkloadDriver::phase_day_rollover(CampaignState& st) {
@@ -388,36 +442,87 @@ void WorkloadDriver::phase_faults(CampaignState& st) {
 }
 
 void WorkloadDriver::phase_arrivals(CampaignState& st) {
-  // Demand process updates at day boundaries.
-  if (st.t % util::kIntervalsPerDay == 0) {
-    st.demand_level = std::clamp(
-        cfg_.demand_walk_rho * st.demand_level +
-            st.rng.normal(1.0 - cfg_.demand_walk_rho,
-                          cfg_.demand_walk_noise *
-                              (1.0 - cfg_.demand_walk_rho) * 4.0),
-        cfg_.demand_min, cfg_.demand_max);
-    if (st.slump_days_left > 0) {
-      --st.slump_days_left;
-    } else if (st.rng.chance(cfg_.slump_prob_per_day)) {
-      st.slump_days_left = static_cast<int>(2 + st.rng.below(6));
-      st.slump_depth =
-          st.rng.uniform(cfg_.slump_depth_min, cfg_.slump_depth_max);
-    }
+  // Intervals a previous pass advanced through had zero arrivals by
+  // construction (a nonzero pre-drawn count ends the horizon before it);
+  // retire their frontier entries.
+  while (st.pending_base < st.t && !st.pending_arrivals.empty()) {
+    P2SIM_CHECK(st.pending_arrivals.front() == 0,
+                "intervals drained inside a horizon must have zero arrivals");
+    st.pending_arrivals.pop_front();
+    ++st.pending_base;
   }
 
-  const double day_factor =
-      (util::is_weekend(st.day) ? cfg_.weekend_factor : 1.0) *
-      (st.slump_days_left > 0 ? st.slump_depth : 1.0);
-  const double lambda = cfg_.jobs_per_day * day_factor * st.demand_level /
-                        static_cast<double>(util::kIntervalsPerDay);
-  const std::uint64_t arrivals = st.rng.poisson(lambda);
+  std::uint64_t arrivals = 0;
+  if (st.t < st.arrivals_drawn_until) {
+    // An earlier horizon scan already took this interval's Poisson draw
+    // from the master stream; consume it in order instead of redrawing.
+    P2SIM_CHECK(st.pending_base == st.t && !st.pending_arrivals.empty(),
+                "arrival frontier must cover the first undrained interval");
+    arrivals = st.pending_arrivals.front();
+    st.pending_arrivals.pop_front();
+    ++st.pending_base;
+  } else {
+    // Live path.  Demand process updates at day boundaries — pre-draws
+    // never cross a day, so day boundaries always land here.
+    if (st.t % util::kIntervalsPerDay == 0) {
+      st.demand_level = std::clamp(
+          cfg_.demand_walk_rho * st.demand_level +
+              st.rng.normal(1.0 - cfg_.demand_walk_rho,
+                            cfg_.demand_walk_noise *
+                                (1.0 - cfg_.demand_walk_rho) * 4.0),
+          cfg_.demand_min, cfg_.demand_max);
+      if (st.slump_days_left > 0) {
+        --st.slump_days_left;
+      } else if (st.rng.chance(cfg_.slump_prob_per_day)) {
+        st.slump_days_left = static_cast<int>(2 + st.rng.below(6));
+        st.slump_depth =
+            st.rng.uniform(cfg_.slump_depth_min, cfg_.slump_depth_max);
+      }
+    }
+    arrivals = st.rng.poisson(arrival_lambda(st));
+    st.arrivals_drawn_until = st.t + 1;
+    st.pending_base = st.t + 1;
+  }
   for (std::uint64_t a = 0; a < arrivals; ++a) {
     st.sched.submit(st.gen.next(st.now));
   }
 }
 
 void WorkloadDriver::phase_scheduling(CampaignState& st) {
-  for (pbs::StartEvent& ev : st.sched.schedule(st.now)) {
+  st.starts = st.sched.schedule(st.now);
+  // Plan the signature measurements these starts need (kernels unknown to
+  // the cache, deduplicated, in first-appearance order).  The plan is
+  // fixed serially so the parallel measure phase has nothing to decide.
+  std::vector<power2::KernelDesc> kernels;
+  kernels.reserve(st.starts.size());
+  for (const pbs::StartEvent& ev : st.starts) {
+    kernels.push_back(st.registry.get(ev.spec.profile_id).kernel);
+  }
+  st.measure_plan = st.signatures.plan_batch(kernels);
+}
+
+void WorkloadDriver::phase_measure(CampaignState& st) {
+  st.measure_results.clear();
+  if (st.measure_plan.empty()) return;
+  st.measure_results.resize(st.measure_plan.size());
+  // Worker-private cores, results written by plan index: the measurement
+  // set and its adoption order are fixed by the serial plan, so neither
+  // thread count nor completion order can reorder anything observable.
+  const power2::CoreConfig& core_cfg = st.signatures.core_config();
+  const std::vector<power2::KernelDesc>& plan = st.measure_plan;
+  std::vector<power2::QuietMeasurement>& results = st.measure_results;
+  st.pool.run(plan.size(), [&plan, &results, &core_cfg](std::size_t begin,
+                                                        std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = power2::measure_quiet(core_cfg, plan[i]);
+    }
+  });
+  st.signatures.adopt_batch(st.measure_plan, st.measure_results);
+  st.measure_plan.clear();
+}
+
+void WorkloadDriver::phase_launch(CampaignState& st) {
+  for (pbs::StartEvent& ev : st.starts) {
     Running r;
     r.spec = ev.spec;
     r.profile = &st.registry.get(ev.spec.profile_id);
@@ -448,6 +553,83 @@ void WorkloadDriver::phase_scheduling(CampaignState& st) {
           .inc();
     }
   }
+  st.starts.clear();
+}
+
+void WorkloadDriver::phase_horizon(CampaignState& st) {
+  st.horizon_first = st.t;
+  // Base caps: never cross the campaign end, a day boundary (the demand
+  // walk and weekend factor change there), or a checkpoint cadence
+  // boundary (durable generations must land on pass ends, so the cadence
+  // cannot depend on how intervals batch into passes).
+  std::int64_t cap =
+      std::min(st.total_intervals, (st.day + 1) * util::kIntervalsPerDay) -
+      st.t;
+  const CheckpointConfig& ck = cfg_.checkpoint;
+  if (!ck.dir.empty() && ck.every_intervals > 0) {
+    const std::int64_t next_ck =
+        (st.t / ck.every_intervals + 1) * ck.every_intervals;
+    cap = std::min(cap, next_ck - st.t);
+  }
+  // Cross-node events pin the pass to one interval: a queued job may start
+  // as soon as nodes free, and a down node reboots on its own clock.
+  if (st.sched.queued_jobs() != 0) cap = 1;
+  for (int n = 0; n < cfg_.num_nodes && cap > 1; ++n) {
+    if (!st.node(n).is_up()) cap = 1;
+  }
+  // First job ending inside the window: the pass may include that interval
+  // (epilogues run at the pass's last interval) but nothing beyond it.
+  // The predicate mirrors phase_epilogues exactly.
+  for (const auto& [id, r] : st.running) {
+    (void)id;
+    for (std::int64_t u = st.t; u < st.t + cap; ++u) {
+      if (r.end_s <= static_cast<double>(u) * st.interval_s + st.interval_s) {
+        cap = std::min(cap, u - st.t + 1);
+        break;
+      }
+    }
+  }
+  if (st.inject.enabled()) {
+    const fault::FaultSchedule& fsched = st.inject.schedule();
+    // First crash drawn strictly inside the window ends the pass before it
+    // (the faults phase must run at that interval).  Pure keyed queries:
+    // nothing is logged and no stream state exists to disturb.
+    for (std::int64_t u = st.t + 1; u < st.t + cap; ++u) {
+      for (int n = 0; n < cfg_.num_nodes; ++n) {
+        if (fsched.node_crashes(n, u)) {
+          cap = u - st.t;
+          break;
+        }
+      }
+    }
+  }
+  // Arrival pre-draw: extend the frontier across the window in interval
+  // order — exactly the draws the per-interval loop would have made — and
+  // cut the pass before the first interval with arrivals.
+  const double lambda = arrival_lambda(st);
+  for (std::int64_t u = st.t + 1; u < st.t + cap; ++u) {
+    std::uint64_t count = 0;
+    if (u < st.arrivals_drawn_until) {
+      count = st.pending_arrivals[static_cast<std::size_t>(
+          u - st.pending_base)];
+    } else {
+      count = st.rng.poisson(lambda);
+      st.pending_arrivals.push_back(count);
+      st.arrivals_drawn_until = u + 1;
+    }
+    if (count > 0) cap = u - st.t;
+  }
+  // Whole-interval cron misses per horizon offset (pure keyed queries);
+  // the lanes' probes and the collect post-pass read the same bitmap.
+  st.miss.assign(static_cast<std::size_t>(cap), 0);
+  if (st.inject.enabled()) {
+    const fault::FaultSchedule& fsched = st.inject.schedule();
+    for (std::int64_t k = 0; k < cap; ++k) {
+      st.miss[static_cast<std::size_t>(k)] =
+          fsched.interval_missed(st.t + k) ? 1 : 0;
+    }
+  }
+  st.horizon = cap;
 }
 
 void WorkloadDriver::phase_nfs_grant(CampaignState& st) {
@@ -458,13 +640,18 @@ void WorkloadDriver::phase_nfs_grant(CampaignState& st) {
                    static_cast<double>(r.nodes.size());
   }
   st.grant = st.nfs.grant_fraction(disk_demand);
-  st.nfs.account(st.nfs.grant(disk_demand) * st.interval_s);
+  // One accounting step per interval of the horizon, in interval order:
+  // repeated addition is not one multiplied addition for doubles, and the
+  // ledger must not depend on where passes break.
+  const double per_interval = st.nfs.grant(disk_demand) * st.interval_s;
+  for (std::int64_t k = 0; k < st.horizon; ++k) st.nfs.account(per_interval);
 }
 
-void WorkloadDriver::phase_node_advance(CampaignState& st) {
-  // Serial prologue: write each lane's work order for this interval.  The
-  // activity mix and busy time are pure functions of the job and the NFS
-  // grant, evaluated per node exactly as the serial driver did.
+void WorkloadDriver::phase_lane_pipeline(CampaignState& st) {
+  // Serial prologue: write each lane's work order for the whole pass.  The
+  // activity mix and the job's absolute end time are pure functions of the
+  // job and the NFS grant; each lane derives its own per-interval busy
+  // split from end_s.
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     NodeLane& lane = st.lane(n);
     const Running* r = st.node_job[static_cast<std::size_t>(n)];
@@ -473,44 +660,99 @@ void WorkloadDriver::phase_node_advance(CampaignState& st) {
     } else {
       lane.step.sig = r->sig;
       lane.step.activity = activity_for(*r, st.grant);
-      lane.step.busy_s = std::min(r->end_s, st.now + st.interval_s) - st.now;
+      lane.step.end_s = r->end_s;
     }
   }
 
-  // The parallel region: one lane per index, no cross-lane state.  The
-  // pool's static shards make the work placement a function of
-  // (num_nodes, threads) only; with threads == 1 this is an inline loop.
+  // The parallel region: one lane per index, no cross-lane state.  Each
+  // worker drains the whole horizon for its lanes — node advance plus the
+  // daemon probe against the lane-owned baseline — so the barrier cost is
+  // paid once per pass, not once per interval.  The pool's static shards
+  // make work placement a function of (num_nodes, threads) only; with
+  // threads == 1 this is an inline loop.
+  const std::int64_t t0 = st.t;
+  const std::int64_t h = st.horizon;
   const double interval_s = st.interval_s;
+  const std::uint8_t* miss = st.miss.data();
   std::vector<NodeLane>& lanes = st.lanes;
-  st.pool.run(lanes.size(), [&lanes, interval_s](std::size_t begin,
-                                                 std::size_t end) {
+  st.pool.run(lanes.size(), [&lanes, t0, h, interval_s, miss](
+                                std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      lanes[i].advance_interval(interval_s);
+      lanes[i].run_pipeline(t0, h, interval_s, miss);
     }
   });
+}
 
-  // Serial merge, ascending node order: fold busy seconds exactly as the
-  // serial loop accumulated them, and fold the telemetry shards through
-  // the shard field table (the single registration site for the
-  // p2sim_lane_* counters).  The FoldGuard flips the session's fold epoch
-  // odd for the duration so a concurrent scrape retries instead of
+void WorkloadDriver::phase_fold(CampaignState& st) {
+  // Serial merge under the fold guard: the session's fold epoch goes odd
+  // for the duration so a concurrent scrape retries instead of
   // double-counting folded counters plus not-yet-reset shard residue.
   auto* tel = telemetry::current();
   telemetry::Session::FoldGuard fold_guard(tel);
-  st.busy_node_seconds = 0.0;
-  telemetry::MetricShard interval_shard;
-  for (NodeLane& lane : lanes) {
-    if (lane.step.sig != nullptr) {
-      st.busy_node_seconds += lane.interval_busy_s;
-    }
-    interval_shard.merge_from(lane.shard);
-    lane.shard.reset();
+  st.merged.assign(static_cast<std::size_t>(st.horizon),
+                   CampaignState::MergedInterval{});
+  const std::size_t lanes_n = st.lanes.size();
+  for (std::int64_t k = 0; k < st.horizon; ++k) {
+    const std::size_t ku = static_cast<std::size_t>(k);
+    st.merged[ku] = telemetry::tree_fold(
+        lanes_n,
+        [&st, ku](std::size_t i) {
+          const LaneSample& s = st.lanes[i].samples[ku];
+          CampaignState::MergedInterval m;
+          m.busy_s = s.busy_s;
+          switch (s.outcome) {
+            case ProbeOutcome::kSampled:
+              m.delta = s.delta;
+              m.quad_surplus = s.quad_surplus;
+              m.sampled = 1;
+              break;
+            case ProbeOutcome::kReprimed:
+              m.reprimed = 1;
+              break;
+            case ProbeOutcome::kNewlyPrimed:
+              m.newly_primed = 1;
+              break;
+            case ProbeOutcome::kDown:
+              m.down = 1;
+              break;
+            case ProbeOutcome::kLost:
+              m.lost = 1;
+              break;
+            case ProbeOutcome::kMissed:
+              break;
+          }
+          return m;
+        },
+        [](CampaignState::MergedInterval a,
+           const CampaignState::MergedInterval& b) {
+          a.delta += b.delta;
+          a.quad_surplus += b.quad_surplus;
+          a.sampled += b.sampled;
+          a.reprimed += b.reprimed;
+          a.newly_primed += b.newly_primed;
+          a.down += b.down;
+          a.lost += b.lost;
+          a.busy_s += b.busy_s;
+          return a;
+        });
+    // Campaign busy time accumulates per interval, ascending: the running
+    // sum is the same no matter where passes break.
+    st.result.total_busy_node_seconds +=
+        st.merged[ku].busy_s;
   }
-  st.result.total_busy_node_seconds += st.busy_node_seconds;
+  // One shard merge per pass, through the same pairwise tree the scrape
+  // path uses (telemetry::tree_fold_shards), folded into the registry via
+  // the shard field table — the single registration site for the
+  // p2sim_lane_* counters.  Counter sums are pass-split invariant.
+  telemetry::MetricShard pass_shard = telemetry::tree_fold_shards(
+      lanes_n, [&st](std::size_t i) -> const telemetry::MetricShard& {
+        return st.lanes[i].shard;
+      });
+  for (NodeLane& lane : st.lanes) lane.shard.reset();
   if (tel != nullptr) {
     for (const telemetry::MetricShard::Field& f :
          telemetry::MetricShard::fields()) {
-      tel->registry.counter(f.name, f.help).inc((interval_shard.*f.value)());
+      tel->registry.counter(f.name, f.help).inc((pass_shard.*f.value)());
     }
   }
 }
@@ -565,30 +807,30 @@ void WorkloadDriver::phase_epilogues(CampaignState& st) {
 }
 
 void WorkloadDriver::phase_collect(CampaignState& st) {
-  st.refresh_scratch();
   st.records_before = st.daemon.records().size();
+  const CampaignState::MergedInterval& m =
+      st.merged[static_cast<std::size_t>(st.t - st.horizon_first)];
+  st.busy_node_seconds = m.busy_s;
   st.busy_now =
       static_cast<int>(std::lround(st.busy_node_seconds / st.interval_s));
-  if (!st.inject.enabled()) {
-    st.daemon.collect(st.t, st.totals_scratch, st.quads_scratch, st.busy_now);
-  } else if (!st.inject.miss_interval(st.t)) {
-    // Per-node reachability: down nodes cannot answer, and an up node's
-    // sample can still be lost in flight.  Unreachable nodes keep their
-    // baseline; the next successful sample covers the gap.
-    std::vector<std::uint8_t> reachable(
-        static_cast<std::size_t>(cfg_.num_nodes), 1);
-    for (int n = 0; n < cfg_.num_nodes; ++n) {
-      const auto ni = static_cast<std::size_t>(n);
-      if (!st.node(n).is_up()) {
-        reachable[ni] = 0;
-        st.inject.note_node_unreachable();
-      } else if (st.inject.lose_node_sample(n, st.t)) {
-        reachable[ni] = 0;
-      }
-    }
-    st.daemon.collect(st.t, st.totals_scratch, st.quads_scratch, reachable,
-                      st.busy_now);
+  if (st.inject.enabled()) {
+    // Replays the same keyed miss decision the lanes saw, logging it in
+    // per-interval order; a missed interval records nothing.
+    if (st.inject.miss_interval(st.t)) return;
+    for (int i = 0; i < m.down; ++i) st.inject.note_node_unreachable();
+    st.inject.note_samples_lost(m.lost);
   }
+  rs2hpm::IntervalRecord rec;
+  rec.interval = st.t;
+  rec.delta = m.delta;
+  rec.quad_surplus = m.quad_surplus;
+  rec.nodes_sampled = m.sampled;
+  rec.nodes_expected = cfg_.num_nodes;
+  rec.nodes_reprimed = m.reprimed;
+  rec.busy_nodes = st.busy_now;
+  // Lanes start primed (fresh node counters are the all-zero baseline), so
+  // a merged record always has at least one baseline behind it.
+  st.daemon.ingest(rec, m.down + m.lost, m.newly_primed, /*any_primed=*/true);
 }
 
 void WorkloadDriver::phase_observe(CampaignState& st) {
@@ -675,7 +917,7 @@ CampaignResult WorkloadDriver::run() {
   CampaignState st(cfg_);
 
   // Publish the lane shards to the session's live view so a scrape can
-  // merge-on-read the unfolded residue mid-interval; retracted (under the
+  // merge-on-read the unfolded residue mid-pass; retracted (under the
   // readers' lock) before the lanes die, even on unwind.
   std::vector<const telemetry::MetricShard*> shard_ptrs;
   if (telemetry::current() != nullptr) {
@@ -685,18 +927,36 @@ CampaignResult WorkloadDriver::run() {
   telemetry::ScopedLiveShards live_shards(telemetry::current(),
                                           std::move(shard_ptrs));
 
+  // Per-phase wall-clock sink: observability only (never consulted by the
+  // simulation), measured with the sanctioned telemetry wall clock.
+  PhaseTimings* pt = cfg_.phase_timings;
+  const auto timed = [&st, pt, this](Phase p,
+                                     void (WorkloadDriver::*fn)(
+                                         CampaignState&)) {
+    if (pt == nullptr) {
+      (this->*fn)(st);
+      return;
+    }
+    const std::int64_t begin_us = telemetry::wall_now_us();
+    (this->*fn)(st);
+    pt->wall_us[static_cast<std::size_t>(p)] +=
+        telemetry::wall_now_us() - begin_us;
+  };
+
   const std::int64_t start_t = try_resume(st);
   if (start_t == 0) {
-    // Warm the signature cache before the interval loop: pre-measure every
-    // kernel already registered and publish the lock-free snapshot (which
-    // also covers everything the persistent store contributed).  Kernels
-    // first generated mid-campaign still measure on demand through the
-    // cache's locked slow path — always in the serial scheduling phase,
-    // never in per-interval worker code.  A resumed campaign restores the
-    // cache (and the daemon baseline) from the checkpoint instead.
+    // Warm the signature cache before the interval loop through the same
+    // batch pipeline the mid-campaign measure phase uses: plan the
+    // registered kernels serially, measure them in parallel on
+    // worker-private cores, adopt the results in plan order, then publish
+    // the lock-free snapshot (which also covers everything the persistent
+    // store contributed).  A resumed campaign restores the cache (and the
+    // lane probe baselines) from the checkpoint instead.
     std::vector<power2::KernelDesc> kernels;
     st.registry.for_each(
         [&](const JobProfile& p) { kernels.push_back(p.kernel); });
+    st.measure_plan = st.signatures.plan_batch(kernels);
+    timed(Phase::kMeasure, &WorkloadDriver::phase_measure);
     st.signatures.warm(kernels);
   }
 
@@ -710,26 +970,45 @@ CampaignResult WorkloadDriver::run() {
         .set(static_cast<double>(st.pool.threads()));
   }
 
-  if (start_t == 0) {
-    // Prime the daemon (first collect establishes the baseline).
-    st.refresh_scratch();
-    st.daemon.collect(-1, st.totals_scratch, st.quads_scratch, 0);
-  }
+  // The pass loop: serial phases run once per pass at its first interval,
+  // the parallel phases drain the whole horizon, and the post-pass below
+  // replays the per-interval accounting (epilogues at the pass's last
+  // interval only — the horizon phase guarantees no job ends earlier).
+  for (std::int64_t first = start_t; first < st.total_intervals;) {
+    st.t = first;
+    st.now = static_cast<double>(first) * st.interval_s;
+    st.day = first / util::kIntervalsPerDay;
 
-  for (st.t = start_t; st.t < st.total_intervals; ++st.t) {
-    st.now = static_cast<double>(st.t) * st.interval_s;
-    st.day = st.t / util::kIntervalsPerDay;
+    timed(Phase::kDayRollover, &WorkloadDriver::phase_day_rollover);
+    timed(Phase::kFaults, &WorkloadDriver::phase_faults);
+    timed(Phase::kArrivals, &WorkloadDriver::phase_arrivals);
+    timed(Phase::kScheduling, &WorkloadDriver::phase_scheduling);
+    timed(Phase::kMeasure, &WorkloadDriver::phase_measure);
+    timed(Phase::kLaunch, &WorkloadDriver::phase_launch);
+    timed(Phase::kHorizon, &WorkloadDriver::phase_horizon);
+    timed(Phase::kNfsGrant, &WorkloadDriver::phase_nfs_grant);
+    timed(Phase::kLanePipeline, &WorkloadDriver::phase_lane_pipeline);
+    timed(Phase::kFold, &WorkloadDriver::phase_fold);
 
-    phase_day_rollover(st);
-    phase_faults(st);
-    phase_arrivals(st);
-    phase_scheduling(st);
-    phase_nfs_grant(st);
-    phase_node_advance(st);
-    phase_epilogues(st);
-    phase_collect(st);
-    phase_observe(st);
-    maybe_checkpoint(st);
+    const std::int64_t last = first + st.horizon - 1;
+    for (st.t = first; st.t <= last; ++st.t) {
+      st.now = static_cast<double>(st.t) * st.interval_s;
+      // Machine-state gauges refresh per interval with the pass's values
+      // (state is constant inside a pass by construction), exactly as the
+      // per-interval scheduling pass used to set them.
+      st.sched.export_gauges();
+      if (st.t == last) {
+        timed(Phase::kEpilogues, &WorkloadDriver::phase_epilogues);
+      }
+      timed(Phase::kCollect, &WorkloadDriver::phase_collect);
+      timed(Phase::kObserve, &WorkloadDriver::phase_observe);
+      maybe_checkpoint(st);
+    }
+    if (pt != nullptr) {
+      ++pt->horizons;
+      pt->intervals += st.horizon;
+    }
+    first = last + 1;
   }
   if (st.day_span.open()) {
     st.day_span.close(static_cast<double>(st.total_intervals) * st.interval_s);

@@ -2,20 +2,28 @@
 //
 // The interval step is an explicit phase machine (see kPhases): serial
 // phases own all cross-node state — job arrivals from the demand process,
-// the PBS scheduling pass, daemon collection, prologue/epilogue accounting
-// — and the one parallel phase advances the per-node lanes (NodeLane:
-// node + RNG stream + fault view + telemetry shard) with no shared writes,
-// sharded statically across DriverConfig::threads worker threads.  Lane
-// outputs are folded back in ascending node order, so campaign results,
-// tables, figures, loss reports and simulated-time telemetry exports are
-// bit-identical for every thread count, including threads == 1, which
-// bypasses the pool entirely and is the original serial driver.
+// the PBS scheduling pass, prologue/epilogue accounting, the merged daemon
+// record — and the two parallel phases touch only worker-private state,
+// sharded statically across DriverConfig::threads worker threads:
 //
-// Per 15-minute interval the phases run in the fixed order below: fault
-// reboots/crashes, arrivals (demand walk + Poisson submissions), the PBS
-// scheduling pass with prologue snapshots, the cluster-wide NFS grant,
-// the parallel node advance, epilogues for jobs that ended, the RS2HPM
-// daemon sample, and the read-only health observation.
+//   * `measure` runs the interval's batch of cold kernel-signature
+//     measurements on worker-private cores (plan/adopt stay serial);
+//   * `lane-pipeline` drains each per-node lane (NodeLane: node + RNG
+//     stream + fault view + telemetry shard + daemon probe baseline)
+//     end-to-end through the whole horizon — node advance plus the
+//     per-node daemon probe — with no shared writes.
+//
+// A *horizon* is the run of consecutive intervals the serial `horizon`
+// phase proves free of cross-node events (no queued or arriving jobs, no
+// job endings before the last interval, no crash draws, nothing crossing a
+// day or checkpoint boundary).  One barrier then advances every lane
+// through all of them, and the serial `fold` phase tree-merges the lane
+// outputs (records, busy seconds, telemetry shards) in a fixed pairwise
+// shape (telemetry::tree_fold), so campaign results, tables, figures, loss
+// reports and simulated-time telemetry exports are bit-identical for every
+// thread count — and for every horizon split, which is what keeps
+// checkpoint cadence and resume invisible in the outputs.  threads == 1
+// bypasses the pool entirely and is the original serial driver.
 #pragma once
 
 #include <array>
@@ -72,11 +80,16 @@ struct DriverConfig {
   /// or mismatched store silently falls back to measuring.
   std::string signature_store_path{};
 
-  /// Worker threads for the node-advance phase.  1 (the default) bypasses
-  /// the pool and runs the original serial loop; 0 means one thread per
-  /// hardware core.  Campaign outputs are bit-identical for every value —
-  /// the knob trades wall-clock time only.
+  /// Worker threads for the parallel phases (signature measurement and the
+  /// lane pipeline).  1 (the default) bypasses the pool and runs the
+  /// original serial loop; 0 means one thread per hardware core.  Campaign
+  /// outputs are bit-identical for every value — the knob trades
+  /// wall-clock time only.
   int threads = 1;
+
+  /// Optional per-phase wall-clock sink (see PhaseTimings below); nullptr
+  /// costs nothing.  Wall-clock observability only — never results.
+  struct PhaseTimings* phase_timings = nullptr;
 
   /// Fault injection (disabled by default; a disabled-fault campaign is
   /// bit-identical to one run before the fault subsystem existed, because
@@ -137,18 +150,26 @@ struct CampaignResult {
 
 class WorkloadDriver {
  public:
-  /// The interval step's phases, in execution order.  Exactly one phase
-  /// (kNodeAdvance) runs on the task pool; every other phase is serial and
-  /// owns the cross-node state.
+  /// The campaign step's phases, in execution order.  Exactly two phases
+  /// (kMeasure, kLanePipeline) run on the task pool; every other phase is
+  /// serial and owns the cross-node state.  The phases through kFold run
+  /// once per *horizon* (a run of intervals proven free of cross-node
+  /// events); kEpilogues runs at the horizon's last interval and
+  /// kCollect/kObserve replay once per interval from the fold's
+  /// per-interval outputs.
   enum class Phase {
     kDayRollover,   ///< day-span telemetry rotation (serial)
     kFaults,        ///< reboots, crashes, kills, requeues (serial)
     kArrivals,      ///< demand walk + Poisson submissions (serial)
-    kScheduling,    ///< PBS pass + prologue snapshots (serial)
+    kScheduling,    ///< PBS pass + batch measurement plan (serial)
+    kMeasure,       ///< cold kernel signatures (PARALLEL, private cores)
+    kLaunch,        ///< job binding + prologue snapshots (serial)
+    kHorizon,       ///< safe multi-interval horizon + arrival predraw (serial)
     kNfsGrant,      ///< cluster-wide filesystem throttle (serial)
-    kNodeAdvance,   ///< per-lane node advance (PARALLEL, static shards)
+    kLanePipeline,  ///< per-lane advance + probe x horizon (PARALLEL)
+    kFold,          ///< deterministic tree merge of lane outputs (serial)
     kEpilogues,     ///< job completion + accounting records (serial)
-    kCollect,       ///< 15-minute RS2HPM daemon sample (serial)
+    kCollect,       ///< merged 15-minute RS2HPM daemon record (serial)
     kObserve,       ///< read-only pipeline-health sample (serial)
   };
 
@@ -158,13 +179,17 @@ class WorkloadDriver {
     bool parallel = false;
   };
   /// The phase machine, in execution order (documentation + tests).
-  static constexpr std::array<PhaseInfo, 9> kPhases{{
+  static constexpr std::array<PhaseInfo, 13> kPhases{{
       {Phase::kDayRollover, "day-rollover", false},
       {Phase::kFaults, "faults", false},
       {Phase::kArrivals, "arrivals", false},
       {Phase::kScheduling, "scheduling", false},
+      {Phase::kMeasure, "measure", true},
+      {Phase::kLaunch, "launch", false},
+      {Phase::kHorizon, "horizon", false},
       {Phase::kNfsGrant, "nfs-grant", false},
-      {Phase::kNodeAdvance, "node-advance", true},
+      {Phase::kLanePipeline, "lane-pipeline", true},
+      {Phase::kFold, "fold", false},
       {Phase::kEpilogues, "epilogues", false},
       {Phase::kCollect, "collect", false},
       {Phase::kObserve, "observe", false},
@@ -203,12 +228,22 @@ class WorkloadDriver {
   cluster::ActivityProfile activity_for(const Running& r,
                                         double disk_grant_fraction) const;
 
+  /// The demand process's Poisson intensity for the current day.
+  double arrival_lambda(const CampaignState& st) const;
+
   P2SIM_SERIAL_ONLY void phase_day_rollover(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_faults(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_arrivals(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_scheduling(CampaignState& st);
+  /// Parallel: measures the scheduling pass's batch plan on
+  /// worker-private cores; plan selection and adoption stay serial.
+  void phase_measure(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_launch(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_horizon(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_nfs_grant(CampaignState& st);
-  P2SIM_SERIAL_ONLY void phase_node_advance(CampaignState& st);
+  /// Parallel: each lane drains the whole horizon (advance + probe).
+  void phase_lane_pipeline(CampaignState& st);
+  P2SIM_SERIAL_ONLY void phase_fold(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_epilogues(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_collect(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_observe(CampaignState& st);
@@ -223,6 +258,33 @@ class WorkloadDriver {
   P2SIM_SERIAL_ONLY std::int64_t try_resume(CampaignState& st);
 
   DriverConfig cfg_;
+};
+
+/// Per-phase wall-clock breakdown of one campaign, filled when
+/// DriverConfig::phase_timings points here.  Wall-clock observability only
+/// (Amdahl accounting for the parallel-speedup bench): the sink never
+/// feeds back into the simulation.
+struct PhaseTimings {
+  /// Accumulated wall microseconds per kPhases entry, by enum index.
+  std::array<std::int64_t, WorkloadDriver::kPhases.size()> wall_us{};
+  /// Horizon passes executed (phase-machine iterations)...
+  std::int64_t horizons = 0;
+  /// ...covering this many 15-minute intervals in total.
+  std::int64_t intervals = 0;
+
+  std::int64_t total_us() const {
+    std::int64_t sum = 0;
+    for (std::int64_t us : wall_us) sum += us;
+    return sum;
+  }
+  /// Wall time spent in phases kPhases classifies as serial.
+  std::int64_t serial_us() const {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < wall_us.size(); ++i) {
+      if (!WorkloadDriver::kPhases[i].parallel) sum += wall_us[i];
+    }
+    return sum;
+  }
 };
 
 /// Convenience: run a campaign with the given config.

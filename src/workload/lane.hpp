@@ -1,15 +1,17 @@
 // NodeLane: everything one node's worker thread may touch, and nothing else.
 //
-// The campaign driver's node-advance phase runs the 144 lanes in parallel
-// (util::TaskPool, static sharding).  The determinism and data-race story
-// both reduce to one ownership rule: inside the parallel region a worker
-// reads and writes exactly one lane — the Node with its counters, the
-// lane's private RNG stream, its read-only fault view and its telemetry
-// shard — plus immutable shared inputs (configs, the job's EventSignature,
-// this interval's LaneStep).  Cross-node state (scheduler, daemon, job
-// monitor, the metrics registry, the driver's master RNG) is touched only
-// in the serial phases, and lane outputs are folded back in ascending node
-// order, so campaign results are bit-identical for every thread count.
+// The campaign driver's lane-pipeline phase runs the 144 lanes in parallel
+// (util::TaskPool, static sharding), each lane draining a whole horizon of
+// intervals end-to-end.  The determinism and data-race story both reduce to
+// one ownership rule: inside the parallel region a worker reads and writes
+// exactly one lane — the Node with its counters, the lane's private RNG
+// stream, its read-only fault view, its telemetry shard and its per-interval
+// probe samples — plus immutable shared inputs (configs, the job's
+// EventSignature, this horizon's LaneStep and miss bitmap).  Cross-node
+// state (scheduler, daemon, job monitor, the metrics registry, the driver's
+// master RNG) is touched only in the serial phases, and lane outputs are
+// folded back in a fixed pairwise tree (telemetry::tree_fold), so campaign
+// results are bit-identical for every thread count.
 //
 // RNG ownership: the lane stream is seeded from (campaign seed, node id)
 // through splitmix64 — never from the master stream, whose draw sequence
@@ -19,31 +21,68 @@
 // thread count, perturbs nothing else.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "src/check/annotate.hpp"
 #include "src/cluster/node.hpp"
 #include "src/fault/fault.hpp"
 #include "src/power2/signature.hpp"
+#include "src/rs2hpm/snapshot.hpp"
 #include "src/telemetry/shard.hpp"
 #include "src/util/rng.hpp"
 
 namespace p2sim::workload {
 
-/// One interval's work order for a lane, written by the serial
-/// arrivals/scheduling phases and read only inside the parallel region.
+/// One horizon's work order for a lane, written by the serial
+/// scheduling/launch phases and read only inside the parallel region.  The
+/// order stays valid for every interval of the horizon because the horizon
+/// phase only extends a pass across intervals where no cross-node event
+/// (arrival, start, crash, reboot, completion) intervenes.
 struct LaneStep {
   /// Kernel signature of the job holding this node; nullptr when idle.
   const power2::EventSignature* sig = nullptr;
   /// Activity mix for the busy part of the interval (valid when sig set).
   cluster::ActivityProfile activity{};
-  /// Seconds of the interval spent running the job (<= interval length).
+  /// Seconds of the current interval spent running the job (<= interval
+  /// length); recomputed per interval by run_pipeline from end_s.
   double busy_s = 0.0;
+  /// Absolute sim time the job ends (valid when sig set): the pipeline
+  /// derives each interval's busy_s as min(end_s, interval end) - now.
+  double end_s = 0.0;
 };
 
-/// The per-node bundle owned by exactly one worker during node-advance.
+/// How one lane-local daemon probe (one node, one interval) turned out.
+/// Mirrors the per-node arms of SamplingDaemon::collect exactly.
+enum class ProbeOutcome : std::uint8_t {
+  kMissed,      ///< the whole 15-minute sample never happened (cron miss)
+  kDown,        ///< node was down: unreachable, baseline kept
+  kLost,        ///< node up but its fetch was dropped in flight
+  kSampled,     ///< clean monotone delta
+  kReprimed,    ///< counter reset detected; baseline re-established
+  kNewlyPrimed, ///< first successful contact; baseline established
+};
+
+/// One interval's probe result, produced inside the parallel region and
+/// folded into the interval's merged record by the serial fold phase.
+struct LaneSample {
+  rs2hpm::ModeTotals delta;        ///< counter delta (kSampled only)
+  std::uint64_t quad_surplus = 0;  ///< quad diagnostic delta (kSampled only)
+  double busy_s = 0.0;             ///< busy seconds this lane contributed
+  ProbeOutcome outcome = ProbeOutcome::kMissed;
+};
+
+/// The per-node bundle owned by exactly one worker during the parallel
+/// lane-pipeline phase.
 class NodeLane {
  public:
   /// `rng_seed` is the campaign seed; the lane derives its private stream
   /// from (rng_seed, id) so streams are keyed to the node, not to order.
+  ///
+  /// The probe baseline starts primed at zero: a fresh node's counters are
+  /// all-zero, so this is exactly the baseline the daemon's historical
+  /// priming pass (a collect at interval -1) would have established.
   NodeLane(int id, const cluster::NodeConfig& cfg, std::uint64_t rng_seed,
            const fault::FaultSchedule* fault_view)
       : node(id, cfg),
@@ -76,6 +115,66 @@ class NodeLane {
     shard.add_busy();
   }
 
+  /// Drains `h` consecutive intervals starting at t0 end-to-end: per
+  /// interval, derive the busy split from the work order, advance the
+  /// node, then probe its counters exactly as the daemon's serial per-node
+  /// loop did.  `miss[k]` marks horizon offset k as a whole-interval cron
+  /// miss (no probe draw, baseline kept).  Touches only lane-local state;
+  /// the horizon phase guarantees the work order holds for every interval.
+  P2SIM_PAR_SAFE void run_pipeline(std::int64_t t0, std::int64_t h,
+                                   double interval_s,
+                                   const std::uint8_t* miss) {
+    samples.clear();
+    for (std::int64_t k = 0; k < h; ++k) {
+      const double now = static_cast<double>(t0 + k) * interval_s;
+      if (step.sig != nullptr) {
+        step.busy_s = std::min(step.end_s, now + interval_s) - now;
+      }
+      advance_interval(interval_s);
+      probe(t0 + k, miss[k] != 0);
+    }
+  }
+
+  /// One daemon probe of this lane's node: appends a LaneSample for the
+  /// interval.  The monotone guard, reprime and priming arms are the
+  /// per-node body of SamplingDaemon::collect, relocated so the probe can
+  /// run inside the parallel region against lane-owned baselines.
+  P2SIM_PAR_SAFE void probe(std::int64_t interval, bool missed) {
+    LaneSample s;
+    s.busy_s = interval_busy_s;
+    if (missed) {
+      s.outcome = ProbeOutcome::kMissed;  // baseline kept
+    } else if (!node.is_up()) {
+      s.outcome = ProbeOutcome::kDown;    // unreachable, baseline kept
+    } else if (fault_view != nullptr &&
+               fault_view->node_sample_lost(node.id(), interval)) {
+      s.outcome = ProbeOutcome::kLost;    // dropped in flight, baseline kept
+    } else {
+      const rs2hpm::ModeTotals& totals = node.totals();
+      const std::uint64_t quad = node.quad_total();
+      // The guard is unconditional in every build: subtracting a baseline
+      // from reset counters would wrap the uint64 deltas into astronomical
+      // garbage that no downstream check could attribute.
+      const bool monotone = probe_primed && totals.covers(probe_prev) &&
+                            quad >= probe_prev_quad;
+      if (monotone) {
+        s.delta = totals.since(probe_prev);
+        s.quad_surplus = quad - probe_prev_quad;
+        s.outcome = ProbeOutcome::kSampled;
+      } else if (probe_primed) {
+        // Counter reset (node reboot) between samples: drop this interval's
+        // contribution and re-establish the baseline.
+        s.outcome = ProbeOutcome::kReprimed;
+      } else {
+        s.outcome = ProbeOutcome::kNewlyPrimed;
+      }
+      probe_prev = totals;
+      probe_prev_quad = quad;
+      probe_primed = true;
+    }
+    samples.push_back(s);
+  }
+
   cluster::Node node;
   /// Lane-private RNG stream (see the ownership rule above).
   util::Xoshiro256StarStar rng;
@@ -83,14 +182,21 @@ class NodeLane {
   /// it (stateless, keyed draws) but never log through the injector —
   /// fault accounting is a serial-phase concern.  Null when faults are off.
   const fault::FaultSchedule* fault_view = nullptr;
-  /// This lane's telemetry tallies, merged serially each interval.
+  /// This lane's telemetry tallies, tree-merged serially each horizon.
   telemetry::MetricShard shard;
 
-  /// Input for the current interval (serial phases write, lane reads).
+  /// Input for the current horizon (serial phases write, lane reads).
   LaneStep step;
-  /// Output: busy seconds this lane contributed this interval (folded into
-  /// the campaign total in ascending node order).
+  /// Output: busy seconds this lane contributed in the most recent
+  /// interval (also recorded per interval in `samples`).
   double interval_busy_s = 0.0;
+
+  /// Lane-owned daemon baseline (was SamplingDaemon's per-node state).
+  rs2hpm::ModeTotals probe_prev;
+  std::uint64_t probe_prev_quad = 0;
+  bool probe_primed = true;
+  /// Output: one probe sample per horizon interval, in interval order.
+  std::vector<LaneSample> samples;
 };
 
 }  // namespace p2sim::workload

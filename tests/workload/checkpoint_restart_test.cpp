@@ -122,6 +122,32 @@ TEST(CheckpointRestart, ResumeFromEveryGenerationIsByteIdentical) {
   fs::remove_all(dir);
 }
 
+TEST(CheckpointRestart, MidCampaignCheckpointResumesAcrossThreadCounts) {
+  // A checkpoint cut mid-campaign by a wide (8-worker) run must resume
+  // byte-identically under any other worker count: lane partitioning and
+  // pass horizons are derived state, never checkpointed, so the image is
+  // thread-count-agnostic in both directions.
+  const std::string dir = fresh_dir("p2sim_ck_xthreads");
+  DriverConfig cfg = ck_config();
+  cfg.checkpoint.dir = dir;
+  const std::string reference = campaign_fingerprint(cfg, 8);
+  ASSERT_FALSE(list_checkpoints(dir).empty());
+  for (int threads : {1, 2, 3}) {
+    DriverConfig resume_cfg = ck_config();
+    resume_cfg.checkpoint.dir = dir;
+    resume_cfg.checkpoint.resume = true;
+    ResumeReport rep;
+    resume_cfg.checkpoint.report = &rep;
+    const std::string resumed = campaign_fingerprint(resume_cfg, threads);
+    EXPECT_TRUE(rep.resumed);
+    expect_identical(reference, resumed,
+                     ("threads=8 checkpoint resumed at threads=" +
+                      std::to_string(threads))
+                         .c_str());
+  }
+  fs::remove_all(dir);
+}
+
 TEST(CheckpointRestart, CorruptNewestGenerationFallsBackWithReason) {
   const std::string dir = fresh_dir("p2sim_ck_fallback");
   DriverConfig cfg = ck_config();

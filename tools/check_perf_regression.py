@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the parallel campaign engine.
+
+Reads a freshly produced BENCH_parallel_speedup.json and the committed
+baseline (bench/parallel_speedup_baseline.json), and fails when the wide
+(8-thread) campaign speedup drops below the committed floor minus the
+tolerance.  Two outcomes deliberately do not gate on speed:
+
+  * "scaling_valid": false in the report -- the bench refused to publish
+    scaling figures because the host has fewer hardware threads than the
+    widest run.  The checker SKIPS (exit 0) with the refusal reason, so a
+    small CI runner never fails on scheduling noise.
+  * byte-identity, by contrast, always gates: a report carrying
+    "table2_identical": false fails regardless of host width, because
+    determinism is thread-count-independent.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "bench" / "parallel_speedup_baseline.json"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", type=pathlib.Path,
+                    help="BENCH_parallel_speedup.json from a fresh run")
+    ap.add_argument("--baseline", type=pathlib.Path,
+                    default=DEFAULT_BASELINE,
+                    help="committed speedup floor (default: %(default)s)")
+    args = ap.parse_args()
+
+    try:
+        report = json.loads(args.report.read_text())
+    except (OSError, ValueError) as e:
+        print(f"perf-regression: cannot read report {args.report}: {e}")
+        return 1
+    try:
+        base = json.loads(args.baseline.read_text())
+    except (OSError, ValueError) as e:
+        print(f"perf-regression: cannot read baseline {args.baseline}: {e}")
+        return 1
+
+    if not report.get("table2_identical", False):
+        print("perf-regression: FAIL: Table 2 is not byte-identical across "
+              "thread counts (determinism gates on every host)")
+        return 1
+
+    if not report.get("scaling_valid", False):
+        reason = report.get("scaling_refusal",
+                            "bench withheld scaling figures")
+        print(f"perf-regression: SKIP: {reason}")
+        return 0
+
+    threads = int(base["threads"])
+    floor = float(base["min_speedup"])
+    tol = float(base["tolerance"])
+    run = next((r for r in report.get("runs", [])
+                if r.get("threads") == threads), None)
+    if run is None or "speedup" not in run:
+        print(f"perf-regression: FAIL: report has no speedup entry for "
+              f"threads={threads}")
+        return 1
+
+    speedup = float(run["speedup"])
+    gate = floor - tol
+    ok = speedup >= gate
+    print(f"perf-regression: threads={threads} speedup {speedup:.2f}x "
+          f"vs committed floor {floor:.2f}x - tolerance {tol:.2f} "
+          f"=> gate {gate:.2f}x: {'OK' if ok else 'FAIL'}")
+    if ok and "serial_fraction" in run:
+        print(f"perf-regression: serial fraction at threads={threads}: "
+              f"{100.0 * float(run['serial_fraction']):.1f}%")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

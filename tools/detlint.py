@@ -344,7 +344,7 @@ def scan_file(rel: str, text: str):
     for ce in classes:
         body = clean[ce.start:ce.end]
         for mm in re.finditer(
-                r"(?:^|;|\{|\})\s*(?:mutable\s+|static\s+|const\s+)*"
+                r"(?:^|(?<=[;{}]))\s*(?:mutable\s+|static\s+|const\s+)*"
                 r"((?:[\w:]+)(?:<[^;<>{}]*>)?)\s*[&*\s]\s*(\w+)\s*"
                 r"(?:=[^;]*|\{[^;{}]*\})?;", body):
             ty, name = mm.group(1), mm.group(2)
@@ -378,6 +378,33 @@ def param_types(params: str) -> dict[str, str]:
         if m:
             base = re.sub(r"<.*", "", m.group(1)).split("::")[-1]
             out[m.group(2)] = base
+    return out
+
+
+LOCAL_DECL_KEYWORDS = KEYWORDS | frozenset(
+    "case break continue goto using typedef struct class enum namespace "
+    "template typename public private protected constexpr static const "
+    "mutable co_return co_await co_yield".split())
+
+LOCAL_DECL_RE = re.compile(
+    r"(?:^|(?<=[;{}(]))\s*(?:const\s+|constexpr\s+|static\s+)*"
+    r"((?:[\w:]+)(?:<[^<>]*>)?)"
+    r"[\s&*]+([A-Za-z_]\w*)\s*(?=[=({;:])")
+
+
+def local_types(body: str) -> dict[str, str]:
+    """Types of local variables declared in a (cleaned) function body,
+    name -> unqualified base type.  Same shape as param_types(); lets the
+    resolver bind member calls on locals (``Power2Core core(cfg);
+    core.run_counted(...)``) to the exact class instead of fanning out to
+    every same-name definition in the tree."""
+    out: dict[str, str] = {}
+    for m in LOCAL_DECL_RE.finditer(body):
+        base = re.sub(r"<.*", "", m.group(1)).split("::")[-1]
+        name = m.group(2)
+        if base in LOCAL_DECL_KEYWORDS or name in LOCAL_DECL_KEYWORDS:
+            continue
+        out.setdefault(name, base)
     return out
 
 
@@ -464,12 +491,32 @@ class Tree:
             ty = None
             if ctx is not None:
                 ty = param_types(ctx.params).get(recv)
+                if ty is None:
+                    lt = getattr(ctx, "_local_types", None)
+                    if lt is None:
+                        lt = ctx._local_types = local_types(ctx.body)
+                    ty = lt.get(recv)
                 if ty is None and ctx.cls in self.classes:
                     ty = self.classes[ctx.cls].members.get(recv)
+            if ty is None:
+                # Chained receiver (`kernel.body.size()` reaches here with
+                # recv="body"): collect the types every class gives a
+                # member of that name.  A unanimous type is adopted; with
+                # disagreement the call is still skippable when no
+                # candidate definition lives on any of those types --
+                # whichever owner is right, the target is external.
+                owner_tys = {ce.members[recv]
+                             for ce in self.classes.values()
+                             if recv in ce.members}
+                if owner_tys:
+                    exact = [d for d in cands if d.cls in owner_tys]
+                    if len(owner_tys) == 1 or not exact:
+                        return exact
             if ty is not None:
-                exact = [d for d in cands if d.cls == ty]
-                if exact or ty in self.classes:
-                    return exact
+                # A determined receiver type is authoritative: an empty
+                # match means the method lives on an external type (std::
+                # containers and friends), not on anything we audit.
+                return [d for d in cands if d.cls == ty]
             return cands
         if ctx is not None:
             local = [d for d in cands
@@ -487,9 +534,22 @@ class Tree:
                 continue
             if name.startswith("P2SIM_"):
                 continue
-            if recv is None and body[:m.start(2)].rstrip().endswith(
-                    "std::"):
-                continue
+            if recv is None:
+                prefix = body[:m.start(2)].rstrip()
+                if prefix.endswith("std::"):
+                    continue
+                stem = None
+                if prefix.endswith("."):
+                    stem = prefix[:-1].rstrip()
+                elif prefix.endswith("->"):
+                    stem = prefix[:-2].rstrip()
+                if stem is not None and stem.endswith(")"):
+                    # Member call on a temporary (`duration_cast<..>(d)
+                    # .count()`): the receiver type is not textually
+                    # recoverable -- skip rather than fan out to every
+                    # same-name definition.  Indexed receivers
+                    # (`lanes[i].run_pipeline(`) still resolve by name.
+                    continue
             yield recv, name
 
 
@@ -777,7 +837,23 @@ def check_rng_discipline(tree: Tree) -> list[str]:
             parts = re.split(r"\.|->", chain)
             meth = m.group(2)
             ok = False
-            if parts[-1] == "rng":
+            # A generator constructed by value inside the function itself
+            # (FaultSchedule::draw's counter-based splitmix/xoshiro chain)
+            # cannot be a shared stream: every call owns its instance and
+            # the seed is a pure function of the arguments.  References
+            # deliberately do not match -- aliasing a shared stream
+            # through a local name stays banned.
+            if len(parts) == 1 and ctx is not None and re.search(
+                    r"\b(?:util::)?(?:SplitMix64|Xoshiro256StarStar)"
+                    r"\s+" + re.escape(parts[0]) + r"\s*[({=]",
+                    ctx.body):
+                ok = True
+            # Power2Core's rng_ is object-owned and the parallel phase
+            # constructs a fresh core per measurement task, so its stream
+            # is task-local and seeded deterministically from the config.
+            if not ok and parts == ["rng_"]:
+                ok = ctx is not None and ctx.cls == "Power2Core"
+            if not ok and parts[-1] == "rng":
                 if len(parts) == 1:
                     ok = (ctx is not None and ctx.cls == "NodeLane")
                 else:
@@ -887,6 +963,26 @@ def self_test() -> int:
             "  st.pool.run(0, [](std::size_t, std::size_t) {});"),
         "serial phase WorkloadDriver::phase_nfs_grant dispatches")
 
+    scenario(
+        "phase purity: local-typed receiver resolves into the closure",
+        # measure_quiet reaches run_counted through a local Power2Core;
+        # the resolver must bind that edge exactly, so dropping the tag
+        # on run_counted's declaration is caught.
+        lambda tmp: edit(tmp, "src/power2/core.hpp",
+                         "P2SIM_PAR_SAFE RunResult run_counted",
+                         "RunResult run_counted"),
+        "Power2Core::run_counted")
+    scenario(
+        "phase purity: temporary receivers do not fan out by name",
+        # `.size()` on a call result has no recoverable receiver type;
+        # it must NOT be charged to every size() definition in the tree.
+        lambda tmp: edit(
+            tmp, "src/workload/lane.hpp",
+            "    interval_busy_s = step.busy_s;",
+            "    interval_busy_s = step.busy_s;\n"
+            "    (void)std::to_string(outcome_count).size();"),
+        "", expect_rc=0)
+
     # family 2: nondeterminism bans ------------------------------------
     scenario(
         "nondeterminism: wall-clock read outside trace.* fails",
@@ -961,6 +1057,28 @@ def self_test() -> int:
             "    interval_busy_s = step.busy_s;\n"
             "    (void)rng.uniform(0.0, 1.0);"),
         "", expect_rc=0)
+    scenario(
+        "rng discipline: locally-constructed generator passes",
+        # FaultSchedule::draw's pattern: a by-value generator seeded from
+        # the call's own arguments is task-local by construction.
+        lambda tmp: edit(
+            tmp, "src/workload/lane.hpp",
+            "    interval_busy_s = step.busy_s;",
+            "    interval_busy_s = step.busy_s;\n"
+            "    util::Xoshiro256StarStar own(7);\n"
+            "    (void)own.uniform(0.0, 1.0);"),
+        "", expect_rc=0)
+    scenario(
+        "rng discipline: reference alias to a stream stays banned",
+        # A reference named like a local must not launder a shared stream
+        # through the locally-constructed-generator exemption.
+        lambda tmp: edit(
+            tmp, "src/workload/lane.hpp",
+            "    interval_busy_s = step.busy_s;",
+            "    interval_busy_s = step.busy_s;\n"
+            "    util::Xoshiro256StarStar& alias = *shared_stream;\n"
+            "    (void)alias.uniform(0.0, 1.0);"),
+        "may only draw from a NodeLane-owned stream")
 
     if failures:
         for f in failures:
