@@ -206,8 +206,16 @@ void report() {
        << "    \"speedup\": " << speedup << "\n  },\n"
        << "  \"signature_lookup_ns\": " << lookup_ns << ",\n"
        << "  \"table2_identical\": " << (identical ? "true" : "false")
-       << ",\n  \"scaling_valid\": " << (scaling_valid ? "true" : "false")
-       << ",\n  \"campaign\": {\n    \"reference_wall_seconds\": "
+       << ",\n  \"scaling_valid\": " << (scaling_valid ? "true" : "false");
+  if (!scaling_valid) {
+    // Refusal discipline: say out loud why the wider runs carry no
+    // speedup figure, so downstream tools never mistake withheld data
+    // for missing data.
+    json << ",\n  \"scaling_refusal\": \"host has " << hw
+         << " hardware thread(s) < 8; multi-thread speedup figures "
+            "withheld\"";
+  }
+  json << ",\n  \"campaign\": {\n    \"reference_wall_seconds\": "
        << ref_run.wall_seconds << ",\n    \"fast_runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     json << "      {\"threads\": " << runs[i].threads

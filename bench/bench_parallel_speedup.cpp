@@ -1,11 +1,13 @@
 // Parallel campaign engine: speedup and the bit-identity guarantee.
 //
-// Runs the paper-scale campaign (144 nodes) at threads = 1, 2, 4 and 8 and
-// (a) hard-asserts that Table 2 is byte-identical across thread counts —
-// a mismatch exits nonzero, because determinism is the engine's contract,
+// Runs the paper-scale campaign (144 nodes) at threads = 1, 2, 4 and 8
+// with the columnar archive writer enabled and (a) hard-asserts that both
+// Table 2 and the archive's bytes are identical across thread counts — a
+// mismatch exits nonzero, because determinism is the engine's contract,
 // not a statistic — and (b) reports wall seconds, speedup and the
 // per-phase wall-clock breakdown (the serial fraction bounds achievable
-// speedup by Amdahl's law), written to BENCH_parallel_speedup.json.
+// speedup by Amdahl's law; the `archive` row is the batched record-
+// emission tail), written to BENCH_parallel_speedup.json.
 //
 // Scaling claims are host-gated: when hardware_concurrency is below the
 // widest thread count, the bench still runs (the determinism assert is
@@ -17,7 +19,9 @@
 #include "bench/common.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,8 +48,18 @@ struct TimedRun {
   int threads = 0;
   double wall_seconds = 0.0;
   std::string table2;
+  std::string archive;  ///< the columnar archive's bytes, thread-invariant
   workload::PhaseTimings timings;
 };
+
+/// Reads a file's bytes and removes it (the per-run archive scratch).
+std::string slurp_and_remove(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream body;
+  body << in.rdbuf();
+  std::remove(path.c_str());
+  return body.str();
+}
 
 TimedRun run_at(int threads, std::int64_t days) {
   TimedRun out;
@@ -54,12 +68,20 @@ TimedRun run_at(int threads, std::int64_t days) {
   cfg.driver.days = days;
   cfg.threads() = threads;
   cfg.driver.phase_timings = &out.timings;
+  // The archive writer stays on so the phase breakdown shows the batched
+  // record-emission tail (the serial cost the columnar sink replaced the
+  // per-line text path with) and so the byte-identity assert below covers
+  // the archive alongside Table 2.
+  const std::string archive_path =
+      "bench_speedup_t" + std::to_string(threads) + ".p2a";
+  cfg.archive() = archive_path;
   core::Sp2Simulation sim(cfg);
   const auto t0 = std::chrono::steady_clock::now();
   sim.campaign();  // the driver runs here, on `threads` workers
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.table2 = analysis::format_table2(sim.table2());
+  out.archive = slurp_and_remove(archive_path);
   return out;
 }
 
@@ -129,8 +151,13 @@ void report() {
       std::printf("  !! Table 2 at threads=%d differs from threads=1\n",
                   r.threads);
     }
+    if (r.archive != runs.front().archive) {
+      identical = false;
+      std::printf("  !! archive bytes at threads=%d differ from threads=1\n",
+                  r.threads);
+    }
   }
-  std::printf("  Table 2 across thread counts: %s\n",
+  std::printf("  Table 2 + archive bytes across thread counts: %s\n",
               identical ? "byte-identical" : "MISMATCH");
 
   std::ofstream json = bench::open_csv("BENCH_parallel_speedup.json");
@@ -144,6 +171,7 @@ void report() {
          << "; speedup figures withheld\"";
   }
   json << ",\n  \"table2_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"archive_bytes\": " << runs.front().archive.size()
        << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const TimedRun& r = runs[i];

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   std::int64_t checkpoint_every = 96;
   bool resume = false;
   std::string records_base;
+  std::string archive_path;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +88,8 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--records" && i + 1 < argc) {
       records_base = argv[++i];
+    } else if (arg == "--archive" && i + 1 < argc) {
+      archive_path = argv[++i];
     } else if (arg == "--abort-after" && i + 1 < argc) {
       g_abort_after = std::atoll(argv[++i]);
     } else if (arg == "--help") {
@@ -94,7 +97,7 @@ int main(int argc, char** argv) {
           "usage: run_experiment [--days N] [--nodes N] [--threads N] "
           "[--faults] [--signature-store FILE] [--checkpoint-dir DIR] "
           "[--checkpoint-every N] [--resume] [--records BASE] "
-          "[--abort-after N] <experiment>...\n"
+          "[--archive FILE] [--abort-after N] <experiment>...\n"
           "       run_experiment --list\n"
           "--threads N runs the node-advance phase on N workers (0 = one\n"
           "per core); every output is bit-identical for every value.\n"
@@ -107,6 +110,9 @@ int main(int argc, char** argv) {
           "campaigns are bit-identical to uninterrupted ones.\n"
           "--records BASE stores the campaign to BASE.intervals and\n"
           "BASE.jobs (record_io v2, commit-trailed).\n"
+          "--archive FILE stores the campaign as a columnar archive the\n"
+          "campaign_query tool scans directly (bit-identical bytes for\n"
+          "every thread count).\n"
           "--abort-after N aborts the campaign after N intervals: partial\n"
           "outputs are removed and the exit status is 1.\n");
       return 0;
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
   cfg.checkpoint().dir = checkpoint_dir;
   cfg.checkpoint().every_intervals = checkpoint_every;
   cfg.checkpoint().resume = resume;
+  cfg.archive() = archive_path;
   if (faults) cfg.faults() = p2sim::fault::FaultConfig::reference();
   if (g_abort_after >= 0) {
     p2sim::workload::set_checkpoint_test_hook(&abort_after_hook);

@@ -9,6 +9,7 @@
 
 #include "src/telemetry/session.hpp"
 #include "src/util/checksum.hpp"
+#include "src/util/numfmt.hpp"
 
 namespace p2sim::analysis {
 namespace {
@@ -95,8 +96,10 @@ bool looks_like_trailer(std::string_view line) {
   return line.size() >= 2 && line[0] == 'C' && line[1] == ',';
 }
 
-/// Reads the header line; returns the format version (1 or 2).
-int check_header(std::istream& in, const char* expected_tag) {
+/// Reads the header line; returns the format version (1..max_version —
+/// v3 exists only for job files, so each loader names its own ceiling).
+int check_header(std::istream& in, const char* expected_tag,
+                 int max_version) {
   std::string line;
   if (!std::getline(in, line)) {
     throw std::runtime_error("record_io: empty input");
@@ -105,13 +108,17 @@ int check_header(std::istream& in, const char* expected_tag) {
   std::string tag, version;
   std::size_t counters = 0;
   hs >> tag >> version >> counters;
-  if (tag != expected_tag || (version != "v1" && version != "v2")) {
+  int v = 0;
+  if (version == "v1") v = 1;
+  if (version == "v2") v = 2;
+  if (version == "v3") v = 3;
+  if (tag != expected_tag || v == 0 || v > max_version) {
     throw std::runtime_error("record_io: bad header '" + line + "'");
   }
   if (counters != hpm::kNumCounters) {
     throw std::runtime_error("record_io: counter-count mismatch");
   }
-  return version == "v1" ? 1 : 2;
+  return v;
 }
 
 /// v2 line validation: the final field must be the 8-hex FNV-1a of
@@ -191,9 +198,9 @@ void for_each_line(std::istream& in, ParseReport* report,
 }
 
 /// Applies the trailer verdict after the line loop: a recovering load
-/// records it, a strict load refuses an uncommitted v2 file.
+/// records it, a strict load refuses an uncommitted v2+ file.
 void finish_trailer(int version, bool committed, ParseReport* report) {
-  if (version != 2) return;
+  if (version < 2) return;
   if (report != nullptr) {
     report->committed = committed;
     report->truncated = !committed;
@@ -223,7 +230,7 @@ void save_intervals(std::ostream& out,
 
 std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in,
                                                    ParseReport* report) {
-  const int version = check_header(in, kIntervalTag);
+  const int version = check_header(in, kIntervalTag, /*max_version=*/2);
   std::vector<rs2hpm::IntervalRecord> out;
   bool committed = false;
   std::int64_t records_seen = 0;
@@ -266,13 +273,17 @@ std::vector<rs2hpm::IntervalRecord> load_intervals(std::istream& in,
 }
 
 void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs) {
-  out << kJobTag << " v2 " << hpm::kNumCounters << '\n';
+  out << kJobTag << " v3 " << hpm::kNumCounters << '\n';
   for (const pbs::JobRecord& r : jobs.all()) {
     std::ostringstream body;
-    body << "J," << r.spec.job_id << ',' << r.spec.nodes_requested << ','
-         << r.spec.submit_time_s << ',' << r.start_time_s << ','
-         << r.end_time_s << ',' << (r.report.complete ? 1 : 0) << ','
-         << r.report.quad_surplus;
+    // Shortest round-trip doubles: a parse-and-rewrite cycle (and the
+    // archive <-> text converters) must reproduce these bytes exactly.
+    body << "J," << r.spec.job_id << ',' << r.spec.user_id << ','
+         << r.spec.nodes_requested << ','
+         << util::format_double(r.spec.submit_time_s) << ','
+         << util::format_double(r.start_time_s) << ','
+         << util::format_double(r.end_time_s) << ','
+         << (r.report.complete ? 1 : 0) << ',' << r.report.quad_surplus;
     write_totals(body, r.report.delta);
     write_checked_line(out, body.str());
   }
@@ -280,12 +291,12 @@ void save_jobs(std::ostream& out, const pbs::JobDatabase& jobs) {
 }
 
 pbs::JobDatabase load_jobs(std::istream& in, ParseReport* report) {
-  const int version = check_header(in, kJobTag);
+  const int version = check_header(in, kJobTag, /*max_version=*/3);
   pbs::JobDatabase db;
   bool committed = false;
   std::int64_t records_seen = 0;
   for_each_line(in, report, [&](const std::string& line) {
-    if (version == 2 && looks_like_trailer(line)) {
+    if (version >= 2 && looks_like_trailer(line)) {
       check_trailer(line, split(line), &committed, records_seen);
       return LineKind::kTrailer;
     }
@@ -294,27 +305,28 @@ pbs::JobDatabase load_jobs(std::istream& in, ParseReport* report) {
       throw std::runtime_error("record_io: record after commit trailer");
     }
     auto f = split(line);
-    if (version == 2) f = strip_checksum(line, std::move(f));
-    const std::size_t fixed = version == 1 ? 7 : 8;
+    if (version >= 2) f = strip_checksum(line, std::move(f));
+    const std::size_t fixed = version == 1 ? 7 : (version == 2 ? 8 : 9);
     if (f[0] != "J" || f.size() != fixed + 2 * hpm::kNumCounters) {
       throw std::runtime_error("record_io: malformed job line");
     }
     pbs::JobRecord rec;
-    rec.spec.job_id = parse_num<std::int64_t>(f[1], "job_id");
-    rec.spec.nodes_requested = parse_num<int>(f[2], "nodes");
-    rec.spec.submit_time_s = parse_double(f[3], "submit");
-    rec.start_time_s = parse_double(f[4], "start");
-    rec.end_time_s = parse_double(f[5], "end");
+    std::size_t at = 1;
+    rec.spec.job_id = parse_num<std::int64_t>(f[at++], "job_id");
+    if (version >= 3) {
+      rec.spec.user_id = parse_num<std::int32_t>(f[at++], "user_id");
+    }
+    rec.spec.nodes_requested = parse_num<int>(f[at++], "nodes");
+    rec.spec.submit_time_s = parse_double(f[at++], "submit");
+    rec.start_time_s = parse_double(f[at++], "start");
+    rec.end_time_s = parse_double(f[at++], "end");
     rec.report.job_id = rec.spec.job_id;
     rec.report.nodes = rec.spec.nodes_requested;
     rec.report.elapsed_s = rec.end_time_s - rec.start_time_s;
-    std::size_t quad_at = 6;
-    if (version == 2) {
-      rec.report.complete = parse_num<int>(f[6], "complete") != 0;
-      quad_at = 7;
+    if (version >= 2) {
+      rec.report.complete = parse_num<int>(f[at++], "complete") != 0;
     }
-    rec.report.quad_surplus =
-        parse_num<std::uint64_t>(f[quad_at], "quad");
+    rec.report.quad_surplus = parse_num<std::uint64_t>(f[at++], "quad");
     rec.report.delta = parse_totals(f, fixed);
     db.add(std::move(rec));
     return LineKind::kRecord;

@@ -7,16 +7,20 @@
 // for interval records and job reports, so a campaign can be collected
 // once and analyzed many times (or inspected with standard Unix tools).
 //
-// Format v2 (one record per line, fields comma-separated, each line closed
-// by an FNV-1a 32-bit checksum of everything before its final comma):
+// Current formats (one record per line, fields comma-separated, each line
+// closed by an FNV-1a 32-bit checksum of everything before its final
+// comma):
 //   p2sim-intervals v2 <num_counters>
 //   I,<interval>,<sampled>,<expected>,<reprimed>,<busy>,<quad>,
 //     <22 user>,<22 system>,<crc 8 hex>
-//   p2sim-jobs v2 <num_counters>
-//   J,<job_id>,<nodes>,<submit>,<start>,<end>,<complete>,<quad>,
+//   p2sim-jobs v3 <num_counters>
+//   J,<job_id>,<user_id>,<nodes>,<submit>,<start>,<end>,<complete>,<quad>,
 //     <22 user>,<22 system>,<crc 8 hex>
 // The v1 format (no checksum, no coverage fields, no completeness flag)
-// still loads; v1 lines are assumed fully covered and complete.
+// still loads; v1 lines are assumed fully covered and complete.  Job
+// format v2 (no user_id field — user attribution was lost on reload)
+// still loads with user_id 0; v3 files round-trip the columnar archive's
+// job table byte for byte.
 //
 // A v2 file ends with a commit trailer — "C,<record count>,<crc 8 hex>" —
 // written after the last record.  The trailer is how a loader tells a

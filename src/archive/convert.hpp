@@ -1,0 +1,58 @@
+// Conversions between the columnar archive and its neighbours: in-memory
+// records (materialization) and the versioned text record format (both
+// ways).
+//
+// Materialization decodes every column of every loadable chunk, so it
+// verifies the whole chunk body — the full-integrity read path.  The text
+// importers/exporters reuse analysis::record_io verbatim, which keeps one
+// text parser in the tree and makes text -> archive -> text a byte-level
+// round trip (the text format stores shortest round-trip doubles, and job
+// format v3 carries the archive's user_id column; a legacy v2 job file
+// imports with user 0).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/analysis/record_io.hpp"
+#include "src/archive/reader.hpp"
+#include "src/pbs/accounting.hpp"
+#include "src/rs2hpm/daemon.hpp"
+
+namespace p2sim::archive {
+
+/// Materializes the interval table (chunk order, all columns verified).
+std::vector<rs2hpm::IntervalRecord> to_intervals(
+    const ArchiveReader& reader, ArchiveReport* report = nullptr);
+
+/// Materializes the job table.  `elapsed_s` is canonicalized to
+/// end - start, exactly as analysis::load_jobs does for text.
+pbs::JobDatabase to_jobs(const ArchiveReader& reader,
+                         ArchiveReport* report = nullptr);
+
+/// Builds a complete archive image from in-memory records (merge tool,
+/// tests, benches).
+std::string archive_from_records(
+    std::span<const rs2hpm::IntervalRecord> intervals,
+    std::span<const pbs::JobRecord> jobs,
+    std::size_t rows_per_chunk = kDefaultRowsPerChunk);
+
+/// Loads text record files (either path may be empty: that table stays
+/// empty) and writes `archive_path` durably.  Strict when the matching
+/// report pointer is null.  Returns false with `error` set on any load or
+/// write failure.
+bool text_to_archive(const std::string& intervals_path,
+                     const std::string& jobs_path,
+                     const std::string& archive_path, std::string* error,
+                     analysis::ParseReport* intervals_report = nullptr,
+                     analysis::ParseReport* jobs_report = nullptr);
+
+/// Exports an archive back to text record files (either output path may be
+/// empty to skip that table); strict when `report` is null.
+bool archive_to_text(const std::string& archive_path,
+                     const std::string& intervals_path,
+                     const std::string& jobs_path, std::string* error,
+                     ArchiveReport* report = nullptr);
+
+}  // namespace p2sim::archive

@@ -1,0 +1,73 @@
+#include "src/archive/format.hpp"
+
+namespace p2sim::archive {
+namespace {
+
+// Short per-counter names (one per Table 1 slot, unique — the hpm labels
+// reuse "fpop.fp_add" etc. across the two math units).
+constexpr std::string_view kCounterNames[hpm::kNumCounters] = {
+    "fxu0",       "fxu1",       "dcache_miss",   "tlb_miss",     "cycles",
+    "fpu0",       "fp_add0",    "fp_mul0",       "fp_div0",      "fp_muladd0",
+    "fpu1",       "fp_add1",    "fp_mul1",       "fp_div1",      "fp_muladd1",
+    "icu0",       "icu1",       "icache_reload", "dcache_reload",
+    "dcache_store", "dma_read", "dma_write",
+};
+
+std::vector<ColumnDesc> make_columns(TableKind kind) {
+  std::vector<ColumnDesc> cols;
+  if (kind == TableKind::kIntervals) {
+    cols = {
+        {"interval", ColumnKind::kI64},
+        {"nodes_sampled", ColumnKind::kI64},
+        {"nodes_expected", ColumnKind::kI64},
+        {"nodes_reprimed", ColumnKind::kI64},
+        {"busy_nodes", ColumnKind::kI64},
+        {"quad_surplus", ColumnKind::kU64},
+    };
+  } else {
+    cols = {
+        {"job_id", ColumnKind::kI64},
+        {"user_id", ColumnKind::kI64},
+        {"nodes", ColumnKind::kI64},
+        {"submit_s", ColumnKind::kF64},
+        {"start_s", ColumnKind::kF64},
+        {"end_s", ColumnKind::kF64},
+        {"complete", ColumnKind::kU64},
+        {"quad_surplus", ColumnKind::kU64},
+    };
+  }
+  for (const char* mode : {"user", "system"}) {
+    for (std::string_view c : kCounterNames) {
+      cols.push_back(
+          {std::string(mode) + "." + std::string(c), ColumnKind::kU64});
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+const std::vector<ColumnDesc>& columns(TableKind kind) {
+  static const std::vector<ColumnDesc> intervals =
+      make_columns(TableKind::kIntervals);
+  static const std::vector<ColumnDesc> jobs = make_columns(TableKind::kJobs);
+  return kind == TableKind::kIntervals ? intervals : jobs;
+}
+
+std::uint32_t column_count(TableKind kind) {
+  return static_cast<std::uint32_t>(columns(kind).size());
+}
+
+bool column_by_name(TableKind kind, std::string_view name,
+                    std::uint32_t* out) {
+  const std::vector<ColumnDesc>& cols = columns(kind);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name == name) {
+      *out = static_cast<std::uint32_t>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace p2sim::archive

@@ -1,0 +1,446 @@
+#include "src/archive/query.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <sstream>
+
+#include "src/archive/writer.hpp"
+#include "src/hpm/events.hpp"
+#include "src/util/numfmt.hpp"
+
+namespace p2sim::archive {
+namespace {
+
+using hpm::HpmCounter;
+
+/// Job-table column index of a user-mode / system-mode counter.
+constexpr std::uint32_t ju(HpmCounter c) {
+  return jcol::kUser0 + static_cast<std::uint32_t>(c);
+}
+constexpr std::uint32_t js(HpmCounter c) {
+  return jcol::kSystem0 + static_cast<std::uint32_t>(c);
+}
+
+double as_f64(std::uint64_t raw) { return std::bit_cast<double>(raw); }
+std::int64_t as_i64(std::uint64_t raw) {
+  return std::bit_cast<std::int64_t>(raw);
+}
+
+/// Whole-job Mflops, arithmetic mirrored from rs2hpm::derive_rates under
+/// the default counter selection: flops = (add0+add1) + (mul0+mul1) +
+/// (div0+div1) + (fma0+fma1), each counter widened to double first.
+double job_mflops(double elapsed_s, std::uint64_t a0, std::uint64_t a1,
+                  std::uint64_t m0, std::uint64_t m1, std::uint64_t d0,
+                  std::uint64_t d1, std::uint64_t f0, std::uint64_t f1) {
+  if (elapsed_s <= 0.0) return 0.0;
+  const double mps = 1.0 / (elapsed_s * 1e6);
+  const double add =
+      static_cast<double>(a0) + static_cast<double>(a1);
+  const double mul =
+      static_cast<double>(m0) + static_cast<double>(m1);
+  const double div =
+      static_cast<double>(d0) + static_cast<double>(d1);
+  const double fma =
+      static_cast<double>(f0) + static_cast<double>(f1);
+  const double flops = add + mul + div + fma;
+  return flops * mps;
+}
+
+/// Sound analyzed-jobs pushdown: skip a chunk only when its statistics
+/// prove no row has complete != 0 and walltime > min_walltime_s.  For any
+/// row, end - start <= max(end) - min(start), so the bound is a proof.
+bool prune_analyzed(std::span<const ChunkStats> stats,
+                    double min_walltime_s) {
+  if (stats[jcol::kComplete].max_raw == 0) return true;
+  const double start_min = as_f64(stats[jcol::kStart].min_raw);
+  const double end_max = as_f64(stats[jcol::kEnd].max_raw);
+  return end_max - start_min <= min_walltime_s;
+}
+
+}  // namespace
+
+ScanStats ArchiveTableSource::scan(std::span<const std::uint32_t> cols,
+                                   const PruneFn& prune,
+                                   const BatchFn& fn) const {
+  ScanStats st;
+  std::vector<std::vector<std::uint64_t>> scratch(cols.size());
+  Batch batch;
+  batch.cols.resize(cols.size());
+  std::int64_t ordinal = 0;
+  for (const ChunkView& chunk : reader_->chunks(kind_)) {
+    if (prune && !chunk.stats.empty() && prune(chunk.stats)) {
+      ++st.chunks_pruned;
+      st.rows_pruned += chunk.rows;
+      ++ordinal;
+      continue;
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      try {
+        reader_->decode_column(chunk, cols[i], &scratch[i]);
+      } catch (const ArchiveError& e) {
+        // Rotted after commit (the framing checksum only seals the chunk
+        // header): skip-and-report mid-scan, throw when strict.
+        note_archive_skip(report_, ordinal, chunk.rows, e.what());
+        ++st.chunks_skipped;
+        ok = false;
+        break;
+      }
+      batch.cols[i] = scratch[i];
+    }
+    if (ok) {
+      batch.rows = chunk.rows;
+      ++st.chunks_scanned;
+      st.rows_scanned += chunk.rows;
+      fn(batch);
+    }
+    ++ordinal;
+  }
+  return st;
+}
+
+MemoryIntervalSource::MemoryIntervalSource(
+    std::span<const rs2hpm::IntervalRecord> records) {
+  const std::uint32_t ncols = column_count(TableKind::kIntervals);
+  cols_.resize(ncols);
+  for (auto& c : cols_) c.reserve(records.size());
+  std::vector<std::uint64_t> row(ncols);
+  for (const rs2hpm::IntervalRecord& rec : records) {
+    interval_row(rec, row.data());
+    for (std::uint32_t c = 0; c < ncols; ++c) cols_[c].push_back(row[c]);
+  }
+  rows_ = records.size();
+}
+
+ScanStats MemoryIntervalSource::scan(std::span<const std::uint32_t> cols,
+                                     const PruneFn& /*prune*/,
+                                     const BatchFn& fn) const {
+  ScanStats st;
+  if (rows_ == 0) return st;
+  Batch batch;
+  batch.rows = static_cast<std::uint32_t>(rows_);
+  batch.cols.reserve(cols.size());
+  for (std::uint32_t c : cols) batch.cols.emplace_back(cols_[c]);
+  ++st.chunks_scanned;
+  st.rows_scanned += static_cast<std::int64_t>(rows_);
+  fn(batch);
+  return st;
+}
+
+MemoryJobSource::MemoryJobSource(std::span<const pbs::JobRecord> records) {
+  const std::uint32_t ncols = column_count(TableKind::kJobs);
+  cols_.resize(ncols);
+  for (auto& c : cols_) c.reserve(records.size());
+  std::vector<std::uint64_t> row(ncols);
+  for (const pbs::JobRecord& rec : records) {
+    job_row(rec, row.data());
+    for (std::uint32_t c = 0; c < ncols; ++c) cols_[c].push_back(row[c]);
+  }
+  rows_ = records.size();
+}
+
+ScanStats MemoryJobSource::scan(std::span<const std::uint32_t> cols,
+                                const PruneFn& /*prune*/,
+                                const BatchFn& fn) const {
+  ScanStats st;
+  if (rows_ == 0) return st;
+  Batch batch;
+  batch.rows = static_cast<std::uint32_t>(rows_);
+  batch.cols.reserve(cols.size());
+  for (std::uint32_t c : cols) batch.cols.emplace_back(cols_[c]);
+  ++st.chunks_scanned;
+  st.rows_scanned += static_cast<std::int64_t>(rows_);
+  fn(batch);
+  return st;
+}
+
+TopUsersResult top_users(std::span<const TableSource* const> jobs,
+                         std::size_t top_n, double min_walltime_s) {
+  // Accumulation order and arithmetic mirror analysis::user_stats.
+  struct Accum {
+    std::int64_t jobs = 0;
+    double node_seconds = 0.0;
+    double weighted_mflops = 0.0;
+    double walltime = 0.0;
+    double best = 0.0;
+  };
+  std::map<std::int32_t, Accum> by_user;
+  TopUsersResult out;
+
+  const std::uint32_t req[] = {
+      jcol::kUserId,          jcol::kNodes,
+      jcol::kStart,           jcol::kEnd,
+      jcol::kComplete,        ju(HpmCounter::kFpAdd0),
+      ju(HpmCounter::kFpAdd1), ju(HpmCounter::kFpMul0),
+      ju(HpmCounter::kFpMul1), ju(HpmCounter::kFpDiv0),
+      ju(HpmCounter::kFpDiv1), ju(HpmCounter::kFpMulAdd0),
+      ju(HpmCounter::kFpMulAdd1)};
+  const PruneFn prune = [min_walltime_s](std::span<const ChunkStats> s) {
+    return prune_analyzed(s, min_walltime_s);
+  };
+  for (const TableSource* src : jobs) {
+    out.scan.merge(src->scan(req, prune, [&](const Batch& b) {
+      for (std::uint32_t i = 0; i < b.rows; ++i) {
+        if (b.cols[4][i] == 0) continue;
+        const double w = as_f64(b.cols[3][i]) - as_f64(b.cols[2][i]);
+        if (!(w > min_walltime_s)) continue;
+        const std::int64_t nodes = as_i64(b.cols[1][i]);
+        const double jm =
+            job_mflops(w, b.cols[5][i], b.cols[6][i], b.cols[7][i],
+                       b.cols[8][i], b.cols[9][i], b.cols[10][i],
+                       b.cols[11][i], b.cols[12][i]);
+        const double mfn =
+            nodes > 0 ? jm / static_cast<double>(nodes) : 0.0;
+        Accum& a = by_user[static_cast<std::int32_t>(as_i64(b.cols[0][i]))];
+        a.jobs += 1;
+        a.node_seconds += w * static_cast<double>(nodes);
+        a.weighted_mflops += mfn * w;
+        a.walltime += w;
+        a.best = std::max(a.best, mfn);
+        ++out.jobs_analyzed;
+      }
+    }));
+  }
+
+  out.rows.reserve(by_user.size());
+  for (const auto& [user, a] : by_user) {
+    TopUsersResult::Row r;
+    r.user_id = user;
+    r.jobs = a.jobs;
+    r.node_hours = a.node_seconds / 3600.0;
+    r.mflops_per_node =
+        a.walltime > 0.0 ? a.weighted_mflops / a.walltime : 0.0;
+    r.best_mflops_per_node = a.best;
+    out.rows.push_back(r);
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const TopUsersResult::Row& a, const TopUsersResult::Row& b) {
+              return a.node_hours > b.node_hours;
+            });
+  if (out.rows.size() > top_n) out.rows.resize(top_n);
+  return out;
+}
+
+MissRatioResult miss_ratio_distribution(
+    std::span<const TableSource* const> jobs, int nodes,
+    double min_walltime_s) {
+  MissRatioResult out;
+  out.nodes = nodes;
+  double sum = 0.0;
+
+  const std::uint32_t req[] = {jcol::kNodes,
+                               jcol::kComplete,
+                               jcol::kStart,
+                               jcol::kEnd,
+                               ju(HpmCounter::kUserFxu0),
+                               ju(HpmCounter::kUserFxu1),
+                               ju(HpmCounter::kUserDcacheMiss)};
+  const PruneFn prune = [nodes,
+                         min_walltime_s](std::span<const ChunkStats> s) {
+    const std::int64_t n = nodes;
+    if (n < as_i64(s[jcol::kNodes].min_raw) ||
+        n > as_i64(s[jcol::kNodes].max_raw)) {
+      return true;
+    }
+    return prune_analyzed(s, min_walltime_s);
+  };
+  for (const TableSource* src : jobs) {
+    out.scan.merge(src->scan(req, prune, [&](const Batch& b) {
+      for (std::uint32_t i = 0; i < b.rows; ++i) {
+        if (b.cols[1][i] == 0) continue;
+        if (as_i64(b.cols[0][i]) != nodes) continue;
+        const double w = as_f64(b.cols[3][i]) - as_f64(b.cols[2][i]);
+        if (!(w > min_walltime_s)) continue;
+        // Section 5's lower-bound miss ratio: dcache misses over the FXU
+        // instruction sum, arithmetic as in derive_rates.
+        const double fxu = static_cast<double>(b.cols[4][i]) +
+                           static_cast<double>(b.cols[5][i]);
+        const double ratio =
+            fxu > 0.0 ? static_cast<double>(b.cols[6][i]) / fxu : 0.0;
+        if (out.jobs == 0) {
+          out.min = ratio;
+          out.max = ratio;
+        } else {
+          out.min = std::min(out.min, ratio);
+          out.max = std::max(out.max, ratio);
+        }
+        ++out.jobs;
+        sum += ratio;
+        const double edge =
+            ratio / MissRatioResult::kBucketWidth;
+        const std::size_t bucket =
+            edge >= static_cast<double>(MissRatioResult::kBuckets)
+                ? MissRatioResult::kBuckets
+                : static_cast<std::size_t>(edge);
+        ++out.hist[bucket];
+      }
+    }));
+  }
+  out.mean = out.jobs > 0 ? sum / static_cast<double>(out.jobs) : 0.0;
+  return out;
+}
+
+PagingResult paging_suspects(std::span<const TableSource* const> jobs,
+                             double threshold, std::size_t max_rows,
+                             double min_walltime_s) {
+  PagingResult out;
+  out.threshold = threshold;
+
+  const std::uint32_t req[] = {jcol::kJobId,
+                               jcol::kUserId,
+                               jcol::kNodes,
+                               jcol::kStart,
+                               jcol::kEnd,
+                               jcol::kComplete,
+                               ju(HpmCounter::kUserFxu0),
+                               ju(HpmCounter::kUserFxu1),
+                               js(HpmCounter::kUserFxu0),
+                               js(HpmCounter::kUserFxu1)};
+  const PruneFn prune = [min_walltime_s](std::span<const ChunkStats> s) {
+    return prune_analyzed(s, min_walltime_s);
+  };
+  for (const TableSource* src : jobs) {
+    out.scan.merge(src->scan(req, prune, [&](const Batch& b) {
+      for (std::uint32_t i = 0; i < b.rows; ++i) {
+        if (b.cols[5][i] == 0) continue;
+        const double w = as_f64(b.cols[4][i]) - as_f64(b.cols[3][i]);
+        if (!(w > min_walltime_s)) continue;
+        ++out.jobs_analyzed;
+        // derive_rates' system_user_fxu_ratio: the system-mode sum is
+        // added in uint64 then widened once; the user-mode halves widen
+        // separately.
+        const double fxu = static_cast<double>(b.cols[6][i]) +
+                           static_cast<double>(b.cols[7][i]);
+        if (!(fxu > 0.0)) continue;
+        const double sys_fxu =
+            static_cast<double>(b.cols[8][i] + b.cols[9][i]);
+        const double ratio = sys_fxu / fxu;
+        if (ratio < threshold) continue;
+        PagingResult::Row r;
+        r.job_id = as_i64(b.cols[0][i]);
+        r.user_id = static_cast<std::int32_t>(as_i64(b.cols[1][i]));
+        r.nodes = as_i64(b.cols[2][i]);
+        r.walltime_s = w;
+        r.ratio = ratio;
+        out.rows.push_back(r);
+      }
+    }));
+  }
+  std::stable_sort(out.rows.begin(), out.rows.end(),
+                   [](const PagingResult::Row& a, const PagingResult::Row& b) {
+                     return a.ratio > b.ratio;
+                   });
+  if (out.rows.size() > max_rows) out.rows.resize(max_rows);
+  return out;
+}
+
+bool aggregate_column(const TableSource& source, std::string_view column,
+                      ColumnAggregate* out) {
+  std::uint32_t col = 0;
+  if (!column_by_name(source.kind(), column, &col)) return false;
+  const ColumnKind kind = columns(source.kind())[col].kind;
+  *out = ColumnAggregate{};
+  out->column = std::string(column);
+  out->value_kind = kind;
+  const std::uint32_t req[] = {col};
+  bool first = true;
+  out->scan = source.scan(req, nullptr, [&](const Batch& b) {
+    const std::span<const std::uint64_t> v = b.cols[0];
+    for (std::uint32_t i = 0; i < b.rows; ++i) {
+      const std::uint64_t x = v[i];
+      out->sum += x;
+      if (kind == ColumnKind::kF64) out->dsum += std::bit_cast<double>(x);
+      if (first) {
+        out->min_raw = x;
+        out->max_raw = x;
+        first = false;
+      } else {
+        if (raw_less(x, out->min_raw, kind)) out->min_raw = x;
+        if (raw_less(out->max_raw, x, kind)) out->max_raw = x;
+      }
+    }
+    out->rows += b.rows;
+  });
+  return true;
+}
+
+namespace {
+
+std::string raw_str(std::uint64_t raw, ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kI64:
+      return std::to_string(as_i64(raw));
+    case ColumnKind::kF64:
+      return util::format_double(as_f64(raw));
+    case ColumnKind::kU64:
+      break;
+  }
+  return std::to_string(raw);
+}
+
+}  // namespace
+
+std::string render_scan_stats(const ScanStats& s) {
+  std::ostringstream os;
+  os << "scan chunks=" << s.chunks_scanned << " pruned=" << s.chunks_pruned
+     << " skipped=" << s.chunks_skipped << " rows=" << s.rows_scanned
+     << " rows_pruned=" << s.rows_pruned << '\n';
+  return os.str();
+}
+
+std::string render_top_users(const TopUsersResult& r) {
+  std::ostringstream os;
+  os << "top-users analyzed=" << r.jobs_analyzed << " rows=" << r.rows.size()
+     << '\n';
+  for (const TopUsersResult::Row& u : r.rows) {
+    os << "user=" << u.user_id << " jobs=" << u.jobs
+       << " node_hours=" << util::format_double(u.node_hours)
+       << " mflops_per_node=" << util::format_double(u.mflops_per_node)
+       << " best=" << util::format_double(u.best_mflops_per_node) << '\n';
+  }
+  return os.str();
+}
+
+std::string render_miss_ratio(const MissRatioResult& r) {
+  std::ostringstream os;
+  os << "miss-ratio nodes=" << r.nodes << " jobs=" << r.jobs
+     << " mean=" << util::format_double(r.mean)
+     << " min=" << util::format_double(r.min)
+     << " max=" << util::format_double(r.max) << '\n';
+  for (std::size_t i = 0; i < MissRatioResult::kBuckets; ++i) {
+    const double lo = static_cast<double>(i) * MissRatioResult::kBucketWidth;
+    const double hi =
+        static_cast<double>(i + 1) * MissRatioResult::kBucketWidth;
+    os << "bucket " << util::format_double(lo) << ".."
+       << util::format_double(hi) << " = " << r.hist[i] << '\n';
+  }
+  os << "overflow = " << r.hist[MissRatioResult::kBuckets] << '\n';
+  return os.str();
+}
+
+std::string render_paging(const PagingResult& r) {
+  std::ostringstream os;
+  os << "paging threshold=" << util::format_double(r.threshold)
+     << " analyzed=" << r.jobs_analyzed << " suspects=" << r.rows.size()
+     << '\n';
+  for (const PagingResult::Row& j : r.rows) {
+    os << "job=" << j.job_id << " user=" << j.user_id
+       << " nodes=" << j.nodes
+       << " walltime=" << util::format_double(j.walltime_s)
+       << " sys_user_fxu=" << util::format_double(j.ratio) << '\n';
+  }
+  return os.str();
+}
+
+std::string render_aggregate(const ColumnAggregate& r) {
+  std::ostringstream os;
+  os << "column=" << r.column << " rows=" << r.rows << " sum="
+     << (r.value_kind == ColumnKind::kF64 ? util::format_double(r.dsum)
+                                          : std::to_string(r.sum))
+     << " min=" << raw_str(r.min_raw, r.value_kind)
+     << " max=" << raw_str(r.max_raw, r.value_kind) << '\n';
+  return os.str();
+}
+
+}  // namespace p2sim::archive

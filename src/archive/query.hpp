@@ -1,0 +1,220 @@
+// Vectorized scan/query layer over campaign tables.
+//
+// A TableSource streams decoded column batches in row order; the query
+// kernels below run dense loops over those batches with no per-row
+// virtual dispatch and no string parsing.  Two source families exist:
+//
+//   ArchiveTableSource  — chunks of a columnar archive, with predicate
+//                         pushdown (a chunk whose footer min/max proves
+//                         no row can match is skipped undecoded) and
+//                         column pruning (only requested columns decode);
+//   Memory*Source       — in-memory records flattened through the same
+//                         row-extraction code as the writer: the text
+//                         path's oracle.
+//
+// Byte-identity contract: pruning is applied only when a chunk's
+// statistics *prove* no row matches, and every kernel filters per row and
+// accumulates strictly in row order.  Results are therefore bit-identical
+// doubles regardless of source, chunking or pruning — the property the
+// query-vs-oracle tests pin down.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/archive/reader.hpp"
+#include "src/pbs/accounting.hpp"
+#include "src/rs2hpm/daemon.hpp"
+
+namespace p2sim::archive {
+
+/// What a scan touched and what pushdown saved it from touching.
+struct ScanStats {
+  std::int64_t chunks_scanned = 0;
+  std::int64_t chunks_pruned = 0;
+  std::int64_t chunks_skipped = 0;  ///< rotted chunks (recovering scans)
+  std::int64_t rows_scanned = 0;
+  std::int64_t rows_pruned = 0;
+
+  void merge(const ScanStats& o) {
+    chunks_scanned += o.chunks_scanned;
+    chunks_pruned += o.chunks_pruned;
+    chunks_skipped += o.chunks_skipped;
+    rows_scanned += o.rows_scanned;
+    rows_pruned += o.rows_pruned;
+  }
+};
+
+/// One decoded batch: `cols[i]` holds the i-th *requested* column's
+/// values (spans stay valid only for the callback's duration).
+struct Batch {
+  std::uint32_t rows = 0;
+  std::vector<std::span<const std::uint64_t>> cols;
+};
+
+using BatchFn = std::function<void(const Batch&)>;
+
+/// Returns true only when the chunk's statistics PROVE no row matches
+/// (sound pruning); the stats span is in schema order.  Sources without
+/// statistics never call it.
+using PruneFn = std::function<bool(std::span<const ChunkStats>)>;
+
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+  virtual TableKind kind() const = 0;
+  virtual std::uint64_t rows() const = 0;
+  /// Streams decoded batches of `cols` (schema column indices) in row
+  /// order.  `prune` may be null.
+  virtual ScanStats scan(std::span<const std::uint32_t> cols,
+                         const PruneFn& prune, const BatchFn& fn) const = 0;
+};
+
+/// Scans one table of an archive.  With a report, a chunk whose column
+/// payloads fail their checksum is skipped-and-reported mid-scan; without
+/// one the scan throws ArchiveError (strict).
+class ArchiveTableSource final : public TableSource {
+ public:
+  ArchiveTableSource(const ArchiveReader& reader, TableKind kind,
+                     ArchiveReport* report = nullptr)
+      : reader_(&reader), kind_(kind), report_(report) {}
+
+  TableKind kind() const override { return kind_; }
+  std::uint64_t rows() const override { return reader_->rows(kind_); }
+  ScanStats scan(std::span<const std::uint32_t> cols, const PruneFn& prune,
+                 const BatchFn& fn) const override;
+
+ private:
+  const ArchiveReader* reader_;
+  TableKind kind_;
+  ArchiveReport* report_;
+};
+
+/// Oracle source over in-memory interval records (the text path's data,
+/// flattened through the writer's own row extraction).
+class MemoryIntervalSource final : public TableSource {
+ public:
+  explicit MemoryIntervalSource(
+      std::span<const rs2hpm::IntervalRecord> records);
+
+  TableKind kind() const override { return TableKind::kIntervals; }
+  std::uint64_t rows() const override { return rows_; }
+  ScanStats scan(std::span<const std::uint32_t> cols, const PruneFn& prune,
+                 const BatchFn& fn) const override;
+
+ private:
+  std::uint64_t rows_ = 0;
+  std::vector<std::vector<std::uint64_t>> cols_;
+};
+
+/// Oracle source over in-memory job records.
+class MemoryJobSource final : public TableSource {
+ public:
+  explicit MemoryJobSource(std::span<const pbs::JobRecord> records);
+
+  TableKind kind() const override { return TableKind::kJobs; }
+  std::uint64_t rows() const override { return rows_; }
+  ScanStats scan(std::span<const std::uint32_t> cols, const PruneFn& prune,
+                 const BatchFn& fn) const override;
+
+ private:
+  std::uint64_t rows_ = 0;
+  std::vector<std::vector<std::uint64_t>> cols_;
+};
+
+// --- query kernels --------------------------------------------------------
+//
+// Each kernel takes one or more job-table sources (a multi-archive query
+// scans them in order, as one concatenated table) and mirrors the
+// corresponding analysis-layer arithmetic operation for operation, so its
+// doubles match analysis::user_stats / DerivedRates bit for bit.
+
+/// Paper section 6: who the machine's node-hours actually went to.
+struct TopUsersResult {
+  struct Row {
+    std::int32_t user_id = 0;
+    std::int64_t jobs = 0;
+    double node_hours = 0.0;
+    double mflops_per_node = 0.0;       ///< time-weighted mean
+    double best_mflops_per_node = 0.0;
+  };
+  std::vector<Row> rows;  ///< descending node-hours, capped at `top_n`
+  std::int64_t jobs_analyzed = 0;
+  ScanStats scan;
+};
+TopUsersResult top_users(
+    std::span<const TableSource* const> jobs, std::size_t top_n,
+    double min_walltime_s = pbs::kMinAnalyzedWalltimeS);
+
+/// Paper section 5/6: cache-miss-ratio distribution for jobs of one size.
+struct MissRatioResult {
+  static constexpr std::size_t kBuckets = 16;
+  static constexpr double kBucketWidth = 0.0025;  ///< covers [0, 0.04)
+
+  int nodes = 0;
+  std::int64_t jobs = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// hist[i] counts ratios in [i*width, (i+1)*width); the extra slot
+  /// counts the overflow tail.
+  std::array<std::int64_t, kBuckets + 1> hist{};
+  ScanStats scan;
+};
+MissRatioResult miss_ratio_distribution(
+    std::span<const TableSource* const> jobs, int nodes,
+    double min_walltime_s = pbs::kMinAnalyzedWalltimeS);
+
+/// Paper section 7: jobs whose system-mode FXU share signals paging.
+struct PagingResult {
+  struct Row {
+    std::int64_t job_id = 0;
+    std::int32_t user_id = 0;
+    std::int64_t nodes = 0;
+    double walltime_s = 0.0;
+    double ratio = 0.0;  ///< system FXU / user FXU over the job
+  };
+  double threshold = 0.0;
+  std::int64_t jobs_analyzed = 0;
+  std::vector<Row> rows;  ///< descending ratio, capped
+  ScanStats scan;
+};
+PagingResult paging_suspects(
+    std::span<const TableSource* const> jobs, double threshold = 0.5,
+    std::size_t max_rows = 20,
+    double min_walltime_s = pbs::kMinAnalyzedWalltimeS);
+
+/// Whole-column aggregate with no filter — the minimal single-column scan
+/// (and the bench's scan-throughput kernel).
+struct ColumnAggregate {
+  std::string column;
+  ColumnKind value_kind = ColumnKind::kU64;
+  std::uint64_t rows = 0;
+  std::uint64_t sum = 0;      ///< wrapping, over raw values (u64/i64)
+  double dsum = 0.0;          ///< row-order double sum (f64 columns)
+  std::uint64_t min_raw = 0;
+  std::uint64_t max_raw = 0;
+  ScanStats scan;
+};
+/// False when `column` is not in the source's schema.
+bool aggregate_column(const TableSource& source, std::string_view column,
+                      ColumnAggregate* out);
+
+// --- renderers ------------------------------------------------------------
+//
+// Stable text renderings (shortest round-trip doubles) shared by the CLI,
+// the bench and the equality tests: equal results render equal bytes.
+// Scan statistics are rendered separately — they legitimately differ
+// between an archive scan and its oracle, the query results never do.
+
+std::string render_scan_stats(const ScanStats& s);
+std::string render_top_users(const TopUsersResult& r);
+std::string render_miss_ratio(const MissRatioResult& r);
+std::string render_paging(const PagingResult& r);
+std::string render_aggregate(const ColumnAggregate& r);
+
+}  // namespace p2sim::archive

@@ -1,0 +1,318 @@
+#include "src/archive/reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/telemetry/session.hpp"
+#include "src/util/checksum.hpp"
+#include "src/util/ckpt.hpp"
+
+namespace p2sim::archive {
+namespace {
+
+/// Fixed chunk header: magic + kind + rows + ncols.
+constexpr std::uint64_t kChunkHeadBytes = 4 + 1 + 4 + 4;
+/// Per-column directory entry: encoding + bytes + checksum.
+constexpr std::uint64_t kDirEntryBytes = 1 + 4 + 8;
+
+}  // namespace
+
+std::string format_archive_report(const ArchiveReport& report) {
+  std::ostringstream os;
+  os << "loaded " << report.chunks_loaded << "/" << report.chunks_total
+     << " chunks (" << report.rows_loaded << " rows)";
+  for (const ArchiveReport::Issue& issue : report.issues) {
+    os << "; chunk " << issue.chunk << ": " << issue.what;
+  }
+  const std::int64_t more =
+      report.chunks_skipped - static_cast<std::int64_t>(report.issues.size());
+  if (more > 0) os << "; ... and " << more << " more";
+  if (report.truncated) os << "; tail truncated before the committed footer";
+  return os.str();
+}
+
+ArchiveReader ArchiveReader::open(const std::string& path,
+                                  ArchiveReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ArchiveError("archive: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_bytes(std::move(buf).str(), report);
+}
+
+ArchiveReader ArchiveReader::from_bytes(std::string bytes,
+                                        ArchiveReport* report) {
+  ArchiveReader r(std::move(bytes));
+  r.frame(report);
+  return r;
+}
+
+std::uint64_t ArchiveReader::rows(TableKind kind) const {
+  std::uint64_t n = 0;
+  for (const ChunkView& c : chunks(kind)) n += c.rows;
+  return n;
+}
+
+void note_archive_skip(ArchiveReport* report, std::int64_t chunk,
+                       std::int64_t rows, const std::string& why) {
+  if (report == nullptr) {
+    throw ArchiveError("archive: " + why);
+  }
+  ++report->chunks_skipped;
+  report->rows_skipped += rows;
+  if (static_cast<std::int64_t>(report->issues.size()) < report->max_issues) {
+    report->issues.push_back({chunk, why});
+  }
+  if (auto* tel = telemetry::current()) {
+    tel->registry
+        .counter("p2sim_archive_chunks_skipped_total",
+                 "Archive chunks skipped by recovering reads")
+        .inc();
+  }
+}
+
+void ArchiveReader::frame(ArchiveReport* report) {
+  if (data_.size() < kFileMagic.size() ||
+      std::string_view(data_).substr(0, kFileMagic.size()) != kFileMagic) {
+    // Not a p2sim archive at all: refuse in both modes, exactly like the
+    // text loaders refuse a bad header line.
+    throw ArchiveError("archive: bad file magic");
+  }
+  if (frame_footer(report)) {
+    if (report != nullptr) report->committed = true;
+    return;
+  }
+  if (report == nullptr) {
+    throw ArchiveError(
+        "archive: missing committed footer (file truncated?)");
+  }
+  report->truncated = true;
+  frame_recovery(report);
+}
+
+bool ArchiveReader::frame_footer(ArchiveReport* report) {
+  const std::uint64_t size = data_.size();
+  if (size < kFileMagic.size() + kFooterFrameBytes) return false;
+  const std::string_view view(data_);
+  if (view.substr(size - kFooterMagic.size()) != kFooterMagic) return false;
+  const std::uint64_t len_at = size - kFooterMagic.size() - 4;
+  const std::uint64_t payload_len = get_le32(data_.data() + len_at);
+  const std::uint64_t sum_at = len_at - 8;
+  if (payload_len > sum_at - kFileMagic.size()) return false;
+  const std::uint64_t payload_at = sum_at - payload_len;
+  const std::string_view payload = view.substr(payload_at, payload_len);
+  if (util::fnv1a64(payload) != get_le64(data_.data() + sum_at)) return false;
+
+  // The footer frame is sound; from here on defects are real (versioned
+  // container drift or chunk rot), not just "no footer yet".
+  std::array<std::vector<ChunkView>, kNumTables> framed;
+  std::int64_t ordinal = 0;
+  try {
+    util::CkptReader f(payload);
+    const std::uint32_t version = f.read_u32("archive.version");
+    if (version != kFormatVersion) {
+      throw ArchiveError("archive: unsupported format version " +
+                         std::to_string(version));
+    }
+    if (f.read_u32("archive.num_counters") != hpm::kNumCounters) {
+      throw ArchiveError("archive: counter-count mismatch");
+    }
+    for (std::size_t k = 0; k < kNumTables; ++k) {
+      const TableKind kind = static_cast<TableKind>(k);
+      const std::uint32_t ncols = column_count(kind);
+      f.read_u64("archive.rows_total");
+      if (f.read_u32("archive.ncols") != ncols) {
+        throw ArchiveError("archive: column-count mismatch");
+      }
+      const std::uint32_t nchunks = f.read_u32("archive.nchunks");
+      for (std::uint32_t i = 0; i < nchunks; ++i, ++ordinal) {
+        const std::uint64_t offset = f.read_u64("archive.chunk_offset");
+        const std::uint64_t bytes = f.read_u64("archive.chunk_bytes");
+        const std::uint32_t rows = f.read_u32("archive.chunk_rows");
+        std::vector<ChunkStats> stats;
+        stats.reserve(ncols);
+        for (std::uint32_t c = 0; c < ncols; ++c) {
+          ChunkStats s;
+          s.min_raw = f.read_u64("archive.chunk_min");
+          s.max_raw = f.read_u64("archive.chunk_max");
+          stats.push_back(s);
+        }
+        if (report != nullptr) ++report->chunks_total;
+        ChunkView chunk;
+        std::uint64_t frame_bytes = 0;
+        std::string why;
+        if (offset > payload_at || bytes > payload_at - offset ||
+            !frame_chunk(offset, offset + bytes, &chunk, &frame_bytes,
+                         &why)) {
+          note_archive_skip(report, ordinal, rows,
+                    why.empty() ? "chunk outside the file" : why);
+          continue;
+        }
+        if (chunk.kind != kind || chunk.rows != rows ||
+            frame_bytes != bytes) {
+          note_archive_skip(report, ordinal, rows,
+                    "chunk disagrees with the footer directory");
+          continue;
+        }
+        chunk.stats = std::move(stats);
+        if (report != nullptr) {
+          ++report->chunks_loaded;
+          report->rows_loaded += rows;
+        }
+        framed[k].push_back(std::move(chunk));
+      }
+    }
+  } catch (const util::CkptError& e) {
+    // A payload that checksums clean but does not parse is corruption in
+    // a committed file, not a missing footer.
+    throw ArchiveError(std::string("archive: rotted footer: ") + e.what());
+  }
+  chunks_ = std::move(framed);
+  return true;
+}
+
+void ArchiveReader::frame_recovery(ArchiveReport* report) {
+  const std::string_view view(data_);
+  std::size_t pos = kFileMagic.size();
+  std::int64_t ordinal = 0;
+  while (pos < data_.size()) {
+    const std::size_t at = view.find(kChunkMagic, pos);
+    if (at == std::string_view::npos) break;
+    ChunkView chunk;
+    std::uint64_t frame_bytes = 0;
+    std::string why;
+    if (frame_chunk(at, data_.size(), &chunk, &frame_bytes, &why)) {
+      ++report->chunks_total;
+      ++report->chunks_loaded;
+      report->rows_loaded += chunk.rows;
+      chunks_[static_cast<std::size_t>(chunk.kind)].push_back(
+          std::move(chunk));
+      pos = at + frame_bytes;
+    } else {
+      // A frame that starts like a chunk but does not validate: count it,
+      // then resync on the next magic (rows inside it are unknowable).
+      ++report->chunks_total;
+      note_archive_skip(report, ordinal, 0, why);
+      pos = at + 1;
+    }
+    ++ordinal;
+  }
+}
+
+bool ArchiveReader::frame_chunk(std::uint64_t offset,
+                                std::uint64_t bytes_limit, ChunkView* out,
+                                std::uint64_t* frame_bytes,
+                                std::string* why) const {
+  const std::uint64_t limit = std::min<std::uint64_t>(bytes_limit,
+                                                      data_.size());
+  if (offset + kChunkHeadBytes > limit) {
+    *why = "truncated chunk header";
+    return false;
+  }
+  const char* base = data_.data() + offset;
+  if (std::string_view(base, kChunkMagic.size()) != kChunkMagic) {
+    *why = "bad chunk magic";
+    return false;
+  }
+  const std::uint8_t kind_byte = static_cast<std::uint8_t>(base[4]);
+  if (kind_byte >= kNumTables) {
+    *why = "bad table kind";
+    return false;
+  }
+  const TableKind kind = static_cast<TableKind>(kind_byte);
+  const std::uint32_t rows = get_le32(base + 5);
+  const std::uint32_t ncols = get_le32(base + 9);
+  if (rows == 0 || ncols != column_count(kind)) {
+    *why = "bad chunk shape";
+    return false;
+  }
+  const std::uint64_t dir_bytes =
+      static_cast<std::uint64_t>(ncols) * kDirEntryBytes;
+  const std::uint64_t head_bytes = kChunkHeadBytes + dir_bytes;
+  if (offset + head_bytes + 8 > limit) {
+    *why = "truncated chunk directory";
+    return false;
+  }
+  if (util::fnv1a64(std::string_view(base, head_bytes)) !=
+      get_le64(base + head_bytes)) {
+    *why = "chunk checksum mismatch";
+    return false;
+  }
+
+  out->kind = kind;
+  out->rows = rows;
+  out->cols.clear();
+  out->cols.reserve(ncols);
+  std::uint64_t payload_at = offset + head_bytes + 8;
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    const char* e = base + kChunkHeadBytes + c * kDirEntryBytes;
+    ChunkView::Column col;
+    col.encoding = static_cast<Encoding>(static_cast<std::uint8_t>(e[0]));
+    col.bytes = get_le32(e + 1);
+    col.checksum = get_le64(e + 5);
+    col.payload_offset = payload_at;
+    if (static_cast<std::uint8_t>(col.encoding) >
+        static_cast<std::uint8_t>(Encoding::kConst)) {
+      *why = "bad column encoding";
+      return false;
+    }
+    if (col.bytes > limit - payload_at) {
+      *why = "truncated chunk payload";
+      return false;
+    }
+    payload_at += col.bytes;
+    out->cols.push_back(col);
+  }
+  *frame_bytes = payload_at - offset;
+  return true;
+}
+
+void ArchiveReader::decode_column(const ChunkView& chunk, std::uint32_t col,
+                                  std::vector<std::uint64_t>* out) const {
+  const ChunkView::Column& c = chunk.cols.at(col);
+  const std::string_view payload(data_.data() + c.payload_offset, c.bytes);
+  if (util::fnv1a64_words(payload) != c.checksum) {
+    throw ArchiveError("archive: column checksum mismatch");
+  }
+  out->resize(chunk.rows);
+  const char* p = payload.data();
+  const char* end = p + payload.size();
+  switch (c.encoding) {
+    case Encoding::kRaw64:
+      if (payload.size() != static_cast<std::uint64_t>(chunk.rows) * 8) {
+        throw ArchiveError("archive: bad raw column size");
+      }
+      for (std::uint32_t i = 0; i < chunk.rows; ++i) {
+        (*out)[i] = get_le64(p + static_cast<std::size_t>(i) * 8);
+      }
+      return;
+    case Encoding::kDeltaVarint: {
+      std::uint64_t prev = 0;
+      for (std::uint32_t i = 0; i < chunk.rows; ++i) {
+        std::uint64_t z = 0;
+        if (!get_varint(&p, end, &z)) {
+          throw ArchiveError("archive: truncated varint column");
+        }
+        prev += unzigzag64(z);
+        (*out)[i] = prev;
+      }
+      if (p != end) throw ArchiveError("archive: overlong varint column");
+      return;
+    }
+    case Encoding::kConst: {
+      std::uint64_t z = 0;
+      if (!get_varint(&p, end, &z) || p != end) {
+        throw ArchiveError("archive: bad constant column");
+      }
+      const std::uint64_t v = unzigzag64(z);
+      for (std::uint32_t i = 0; i < chunk.rows; ++i) (*out)[i] = v;
+      return;
+    }
+  }
+  throw ArchiveError("archive: bad column encoding");
+}
+
+}  // namespace p2sim::archive

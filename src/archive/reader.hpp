@@ -1,0 +1,131 @@
+// Archive reader: framing, recovery and column decode.
+//
+// open() loads the file once and frames it into chunks.  A valid footer
+// marks the archive *committed* and supplies the chunk directory with
+// per-column min/max statistics (the scan layer's pruning input).  A
+// missing or rotted footer means the writer died mid-file: the reader
+// falls back to walking the chunk frames from the front, keeping every
+// intact chunk — the binary analog of record_io's clean-truncation
+// verdict.  Either way a chunk whose header checksum fails is skipped and
+// reported, never trusted.
+//
+// Column payloads are verified lazily: decode_column() checks the
+// payload's word-wise FNV before decoding, so a scan that prunes columns
+// verifies exactly the bytes it reads, and a full load (every column)
+// catches a flip anywhere in the chunk.  Strict mode (no report) throws
+// ArchiveError at the first defect, mirroring record_io's strict loads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/archive/format.hpp"
+
+namespace p2sim::archive {
+
+/// Raised on any malformed archive byte: bad magic, rotted chunk or
+/// footer, truncated or overlong column payload.
+class ArchiveError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What a recovering open/scan found wrong, chunk by chunk — the binary
+/// sibling of analysis::ParseReport.
+struct ArchiveReport {
+  struct Issue {
+    std::int64_t chunk = 0;  ///< chunk ordinal in file order (0-based)
+    std::string what;
+  };
+  /// Offending chunks to attach with their reason; `chunks_skipped`
+  /// always counts every bad chunk (set before the load; <= 0 keeps
+  /// none).
+  std::int64_t max_issues = 5;
+  std::int64_t chunks_total = 0;
+  std::int64_t chunks_loaded = 0;
+  std::int64_t chunks_skipped = 0;
+  std::int64_t rows_loaded = 0;
+  std::int64_t rows_skipped = 0;  ///< rows inside skipped chunks
+  std::vector<Issue> issues;
+
+  /// True when a valid footer closed the file.  A committed archive can
+  /// still carry rotted chunks (bit rot after commit) — they are counted
+  /// above.
+  bool committed = false;
+  /// True when the footer was missing or rotted: the writer died before
+  /// the commit (drop the tail, keep every intact chunk).
+  bool truncated = false;
+
+  bool clean() const { return chunks_skipped == 0; }
+};
+
+/// Renders an archive report for logs ("loaded 12/13 chunks; ...").
+std::string format_archive_report(const ArchiveReport& report);
+
+/// Tallies one skipped chunk into `report` and bumps the
+/// p2sim_archive_chunks_skipped_total counter; with report == nullptr
+/// (strict mode) throws ArchiveError instead.  Shared by the reader's
+/// framing and the scan layer's per-chunk decode.
+void note_archive_skip(ArchiveReport* report, std::int64_t chunk,
+                       std::int64_t rows, const std::string& why);
+
+/// One framed chunk, ready for column decode.
+struct ChunkView {
+  TableKind kind = TableKind::kIntervals;
+  std::uint32_t rows = 0;
+  /// Per-column directory, in schema order.
+  struct Column {
+    Encoding encoding = Encoding::kRaw64;
+    std::uint32_t bytes = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t payload_offset = 0;  ///< absolute offset into the file
+  };
+  std::vector<Column> cols;
+  /// Per-column min/max from the footer directory; empty when the chunk
+  /// was recovered without a footer.
+  std::vector<ChunkStats> stats;
+};
+
+class ArchiveReader {
+ public:
+  /// Frames `path`.  With report == nullptr any defect throws
+  /// ArchiveError; with a report, corrupt chunks are skipped-and-reported
+  /// and an uncommitted file is recovered chunk by chunk.
+  static ArchiveReader open(const std::string& path,
+                            ArchiveReport* report = nullptr);
+  /// Same, over an in-memory image (tests, benches).
+  static ArchiveReader from_bytes(std::string bytes,
+                                  ArchiveReport* report = nullptr);
+
+  const std::vector<ChunkView>& chunks(TableKind kind) const {
+    return chunks_[static_cast<std::size_t>(kind)];
+  }
+  /// Rows across the loadable chunks of a table.
+  std::uint64_t rows(TableKind kind) const;
+  /// Total file bytes (compression accounting).
+  std::uint64_t file_bytes() const { return data_.size(); }
+
+  /// Decodes one column into `out` (resized to the chunk's rows).
+  /// Throws ArchiveError on a checksum mismatch or malformed payload.
+  void decode_column(const ChunkView& chunk, std::uint32_t col,
+                     std::vector<std::uint64_t>* out) const;
+
+ private:
+  explicit ArchiveReader(std::string data) : data_(std::move(data)) {}
+  void frame(ArchiveReport* report);
+  bool frame_footer(ArchiveReport* report);
+  void frame_recovery(ArchiveReport* report);
+  /// Parses + validates the chunk frame at `offset`; returns false (with
+  /// `why`) instead of throwing so recovery can resync.
+  bool frame_chunk(std::uint64_t offset, std::uint64_t bytes_limit,
+                   ChunkView* out, std::uint64_t* frame_bytes,
+                   std::string* why) const;
+
+  std::string data_;
+  std::array<std::vector<ChunkView>, kNumTables> chunks_{};
+};
+
+}  // namespace p2sim::archive

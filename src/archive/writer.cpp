@@ -1,0 +1,213 @@
+#include "src/archive/writer.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "src/util/checksum.hpp"
+#include "src/util/ckpt.hpp"
+
+namespace p2sim::archive {
+namespace {
+
+/// Encodes one column into `out`; returns the encoding chosen.  The
+/// writer tries the compact forms first and falls back to raw LE64 when
+/// the data does not compress (already-random patterns, e.g. doubles
+/// with busy mantissas).
+Encoding encode_column(const std::vector<std::uint64_t>& vals,
+                       std::size_t begin, std::size_t rows,
+                       std::string* out) {
+  bool all_equal = true;
+  for (std::size_t i = 1; i < rows; ++i) {
+    if (vals[begin + i] != vals[begin]) {
+      all_equal = false;
+      break;
+    }
+  }
+  if (all_equal) {
+    put_varint(out, zigzag64(vals[begin]));
+    return Encoding::kConst;
+  }
+
+  std::string delta;
+  delta.reserve(rows * 5);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t v = vals[begin + i];
+    put_varint(&delta, zigzag64(v - prev));
+    prev = v;
+  }
+  if (delta.size() < rows * 8) {
+    *out = std::move(delta);
+    return Encoding::kDeltaVarint;
+  }
+
+  out->reserve(rows * 8);
+  for (std::size_t i = 0; i < rows; ++i) put_le64(out, vals[begin + i]);
+  return Encoding::kRaw64;
+}
+
+/// Min/max over the column slice, compared per the column's kind; returns
+/// raw bit patterns.
+ChunkStats column_stats(const std::vector<std::uint64_t>& vals,
+                        std::size_t begin, std::size_t rows,
+                        ColumnKind kind) {
+  ChunkStats s;
+  s.min_raw = vals[begin];
+  s.max_raw = vals[begin];
+  for (std::size_t i = 1; i < rows; ++i) {
+    const std::uint64_t v = vals[begin + i];
+    if (raw_less(v, s.min_raw, kind)) s.min_raw = v;
+    if (raw_less(s.max_raw, v, kind)) s.max_raw = v;
+  }
+  return s;
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(std::size_t rows_per_chunk)
+    : rows_per_chunk_(rows_per_chunk) {
+  if (rows_per_chunk_ == 0) {
+    throw std::invalid_argument("archive: rows_per_chunk must be > 0");
+  }
+  body_.append(kFileMagic);
+  for (std::size_t k = 0; k < kNumTables; ++k) {
+    tables_[k].cols.resize(column_count(static_cast<TableKind>(k)));
+  }
+}
+
+void ArchiveWriter::push_row(TableKind kind, const std::uint64_t* row) {
+  if (finished_) {
+    throw std::logic_error("archive: append after finish()");
+  }
+  Table& t = table(kind);
+  for (std::size_t c = 0; c < t.cols.size(); ++c) t.cols[c].push_back(row[c]);
+  ++t.rows_total;
+  if (t.cols[0].size() >= rows_per_chunk_) seal_chunk(kind);
+}
+
+void interval_row(const rs2hpm::IntervalRecord& rec, std::uint64_t* row) {
+  row[icol::kInterval] = static_cast<std::uint64_t>(rec.interval);
+  row[icol::kSampled] =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(rec.nodes_sampled));
+  row[icol::kExpected] =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(rec.nodes_expected));
+  row[icol::kReprimed] = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(rec.nodes_reprimed));
+  row[icol::kBusy] =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(rec.busy_nodes));
+  row[icol::kQuad] = rec.quad_surplus;
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    row[icol::kUser0 + i] = rec.delta.user[i];
+    row[icol::kSystem0 + i] = rec.delta.system[i];
+  }
+}
+
+void job_row(const pbs::JobRecord& rec, std::uint64_t* row) {
+  row[jcol::kJobId] = static_cast<std::uint64_t>(rec.spec.job_id);
+  row[jcol::kUserId] =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(rec.spec.user_id));
+  row[jcol::kNodes] = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(rec.spec.nodes_requested));
+  row[jcol::kSubmit] = std::bit_cast<std::uint64_t>(rec.spec.submit_time_s);
+  row[jcol::kStart] = std::bit_cast<std::uint64_t>(rec.start_time_s);
+  row[jcol::kEnd] = std::bit_cast<std::uint64_t>(rec.end_time_s);
+  row[jcol::kComplete] = rec.report.complete ? 1 : 0;
+  row[jcol::kQuad] = rec.report.quad_surplus;
+  for (std::size_t i = 0; i < hpm::kNumCounters; ++i) {
+    row[jcol::kUser0 + i] = rec.report.delta.user[i];
+    row[jcol::kSystem0 + i] = rec.report.delta.system[i];
+  }
+}
+
+void ArchiveWriter::append_interval(const rs2hpm::IntervalRecord& rec) {
+  std::uint64_t row[icol::kSystem0 + hpm::kNumCounters];
+  interval_row(rec, row);
+  push_row(TableKind::kIntervals, row);
+}
+
+void ArchiveWriter::append_job(const pbs::JobRecord& rec) {
+  std::uint64_t row[jcol::kSystem0 + hpm::kNumCounters];
+  job_row(rec, row);
+  push_row(TableKind::kJobs, row);
+}
+
+void ArchiveWriter::seal_chunk(TableKind kind) {
+  Table& t = table(kind);
+  const std::size_t rows = t.cols[0].size();
+  if (rows == 0) return;
+  const std::vector<ColumnDesc>& schema = columns(kind);
+
+  // Encode every column first: the header needs each payload's size and
+  // checksum before any payload byte is laid down.
+  std::vector<std::string> payloads(t.cols.size());
+  std::vector<Encoding> encodings(t.cols.size(), Encoding::kRaw64);
+  Table::Sealed sealed;
+  sealed.rows = static_cast<std::uint32_t>(rows);
+  sealed.stats.reserve(t.cols.size());
+  for (std::size_t c = 0; c < t.cols.size(); ++c) {
+    encodings[c] = encode_column(t.cols[c], 0, rows, &payloads[c]);
+    sealed.stats.push_back(column_stats(t.cols[c], 0, rows, schema[c].kind));
+    t.cols[c].clear();
+  }
+
+  std::string head;
+  head.append(kChunkMagic);
+  head.push_back(static_cast<char>(kind));
+  put_le32(&head, static_cast<std::uint32_t>(rows));
+  put_le32(&head, static_cast<std::uint32_t>(t.cols.size()));
+  for (std::size_t c = 0; c < t.cols.size(); ++c) {
+    head.push_back(static_cast<char>(encodings[c]));
+    put_le32(&head, static_cast<std::uint32_t>(payloads[c].size()));
+    put_le64(&head, util::fnv1a64_words(payloads[c]));
+  }
+
+  sealed.offset = body_.size();
+  body_ += head;
+  put_le64(&body_, util::fnv1a64(head));
+  for (const std::string& p : payloads) body_ += p;
+  sealed.bytes = body_.size() - sealed.offset;
+  t.chunks.push_back(std::move(sealed));
+}
+
+std::string ArchiveWriter::finish() {
+  if (finished_) {
+    throw std::logic_error("archive: finish() called twice");
+  }
+  for (std::size_t k = 0; k < kNumTables; ++k) {
+    seal_chunk(static_cast<TableKind>(k));
+  }
+  finished_ = true;
+
+  util::CkptWriter footer;
+  footer.put_u32(kFormatVersion);
+  footer.put_u32(static_cast<std::uint32_t>(hpm::kNumCounters));
+  for (std::size_t k = 0; k < kNumTables; ++k) {
+    const Table& t = tables_[k];
+    footer.put_u64(t.rows_total);
+    footer.put_u32(column_count(static_cast<TableKind>(k)));
+    footer.put_u32(static_cast<std::uint32_t>(t.chunks.size()));
+    for (const Table::Sealed& c : t.chunks) {
+      footer.put_u64(c.offset);
+      footer.put_u64(c.bytes);
+      footer.put_u32(c.rows);
+      for (const ChunkStats& s : c.stats) {
+        footer.put_u64(s.min_raw);
+        footer.put_u64(s.max_raw);
+      }
+    }
+  }
+
+  std::string out = std::move(body_);
+  body_.clear();
+  out += footer.bytes();
+  put_le64(&out, util::fnv1a64(footer.bytes()));
+  put_le32(&out, static_cast<std::uint32_t>(footer.bytes().size()));
+  out.append(kFooterMagic);
+  return out;
+}
+
+bool ArchiveWriter::finalize(const std::string& path, std::string* error) {
+  return util::write_file_durable(path, finish(), error);
+}
+
+}  // namespace p2sim::archive

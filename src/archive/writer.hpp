@@ -1,0 +1,87 @@
+// Streaming archive writer: the driver's record-emission sink.
+//
+// Rows append into in-memory column buffers (one set per table); every
+// `rows_per_chunk` rows the buffers seal into one immutable encoded chunk,
+// so the cost of record emission is paid in row-group batches rather than
+// per row.  finish()/finalize() seal the last partial chunks, append the
+// committed footer, and (for finalize) persist the whole image with the
+// same temp/fsync/rename discipline as the checkpoint container — a crash
+// leaves either the complete old file or the complete new file, and a
+// reader distinguishes a missing footer (clean truncation) from rotted
+// chunks exactly like record_io's ParseReport does for text.
+//
+// The image is a pure function of the appended row sequence and
+// `rows_per_chunk`: neither call batching nor thread count can move a
+// chunk boundary, which is what keeps archive bytes bit-identical across
+// campaign thread counts and checkpoint resume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/archive/format.hpp"
+#include "src/pbs/accounting.hpp"
+#include "src/rs2hpm/daemon.hpp"
+
+namespace p2sim::archive {
+
+/// Flattens one record into its schema row: `row` must hold
+/// column_count(kIntervals) / column_count(kJobs) values.  Shared by the
+/// writer and the in-memory (oracle) table sources so both paths store
+/// the same bit patterns by construction.
+void interval_row(const rs2hpm::IntervalRecord& rec, std::uint64_t* row);
+void job_row(const pbs::JobRecord& rec, std::uint64_t* row);
+
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(std::size_t rows_per_chunk = kDefaultRowsPerChunk);
+
+  void append_interval(const rs2hpm::IntervalRecord& rec);
+  /// Stores the v2 text field set plus `rec.spec.user_id`.
+  void append_job(const pbs::JobRecord& rec);
+
+  std::uint64_t rows(TableKind kind) const {
+    return tables_[static_cast<std::size_t>(kind)].rows_total;
+  }
+
+  /// Seals pending rows and the footer; returns the complete archive
+  /// image.  The writer is spent afterwards (further appends throw).
+  std::string finish();
+
+  /// finish() + durable whole-file replacement.  Returns false and fills
+  /// `error` when the write fails; the target is never left torn.
+  bool finalize(const std::string& path, std::string* error);
+
+ private:
+  struct Table {
+    /// Pending (not yet sealed) rows, column-major; one vector per
+    /// schema column, all the same length.
+    std::vector<std::vector<std::uint64_t>> cols;
+    std::uint64_t rows_total = 0;
+    /// Sealed chunks, in append order: offset/size into the body plus
+    /// per-column min/max for the footer directory.
+    struct Sealed {
+      std::uint64_t offset = 0;
+      std::uint64_t bytes = 0;
+      std::uint32_t rows = 0;
+      std::vector<ChunkStats> stats;
+    };
+    std::vector<Sealed> chunks;
+  };
+
+  Table& table(TableKind kind) {
+    return tables_[static_cast<std::size_t>(kind)];
+  }
+  void push_row(TableKind kind, const std::uint64_t* row);
+  void seal_chunk(TableKind kind);
+
+  std::size_t rows_per_chunk_ = kDefaultRowsPerChunk;
+  /// File magic + sealed chunks.
+  std::string body_;
+  std::array<Table, kNumTables> tables_{};
+  bool finished_ = false;
+};
+
+}  // namespace p2sim::archive

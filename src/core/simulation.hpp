@@ -59,6 +59,13 @@ struct Sp2Config {
     return driver.checkpoint;
   }
 
+  /// Columnar campaign archive destination (empty = off); the driver
+  /// batch-appends every interval and job record and commits the file
+  /// durably at campaign end.  Bytes are identical for every thread
+  /// count.  See workload::DriverConfig::archive_path.
+  std::string& archive() { return driver.archive_path; }
+  const std::string& archive() const { return driver.archive_path; }
+
   /// A scaled-down campaign for tests and quick demos: fewer days, fewer
   /// nodes, same physics.
   static Sp2Config small(std::int64_t days = 30, int nodes = 32);

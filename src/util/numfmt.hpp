@@ -1,0 +1,20 @@
+// Number formatting shared by the text record format and the query
+// renderers.
+#pragma once
+
+#include <charconv>
+#include <string>
+
+namespace p2sim::util {
+
+/// Shortest decimal string that round-trips the exact double
+/// (std::to_chars shortest form).  Text exports written with this survive
+/// a parse-and-rewrite cycle bit-identically, which is what lets the
+/// archive <-> text converters promise lossless round trips.
+inline std::string format_double(double v) {
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+}  // namespace p2sim::util

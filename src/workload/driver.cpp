@@ -9,6 +9,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "src/archive/writer.hpp"
 #include "src/check/check.hpp"
 #include "src/check/invariants.hpp"
 #include "src/rs2hpm/derived.hpp"
@@ -122,6 +123,9 @@ struct WorkloadDriver::CampaignState {
     result.num_nodes = cfg.num_nodes;
     result.days = cfg.days;
     result.selection = node_cfg.monitor.selection;
+    if (!cfg.archive_path.empty()) {
+      archive_writer = std::make_unique<archive::ArchiveWriter>();
+    }
   }
 
   NodeLane& lane(int n) { return lanes[static_cast<std::size_t>(n)]; }
@@ -190,6 +194,17 @@ struct WorkloadDriver::CampaignState {
   std::vector<const Running*> node_job;
 
   CampaignResult result;
+
+  // --- the campaign archive (serial-phase property) ----------------------
+  /// Columnar record sink (null = off).  The archive phase appends the
+  /// records each pass produced; run() commits the file at campaign end.
+  /// Deliberately NOT checkpointed: a resume replays every restored
+  /// record through the writer (archived_* restart at 0), and chunk
+  /// boundaries depend only on row counts, so the committed bytes are
+  /// bit-identical with or without a mid-campaign restart.
+  std::unique_ptr<archive::ArchiveWriter> archive_writer;
+  std::size_t archived_intervals = 0;
+  std::size_t archived_jobs = 0;
 
   // --- the parallel substrate --------------------------------------------
   std::vector<NodeLane> lanes;
@@ -862,6 +877,23 @@ void WorkloadDriver::phase_observe(CampaignState& st) {
   cfg_.observer->on_interval(hs);
 }
 
+void WorkloadDriver::phase_archive(CampaignState& st) {
+  if (st.archive_writer == nullptr) return;
+  // Batch-append everything produced since the previous pass.  Chunk
+  // boundaries depend only on row counts, so the archive bytes are
+  // identical for every thread count, checkpoint cadence, and resume
+  // (a resumed campaign restores all records and replays the appends
+  // from zero — idempotent over the already-archived prefix).
+  const std::vector<rs2hpm::IntervalRecord>& recs = st.daemon.records();
+  for (; st.archived_intervals < recs.size(); ++st.archived_intervals) {
+    st.archive_writer->append_interval(recs[st.archived_intervals]);
+  }
+  const std::vector<pbs::JobRecord>& jobs = st.result.jobs.all();
+  for (; st.archived_jobs < jobs.size(); ++st.archived_jobs) {
+    st.archive_writer->append_job(jobs[st.archived_jobs]);
+  }
+}
+
 std::int64_t WorkloadDriver::try_resume(CampaignState& st) {
   const CheckpointConfig& ck = cfg_.checkpoint;
   if (!ck.resume || ck.dir.empty()) return 0;
@@ -1004,6 +1036,7 @@ CampaignResult WorkloadDriver::run() {
       timed(Phase::kObserve, &WorkloadDriver::phase_observe);
       maybe_checkpoint(st);
     }
+    timed(Phase::kArchive, &WorkloadDriver::phase_archive);
     if (pt != nullptr) {
       ++pt->horizons;
       pt->intervals += st.horizon;
@@ -1026,6 +1059,17 @@ CampaignResult WorkloadDriver::run() {
   // configured store).  A failed write never fails the campaign — the
   // store is an accelerator, not a result.
   st.signatures.flush();
+  // Final catch-up (jobs left open past the last pass never reach the
+  // database, but a zero-pass campaign still needs its empty archive) and
+  // the durable commit.  Unlike the signature store, the archive IS a
+  // result: a failed write fails the campaign.
+  phase_archive(st);
+  if (st.archive_writer != nullptr) {
+    std::string error;
+    if (!st.archive_writer->finalize(cfg_.archive_path, &error)) {
+      throw std::runtime_error("p2sim: archive write failed: " + error);
+    }
+  }
 #if P2SIM_CHECKS_ENABLED
   // Campaign-level audit: every 15-minute record the daemon produced must
   // obey the Table 1 identities in both privilege modes.

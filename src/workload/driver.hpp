@@ -109,6 +109,15 @@ struct DriverConfig {
   /// campaign is bit-identical to an uninterrupted one.
   CheckpointConfig checkpoint{};
 
+  /// Columnar campaign archive (empty = off).  When set, the archive
+  /// phase appends every interval and job record to an archive::
+  /// ArchiveWriter in row-group batches as each pass completes, and run()
+  /// commits the file durably at campaign end.  The archive bytes are a
+  /// pure function of the record sequence: bit-identical for every thread
+  /// count, checkpoint cadence and resume.  Not part of the checkpoint
+  /// config fingerprint (a resume may redirect the archive).
+  std::string archive_path{};
+
   pbs::SchedulerConfig sched{};
   cluster::NodeConfig node{};
   cluster::PagingConfig paging{};
@@ -171,6 +180,7 @@ class WorkloadDriver {
     kEpilogues,     ///< job completion + accounting records (serial)
     kCollect,       ///< merged 15-minute RS2HPM daemon record (serial)
     kObserve,       ///< read-only pipeline-health sample (serial)
+    kArchive,       ///< batched record append to the columnar archive (serial)
   };
 
   struct PhaseInfo {
@@ -179,7 +189,7 @@ class WorkloadDriver {
     bool parallel = false;
   };
   /// The phase machine, in execution order (documentation + tests).
-  static constexpr std::array<PhaseInfo, 13> kPhases{{
+  static constexpr std::array<PhaseInfo, 14> kPhases{{
       {Phase::kDayRollover, "day-rollover", false},
       {Phase::kFaults, "faults", false},
       {Phase::kArrivals, "arrivals", false},
@@ -193,6 +203,7 @@ class WorkloadDriver {
       {Phase::kEpilogues, "epilogues", false},
       {Phase::kCollect, "collect", false},
       {Phase::kObserve, "observe", false},
+      {Phase::kArchive, "archive", false},
   }};
   static const char* phase_name(Phase p) {
     return kPhases[static_cast<std::size_t>(p)].name;
@@ -247,6 +258,11 @@ class WorkloadDriver {
   P2SIM_SERIAL_ONLY void phase_epilogues(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_collect(CampaignState& st);
   P2SIM_SERIAL_ONLY void phase_observe(CampaignState& st);
+  /// Appends the records the pass produced (daemon intervals, accounting
+  /// jobs) to the campaign archive in one row-group batch.  Idempotent
+  /// over already-archived prefixes, so a resume replays restored records
+  /// into a bit-identical archive.
+  P2SIM_SERIAL_ONLY void phase_archive(CampaignState& st);
 
   /// Called from run() after each interval's phases: announces the
   /// interval to the kill-injection hook and, at the configured cadence,

@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the parallel campaign engine.
+"""Perf-regression gate for the campaign engine's bench reports.
 
-Reads a freshly produced BENCH_parallel_speedup.json and the committed
-baseline (bench/parallel_speedup_baseline.json), and fails when the wide
-(8-thread) campaign speedup drops below the committed floor minus the
-tolerance.  Two outcomes deliberately do not gate on speed:
+Two kinds of report, selected with --kind:
 
-  * "scaling_valid": false in the report -- the bench refused to publish
-    scaling figures because the host has fewer hardware threads than the
-    widest run.  The checker SKIPS (exit 0) with the refusal reason, so a
-    small CI runner never fails on scheduling noise.
-  * byte-identity, by contrast, always gates: a report carrying
-    "table2_identical": false fails regardless of host width, because
-    determinism is thread-count-independent.
+  * --kind speedup (default): reads a freshly produced
+    BENCH_parallel_speedup.json and the committed baseline
+    (bench/parallel_speedup_baseline.json), and fails when the wide
+    (8-thread) campaign speedup drops below the committed floor minus
+    the tolerance.
+  * --kind archive: reads BENCH_archive_query.json and the committed
+    baseline (bench/archive_query_baseline.json), and fails when the
+    single-column scan rate or the load speedup over text drops below
+    its floor, or the archive/text size ratio rises above its ceiling.
+
+Two outcomes deliberately do not gate on speed:
+
+  * "scaling_valid": false in a speedup report -- the bench refused to
+    publish scaling figures because the host has fewer hardware threads
+    than the widest run.  The checker SKIPS (exit 0) with the refusal
+    reason, so a small CI runner never fails on scheduling noise.
+  * byte-identity, by contrast, always gates: "table2_identical": false
+    or "queries_identical": false fails regardless of host width,
+    because determinism and query fidelity are host-independent.
 """
 
 import argparse
@@ -21,29 +30,13 @@ import pathlib
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO / "bench" / "parallel_speedup_baseline.json"
+BASELINES = {
+    "speedup": REPO / "bench" / "parallel_speedup_baseline.json",
+    "archive": REPO / "bench" / "archive_query_baseline.json",
+}
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("report", type=pathlib.Path,
-                    help="BENCH_parallel_speedup.json from a fresh run")
-    ap.add_argument("--baseline", type=pathlib.Path,
-                    default=DEFAULT_BASELINE,
-                    help="committed speedup floor (default: %(default)s)")
-    args = ap.parse_args()
-
-    try:
-        report = json.loads(args.report.read_text())
-    except (OSError, ValueError) as e:
-        print(f"perf-regression: cannot read report {args.report}: {e}")
-        return 1
-    try:
-        base = json.loads(args.baseline.read_text())
-    except (OSError, ValueError) as e:
-        print(f"perf-regression: cannot read baseline {args.baseline}: {e}")
-        return 1
-
+def check_speedup(report: dict, base: dict) -> int:
     if not report.get("table2_identical", False):
         print("perf-regression: FAIL: Table 2 is not byte-identical across "
               "thread counts (determinism gates on every host)")
@@ -75,6 +68,78 @@ def main() -> int:
         print(f"perf-regression: serial fraction at threads={threads}: "
               f"{100.0 * float(run['serial_fraction']):.1f}%")
     return 0 if ok else 1
+
+
+def check_archive(report: dict, base: dict) -> int:
+    if not report.get("queries_identical", False):
+        print("perf-regression: FAIL: archive query results are not "
+              "byte-identical to the text-path oracle (fidelity gates on "
+              "every host)")
+        return 1
+
+    tol = float(base.get("tolerance", 0.0))
+    failures = []
+
+    scan = float(report.get("scan_mrecs_per_s", 0.0))
+    scan_floor = float(base["min_scan_mrecs_per_s"])
+    scan_ok = scan >= scan_floor * (1.0 - tol)
+    print(f"perf-regression: scan {scan:.1f} M recs/s vs floor "
+          f"{scan_floor:.1f} (tol {100.0 * tol:.0f}%): "
+          f"{'OK' if scan_ok else 'FAIL'}")
+    if not scan_ok:
+        failures.append("scan")
+
+    load = float(report.get("load_speedup_vs_text", 0.0))
+    load_floor = float(base["min_load_speedup_vs_text"])
+    load_ok = load >= load_floor * (1.0 - tol)
+    print(f"perf-regression: load speedup {load:.2f}x vs floor "
+          f"{load_floor:.2f}x (tol {100.0 * tol:.0f}%): "
+          f"{'OK' if load_ok else 'FAIL'}")
+    if not load_ok:
+        failures.append("load")
+
+    ratio = float(report.get("size_ratio", 1.0))
+    ceiling = float(base["max_size_ratio"])
+    # Size is deterministic for a fixed campaign: no tolerance.
+    ratio_ok = ratio <= ceiling
+    print(f"perf-regression: size ratio {100.0 * ratio:.1f}% vs ceiling "
+          f"{100.0 * ceiling:.1f}%: {'OK' if ratio_ok else 'FAIL'}")
+    if not ratio_ok:
+        failures.append("size")
+
+    if failures:
+        print(f"perf-regression: FAIL: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", type=pathlib.Path,
+                    help="BENCH_*.json from a fresh run")
+    ap.add_argument("--kind", choices=sorted(BASELINES),
+                    default="speedup",
+                    help="which report/baseline pair to gate "
+                         "(default: %(default)s)")
+    ap.add_argument("--baseline", type=pathlib.Path, default=None,
+                    help="committed floors (default: per --kind)")
+    args = ap.parse_args()
+    baseline = args.baseline or BASELINES[args.kind]
+
+    try:
+        report = json.loads(args.report.read_text())
+    except (OSError, ValueError) as e:
+        print(f"perf-regression: cannot read report {args.report}: {e}")
+        return 1
+    try:
+        base = json.loads(baseline.read_text())
+    except (OSError, ValueError) as e:
+        print(f"perf-regression: cannot read baseline {baseline}: {e}")
+        return 1
+
+    if args.kind == "archive":
+        return check_archive(report, base)
+    return check_speedup(report, base)
 
 
 if __name__ == "__main__":
